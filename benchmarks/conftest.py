@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+configurable scale (REPRO_BENCH_SCALE = tiny | quick | full; default
+tiny so `pytest benchmarks/ --benchmark-only` completes in minutes) and
+asserts the paper's *shape*: who wins, by roughly what factor, and where
+the trends point.  The printed report is the same rows/series the paper
+shows.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import Scale
+
+
+def bench_scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    return Scale(name)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are internally deterministic (virtual clock), so
+    repeated rounds only re-measure wall time of the simulation itself.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

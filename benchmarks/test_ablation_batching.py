@@ -1,0 +1,62 @@
+"""Ablation: batched vs single-pair SHARE commands (Section 3.2).
+
+"This batch SHARE operation can reduce the non-negligible round-trip
+overhead in the IO stack of issuing the command via ioctl.  In addition,
+this batch can reduce the number of potential flash writes to persist
+the updated mapping information."
+
+This ablation remaps the same set of pages with one pair per command vs
+maximal batches and measures both effects: command count (round trips)
+and mapping-page programs (persistence writes).
+"""
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.ftl.share_ext import SharePair
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+PAIRS = 2_000
+
+
+def run_cell(batch_size: int) -> dict:
+    clock = SimClock()
+    ssd = Ssd(clock, SsdConfig())
+    for lpn in range(PAIRS):
+        ssd.write(lpn, ("src", lpn))
+    ssd.reset_measurement()
+    clock.reset()
+    map_writes_before = ssd.ftl.map_page_writes
+    pairs = [SharePair(PAIRS + lpn, lpn) for lpn in range(PAIRS)]
+    for start in range(0, PAIRS, batch_size):
+        ssd.share_batch(pairs[start:start + batch_size])
+    return {
+        "batch": batch_size,
+        "commands": ssd.stats.share_commands,
+        "map_page_writes": ssd.ftl.map_page_writes - map_writes_before,
+        "elapsed_ms": clock.now_ms,
+    }
+
+
+def test_share_batching_ablation(benchmark, scale):
+    def sweep():
+        return [run_cell(batch) for batch in (1, 16, 64, 256)]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["pairs/command", "commands", "mapping-page writes", "elapsed ms"],
+        [[r["batch"], r["commands"], r["map_page_writes"],
+          r["elapsed_ms"]] for r in rows],
+        title="Ablation: SHARE batching (Section 3.2)"))
+    single = rows[0]
+    maximal = rows[-1]
+    assert single["commands"] == PAIRS
+    assert maximal["commands"] == -(-PAIRS // 256)
+    # Both overheads shrink with batching.
+    assert maximal["map_page_writes"] < single["map_page_writes"] / 10
+    assert maximal["elapsed_ms"] < single["elapsed_ms"] / 5
+    # All remaps took effect identically.
+    clockless = [r["commands"] * r["batch"] >= PAIRS for r in rows]
+    assert all(clockless)

@@ -1,0 +1,93 @@
+"""Ablation: the DRAM trade of Section 4.2.1.
+
+"Most of the DRAM space is used by the forward mapping table and the
+remaining space is used for I/O buffers and cache.  To minimize the
+performance impact, we trade a portion of cache space for the reverse
+mapping" — sized at 250 entries (4 KiB of DRAM at 16 B/entry, i.e. one
+cache page).
+
+This ablation fixes a small DRAM budget and splits it between the read
+cache and the share table, running a mixed read/share workload.  With
+the log-backed overflow policy the verdict is unambiguous: share-table
+DRAM beyond the paper's 250 entries buys nothing, while every page taken
+from the cache costs read hits — i.e. the paper's tiny table is the
+right end of the trade.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import MLC_TIMING
+from repro.ftl.config import FtlConfig
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+#: One cache page (4 KiB) holds 256 share-table entries at 16 B each.
+ENTRIES_PER_PAGE = 256
+BUDGET_PAGES = 512
+OPS = 12_000
+
+
+def run_cell(cache_pages: int) -> dict:
+    share_entries = max(1, (BUDGET_PAGES - cache_pages) * ENTRIES_PER_PAGE)
+    clock = SimClock()
+    geometry = FlashGeometry(page_size=4096, pages_per_block=128,
+                             block_count=128, overprovision_ratio=0.08)
+    ssd = Ssd(clock, SsdConfig(
+        geometry=geometry, timing=MLC_TIMING,
+        ftl=FtlConfig(share_table_entries=share_entries,
+                      map_block_count=8),
+        dram_cache_pages=cache_pages))
+    rng = random.Random(21)
+    span = int(ssd.logical_pages * 0.5)
+    for lpn in range(span):
+        ssd.ftl.write(lpn, ("seed", lpn))
+    ssd.reset_measurement()
+    clock.reset()
+    free_base = span
+    free_span = ssd.logical_pages - span - 1
+    # Mixed workload: mostly skewed reads, some SHARE remaps.
+    for i in range(OPS):
+        if rng.random() < 0.8:
+            # Zipf-ish skew: most reads hit a small hot set that fits a
+            # healthy cache but not a starved one.
+            if rng.random() < 0.7:
+                ssd.read(rng.randrange(max(1, span // 24)))
+            else:
+                ssd.read(rng.randrange(span))
+        else:
+            ssd.share(free_base + (i % free_span), rng.randrange(span))
+    return {
+        "cache_pages": cache_pages,
+        "share_entries": share_entries,
+        "hit_rate": ssd.cache.hit_rate,
+        "elapsed_s": clock.now_seconds,
+        "spilled": ssd.ftl.rev.spilled_entries,
+    }
+
+
+def test_dram_budget_split(benchmark, scale):
+    def sweep():
+        return [run_cell(cache_pages)
+                for cache_pages in (0, 128, 384, 511)]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["cache pages", "share entries", "read hit rate", "elapsed s",
+         "spilled entries"],
+        [[r["cache_pages"], r["share_entries"], r["hit_rate"],
+          r["elapsed_s"], r["spilled"]] for r in rows],
+        title="Ablation: fixed DRAM budget split between read cache and "
+              "share table (Section 4.2.1)"))
+    # More cache = more hits = faster, monotonic across the sweep.
+    elapsed = [r["elapsed_s"] for r in rows]
+    assert elapsed[0] > elapsed[-1]
+    hit_rates = [r["hit_rate"] for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(hit_rates, hit_rates[1:]))
+    # The near-paper split (1 page of entries, rest cache) is within a
+    # hair of the best cell: the share table needs almost no DRAM.
+    assert elapsed[-1] <= min(elapsed) * 1.05

@@ -1,0 +1,63 @@
+"""Ablation: device utilization vs garbage-collection cost.
+
+DESIGN.md sizes the simulated device with the paper's database-to-device
+ratio (~40 % utilization) because that sets steady-state block survival
+time, which in turn sets how much SHARE reduces copybacks.  This ablation
+sweeps utilization and shows the WAF knee — and that SHARE's relative GC
+savings hold across the sweep.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FAST_TIMING
+from repro.ftl.config import FtlConfig
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+BLOCK_COUNT = 64
+PAGES_PER_BLOCK = 64
+
+
+def run_cell(utilization: float, seed: int = 5) -> dict:
+    clock = SimClock()
+    geometry = FlashGeometry(page_size=4096,
+                             pages_per_block=PAGES_PER_BLOCK,
+                             block_count=BLOCK_COUNT,
+                             overprovision_ratio=0.08)
+    ssd = Ssd(clock, SsdConfig(geometry=geometry, timing=FAST_TIMING,
+                               ftl=FtlConfig()))
+    rng = random.Random(seed)
+    span = int(ssd.logical_pages * utilization)
+    for lpn in range(span):
+        ssd.write(lpn, ("seed", lpn))
+    ssd.reset_measurement()
+    for i in range(span * 4):
+        ssd.write(rng.randrange(span), ("w", i))
+    return {
+        "utilization": utilization,
+        "waf": ssd.stats.write_amplification,
+        "gc_events": ssd.stats.gc_events,
+        "copybacks": ssd.stats.copyback_pages,
+    }
+
+
+def test_utilization_waf_knee(benchmark, scale):
+    def sweep():
+        return [run_cell(u) for u in (0.3, 0.5, 0.7, 0.85, 0.95)]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["utilization", "WAF", "gc events", "copybacks"],
+        [[r["utilization"], r["waf"], r["gc_events"], r["copybacks"]]
+         for r in rows],
+        title="Ablation: utilization vs GC cost (the WAF knee)"))
+    wafs = [r["waf"] for r in rows]
+    # WAF grows monotonically with utilization and explodes near full.
+    assert all(a <= b + 0.02 for a, b in zip(wafs, wafs[1:]))
+    assert wafs[-1] > wafs[0] * 1.5
+    assert rows[0]["copybacks"] < rows[-1]["copybacks"]

@@ -1,0 +1,95 @@
+"""Ablation: the reverse-mapping share table (Section 4.2.1).
+
+The paper sizes the DRAM share table at 250 entries and notes its size is
+"empirically determined" by the frequency of SHARE operations and the
+lifespan of shared pages.  This ablation runs a compaction-heavy workload
+(hundreds of simultaneously shared pages) across table sizes under both
+overflow policies:
+
+* ``log``  — overflowed entries stay resolvable from the mapping log;
+  GC pays a lookup read.  Costs stay flat as the table shrinks.
+* ``copy`` — overflow reconciles by materialising a private page copy,
+  so a too-small table re-introduces the very write amplification SHARE
+  removes.
+"""
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FAST_TIMING
+from repro.ftl.config import FtlConfig
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+DOCS = 1_500
+TABLE_SIZES = (25, 250, 2_500)
+
+
+def run_cell(table_entries: int, policy: str) -> dict:
+    clock = SimClock()
+    geometry = FlashGeometry(page_size=4096, pages_per_block=128,
+                             block_count=128, overprovision_ratio=0.08)
+    ssd = Ssd(clock, SsdConfig(
+        geometry=geometry, timing=FAST_TIMING,
+        ftl=FtlConfig(share_table_entries=table_entries,
+                      share_overflow_policy=policy,
+                      map_block_count=8)))
+    fs = HostFs(ssd, FsConfig())
+    store = CouchStore(fs, "/db", CommitMode.SHARE, CouchConfig())
+    for key in range(DOCS):
+        store.set(key, ("v", key))
+        if key % 100 == 99:
+            store.commit()
+    store.commit()
+    for key in range(DOCS):
+        store.set(key, ("v2", key))
+        if key % 16 == 15:
+            store.commit()
+    store.commit()
+    ssd.reset_measurement()
+    clock.reset()
+    new_store, result = compact(store, clock)
+    sample_ok = all(new_store.get(key) == ("v2", key)
+                    for key in range(0, DOCS, 131))
+    assert sample_ok
+    return {
+        "table": table_entries,
+        "policy": policy,
+        "elapsed_s": result.elapsed_seconds,
+        "written_pages": ssd.stats.host_write_pages
+        + ssd.stats.share_spill_pages,
+        "spill_copies": ssd.stats.share_spill_pages,
+        "log_spills": ssd.ftl.stats.share_log_spills,
+    }
+
+
+def test_share_table_size_ablation(benchmark, scale):
+    def sweep():
+        rows = []
+        for policy in ("log", "copy"):
+            for size in TABLE_SIZES:
+                rows.append(run_cell(size, policy))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["policy", "table entries", "compaction s", "pages written",
+         "spill copies", "log spills"],
+        [[r["policy"], r["table"], r["elapsed_s"], r["written_pages"],
+          r["spill_copies"], r["log_spills"]] for r in rows],
+        title="Ablation: share-table size x overflow policy"))
+    by_key = {(r["policy"], r["table"]): r for r in rows}
+    # Log policy: write cost flat regardless of table size.
+    log_costs = [by_key[("log", size)]["written_pages"]
+                 for size in TABLE_SIZES]
+    assert max(log_costs) <= min(log_costs) * 1.05
+    # Copy policy: a starved table forces reconciliation copies.
+    assert (by_key[("copy", 25)]["spill_copies"]
+            > by_key[("copy", 2_500)]["spill_copies"])
+    assert (by_key[("copy", 25)]["written_pages"]
+            > by_key[("log", 25)]["written_pages"])

@@ -1,0 +1,68 @@
+"""Extension: foreground stalls from background compaction.
+
+Section 3.3: "Given that all write transactions in most key-value stores
+slow down during database compaction, it is crucial to complete
+compaction as fast as possible."  This benchmark runs YCSB-F with
+auto-compaction (the store compacts itself whenever its stale ratio
+crosses the threshold) and compares the throughput-over-time series:
+each compaction is a stall, and SHARE's zero-copy compaction makes the
+stalls several times shorter — restoring foreground throughput sooner.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import build_couch_stack
+from repro.bench.report import format_table
+from repro.couchstore.engine import CommitMode, CouchConfig
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
+
+RECORDS = 6_000
+OPS = 24_000
+BATCH = 16
+
+
+def run_mode(mode: CommitMode) -> dict:
+    stack = build_couch_stack(
+        mode, RECORDS, OPS * 2,
+        config=CouchConfig(compaction_stale_ratio=0.55))
+    driver = YcsbDriver(stack.store, stack.clock,
+                        YcsbConfig(record_count=RECORDS))
+    driver.load()
+    stack.ssd.reset_measurement()
+    stack.clock.reset()
+    result = driver.run(YcsbWorkload.F, OPS, batch_size=BATCH,
+                        auto_compact=True, record_timeline=True)
+    windows = result.windowed_throughput(window_seconds=1.0)
+    median = sorted(windows)[len(windows) // 2]
+    worst = min(windows)
+    stall_total = sum(elapsed for __, elapsed in result.compactions)
+    return {
+        "mode": mode.value,
+        "throughput": result.throughput_ops,
+        "compactions": len(result.compactions),
+        "stall_total_s": stall_total,
+        "stall_mean_s": (stall_total / len(result.compactions)
+                         if result.compactions else 0.0),
+        "worst_window_frac": worst / median if median else 0.0,
+    }
+
+
+def test_compaction_stalls(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: {m: run_mode(m) for m in CommitMode})
+    print()
+    print(format_table(
+        ["mode", "ops/s", "compactions", "total stall s", "mean stall s",
+         "worst/median window"],
+        [[r["mode"], r["throughput"], r["compactions"],
+          r["stall_total_s"], r["stall_mean_s"], r["worst_window_frac"]]
+         for r in rows.values()],
+        title="Extension: auto-compaction stalls under YCSB-F "
+              "(Section 3.3)"))
+    original = rows[CommitMode.ORIGINAL]
+    share = rows[CommitMode.SHARE]
+    assert original["compactions"] >= 1
+    assert share["compactions"] >= 1
+    # Zero-copy compaction stalls the foreground for far less time.
+    assert share["stall_mean_s"] < original["stall_mean_s"] * 0.5
+    assert share["throughput"] > original["throughput"]

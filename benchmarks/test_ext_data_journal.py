@@ -1,0 +1,70 @@
+"""Extension (paper Section 6.3): data=journal filesystems and JFTL.
+
+Full data journaling writes every page twice (journal + home); JFTL
+showed the home write can become an FTL remap.  This benchmark drives
+random journaled page updates through both checkpoint modes and measures
+the write volumes — SHARE checkpoints should eliminate the second copy
+entirely, roughly halving device writes, exactly JFTL's result expressed
+through the public SHARE interface.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.host.datajournal import CheckpointMode, DataJournalingFs
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+OPS = 2_000
+FILE_BLOCKS = 512
+JOURNAL_BLOCKS = 128
+
+
+def run_mode(mode: CheckpointMode) -> dict:
+    clock = SimClock()
+    ssd = Ssd(clock, SsdConfig())
+    fs = HostFs(ssd, FsConfig())
+    journal = DataJournalingFs(fs, mode, journal_blocks=JOURNAL_BLOCKS)
+    data_file = fs.create("/data")
+    data_file.fallocate(FILE_BLOCKS)
+    rng = random.Random(13)
+    ssd.reset_measurement()
+    clock.reset()
+    for i in range(OPS):
+        journal.begin()
+        for __ in range(rng.randrange(1, 4)):
+            journal.journaled_write(data_file, rng.randrange(FILE_BLOCKS),
+                                    ("v", i))
+        journal.commit()
+    journal.checkpoint()
+    return {
+        "mode": mode.value,
+        "tps": OPS / clock.now_seconds,
+        "journaled_pages": journal.stats.journaled_pages,
+        "checkpoint_writes": journal.stats.checkpoint_writes,
+        "share_pairs": journal.stats.checkpoint_share_pairs,
+        "device_writes": ssd.stats.host_write_pages,
+    }
+
+
+def test_data_journal_share_checkpoint(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: {m: run_mode(m) for m in CheckpointMode})
+    print()
+    print(format_table(
+        ["mode", "tx/s", "journaled pages", "checkpoint writes",
+         "share pairs", "device writes"],
+        [[r["mode"], r["tps"], r["journaled_pages"],
+          r["checkpoint_writes"], r["share_pairs"], r["device_writes"]]
+         for r in rows.values()],
+        title="Extension: data=journal checkpointing, classic vs SHARE "
+              "(the JFTL comparison)"))
+    classic = rows[CheckpointMode.CLASSIC]
+    share = rows[CheckpointMode.SHARE]
+    assert share["checkpoint_writes"] == 0
+    assert share["share_pairs"] > 0
+    assert share["device_writes"] < classic["device_writes"] * 0.75
+    assert share["tps"] > classic["tps"] * 1.2

@@ -1,0 +1,94 @@
+"""Extension (paper Section 2.2): SHARE-assisted LSM compaction.
+
+The paper notes that LSM-based stores (BigTable, Cassandra, MongoDB)
+"have the similar issue" — merge compaction rewrites data that did not
+change.  This benchmark builds an LSM store, applies zipfian-skewed
+updates so the bottom level is mostly cold, and compares the classic
+copy merge against the SHARE merge that remaps provably-unchanged data
+blocks.
+
+Expected shape (the Couchbase Table 2 analogue): the SHARE merge writes
+a small fraction of the blocks and finishes several times faster, with
+the reuse ratio tracking the cold fraction of the key space.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.config import FtlConfig
+from repro.host.filesystem import FsConfig, HostFs
+from repro.lsm import CompactionMode, LsmConfig, LsmStore
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+KEYS = 20_000
+HOT_FRACTION = 0.1
+UPDATES = 8_000
+
+
+def run_mode(mode: CompactionMode) -> dict:
+    clock = SimClock()
+    geometry = FlashGeometry(page_size=4096, pages_per_block=128,
+                             block_count=256, overprovision_ratio=0.08)
+    ssd = Ssd(clock, SsdConfig(geometry=geometry,
+                               ftl=FtlConfig(map_block_count=16)))
+    fs = HostFs(ssd, FsConfig())
+    store = LsmStore(fs, "db", mode, clock,
+                     LsmConfig(memtable_limit=2048, l0_limit=8,
+                               block_capacity=16))
+    for key in range(KEYS):
+        store.put(key, ("cold", key))
+        if key % 256 == 255:
+            store.commit()
+    store.flush_memtable()
+    rng = random.Random(11)
+    hot_span = int(KEYS * HOT_FRACTION)
+    for i in range(UPDATES):
+        store.put(rng.randrange(hot_span), ("hot", i))
+        if i % 256 == 255:
+            store.commit()
+    store.commit()
+    store.flush_memtable()
+    ssd.reset_measurement()
+    clock.reset()
+    result = store.compact()
+    sample_ok = all(store.get(key) == ("cold", key)
+                    for key in range(hot_span, KEYS, 997))
+    assert sample_ok
+    return {
+        "mode": mode.value,
+        "elapsed_s": result.elapsed_seconds,
+        "blocks_written": result.blocks_written,
+        "blocks_shared": result.blocks_shared,
+        "written_mib": ssd.stats.host_written_bytes / 2**20,
+        "share_commands": result.share_commands,
+    }
+
+
+def test_lsm_share_compaction(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: {mode: run_mode(mode) for mode in CompactionMode})
+    print()
+    print(format_table(
+        ["mode", "elapsed s", "blocks written", "blocks shared",
+         "device MiB written", "share cmds"],
+        [[r["mode"], r["elapsed_s"], r["blocks_written"],
+          r["blocks_shared"], r["written_mib"], r["share_commands"]]
+         for r in rows.values()],
+        title="Extension: LSM merge compaction, copy vs SHARE"))
+    copy = rows[CompactionMode.COPY]
+    share = rows[CompactionMode.SHARE]
+    reuse_ratio = share["blocks_shared"] / (share["blocks_shared"]
+                                            + share["blocks_written"])
+    print(f"\nSHARE merge reused {reuse_ratio:.0%} of the data blocks, "
+          f"wrote {copy['written_mib'] / share['written_mib']:.1f}x fewer "
+          f"MiB, finished "
+          f"{copy['elapsed_s'] / share['elapsed_s']:.1f}x faster")
+    assert copy["blocks_shared"] == 0
+    assert share["blocks_shared"] > share["blocks_written"]
+    assert reuse_ratio > 0.5
+    assert share["written_mib"] < copy["written_mib"] * 0.5
+    assert share["elapsed_s"] < copy["elapsed_s"] * 0.6

@@ -1,0 +1,70 @@
+"""Extension (paper Sections 3.3 and 7): SQLite on SHARE.
+
+The paper predicts SQLite "can simply turn [journaling] off, because
+SHARE supports transactional atomicity and durability at the storage
+level".  This benchmark compares the SQLite-like engine's three journal
+modes under an update-heavy workload.
+
+Expected shape: SHARE mode writes roughly half the pages of rollback
+journaling (no before-images, no journal-header churn) and beats WAL
+(no checkpoint re-copy), at equal crash safety (see
+tests/test_sqlitelike.py's crash matrix).  The X-FTL baseline
+(Section 6.2) lands at SHARE's level — the two differ in interface
+(device transactions vs explicit remapping), not in write volume.
+"""
+
+from conftest import run_once
+
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.sqlitelike import JournalMode, SqliteLikeDb
+from repro.ssd.device import Ssd, SsdConfig
+from repro.bench.report import format_table
+
+OPS = 4_000
+KEYS = 800
+PAGES = 4_096
+
+
+def run_mode(mode: JournalMode) -> dict:
+    clock = SimClock()
+    ssd = Ssd(clock, SsdConfig())
+    fs = HostFs(ssd, FsConfig())
+    db = SqliteLikeDb(fs, "/app.db", mode, page_count=PAGES)
+    for i in range(KEYS):
+        db.put(i, ("seed", i))
+    ssd.reset_measurement()
+    clock.reset()
+    for i in range(OPS):
+        db.put(i % KEYS, ("v", i))
+    return {
+        "mode": mode.value,
+        "tps": OPS / clock.now_seconds,
+        "device_writes": ssd.stats.host_write_pages,
+        "share_pairs": ssd.stats.share_pairs,
+        "journal_writes": db.pager.stats.journal_page_writes,
+        "wal_frames": db.pager.stats.wal_frames,
+    }
+
+
+def test_sqlite_journal_modes(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: [run_mode(mode) for mode in JournalMode])
+    print()
+    print(format_table(
+        ["mode", "tx/s", "device writes", "share pairs", "journal writes",
+         "wal frames"],
+        [[r["mode"], r["tps"], r["device_writes"], r["share_pairs"],
+          r["journal_writes"], r["wal_frames"]] for r in rows],
+        title="SQLite-like engine: journal modes (extension)"))
+    by_mode = {r["mode"]: r for r in rows}
+    share = by_mode["share"]
+    rollback = by_mode["rollback"]
+    wal = by_mode["wal"]
+    xftl = by_mode["xftl"]
+    assert share["device_writes"] < rollback["device_writes"] * 0.55
+    assert share["device_writes"] <= wal["device_writes"]
+    assert share["tps"] > rollback["tps"] * 1.5
+    assert share["tps"] > wal["tps"]
+    # X-FTL and SHARE are write-volume equivalent for this pipeline.
+    assert 0.8 < xftl["device_writes"] / share["device_writes"] < 1.25

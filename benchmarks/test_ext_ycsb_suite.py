@@ -1,0 +1,65 @@
+"""Extension: the full YCSB suite (A-F) over the couch engine.
+
+The paper evaluates A and F and skips B-E as "read-intensive".  This
+benchmark runs all six, quantifying that choice: SHARE's advantage is
+proportional to the write share of the mix — large on A/F, marginal on
+B/D/E, and exactly zero on the read-only C.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import build_couch_stack
+from repro.bench.report import format_table
+from repro.couchstore.engine import CommitMode
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
+
+RECORDS = 4_000
+OPS = 3_000
+BATCH = 8
+
+
+def run_cell(workload: YcsbWorkload, mode: CommitMode) -> dict:
+    stack = build_couch_stack(mode, RECORDS, OPS * 2)
+    driver = YcsbDriver(stack.store, stack.clock,
+                        YcsbConfig(record_count=RECORDS))
+    driver.load()
+    stack.ssd.reset_measurement()
+    stack.clock.reset()
+    result = driver.run(workload, OPS, batch_size=BATCH)
+    return {
+        "throughput": result.throughput_ops,
+        "writes": result.writes,
+        "written_pages": stack.ssd.stats.host_write_pages,
+    }
+
+
+def test_full_ycsb_suite(benchmark, scale):
+    def sweep():
+        cells = {}
+        for workload in YcsbWorkload:
+            for mode in CommitMode:
+                cells[(workload, mode)] = run_cell(workload, mode)
+        return cells
+
+    cells = run_once(benchmark, sweep)
+    rows = []
+    gaps = {}
+    for workload in YcsbWorkload:
+        original = cells[(workload, CommitMode.ORIGINAL)]
+        share = cells[(workload, CommitMode.SHARE)]
+        gap = share["throughput"] / original["throughput"]
+        gaps[workload] = gap
+        rows.append([workload.value, original["throughput"],
+                     share["throughput"], gap,
+                     share["writes"] / OPS])
+    print()
+    print(format_table(
+        ["workload", "original ops/s", "SHARE ops/s", "gap",
+         "write fraction"], rows,
+        title="Extension: full YCSB suite, original vs SHARE"))
+    # Write-heavy mixes benefit most; the read-only mix is a wash.
+    assert gaps[YcsbWorkload.A] > gaps[YcsbWorkload.B]
+    assert gaps[YcsbWorkload.F] > gaps[YcsbWorkload.C]
+    assert 0.95 < gaps[YcsbWorkload.C] < 1.05
+    assert gaps[YcsbWorkload.A] > 1.3
+    assert gaps[YcsbWorkload.F] > 1.3

@@ -1,0 +1,54 @@
+"""Figure 5: LinkBench throughput on MySQL/InnoDB.
+
+Paper shape: SHARE beats DWB-On by more than 2x across every page size
+(Figure 5a) and buffer size (Figure 5b); DWB-Off matches SHARE within
+about one percent.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import fig5a, fig5b, run_linkbench_cell
+from repro.bench.harness import SCALES
+from repro.innodb.engine import FlushMode
+
+
+def test_fig5a_page_size_sweep(benchmark, scale):
+    result = run_once(benchmark, lambda: fig5a(scale))
+    print()
+    print(experiments.print_fig5a(result))
+    cells = result["cells"]
+    for page_size in experiments.PAPER_PAGE_SIZES:
+        share_tps = cells[(page_size, "share")]["throughput_tps"]
+        dwb_tps = cells[(page_size, "dwb_on")]["throughput_tps"]
+        # Paper: >2x; we assert the conservative shape bound.
+        assert share_tps > dwb_tps * 1.4, (
+            f"SHARE should clearly win at page size {page_size}")
+
+
+def test_fig5b_buffer_sweep(benchmark, scale):
+    result = run_once(benchmark, lambda: fig5b(scale))
+    print()
+    print(experiments.print_fig5b(result))
+    cells = result["cells"]
+    for buffer_mib in experiments.PAPER_BUFFER_SWEEP_MIB:
+        share_tps = cells[(buffer_mib, "share")]["throughput_tps"]
+        dwb_tps = cells[(buffer_mib, "dwb_on")]["throughput_tps"]
+        assert share_tps > dwb_tps * 1.4, (
+            f"SHARE should clearly win at buffer {buffer_mib} MiB")
+
+
+def test_dwb_off_matches_share(benchmark, scale):
+    """The paper's <1% equivalence check between DWB-Off and SHARE."""
+    params = SCALES[scale]
+
+    def run_pair():
+        share = run_linkbench_cell(FlushMode.SHARE, 4096, 50, params)
+        off = run_linkbench_cell(FlushMode.DWB_OFF, 4096, 50, params)
+        return share, off
+
+    share, off = run_once(benchmark, run_pair)
+    ratio = share["throughput_tps"] / off["throughput_tps"]
+    print(f"\nSHARE {share['throughput_tps']:.1f} tx/s vs DWB-Off "
+          f"{off['throughput_tps']:.1f} tx/s (ratio {ratio:.3f})")
+    assert 0.93 < ratio < 1.07, "SHARE and DWB-Off should be near-equal"

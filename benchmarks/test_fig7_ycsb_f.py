@@ -1,0 +1,62 @@
+"""Figure 7: YCSB workload-F on Couchbase.
+
+Paper shape: (a) SHARE outperforms original Couchbase by 3.45x at batch
+size 1, narrowing to 1.96x at batch size 256; (b) SHARE's written volume
+is almost constant across batch sizes while the original's falls with
+batching, so the written-data gap narrows from 7.86x to 1.64x.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import PAPER_BATCH_SIZES, fig7
+
+
+def _ratios(cells, field):
+    out = {}
+    for batch in PAPER_BATCH_SIZES:
+        original = cells[(batch, "original")][field]
+        share = cells[(batch, "share")][field]
+        out[batch] = (original, share)
+    return out
+
+
+def test_fig7a_throughput(benchmark, scale):
+    result = run_once(benchmark, lambda: fig7(scale))
+    print()
+    print(experiments.print_fig7(result))
+    cells = result["cells"]
+    for batch in PAPER_BATCH_SIZES:
+        share_ops = cells[(batch, "share")]["throughput_ops"]
+        original_ops = cells[(batch, "original")]["throughput_ops"]
+        assert share_ops > original_ops, (
+            f"SHARE must win at batch size {batch}")
+    # The gap shrinks as batching amortises the wandering tree.
+    gap_small = (cells[(1, "share")]["throughput_ops"]
+                 / cells[(1, "original")]["throughput_ops"])
+    gap_large = (cells[(256, "share")]["throughput_ops"]
+                 / cells[(256, "original")]["throughput_ops"])
+    print(f"\nthroughput gap: {gap_small:.2f}x at batch 1 -> "
+          f"{gap_large:.2f}x at batch 256 (paper: 3.45x -> 1.96x)")
+    assert gap_small > gap_large
+    assert gap_small > 1.8
+
+
+def test_fig7b_written_data(benchmark, scale):
+    result = run_once(benchmark, lambda: fig7(scale))
+    cells = result["cells"]
+    share_volumes = [cells[(b, "share")]["written_bytes"]
+                     for b in PAPER_BATCH_SIZES]
+    # SHARE's volume is almost constant regardless of batch size.
+    spread = max(share_volumes) / min(share_volumes)
+    assert spread < 1.10, f"SHARE written volume should be flat: {spread:.2f}"
+    # The original's volume falls with batch size.
+    original_volumes = [cells[(b, "original")]["written_bytes"]
+                        for b in PAPER_BATCH_SIZES]
+    assert sorted(original_volumes, reverse=True) == original_volumes
+    gap_small = original_volumes[0] / share_volumes[0]
+    gap_large = original_volumes[-1] / share_volumes[-1]
+    print(f"\nwritten-data gap: {gap_small:.2f}x at batch 1 -> "
+          f"{gap_large:.2f}x at batch 256 (paper: 7.86x -> 1.64x)")
+    assert gap_small > 3.0
+    assert 1.1 < gap_large < gap_small

@@ -1,0 +1,30 @@
+"""Figure 8: YCSB workload-A (50 % read / 50 % update) on Couchbase.
+
+Paper shape: SHARE outperforms the original by 2.23x at batch size 1,
+narrowing to 1.61x at batch size 256; the advantage is smaller than
+workload-F's because half the operations are reads.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import PAPER_BATCH_SIZES, fig7, fig8
+
+
+def test_fig8_throughput(benchmark, scale):
+    result = run_once(benchmark, lambda: fig8(scale))
+    print()
+    print(experiments.print_fig8(result))
+    cells = result["cells"]
+    for batch in PAPER_BATCH_SIZES:
+        assert (cells[(batch, "share")]["throughput_ops"]
+                > cells[(batch, "original")]["throughput_ops"]), (
+            f"SHARE must win at batch size {batch}")
+    gap_small = (cells[(1, "share")]["throughput_ops"]
+                 / cells[(1, "original")]["throughput_ops"])
+    gap_large = (cells[(256, "share")]["throughput_ops"]
+                 / cells[(256, "original")]["throughput_ops"])
+    print(f"\nthroughput gap: {gap_small:.2f}x at batch 1 -> "
+          f"{gap_large:.2f}x at batch 256 (paper: 2.23x -> 1.61x)")
+    assert gap_small > gap_large
+    assert gap_small > 1.5

@@ -1,0 +1,27 @@
+"""Section 5.3.1 in-text experiment: PostgreSQL full_page_writes.
+
+Paper shape: with full_page_writes off, pgbench throughput roughly
+doubles, and the WAL volume shrinks by approximately the amount of data
+pages that were being embedded in it.  (SHARE would let PostgreSQL turn
+the option off safely.)
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import pgbench_fpw
+
+
+def test_pgbench_full_page_writes(benchmark, scale):
+    result = run_once(benchmark, lambda: pgbench_fpw(scale))
+    print()
+    print(experiments.print_pgbench(result))
+    on = result["rows"]["on"]
+    off = result["rows"]["off"]
+    speedup = off["throughput_tps"] / on["throughput_tps"]
+    print(f"\nthroughput gain with fpw off: {speedup:.2f}x (paper: ~2x)")
+    assert speedup > 1.4
+    # WAL shrinks by roughly the full-page-image volume.
+    shrink = on["wal_bytes"] - off["wal_bytes"]
+    assert shrink > on["wal_full_page_mib"] * 1024 * 1024 * 0.8
+    assert off["wal_full_page_mib"] == 0.0

@@ -1,0 +1,53 @@
+"""Table 1: distribution of LinkBench transaction latency.
+
+Paper shape: SHARE reduces the mean latency of every operation type by
+2.1-4.2x, the P99 by 2.0-8.3x, and the max by 1.2-3.4x; read operations
+improve as well as writes.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import table1
+from repro.workloads.linkbench import READ_OPS, WRITE_OPS
+
+
+def test_table1_latency_distribution(benchmark, scale):
+    result = run_once(benchmark, lambda: table1(scale))
+    print()
+    print(experiments.print_table1(result))
+    dwb = result["cells"]["dwb_on"]["latency_table"]
+    share = result["cells"]["share"]["latency_table"]
+    mean_improvements = []
+    p99_improvements = []
+    for op in dwb:
+        if dwb[op]["mean"] > 0 and share[op]["mean"] > 0:
+            mean_improvements.append(dwb[op]["mean"] / share[op]["mean"])
+        if dwb[op]["p99"] > 0 and share[op]["p99"] > 0:
+            p99_improvements.append(dwb[op]["p99"] / share[op]["p99"])
+    avg_mean = sum(mean_improvements) / len(mean_improvements)
+    avg_p99 = sum(p99_improvements) / len(p99_improvements)
+    print(f"\nmean-latency improvement {avg_mean:.2f}x, "
+          f"P99 improvement {avg_p99:.2f}x (paper: 2.1-4.2x / 2.0-8.3x)")
+    assert avg_mean > 1.2, "SHARE must lower average latencies overall"
+    assert avg_p99 >= 1.0, "SHARE must not worsen tail latencies"
+
+
+def test_reads_improve_too(benchmark, scale):
+    """Section 5.3.1: SHARE lowers READ latencies as well, because reads
+    queue behind fewer and cheaper writes."""
+    result = run_once(benchmark, lambda: table1(scale))
+    dwb = result["cells"]["dwb_on"]["latency_table"]
+    share = result["cells"]["share"]["latency_table"]
+    read_gains = [dwb[op]["mean"] / share[op]["mean"]
+                  for op in READ_OPS
+                  if op in dwb and op in share and share[op]["mean"] > 0]
+    assert read_gains, "read operations must appear in the mix"
+    assert sum(read_gains) / len(read_gains) > 1.0
+
+
+def test_all_ten_ops_present(benchmark, scale):
+    result = run_once(benchmark, lambda: table1(scale))
+    for mode in ("dwb_on", "share"):
+        ops = set(result["cells"][mode]["latency_table"])
+        assert ops == READ_OPS | WRITE_OPS

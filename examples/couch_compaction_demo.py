@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Couchbase scenario: zero-copy compaction with SHARE (Figure 3).
+
+Builds two identical append-only stores, churns them until compaction
+pressure builds, then compacts one with the original copy algorithm and
+one with the SHARE algorithm, printing the Table-2 comparison.
+
+Run:  python examples/couch_compaction_demo.py
+"""
+
+from repro.bench.harness import build_couch_stack
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
+
+RECORDS = 8_000
+UPDATES = 8_000
+
+
+def run_mode(mode: CommitMode) -> dict:
+    stack = build_couch_stack(mode, RECORDS, UPDATES * 2)
+    driver = YcsbDriver(stack.store, stack.clock,
+                        YcsbConfig(record_count=RECORDS))
+    driver.load()
+    driver.run(YcsbWorkload.F, UPDATES, batch_size=16)
+    store = stack.store
+    stale = store.stale_ratio
+    stack.ssd.reset_measurement()
+    stack.clock.reset()
+    new_store, result = compact(store, stack.clock)
+    # Verify nothing was lost.
+    sample_ok = all(new_store.get(key) is not None
+                    for key in range(0, RECORDS, 97))
+    assert sample_ok
+    return {"stale_before": stale, "result": result,
+            "stale_after": new_store.stale_ratio}
+
+
+def main() -> None:
+    print(f"couchstore: {RECORDS} documents, {UPDATES} zipfian updates, "
+          "then compaction\n")
+    rows = {mode: run_mode(mode) for mode in
+            (CommitMode.ORIGINAL, CommitMode.SHARE)}
+    header = (f"{'mode':>9}  {'stale before':>12}  {'elapsed (s)':>11}  "
+              f"{'written MiB':>11}  {'read MiB':>8}  {'docs':>6}  "
+              f"{'share cmds':>10}")
+    print(header)
+    print("-" * len(header))
+    for mode, row in rows.items():
+        r = row["result"]
+        print(f"{mode.value:>9}  {row['stale_before']:12.2f}  "
+              f"{r.elapsed_seconds:11.2f}  {r.written_mib:11.2f}  "
+              f"{r.read_bytes / 2**20:8.2f}  {r.docs_moved:6d}  "
+              f"{r.share_commands:10d}")
+    copy_r = rows[CommitMode.ORIGINAL]["result"]
+    share_r = rows[CommitMode.SHARE]["result"]
+    print(f"\nSHARE compaction: "
+          f"{copy_r.elapsed_seconds / share_r.elapsed_seconds:.1f}x faster, "
+          f"{copy_r.written_bytes / share_r.written_bytes:.1f}x fewer bytes "
+          "written (paper: 3.1x / 7.5x)")
+    print("The residual cost is one header-page read per document, to "
+          "learn each document's length for the share command.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""MySQL/InnoDB scenario: the doublewrite buffer vs SHARE.
+
+Loads a small LinkBench social graph and runs the same transaction
+stream under the paper's three configurations (Section 5.3.1):
+
+* DWB-On  — default InnoDB doublewrite (every flushed page written twice),
+* DWB-Off — fast but torn-page unsafe,
+* SHARE   — doublewrite journal + SHARE remap (atomic AND single-write).
+
+Prints throughput, device write counts, GC activity, and a latency
+summary — the same quantities as Figures 5/6 and Table 1.
+
+Run:  python examples/innodb_linkbench_demo.py
+"""
+
+from repro.bench.harness import build_innodb_stack, buffer_pages_for
+from repro.innodb.engine import FlushMode
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDriver
+
+NODES = 3_000
+TRANSACTIONS = 6_000
+DB_PAGES_ESTIMATE = int(NODES * 8 / 32 * 2.1)
+
+
+def run_mode(mode: FlushMode) -> dict:
+    stack = build_innodb_stack(
+        mode, page_size=4096,
+        buffer_pool_pages=buffer_pages_for(50, DB_PAGES_ESTIMATE, 4096),
+        db_pages_estimate=DB_PAGES_ESTIMATE)
+    driver = LinkBenchDriver(stack.engine, stack.clock,
+                             LinkBenchConfig(node_count=NODES))
+    driver.load()
+    driver.run(TRANSACTIONS // 4)          # warm-up
+    stack.data_ssd.reset_measurement()
+    stack.clock.reset()
+    result = driver.run(TRANSACTIONS)
+    stats = stack.data_ssd.stats
+    add_link = result.latencies.histogram("Add_Link")
+    return {
+        "tps": result.throughput_tps,
+        "writes": stats.host_write_pages,
+        "gc": stats.gc_events,
+        "copybacks": stats.copyback_pages,
+        "waf": stats.write_amplification,
+        "add_link_mean_ms": add_link.mean,
+        "add_link_p99_ms": add_link.pct(99),
+    }
+
+
+def main() -> None:
+    print(f"LinkBench: {NODES} nodes, {TRANSACTIONS} measured transactions\n")
+    results = {mode: run_mode(mode) for mode in FlushMode}
+    header = (f"{'mode':>8}  {'tx/s':>8}  {'writes':>7}  {'GC':>5}  "
+              f"{'copyback':>8}  {'WAF':>5}  {'AddLink mean':>12}  "
+              f"{'p99 (ms)':>9}")
+    print(header)
+    print("-" * len(header))
+    for mode, r in results.items():
+        print(f"{mode.value:>8}  {r['tps']:8.1f}  {r['writes']:7d}  "
+              f"{r['gc']:5d}  {r['copybacks']:8d}  {r['waf']:5.2f}  "
+              f"{r['add_link_mean_ms']:12.2f}  {r['add_link_p99_ms']:9.2f}")
+
+    on, share = results[FlushMode.DWB_ON], results[FlushMode.SHARE]
+    off = results[FlushMode.DWB_OFF]
+    print(f"\nSHARE vs DWB-On : {share['tps'] / on['tps']:.2f}x throughput, "
+          f"{1 - share['writes'] / on['writes']:.0%} fewer writes, "
+          f"{1 - share['copybacks'] / max(1, on['copybacks']):.0%} fewer "
+          "copybacks")
+    print(f"SHARE vs DWB-Off: {share['tps'] / off['tps']:.2f}x throughput "
+          "(paper: within 1% — SHARE adds atomicity for free)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Latency distributions under 16 clients: the full shape behind Table 1.
+
+Runs the LinkBench stream under DWB-On and SHARE with the paper's 16
+concurrent clients (closed-loop queue over the device) and renders the
+response-time distributions as text histograms and a percentile
+comparison — the whole curve, not just Table 1's summary points.
+
+Run:  python examples/latency_distribution_demo.py
+"""
+
+from repro.analysis import ascii_histogram, compare_cdfs
+from repro.bench.harness import buffer_pages_for, build_innodb_stack
+from repro.innodb.engine import FlushMode
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDriver
+
+NODES = 3_000
+TRANSACTIONS = 6_000
+CLIENTS = 16
+DB_PAGES = int(NODES * 8 / 32 * 2.1)
+
+
+def run_mode(mode: FlushMode):
+    stack = build_innodb_stack(
+        mode, 4096, buffer_pages_for(50, DB_PAGES, 4096), DB_PAGES)
+    driver = LinkBenchDriver(stack.engine, stack.clock,
+                             LinkBenchConfig(node_count=NODES))
+    driver.load()
+    driver.run(TRANSACTIONS // 4)
+    stack.clock.reset()
+    result = driver.run(TRANSACTIONS, concurrency=CLIENTS)
+    merged = result.latencies.merged()
+    return [merged.pct(p / 10) for p in range(1, 1000)], merged._samples
+
+
+def main() -> None:
+    print(f"LinkBench, {CLIENTS} clients, {TRANSACTIONS} transactions "
+          "per mode\n")
+    samples = {}
+    for mode in (FlushMode.DWB_ON, FlushMode.SHARE):
+        __, raw = run_mode(mode)
+        samples[mode.value] = raw
+    for name, values in samples.items():
+        print(ascii_histogram(values, bins=10, width=44,
+                              title=f"\nresponse time (ms), {name}:"))
+    print()
+    print(compare_cdfs(samples, points=(50, 75, 90, 99, 99.9),
+                       title="percentile comparison (ms):"))
+    print("\nSHARE compresses the whole upper half of the distribution — "
+          "the tail-tolerance effect of Table 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""LSM scenario: SHARE-assisted merge compaction.
+
+Section 2.2 of the paper points at BigTable / Cassandra / MongoDB: their
+LSM merge compactions rewrite every surviving entry, even though most of
+the bottom level did not change.  This demo builds a two-level LSM store,
+skews the updates onto 10 % of the keys, and compares the classic copy
+merge against the SHARE merge, which proves blocks unchanged from index
+fences alone and remaps them with the SHARE command.
+
+Run:  python examples/lsm_compaction_demo.py
+"""
+
+import random
+
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.config import FtlConfig
+from repro.host.filesystem import FsConfig, HostFs
+from repro.lsm import CompactionMode, LsmConfig, LsmStore
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+KEYS = 10_000
+UPDATES = 4_000
+HOT_KEYS = 1_000
+
+
+def run(mode: CompactionMode):
+    clock = SimClock()
+    geometry = FlashGeometry(page_size=4096, pages_per_block=128,
+                             block_count=192, overprovision_ratio=0.08)
+    ssd = Ssd(clock, SsdConfig(geometry=geometry,
+                               ftl=FtlConfig(map_block_count=12)))
+    fs = HostFs(ssd, FsConfig())
+    store = LsmStore(fs, "db", mode, clock,
+                     LsmConfig(memtable_limit=2048, l0_limit=8,
+                               block_capacity=16))
+    for key in range(KEYS):
+        store.put(key, ("cold", key))
+    store.flush_memtable()
+    rng = random.Random(3)
+    for i in range(UPDATES):
+        store.put(rng.randrange(HOT_KEYS), ("hot", i))
+    store.flush_memtable()
+    ssd.reset_measurement()
+    clock.reset()
+    result = store.compact()
+    assert store.get(KEYS - 1) == ("cold", KEYS - 1)
+    return result, ssd
+
+
+def main() -> None:
+    print(f"LSM store: {KEYS} keys, {UPDATES} updates on the hottest "
+          f"{HOT_KEYS}, then a full merge into L1\n")
+    header = (f"{'mode':>6}  {'elapsed s':>9}  {'blocks written':>14}  "
+              f"{'blocks shared':>13}  {'MiB written':>11}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for mode in (CompactionMode.COPY, CompactionMode.SHARE):
+        result, ssd = run(mode)
+        results[mode] = (result, ssd)
+        print(f"{mode.value:>6}  {result.elapsed_seconds:9.3f}  "
+              f"{result.blocks_written:14d}  {result.blocks_shared:13d}  "
+              f"{ssd.stats.host_written_bytes / 2**20:11.2f}")
+    copy_result, __ = results[CompactionMode.COPY]
+    share_result, __ = results[CompactionMode.SHARE]
+    reuse = share_result.blocks_shared / max(
+        1, share_result.blocks_shared + share_result.blocks_written)
+    print(f"\nthe SHARE merge moved {reuse:.0%} of the data by remapping "
+          f"alone and finished "
+          f"{copy_result.elapsed_seconds / share_result.elapsed_seconds:.1f}x "
+          "faster — the LSM analogue of the paper's zero-copy Couchbase "
+          "compaction (Figure 3).")
+
+
+if __name__ == "__main__":
+    main()

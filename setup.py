@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e .` works with the offline, wheel-less
+toolchain in the reproduction environment (legacy editable install)."""
+
+from setuptools import setup
+
+setup()

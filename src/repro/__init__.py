@@ -1,0 +1,21 @@
+"""Reproduction of "SHARE Interface in Flash Storage for Relational and
+NoSQL Databases" (Oh, Seo, Mayuram, Kee, Lee — SIGMOD 2016).
+
+Public entry points:
+
+* :class:`repro.ssd.Ssd` — the simulated OpenSSD with the SHARE command.
+* :class:`repro.host.HostFs` — the host filesystem and share ioctl.
+* :class:`repro.core.AtomicWriter` — generic SHARE-based atomic writes.
+* :class:`repro.innodb.InnoDBEngine` — InnoDB-like engine with doublewrite
+  and SHARE modes.
+* :class:`repro.couchstore.CouchStore` — Couchbase-like append-only engine
+  with copy and SHARE compaction.
+* :mod:`repro.bench.experiments` — one function per paper table/figure.
+"""
+
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["SimClock", "Ssd", "SsdConfig", "__version__"]

@@ -1,0 +1,18 @@
+"""Benchmark harness: stack builders, one experiment per paper artifact,
+and text reporting in the paper's row/series format."""
+
+from repro.bench.harness import (
+    CouchStack,
+    InnoDbStack,
+    build_couch_stack,
+    build_innodb_stack,
+    build_postgres_stack,
+)
+
+__all__ = [
+    "CouchStack",
+    "InnoDbStack",
+    "build_couch_stack",
+    "build_innodb_stack",
+    "build_postgres_stack",
+]

@@ -1,0 +1,176 @@
+"""Custom parameter sweeps with CSV output.
+
+The canned experiments regenerate the paper's exact figures; this CLI
+lets a researcher sweep any axis and get machine-readable rows::
+
+    python -m repro.bench.sweeps ycsb --workload F --batches 1,8,64 \
+        --records 4000 --ops 4000
+    python -m repro.bench.sweeps linkbench --buffers 50,100,150 \
+        --nodes 4000 --transactions 6000 --csv out.csv
+    python -m repro.bench.sweeps microbench --patterns randwrite,share
+
+Each row carries the swept parameters plus throughput and the device
+counters, so the output drops straight into pandas/gnuplot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.experiments import _estimate_db_pages
+from repro.bench.harness import (
+    buffer_pages_for,
+    build_couch_stack,
+    build_innodb_stack,
+)
+from repro.couchstore.engine import CommitMode
+from repro.innodb.engine import FlushMode
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDriver
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
+
+
+def sweep_ycsb(workload: YcsbWorkload, batches: List[int], records: int,
+               operations: int, modes: List[CommitMode]) -> List[Dict]:
+    """One row per (mode, batch size)."""
+    rows: List[Dict] = []
+    for mode in modes:
+        stack = build_couch_stack(mode, records,
+                                  operations * max(1, len(batches)))
+        driver = YcsbDriver(stack.store, stack.clock,
+                            YcsbConfig(record_count=records))
+        driver.load()
+        for batch in batches:
+            stack.ssd.reset_measurement()
+            stack.clock.reset()
+            result = driver.run(workload, operations, batch_size=batch)
+            stats = stack.ssd.stats
+            rows.append({
+                "mode": mode.value,
+                "batch_size": batch,
+                "throughput_ops": round(result.throughput_ops, 2),
+                "written_pages": stats.host_write_pages,
+                "read_pages": stats.host_read_pages,
+                "share_pairs": stats.share_pairs,
+                "gc_events": stats.gc_events,
+            })
+    return rows
+
+
+def sweep_linkbench(buffers_mib: List[int], nodes: int, transactions: int,
+                    modes: List[FlushMode], page_size: int = 4096) -> List[Dict]:
+    """One row per (mode, paper-buffer-size)."""
+    rows: List[Dict] = []
+    db_pages = _estimate_db_pages(nodes, 32)
+    for mode in modes:
+        for buffer_mib in buffers_mib:
+            stack = build_innodb_stack(
+                mode, page_size,
+                buffer_pages_for(buffer_mib, db_pages, page_size), db_pages)
+            driver = LinkBenchDriver(stack.engine, stack.clock,
+                                     LinkBenchConfig(node_count=nodes))
+            driver.load()
+            driver.run(max(200, transactions // 8))
+            stack.data_ssd.reset_measurement()
+            stack.clock.reset()
+            result = driver.run(transactions)
+            stats = stack.data_ssd.stats
+            rows.append({
+                "mode": mode.value,
+                "buffer_mib": buffer_mib,
+                "throughput_tps": round(result.throughput_tps, 2),
+                "host_writes": stats.host_write_pages,
+                "gc_events": stats.gc_events,
+                "copybacks": stats.copyback_pages,
+                "waf": round(stats.write_amplification, 3),
+            })
+    return rows
+
+
+def sweep_microbench(patterns: List[str], ops: int,
+                     utilizations: List[float]) -> List[Dict]:
+    """One row per (pattern, utilization)."""
+    from repro.tools.microbench import run_microbench
+    rows: List[Dict] = []
+    for pattern in patterns:
+        for utilization in utilizations:
+            result = run_microbench(pattern, ops=ops,
+                                    utilization=utilization)
+            rows.append({
+                "pattern": pattern,
+                "utilization": utilization,
+                "iops": round(result.iops, 1),
+                "bandwidth_mib_s": round(result.bandwidth_mib_s, 2),
+                "waf": round(result.waf, 3),
+                "gc_events": result.gc_events,
+            })
+    return rows
+
+
+def write_csv(rows: List[Dict], out) -> None:
+    if not rows:
+        raise ValueError("sweep produced no rows")
+    writer = csv.DictWriter(out, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("target", choices=["ycsb", "linkbench", "microbench"])
+    parser.add_argument("--csv", default=None,
+                        help="write rows to this file (default: stdout)")
+    # ycsb
+    parser.add_argument("--workload", default="F",
+                        choices=[w.name for w in YcsbWorkload])
+    parser.add_argument("--batches", default="1,16,256")
+    parser.add_argument("--records", type=int, default=4000)
+    parser.add_argument("--ops", type=int, default=4000)
+    parser.add_argument("--couch-modes", default="original,share")
+    # linkbench
+    parser.add_argument("--buffers", default="50,100,150")
+    parser.add_argument("--nodes", type=int, default=4000)
+    parser.add_argument("--transactions", type=int, default=6000)
+    parser.add_argument("--innodb-modes", default="dwb_on,share")
+    # microbench
+    parser.add_argument("--patterns", default="randwrite,randread")
+    parser.add_argument("--utilizations", default="0.5,0.8")
+    args = parser.parse_args(argv)
+
+    if args.target == "ycsb":
+        rows = sweep_ycsb(
+            YcsbWorkload[args.workload], _ints(args.batches), args.records,
+            args.ops,
+            [CommitMode(m) for m in args.couch_modes.split(",")])
+    elif args.target == "linkbench":
+        rows = sweep_linkbench(
+            _ints(args.buffers), args.nodes, args.transactions,
+            [FlushMode(m) for m in args.innodb_modes.split(",")])
+    else:
+        rows = sweep_microbench(args.patterns.split(","), args.ops,
+                                _floats(args.utilizations))
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            write_csv(rows, handle)
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    else:
+        buffer = io.StringIO()
+        write_csv(rows, buffer)
+        sys.stdout.write(buffer.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

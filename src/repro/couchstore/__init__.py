@@ -1,0 +1,27 @@
+"""Couchbase-like append-only storage engine (couchstore).
+
+The engine implements the copy-on-write, wandering-tree design of
+Section 2.2 and both of the paper's SHARE adaptations (Section 4.3):
+
+* ``CommitMode.ORIGINAL`` — document updates append the new document copy
+  and rewrite every index node on the leaf-to-root path at commit;
+  compaction copies every valid document into a new file.
+* ``CommitMode.SHARE`` — document updates append the new copy, then one
+  SHARE pair remaps the old document's block onto it; the index tree is
+  untouched, so neither the wandering-tree rewrites nor the per-commit
+  header write happen.  Compaction shares valid documents into the
+  fallocate'd new file instead of copying them (Figure 3).
+"""
+
+from repro.couchstore.compaction import CompactionResult, compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.couchstore.tree import AppendTree
+
+__all__ = [
+    "AppendTree",
+    "CommitMode",
+    "CompactionResult",
+    "CouchConfig",
+    "CouchStore",
+    "compact",
+]

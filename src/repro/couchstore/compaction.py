@@ -1,0 +1,195 @@
+"""Couchstore compaction: the copy algorithm and the SHARE zero-copy
+algorithm of Figure 3.
+
+Both build a fresh database file and atomically switch over by rename;
+the old file is unlinked afterwards (its extents are TRIMmed, which is
+what finally releases the shared physical pages' old references).
+
+* **Copy compaction** (original Couchbase): read every valid document
+  from the old file, append it to the new file, bulk-build the index,
+  write a header.
+* **SHARE compaction**: ``fallocate`` the new file's document region,
+  read only each valid document's *header block* (the length check the
+  paper calls out as Table 2's residual cost), SHARE every document's
+  blocks from the old file onto the new file's blocks, then bulk-build
+  the index and write a header.  No document bytes are copied.
+
+Crash mid-compaction: the partially built new file is deleted and the
+whole compaction restarts (Section 4.3) — ``abandon_partial`` implements
+the cleanup and tests exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.couchstore.engine import CommitMode, CouchStore
+from repro.couchstore.layout import doc_key, header_record
+from repro.host.ioctl import share_file_ranges
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Table 2's row: elapsed virtual time and written volume, plus the
+    supporting detail."""
+
+    mode: str
+    elapsed_seconds: float
+    written_bytes: int
+    read_bytes: int
+    docs_moved: int
+    index_nodes_written: int
+    share_commands: int
+
+    @property
+    def written_mib(self) -> float:
+        return self.written_bytes / (1024.0 * 1024.0)
+
+
+def compact(store: CouchStore, clock: SimClock,
+            suffix: str = ".compact") -> Tuple[CouchStore, CompactionResult]:
+    """Compact ``store`` using its own mode's algorithm; returns the new
+    store (same path, swapped in place) and the measurement."""
+    if store.mode is CommitMode.SHARE:
+        return _compact_share(store, clock, suffix)
+    return _compact_copy(store, clock, suffix)
+
+
+def abandon_partial(store: CouchStore, suffix: str = ".compact") -> bool:
+    """Post-crash cleanup: delete a leftover partial compaction file.
+    Returns True when one existed."""
+    partial = store.path + suffix
+    if store.fs.exists(partial):
+        store.fs.unlink(partial)
+        return True
+    return False
+
+
+def _measure_start(store: CouchStore, clock: SimClock):
+    return clock.now_us, store.fs.ssd.stats.copy()
+
+
+def _measure_end(store: CouchStore, clock: SimClock, start, mode: str,
+                 docs: int, nodes: int, share_commands: int
+                 ) -> CompactionResult:
+    start_us, stats_before = start
+    delta = store.fs.ssd.stats.delta_since(stats_before)
+    return CompactionResult(
+        mode=mode,
+        elapsed_seconds=(clock.now_us - start_us) / 1e6,
+        written_bytes=int(delta["host_write_pages"]) * store.fs.ssd.page_size,
+        read_bytes=int(delta["host_read_pages"]) * store.fs.ssd.page_size,
+        docs_moved=docs,
+        index_nodes_written=nodes,
+        share_commands=share_commands,
+    )
+
+
+def _swap_in(store: CouchStore, new_store: CouchStore, tmp_path: str) -> None:
+    """Rename the compacted file over the database path (unlinking the old
+    file and TRIMming its extents) and repoint the new store."""
+    store.fs.rename(tmp_path, store.path)
+    new_store.path = store.path
+
+
+def _compact_copy(store: CouchStore, clock: SimClock, suffix: str
+                  ) -> Tuple[CouchStore, CompactionResult]:
+    start = _measure_start(store, clock)
+    tmp_path = store.path + suffix
+    new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
+                           _update_seq=store.update_seq,
+                           _doc_count=store.doc_count, _stale_blocks=0)
+    new_file = new_store.file
+    entries: List[Tuple] = []
+    docs_moved = 0
+    for key, (block, length) in store.doc_pointers():
+        record = store._read_doc(block)
+        new_block = new_store._append(record)
+        for offset in range(1, length):
+            new_store._append(store.file.pread_block(block + offset))
+        entries.append((key, (new_block, length)))
+        docs_moved += 1
+    nodes = new_store.tree.bulk_load(entries)
+    new_store._append(header_record(new_store.tree.root_block,
+                                    new_store.update_seq,
+                                    new_store.doc_count, 0))
+    new_store.stats.headers_written += 1
+    new_file.fsync()
+    _swap_in(store, new_store, tmp_path)
+    new_store.stats.compactions = store.stats.compactions + 1
+    result = _measure_end(store, clock, start, "copy", docs_moved, nodes, 0)
+    return new_store, result
+
+
+def _compact_share(store: CouchStore, clock: SimClock, suffix: str
+                   ) -> Tuple[CouchStore, CompactionResult]:
+    start = _measure_start(store, clock)
+    tmp_path = store.path + suffix
+    new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
+                           _update_seq=store.update_seq,
+                           _doc_count=store.doc_count, _stale_blocks=0)
+    new_file = new_store.file
+    pointers = store.doc_pointers()
+    # Step 1 (Figure 3): reserve the new file's document region up front.
+    total_doc_blocks = sum(length for __, (__, length) in pointers)
+    if total_doc_blocks:
+        new_file.fallocate(total_doc_blocks)
+        new_store._append_cursor = total_doc_blocks
+    # Step 2: share each valid document into the new file.  Only the
+    # document's header block is read, to learn its length — the residual
+    # read cost Table 2 explains.
+    entries: List[Tuple] = []
+    ranges: List[Tuple[int, int, int]] = []
+    cursor = 0
+    docs_moved = 0
+    for key, (block, length) in pointers:
+        record = store._read_doc(block)           # the header-page read
+        if doc_key(record) != key:
+            raise RuntimeError(
+                f"index points block {block} at key {key!r} but the "
+                f"document header says {doc_key(record)!r}")
+        ranges.append((cursor, block, length))
+        entries.append((key, (cursor, length)))
+        cursor += length
+        docs_moved += 1
+    share_commands = 0
+    if ranges:
+        # The destination file blocks come from new_file; sources from the
+        # old file.  share_file_ranges resolves both through the ioctl.
+        share_commands = _share_across(new_file, store, ranges)
+    # Step 3: rebuild the index over the new locations.  ``pointers`` came
+    # from the tree in key order, so ``entries`` is already sorted.
+    nodes = new_store.tree.bulk_load(entries)
+    new_store._append(header_record(new_store.tree.root_block,
+                                    new_store.update_seq,
+                                    new_store.doc_count, 0))
+    new_store.stats.headers_written += 1
+    new_file.fsync()
+    _swap_in(store, new_store, tmp_path)
+    new_store.stats.compactions = store.stats.compactions + 1
+    new_store.stats.share_commands = share_commands
+    new_store.stats.share_pairs = docs_moved
+    result = _measure_end(store, clock, start, "share", docs_moved, nodes,
+                          share_commands)
+    return new_store, result
+
+
+def _share_across(new_file, store: CouchStore,
+                  ranges: List[Tuple[int, int, int]]) -> int:
+    """share(dst=new file blocks, src=old file blocks) in device batches."""
+    pairs = []
+    for dst_block, src_block, length in ranges:
+        for offset in range(length):
+            pairs.append((new_file.block_lpn(dst_block + offset),
+                          store.file.block_lpn(src_block + offset)))
+    from repro.ftl.share_ext import SharePair
+    ssd = store.fs.ssd
+    limit = ssd.max_share_batch
+    commands = 0
+    for start_index in range(0, len(pairs), limit):
+        chunk = pairs[start_index:start_index + limit]
+        ssd.share_batch([SharePair(dst, src) for dst, src in chunk])
+        commands += 1
+    return commands

@@ -1,0 +1,99 @@
+"""Exception hierarchy shared across every layer of the SHARE reproduction.
+
+Each simulated layer (NAND array, FTL, SSD facade, host filesystem, database
+engines) raises a subclass of :class:`ReproError` so callers can distinguish
+programming mistakes (plain ``ValueError``/``TypeError``) from simulated
+device and protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FlashError(ReproError):
+    """Base class for NAND-array level violations."""
+
+
+class ProgramError(FlashError):
+    """Raised when a page is programmed out of order or re-programmed.
+
+    Real NAND forbids overwriting a programmed page and (for MLC) requires
+    pages within a block to be programmed sequentially.  Violations indicate
+    an FTL bug, so the array refuses the operation instead of corrupting
+    state silently.
+    """
+
+
+class EraseError(FlashError):
+    """Raised for an erase of an out-of-range or protected block."""
+
+
+class ReadError(FlashError):
+    """Raised when reading an unwritten (erased) page."""
+
+
+class FtlError(ReproError):
+    """Base class for FTL protocol violations."""
+
+
+class OutOfSpaceError(FtlError):
+    """Raised when the FTL cannot find a free page even after garbage
+    collection, i.e. the logical space is overcommitted."""
+
+
+class UnmappedPageError(FtlError):
+    """Raised when reading an LPN that has no physical mapping."""
+
+
+class ShareError(FtlError):
+    """Raised for invalid SHARE commands (bad range, overlap, unmapped
+    source, or reverse-map capacity exhaustion that cannot be reconciled)."""
+
+
+class DeviceError(ReproError):
+    """Raised by the SSD block-device facade for malformed requests."""
+
+
+class PowerFailure(ReproError):
+    """Injected power failure.
+
+    Raised at a registered fault point to simulate sudden power loss; the
+    test harness catches it, discards all volatile state, and restarts the
+    stack from the persisted media image.
+    """
+
+
+class FileSystemError(ReproError):
+    """Base class for host filesystem failures."""
+
+
+class FileNotFound(FileSystemError):
+    """Raised when opening or unlinking a path that does not exist."""
+
+
+class FileExists(FileSystemError):
+    """Raised when creating a path that already exists."""
+
+
+class NoSpace(FileSystemError):
+    """Raised when the filesystem has no free extents left."""
+
+
+class IoctlError(FileSystemError):
+    """Raised when a share ioctl cannot be translated to device LPNs."""
+
+
+class EngineError(ReproError):
+    """Base class for database-engine level errors."""
+
+
+class TornPageError(EngineError):
+    """Raised when a page checksum mismatch (torn write) is detected and no
+    recovery copy exists."""
+
+
+class RecoveryError(EngineError):
+    """Raised when crash recovery cannot restore a consistent state."""

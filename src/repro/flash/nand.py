@@ -1,0 +1,154 @@
+"""NAND array: the persistent media under the FTL.
+
+The array enforces the three chip-level rules the paper's design hinges on:
+
+1. a programmed page cannot be overwritten (*no-overwrite*),
+2. a block must be erased before any of its pages are reprogrammed,
+3. pages inside a block are programmed in ascending order (MLC rule).
+
+Page payloads are opaque Python objects ("page images") plus a spare-area
+record written alongside the data; the FTL uses the spare area to stamp the
+owning LPN / metadata tag, exactly as real firmware stamps out-of-band
+bytes.  The array is the *only* state that survives an injected power
+failure — everything above it (mapping tables in DRAM, buffer pools) is
+volatile and rebuilt during recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ProgramError, ReadError
+from repro.flash.geometry import FlashGeometry
+
+
+class PageState(Enum):
+    """Lifecycle of one physical page."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+@dataclass
+class _Page:
+    state: PageState = PageState.ERASED
+    data: Any = None
+    spare: Any = None
+
+
+class NandArray:
+    """The raw flash media.
+
+    The array tracks per-block erase counts (device wear, which the paper's
+    lifespan argument is about) and cumulative program/read/erase operation
+    counts.  It charges **no** time itself — latency accounting lives in the
+    SSD facade so GC-internal copybacks can be priced differently from
+    host-visible transfers.
+    """
+
+    def __init__(self, geometry: FlashGeometry) -> None:
+        self.geometry = geometry
+        self._pages: List[_Page] = [_Page() for _ in range(geometry.total_pages)]
+        self._next_program_offset: List[int] = [0] * geometry.block_count
+        self.erase_counts: List[int] = [0] * geometry.block_count
+        self.total_programs = 0
+        self.total_reads = 0
+        self.total_erases = 0
+
+    # ------------------------------------------------------------------ ops
+
+    def program(self, ppn: int, data: Any, spare: Any = None) -> None:
+        """Program one page.  Enforces no-overwrite and in-order rules."""
+        self.geometry.check_ppn(ppn)
+        page = self._pages[ppn]
+        if page.state is not PageState.ERASED:
+            raise ProgramError(f"PPN {ppn} already programmed; erase block first")
+        block = self.geometry.block_of(ppn)
+        offset = self.geometry.page_in_block(ppn)
+        expected = self._next_program_offset[block]
+        if offset != expected:
+            raise ProgramError(
+                f"out-of-order program in block {block}: page offset {offset}, "
+                f"expected {expected}")
+        page.state = PageState.PROGRAMMED
+        page.data = data
+        page.spare = spare
+        self._next_program_offset[block] = offset + 1
+        self.total_programs += 1
+
+    def read(self, ppn: int) -> Any:
+        """Read the data payload of a programmed page."""
+        self.geometry.check_ppn(ppn)
+        page = self._pages[ppn]
+        if page.state is not PageState.PROGRAMMED:
+            raise ReadError(f"PPN {ppn} is erased; nothing to read")
+        self.total_reads += 1
+        return page.data
+
+    def read_spare(self, ppn: int) -> Any:
+        """Read only the spare-area record (cheap OOB scan during recovery)."""
+        self.geometry.check_ppn(ppn)
+        page = self._pages[ppn]
+        if page.state is not PageState.PROGRAMMED:
+            raise ReadError(f"PPN {ppn} is erased; no spare data")
+        return page.spare
+
+    def erase(self, block: int) -> None:
+        """Erase a whole block, returning every page in it to ERASED."""
+        self.geometry.check_block(block)
+        start = self.geometry.first_ppn(block)
+        for ppn in range(start, start + self.geometry.pages_per_block):
+            page = self._pages[ppn]
+            page.state = PageState.ERASED
+            page.data = None
+            page.spare = None
+        self._next_program_offset[block] = 0
+        self.erase_counts[block] += 1
+        self.total_erases += 1
+
+    # -------------------------------------------------------------- queries
+
+    def state_of(self, ppn: int) -> PageState:
+        self.geometry.check_ppn(ppn)
+        return self._pages[ppn].state
+
+    def is_programmed(self, ppn: int) -> bool:
+        return self.state_of(ppn) is PageState.PROGRAMMED
+
+    def programmed_pages_in_block(self, block: int) -> int:
+        """How many pages of ``block`` have been programmed since its last
+        erase."""
+        self.geometry.check_block(block)
+        return self._next_program_offset[block]
+
+    def scan_block(self, block: int) -> List[Tuple[int, Any]]:
+        """(ppn, spare) for every programmed page of a block, in program
+        order.  This is the recovery-time OOB scan."""
+        self.geometry.check_block(block)
+        start = self.geometry.first_ppn(block)
+        out: List[Tuple[int, Any]] = []
+        for offset in range(self._next_program_offset[block]):
+            ppn = start + offset
+            out.append((ppn, self._pages[ppn].spare))
+        return out
+
+    @property
+    def max_erase_count(self) -> int:
+        return max(self.erase_counts)
+
+    @property
+    def total_erase_count(self) -> int:
+        return sum(self.erase_counts)
+
+    def wear_summary(self) -> Optional[dict]:
+        """Min/mean/max erase counts — the lifespan metric of §5.3.1."""
+        counts = self.erase_counts
+        if not counts:
+            return None
+        return {
+            "min": min(counts),
+            "mean": sum(counts) / len(counts),
+            "max": max(counts),
+        }

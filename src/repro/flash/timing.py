@@ -1,0 +1,67 @@
+"""Latency parameters for the NAND array and the host interface.
+
+Values follow the MLC-class chips on the first-generation OpenSSD (Samsung
+K9LCG08U1M-class): reads are tens of microseconds, programs are on the
+order of a millisecond (MLC tPROG), erases are milliseconds.  The paper argues its
+results are independent of absolute device speed; the timing model exists so
+the benchmark harness can convert operation counts into throughput and
+latency *shapes* comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Per-operation latencies in microseconds.
+
+    ``transfer_us_per_kib`` models the channel/SATA transfer cost, charged
+    per KiB moved in addition to the array operation itself.
+    ``copyback_us`` is the internal GC valid-page move (read + program
+    without crossing the host interface).
+    """
+
+    read_us: float = 60.0
+    program_us: float = 1300.0
+    erase_us: float = 2500.0
+    transfer_us_per_kib: float = 25.0
+    copyback_us: float = 1360.0
+    # Firmware costs: mapping-table ops are DRAM-speed, command handling has
+    # a small fixed overhead per host command (SATA round trip, §3.2's
+    # motivation for batching SHARE pairs).
+    command_overhead_us: float = 20.0
+    map_update_us: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("read_us", "program_us", "erase_us", "transfer_us_per_kib",
+                     "copyback_us", "command_overhead_us", "map_update_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative: {value}")
+
+    def read_latency(self, size_bytes: int) -> float:
+        """Host-visible read of ``size_bytes`` from one page."""
+        return self.read_us + self.transfer_us_per_kib * (size_bytes / 1024.0)
+
+    def program_latency(self, size_bytes: int) -> float:
+        """Host-visible program of ``size_bytes`` into one page."""
+        return self.program_us + self.transfer_us_per_kib * (size_bytes / 1024.0)
+
+
+#: OpenSSD-class MLC timing used by the paper-shaped experiments.
+MLC_TIMING = FlashTiming()
+
+#: Datacenter-SATA-SSD-class timing (the Samsung PM853T log device of the
+#: experimental setup): faster programs, deeper internal parallelism
+#: folded into the per-op figures.
+SATA_SSD_TIMING = FlashTiming(read_us=60.0, program_us=90.0,
+                              erase_us=1200.0, transfer_us_per_kib=10.0,
+                              copyback_us=100.0, command_overhead_us=15.0,
+                              map_update_us=0.2)
+
+#: Cheap timing for unit tests where only counts matter.
+FAST_TIMING = FlashTiming(read_us=1.0, program_us=10.0, erase_us=30.0,
+                          transfer_us_per_kib=0.5, copyback_us=11.0,
+                          command_overhead_us=1.0, map_update_us=0.01)

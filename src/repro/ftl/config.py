@@ -1,0 +1,64 @@
+"""FTL tunables.
+
+Defaults mirror the paper's OpenSSD prototype where it states them (share
+table of 250 entries for 4 KiB mapping pages / 500 for 8 KiB) and use
+conventional values elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes one delta record occupies in a mapping page: (LPN, old PPN,
+#: new PPN, seq) at 4 bytes each as on the 32-bit Barefoot controller.
+DELTA_RECORD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class FtlConfig:
+    """Knobs of :class:`repro.ftl.pagemap.PageMappingFtl`.
+
+    Attributes
+    ----------
+    map_block_count:
+        Blocks reserved (at the top of the array) for the mapping delta log.
+    share_table_entries:
+        Capacity of the reverse-mapping share table — the number of *extra*
+        (beyond-the-first) LPN references physical pages may collectively
+        hold.  Paper: 250 entries for 4 KiB pages, 500 for 8 KiB.
+    gc_low_water / gc_high_water:
+        Greedy GC starts when the free-block pool drops to ``gc_low_water``
+        and collects victims until the pool reaches ``gc_high_water``.
+    """
+
+    map_block_count: int = 4
+    share_table_entries: int = 250
+    gc_low_water: int = 3
+    gc_high_water: int = 6
+    share_overflow_policy: str = "log"
+    wear_leveling: bool = True
+    wear_delta_threshold: int = 16
+
+    def __post_init__(self) -> None:
+        if self.share_overflow_policy not in ("log", "copy"):
+            raise ValueError(
+                "share_overflow_policy must be 'log' (spill extra reverse "
+                "mappings to the flash-resident mapping log) or 'copy' "
+                f"(materialise private copies): {self.share_overflow_policy!r}")
+        if self.wear_delta_threshold < 1:
+            raise ValueError(
+                f"wear_delta_threshold must be >= 1: {self.wear_delta_threshold}")
+        if self.map_block_count < 1:
+            raise ValueError(f"map_block_count must be >= 1: {self.map_block_count}")
+        if self.share_table_entries < 1:
+            raise ValueError(
+                f"share_table_entries must be >= 1: {self.share_table_entries}")
+        if self.gc_low_water < 2:
+            raise ValueError(f"gc_low_water must be >= 2: {self.gc_low_water}")
+        if self.gc_high_water <= self.gc_low_water:
+            raise ValueError("gc_high_water must exceed gc_low_water")
+
+    def deltas_per_page(self, page_size: int) -> int:
+        """How many delta records fit in one mapping page — the atomic
+        SHARE batch limit (Section 4.2.2)."""
+        return max(1, page_size // DELTA_RECORD_BYTES)

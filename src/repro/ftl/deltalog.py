@@ -1,0 +1,223 @@
+"""Mapping delta log (Section 4.2.2, Figure 4).
+
+Normal host writes need no log record: the LPN stamped in the spare area at
+program time already persists their mapping.  Two operations change the
+mapping *without* programming a data page and therefore must be logged:
+
+* ``SHARE`` — records ``(LPN, old PPN, new PPN)``; the single mapping-page
+  program holding a batch's records is the atomic commit point ("the
+  maximum size of Deltas cannot exceed the mapping page size because only a
+  page is written atomically to flash"),
+* ``TRIM`` — records ``(LPN, old PPN, unmapped)``.
+
+The log lives in a small reserved region of map blocks at the top of the
+array.  When the region fills up, the log checkpoints itself: the still-live
+log-backed mappings (provided by the FTL) are rewritten as ``snap`` records
+into the last free map block, the exhausted blocks are erased, and logging
+continues.  Recovery merges log records with the spare-area stamps by
+sequence number — the newest assertion per LPN wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import FtlError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.sim.faults import NO_FAULTS, FaultPlan
+
+#: Spare-area tag marking a mapping page (vs a data page).
+MAP_PAGE_TAG = "map"
+
+KIND_SHARE = "share"
+KIND_TRIM = "trim"
+KIND_SNAP = "snap"
+#: Commit record of the atomic-write baseline command (Section 6.1's
+#: related-work FTLs, implemented for comparison).
+KIND_AWRITE = "awrite"
+#: Commit record of the X-FTL transactional baseline (Section 6.2).
+KIND_XCOMMIT = "xcommit"
+_KINDS = frozenset({KIND_SHARE, KIND_TRIM, KIND_SNAP, KIND_AWRITE,
+                    KIND_XCOMMIT})
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One mapping-change assertion.
+
+    ``new_ppn`` is None for trims.  ``seq`` totally orders this assertion
+    against spare-area stamps and other records.
+    """
+
+    kind: str
+    lpn: int
+    old_ppn: Optional[int]
+    new_ppn: Optional[int]
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown delta kind: {self.kind!r}")
+        if self.lpn < 0:
+            raise ValueError(f"negative LPN: {self.lpn}")
+        if self.seq < 0:
+            raise ValueError(f"negative seq: {self.seq}")
+        if self.kind == KIND_TRIM and self.new_ppn is not None:
+            raise ValueError("trim records must have new_ppn=None")
+
+
+class MapLog:
+    """Append-only delta log over the reserved map blocks.
+
+    The log programs whole mapping pages; each page carries a list of
+    :class:`DeltaRecord`.  Fault checkpoints bracket the commit program so
+    tests can kill power on either side of the atomic point.
+    """
+
+    def __init__(self, nand: NandArray, geometry: FlashGeometry,
+                 map_blocks: Sequence[int], records_per_page: int,
+                 faults: FaultPlan = NO_FAULTS) -> None:
+        if not map_blocks:
+            raise ValueError("need at least one map block")
+        self._nand = nand
+        self._geometry = geometry
+        self._blocks = list(map_blocks)
+        self._records_per_page = records_per_page
+        self._faults = faults
+        self._cursor = 0          # index into self._blocks
+        self._page_writes = 0
+        self._checkpoints = 0
+        self._snapshot_provider: Optional[Callable[[], List[DeltaRecord]]] = None
+
+    # --------------------------------------------------------------- setup
+
+    def set_snapshot_provider(self, provider: Callable[[], List[DeltaRecord]]) -> None:
+        """Register the FTL callback that lists still-live log-backed
+        mappings for checkpointing."""
+        self._snapshot_provider = provider
+
+    def bind_to_end_of_log(self) -> None:
+        """After recovery, resume appending after the last programmed page."""
+        self._cursor = 0
+        for index, block in enumerate(self._blocks):
+            if self._nand.programmed_pages_in_block(block) > 0:
+                self._cursor = index
+        # If the cursor block is full, advance handled lazily by _target().
+
+    @property
+    def records_per_page(self) -> int:
+        return self._records_per_page
+
+    @property
+    def page_writes(self) -> int:
+        """Mapping pages programmed so far (internal write traffic)."""
+        return self._page_writes
+
+    @property
+    def checkpoints(self) -> int:
+        return self._checkpoints
+
+    # -------------------------------------------------------------- append
+
+    def append_atomic(self, records: Sequence[DeltaRecord]) -> None:
+        """Persist ``records`` in one mapping-page program.
+
+        This is the SHARE commit point: a crash before the program leaves
+        the old mapping, a crash after it leaves the new mapping; there is
+        no in-between because the page program is atomic.
+        """
+        if not records:
+            raise ValueError("cannot commit an empty delta batch")
+        if len(records) > self._records_per_page:
+            raise FtlError(
+                f"delta batch of {len(records)} records exceeds the mapping "
+                f"page capacity of {self._records_per_page} — the batch "
+                "would not commit atomically (Section 4.2.2)")
+        self._faults.checkpoint("maplog.before_commit")
+        ppn = self._next_map_ppn()
+        self._nand.program(ppn, tuple(records), spare=(MAP_PAGE_TAG,))
+        self._page_writes += 1
+        self._faults.checkpoint("maplog.after_commit")
+
+    def append(self, records: Sequence[DeltaRecord]) -> None:
+        """Persist records that do not need single-page atomicity (trim
+        batches), splitting across pages as needed."""
+        for start in range(0, len(records), self._records_per_page):
+            self.append_atomic(records[start:start + self._records_per_page])
+
+    # ------------------------------------------------------------ internal
+
+    def _next_map_ppn(self) -> int:
+        """PPN of the next free mapping page, checkpointing when needed."""
+        for _ in range(2):
+            block = self._blocks[self._cursor]
+            used = self._nand.programmed_pages_in_block(block)
+            if used < self._geometry.pages_per_block:
+                return self._geometry.first_ppn(block) + used
+            if self._cursor + 1 < len(self._blocks):
+                self._cursor += 1
+                continue
+            self._checkpoint()
+        raise FtlError("map log has no space even after checkpoint")
+
+    def _checkpoint(self) -> None:
+        """Compact the log: rewrite live records, erase exhausted blocks.
+
+        The snapshot may span several map blocks (a busy SHARE workload —
+        e.g. a compaction of a large store — can keep hundreds of
+        thousands of log-backed mappings live).  Blocks are erased one at
+        a time just before being refilled; the crash window between an
+        erase and the corresponding snapshot program is covered by the
+        controller's power capacitor on the OpenSSD, and the reproduction
+        documents the same assumption.
+        """
+        if self._snapshot_provider is None:
+            raise FtlError("map log full and no snapshot provider registered")
+        live = self._snapshot_provider()
+        self._faults.checkpoint("maplog.checkpoint_start")
+        page_capacity = self._records_per_page
+        pages_per_block = self._geometry.pages_per_block
+        needed_pages = -(-len(live) // page_capacity) if live else 0
+        needed_blocks = -(-needed_pages // pages_per_block) if needed_pages else 0
+        if needed_blocks >= len(self._blocks):
+            raise FtlError(
+                f"snapshot of {len(live)} live records needs {needed_blocks} "
+                f"map blocks but only {len(self._blocks)} exist (and one "
+                "must stay free for new deltas); increase map_block_count")
+        cursor = 0
+        for block_index in range(max(1, needed_blocks)):
+            block = self._blocks[block_index]
+            self._nand.erase(block)
+            for offset in range(pages_per_block):
+                if cursor >= len(live):
+                    break
+                chunk = tuple(live[cursor:cursor + page_capacity])
+                self._nand.program(self._geometry.first_ppn(block) + offset,
+                                   chunk, spare=(MAP_PAGE_TAG,))
+                self._page_writes += 1
+                cursor += page_capacity
+        for block in self._blocks[max(1, needed_blocks):]:
+            self._nand.erase(block)
+        last_used = max(1, needed_blocks) - 1
+        last_block_full = (needed_pages > 0
+                           and needed_pages % pages_per_block == 0)
+        self._cursor = last_used + 1 if last_block_full else last_used
+        self._checkpoints += 1
+        self._faults.checkpoint("maplog.checkpoint_end")
+
+    # ------------------------------------------------------------ recovery
+
+    @staticmethod
+    def scan(nand: NandArray, geometry: FlashGeometry,
+             map_blocks: Sequence[int]) -> List[DeltaRecord]:
+        """Collect every delta record persisted in the map region."""
+        records: List[DeltaRecord] = []
+        for block in map_blocks:
+            for ppn, spare in nand.scan_block(block):
+                if not (isinstance(spare, tuple) and spare and spare[0] == MAP_PAGE_TAG):
+                    raise FtlError(
+                        f"non-map page found in map block {block} (PPN {ppn})")
+                records.extend(nand.read(ppn))
+        return records

@@ -1,0 +1,74 @@
+"""Forward (L2P) mapping table.
+
+A plain array of PPNs indexed by LPN, matching the page-mapping scheme of
+the OpenSSD firmware ("the entire forward mapping table is kept in DRAM",
+Section 4.2.1).  The table is volatile — it is rebuilt during recovery from
+the spare-area stamps and the mapping delta log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+UNMAPPED = -1
+
+
+class ForwardMap:
+    """LPN -> PPN table with O(1) lookup and update."""
+
+    def __init__(self, logical_pages: int) -> None:
+        if logical_pages <= 0:
+            raise ValueError(f"logical_pages must be positive: {logical_pages}")
+        self._table: List[int] = [UNMAPPED] * logical_pages
+        self._mapped_count = 0
+
+    @property
+    def logical_pages(self) -> int:
+        return len(self._table)
+
+    @property
+    def mapped_count(self) -> int:
+        """Number of LPNs currently holding a mapping."""
+        return self._mapped_count
+
+    def check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < len(self._table):
+            raise ValueError(
+                f"LPN out of range [0, {len(self._table)}): {lpn}")
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Current PPN of ``lpn``, or None when unmapped."""
+        self.check_lpn(lpn)
+        ppn = self._table[lpn]
+        return None if ppn == UNMAPPED else ppn
+
+    def is_mapped(self, lpn: int) -> bool:
+        self.check_lpn(lpn)
+        return self._table[lpn] != UNMAPPED
+
+    def update(self, lpn: int, ppn: int) -> Optional[int]:
+        """Point ``lpn`` at ``ppn``; returns the previous PPN (or None)."""
+        self.check_lpn(lpn)
+        if ppn < 0:
+            raise ValueError(f"PPN must be non-negative: {ppn}")
+        old = self._table[lpn]
+        if old == UNMAPPED:
+            self._mapped_count += 1
+        self._table[lpn] = ppn
+        return None if old == UNMAPPED else old
+
+    def clear(self, lpn: int) -> Optional[int]:
+        """Drop the mapping of ``lpn`` (TRIM); returns the previous PPN."""
+        self.check_lpn(lpn)
+        old = self._table[lpn]
+        if old != UNMAPPED:
+            self._mapped_count -= 1
+            self._table[lpn] = UNMAPPED
+            return old
+        return None
+
+    def mapped_lpns(self):
+        """Iterate (lpn, ppn) over every live mapping — recovery/debug use."""
+        for lpn, ppn in enumerate(self._table):
+            if ppn != UNMAPPED:
+                yield lpn, ppn

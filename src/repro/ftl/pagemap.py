@@ -1,0 +1,702 @@
+"""Page-mapping FTL with the SHARE extension.
+
+This is the firmware of the reproduction's OpenSSD stand-in.  It owns:
+
+* the forward L2P table (:mod:`repro.ftl.mapping`),
+* the reverse-reference tracking with the bounded share table
+  (:mod:`repro.ftl.reverse`),
+* greedy garbage collection over the data blocks,
+* the mapping delta log and its checkpointing
+  (:mod:`repro.ftl.deltalog`),
+* crash recovery that merges spare-area stamps with logged deltas by
+  sequence number.
+
+Layout: the last ``config.map_block_count`` blocks of the array hold the
+mapping log; every other block is a data block.  The logical address space
+is sized off the data blocks with the geometry's over-provisioning ratio
+held back for GC headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FtlError, OutOfSpaceError, ShareError, UnmappedPageError
+from repro.flash.nand import NandArray
+from repro.ftl.config import FtlConfig
+from repro.ftl.deltalog import (
+    KIND_AWRITE,
+    KIND_SHARE,
+    KIND_SNAP,
+    KIND_TRIM,
+    KIND_XCOMMIT,
+    DeltaRecord,
+    MapLog,
+)
+from repro.ftl.mapping import ForwardMap
+from repro.ftl.reverse import ReverseMap
+from repro.ftl.share_ext import SharePair, expand_range, validate_batch
+from repro.sim.faults import NO_FAULTS, FaultPlan
+
+
+@dataclass
+class FtlStats:
+    """Cumulative firmware counters (Figure 6's metrics and more)."""
+
+    host_page_writes: int = 0
+    host_page_reads: int = 0
+    gc_events: int = 0
+    copyback_pages: int = 0
+    block_erases: int = 0
+    share_commands: int = 0
+    share_pairs: int = 0
+    share_spills: int = 0          # 'copy' policy: private copies made
+    share_log_spills: int = 0      # 'log' policy: entries spilled to flash
+    spill_lookups: int = 0         # GC reads of spilled reverse mappings
+    trim_commands: int = 0
+    trim_pages: int = 0
+    wear_level_moves: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _RecoveredState:
+    """Intermediate result of the media scan during recovery."""
+
+    winners: Dict[int, Tuple[int, Optional[int], str]] = field(default_factory=dict)
+    max_seq: int = 0
+
+
+class PageMappingFtl:
+    """The firmware: read/write/trim/share/flush over a :class:`NandArray`.
+
+    All mapping state is volatile; only the NAND array persists.  Tests
+    simulate power failure by abandoning the FTL instance and calling
+    :meth:`recover` on the same array.
+    """
+
+    def __init__(self, nand: NandArray, config: Optional[FtlConfig] = None,
+                 faults: FaultPlan = NO_FAULTS) -> None:
+        self.nand = nand
+        self.geometry = nand.geometry
+        self.config = config or FtlConfig()
+        self.faults = faults
+        geometry = self.geometry
+        if self.config.map_block_count >= geometry.block_count - 4:
+            raise ValueError("map region leaves too few data blocks")
+        self._map_blocks = list(range(
+            geometry.block_count - self.config.map_block_count,
+            geometry.block_count))
+        self._data_blocks = list(range(
+            geometry.block_count - self.config.map_block_count))
+        data_pages = len(self._data_blocks) * geometry.pages_per_block
+        self._logical_pages = int(data_pages * (1.0 - geometry.overprovision_ratio))
+        self.fwd = ForwardMap(self._logical_pages)
+        self.rev = ReverseMap(self.config.share_table_entries)
+        self._records_per_page = self.config.deltas_per_page(geometry.page_size)
+        self.maplog = MapLog(nand, geometry, self._map_blocks,
+                             self._records_per_page, faults)
+        self.maplog.set_snapshot_provider(self._snapshot_records)
+        self.stats = FtlStats()
+        self._valid_count: Dict[int, int] = {b: 0 for b in self._data_blocks}
+        self._free_blocks: List[int] = list(self._data_blocks)
+        self._active_host: Optional[int] = None
+        self._active_gc: Optional[int] = None
+        self._seq = 1
+        self._share_backed: Dict[int, Tuple[int, int]] = {}
+        self._trim_tombstones: Dict[int, int] = {}
+        self._pending_trims: List[DeltaRecord] = []
+        self._pending_atomic: set = set()
+        # X-FTL shadow state: per-transaction staged pages, and a reverse
+        # view so GC can move (without stamping) pages that belong to an
+        # uncommitted transaction.
+        self._txn_shadow: Dict[int, Dict[int, int]] = {}
+        self._shadow_owner: Dict[int, Tuple[int, int]] = {}
+        self._in_gc = False
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def logical_pages(self) -> int:
+        """Size of the LPN address space exposed to the host."""
+        return self._logical_pages
+
+    @property
+    def page_size(self) -> int:
+        return self.geometry.page_size
+
+    @property
+    def max_share_batch(self) -> int:
+        """Largest atomic SHARE batch (one mapping page of deltas)."""
+        return self._records_per_page
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    @property
+    def map_page_writes(self) -> int:
+        return self.maplog.page_writes
+
+    def _check_lpn_range(self, lpn: int, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        if lpn < 0 or lpn + count > self._logical_pages:
+            raise ValueError(
+                f"LPN range [{lpn}, {lpn + count}) outside logical space "
+                f"[0, {self._logical_pages})")
+
+    # ------------------------------------------------------------- host IO
+
+    def read(self, lpn: int) -> Any:
+        """Return the page image of ``lpn``."""
+        self._check_lpn_range(lpn)
+        ppn = self.fwd.lookup(lpn)
+        if ppn is None:
+            raise UnmappedPageError(f"LPN {lpn} is unmapped")
+        self.stats.host_page_reads += 1
+        return self.nand.read(ppn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        self._check_lpn_range(lpn)
+        return self.fwd.is_mapped(lpn)
+
+    def write(self, lpn: int, data: Any) -> None:
+        """Program ``data`` for ``lpn`` out of place and remap."""
+        self._check_lpn_range(lpn)
+        self._ensure_free_space()
+        seq = self._next_seq()
+        ppn = self._alloc_page(for_gc=False)
+        self.faults.checkpoint("ftl.before_program")
+        self.nand.program(ppn, data, spare=((lpn, seq),))
+        self.faults.checkpoint("ftl.after_program")
+        self._remap_after_program(lpn, ppn)
+        self.stats.host_page_writes += 1
+
+    def _remap_after_program(self, lpn: int, ppn: int) -> None:
+        old = self.fwd.update(lpn, ppn)
+        self.rev.set_primary(ppn, lpn)
+        self._valid_count[self.geometry.block_of(ppn)] += 1
+        if old is not None and old != ppn:
+            self._drop_ref(old, lpn)
+        self._share_backed.pop(lpn, None)
+        self._trim_tombstones.pop(lpn, None)
+
+    def _drop_ref(self, ppn: int, lpn: int) -> None:
+        if self.rev.drop_ref(ppn, lpn):
+            self._valid_count[self.geometry.block_of(ppn)] -= 1
+
+    # ---------------------------------------------------------------- X-FTL
+
+    def begin_txn(self) -> int:
+        """Open an X-FTL transaction (Section 6.2's baseline): subsequent
+        :meth:`write_txn` pages stay invisible until :meth:`commit_txn`."""
+        txn_id = self._next_seq()
+        self._txn_shadow[txn_id] = {}
+        return txn_id
+
+    def write_txn(self, txn_id: int, lpn: int, data: Any) -> None:
+        """Stage an update-in-place write under a transaction.
+
+        The page is programmed immediately (unstamped, so a crash leaves
+        it invisible) but the forward map keeps pointing at the old
+        version until commit — X-FTL's shadow-paging-in-the-FTL."""
+        shadow = self._txn_shadow.get(txn_id)
+        if shadow is None:
+            raise FtlError(f"unknown transaction: {txn_id}")
+        self._check_lpn_range(lpn)
+        if len(shadow) >= self._records_per_page and lpn not in shadow:
+            raise FtlError(
+                f"transaction exceeds the atomic commit capacity of "
+                f"{self._records_per_page} pages")
+        self._ensure_free_space()
+        ppn = self._alloc_page(for_gc=False)
+        self.nand.program(ppn, data, spare=())
+        old_shadow_ppn = shadow.get(lpn)
+        if old_shadow_ppn is not None:
+            # Restaged within the txn: the earlier shadow copy dies.
+            self._shadow_owner.pop(old_shadow_ppn, None)
+            self._valid_count[self.geometry.block_of(old_shadow_ppn)] -= 1
+        shadow[lpn] = ppn
+        self._shadow_owner[ppn] = (txn_id, lpn)
+        self._valid_count[self.geometry.block_of(ppn)] += 1
+        self.stats.host_page_writes += 1
+
+    def commit_txn(self, txn_id: int) -> None:
+        """Atomically publish every page of the transaction: one
+        mapping-page program is the commit point, as in SHARE."""
+        shadow = self._txn_shadow.pop(txn_id, None)
+        if shadow is None:
+            raise FtlError(f"unknown transaction: {txn_id}")
+        if not shadow:
+            return
+        self._flush_pending_trims()
+        deltas: List[DeltaRecord] = []
+        for lpn, ppn in sorted(shadow.items()):
+            seq = self._next_seq()
+            old = self.fwd.update(lpn, ppn)
+            self._shadow_owner.pop(ppn, None)
+            self.rev.set_primary(ppn, lpn)
+            if old is not None and old != ppn:
+                self._drop_ref(old, lpn)
+            self._share_backed[lpn] = (ppn, seq)
+            self._trim_tombstones.pop(lpn, None)
+            deltas.append(DeltaRecord(KIND_XCOMMIT, lpn, old, ppn, seq))
+        self.maplog.append_atomic(deltas)
+
+    def abort_txn(self, txn_id: int) -> None:
+        """Discard the transaction's shadow pages; old versions remain."""
+        shadow = self._txn_shadow.pop(txn_id, None)
+        if shadow is None:
+            raise FtlError(f"unknown transaction: {txn_id}")
+        for __, ppn in shadow.items():
+            self._shadow_owner.pop(ppn, None)
+            self._valid_count[self.geometry.block_of(ppn)] -= 1
+
+    def txn_read(self, txn_id: int, lpn: int) -> Any:
+        """Writer's view: the shadow copy when staged, else committed."""
+        shadow = self._txn_shadow.get(txn_id)
+        if shadow is None:
+            raise FtlError(f"unknown transaction: {txn_id}")
+        ppn = shadow.get(lpn)
+        if ppn is not None:
+            return self.nand.read(ppn)
+        return self.read(lpn)
+
+    # --------------------------------------------------------- atomic write
+
+    def write_atomic(self, items: Sequence[Tuple[int, Any]]) -> None:
+        """Atomic multi-page write — the Section 6.1 baseline command.
+
+        Programs every page *without* a spare-area stamp, then commits all
+        the new mappings with one mapping-page program (the commit
+        record).  A crash before the commit leaves every LPN at its old
+        mapping, because the unstamped pages are invisible to recovery;
+        after it, at the new mapping.  Unlike SHARE the page set is fixed
+        at write time, and compaction-style remapping is impossible —
+        exactly the flexibility gap the paper describes.
+        """
+        if not items:
+            raise ValueError("empty atomic write")
+        if len(items) > self._records_per_page:
+            raise FtlError(
+                f"atomic write of {len(items)} pages exceeds the commit "
+                f"record capacity of {self._records_per_page}")
+        lpns = [lpn for lpn, __ in items]
+        if len(set(lpns)) != len(lpns):
+            raise FtlError("duplicate LPN in atomic write")
+        for lpn in lpns:
+            self._check_lpn_range(lpn)
+        self._pending_atomic.update(lpns)
+        staged: List[Tuple[int, Optional[int]]] = []
+        try:
+            for lpn, data in items:
+                self._ensure_free_space()
+                ppn = self._alloc_page(for_gc=False)
+                self.faults.checkpoint("ftl.awrite_program")
+                self.nand.program(ppn, data, spare=())
+                old = self.fwd.update(lpn, ppn)
+                self.rev.set_primary(ppn, lpn)
+                self._valid_count[self.geometry.block_of(ppn)] += 1
+                if old is not None and old != ppn:
+                    self._drop_ref(old, lpn)
+                staged.append((lpn, old))
+                self.stats.host_page_writes += 1
+            self._flush_pending_trims()
+            deltas = []
+            for lpn, old in staged:
+                seq = self._next_seq()
+                new_ppn = self.fwd.lookup(lpn)
+                self._share_backed[lpn] = (new_ppn, seq)
+                self._trim_tombstones.pop(lpn, None)
+                deltas.append(DeltaRecord(KIND_AWRITE, lpn, old, new_ppn, seq))
+            self.maplog.append_atomic(deltas)
+        finally:
+            self._pending_atomic.difference_update(lpns)
+
+    # ---------------------------------------------------------------- trim
+
+    def trim(self, lpn: int, count: int = 1) -> None:
+        """Invalidate ``count`` LPNs starting at ``lpn`` (the TRIM command
+        the paper contrasts SHARE with)."""
+        self._check_lpn_range(lpn, count)
+        self.stats.trim_commands += 1
+        for current in range(lpn, lpn + count):
+            old = self.fwd.clear(current)
+            if old is None:
+                continue
+            self._drop_ref(old, current)
+            seq = self._next_seq()
+            self._trim_tombstones[current] = seq
+            self._share_backed.pop(current, None)
+            self._pending_trims.append(
+                DeltaRecord(KIND_TRIM, current, old, None, seq))
+            self.stats.trim_pages += 1
+        if len(self._pending_trims) >= self._records_per_page:
+            self._flush_pending_trims()
+
+    def flush(self) -> None:
+        """Persist pending mapping changes (trim deltas).  Host writes and
+        SHAREs are already durable when their call returns."""
+        self._flush_pending_trims()
+
+    def _flush_pending_trims(self) -> None:
+        if not self._pending_trims:
+            return
+        pending, self._pending_trims = self._pending_trims, []
+        self.maplog.append(pending)
+
+    # --------------------------------------------------------------- share
+
+    def share(self, dst_lpn: int, src_lpn: int, length: int = 1) -> None:
+        """The paper's ``share(LPN1, LPN2, length)`` command."""
+        self.share_batch(expand_range(dst_lpn, src_lpn, length))
+
+    def share_batch(self, pairs: Sequence[SharePair]) -> None:
+        """Atomically remap a batch of (destination, source) LPN pairs.
+
+        Applies Section 4.2.2's protocol: update the DRAM mapping entries,
+        then commit the whole batch's deltas with a single mapping-page
+        program.  A power failure before that program leaves every
+        destination at its old mapping; after it, at the new mapping.
+        """
+        validate_batch(pairs, self._logical_pages, self.max_share_batch)
+        resolved: List[Tuple[int, Optional[int], int]] = []
+        for pair in pairs:
+            src_ppn = self.fwd.lookup(pair.src_lpn)
+            if src_ppn is None:
+                raise ShareError(
+                    f"source LPN {pair.src_lpn} is unmapped; nothing to share")
+            resolved.append((pair.dst_lpn, self.fwd.lookup(pair.dst_lpn), src_ppn))
+        if self.config.share_overflow_policy == "copy":
+            # Reserve DRAM share-table capacity up front; reconciliation
+            # materialises a private copy (a real page program) per entry.
+            for _ in range(len(resolved)):
+                if self.rev.is_full:
+                    self._reconcile_oldest_share()
+        # Persist any pending trims first so the atomic batch page carries
+        # only this command's deltas.
+        self._flush_pending_trims()
+        deltas: List[DeltaRecord] = []
+        for dst_lpn, old_ppn, src_ppn in resolved:
+            seq = self._next_seq()
+            fit_in_dram = self.rev.add_extra(src_ppn, dst_lpn)
+            if not fit_in_dram:
+                # 'log' policy: the entry is resolvable from the mapping
+                # log this very batch persists; only GC pays a lookup.
+                self.stats.share_log_spills += 1
+            self.fwd.update(dst_lpn, src_ppn)
+            if old_ppn is not None and old_ppn != src_ppn:
+                self._drop_ref(old_ppn, dst_lpn)
+            self._share_backed[dst_lpn] = (src_ppn, seq)
+            self._trim_tombstones.pop(dst_lpn, None)
+            deltas.append(DeltaRecord(KIND_SHARE, dst_lpn, old_ppn, src_ppn, seq))
+        self.maplog.append_atomic(deltas)
+        self.stats.share_commands += 1
+        self.stats.share_pairs += len(pairs)
+
+    def _reconcile_oldest_share(self) -> None:
+        """Share table full: materialise a private copy for the oldest
+        extra reference, freeing one table entry."""
+        entry = self.rev.oldest_extra()
+        if entry is None:
+            raise FtlError("share table reported full but holds no extras")
+        ppn, lpn = entry
+        data = self.nand.read(ppn)
+        self._ensure_free_space()
+        seq = self._next_seq()
+        new_ppn = self._alloc_page(for_gc=False)
+        self.nand.program(new_ppn, data, spare=((lpn, seq),))
+        self.fwd.update(lpn, new_ppn)
+        self.rev.set_primary(new_ppn, lpn)
+        self._valid_count[self.geometry.block_of(new_ppn)] += 1
+        self._drop_ref(ppn, lpn)
+        self._share_backed.pop(lpn, None)
+        self.stats.share_spills += 1
+
+    # ------------------------------------------------------------- allocate
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _alloc_page(self, for_gc: bool) -> int:
+        """Next free page of the host or GC active block."""
+        geometry = self.geometry
+        active = self._active_gc if for_gc else self._active_host
+        if active is not None:
+            used = self.nand.programmed_pages_in_block(active)
+            if used < geometry.pages_per_block:
+                return geometry.first_ppn(active) + used
+        if not self._free_blocks:
+            raise OutOfSpaceError("no free blocks available for allocation")
+        block = self._free_blocks.pop(0)
+        if for_gc:
+            self._active_gc = block
+        else:
+            self._active_host = block
+        return geometry.first_ppn(block)
+
+    def _ensure_free_space(self) -> None:
+        """Greedy GC trigger: collect victims while the free pool is at or
+        below the low-water mark."""
+        if self._in_gc:
+            return
+        while len(self._free_blocks) <= self.config.gc_low_water:
+            made_progress = self._collect_victim()
+            if not made_progress:
+                break
+            if len(self._free_blocks) >= self.config.gc_high_water:
+                break
+
+    # ------------------------------------------------------------------ GC
+
+    def idle_gc(self, max_blocks: int = 1,
+                min_invalid_fraction: float = 0.5) -> int:
+        """Background garbage collection, run by the host during idle
+        time: reclaim up to ``max_blocks`` blocks whose invalid fraction
+        is at least ``min_invalid_fraction``, replenishing the free pool
+        before foreground writes would have to stall for it.  Returns the
+        number of blocks reclaimed."""
+        if max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1: {max_blocks}")
+        if not 0.0 < min_invalid_fraction <= 1.0:
+            raise ValueError(
+                f"min_invalid_fraction must be in (0, 1]: "
+                f"{min_invalid_fraction}")
+        reclaimed = 0
+        pages_per_block = self.geometry.pages_per_block
+        for __ in range(max_blocks):
+            candidates = self._gc_candidates()
+            if not candidates:
+                break
+            victim = min(candidates, key=lambda b: (self._valid_count[b], b))
+            programmed = self.nand.programmed_pages_in_block(victim)
+            invalid = programmed - self._valid_count[victim]
+            if programmed < pages_per_block or \
+                    invalid < programmed * min_invalid_fraction:
+                break
+            self._reclaim_block(victim, is_gc_event=True)
+            reclaimed += 1
+        return reclaimed
+
+    def _gc_candidates(self) -> List[int]:
+        active = {self._active_host, self._active_gc}
+        free = set(self._free_blocks)
+        return [b for b in self._data_blocks
+                if b not in active and b not in free
+                and self.nand.programmed_pages_in_block(b) > 0]
+
+    def _collect_victim(self) -> bool:
+        """Collect the block with the fewest valid pages.  Returns False
+        when no reclaimable victim exists.
+
+        With wear leveling on, when the erase-count spread across
+        candidates exceeds the configured threshold, the least-worn block
+        (typically cold, mostly-valid data parked forever under pure
+        greedy GC) is evacuated first so it rejoins the hot rotation —
+        classic static wear leveling, spreading the lifespan benefit
+        Section 5.3.1 attributes to SHARE across all blocks."""
+        candidates = self._gc_candidates()
+        if not candidates:
+            return False
+        if self.config.wear_leveling and len(candidates) > 1:
+            erase_counts = self.nand.erase_counts
+            coldest = min(candidates, key=lambda b: (erase_counts[b], b))
+            spread = max(erase_counts[b] for b in candidates) \
+                - erase_counts[coldest]
+            if spread >= self.config.wear_delta_threshold:
+                self._reclaim_block(coldest, is_gc_event=False)
+                self.stats.wear_level_moves += 1
+                candidates = self._gc_candidates()
+                if not candidates:
+                    return True
+        victim = min(candidates, key=lambda b: (self._valid_count[b], b))
+        programmed = self.nand.programmed_pages_in_block(victim)
+        if self._valid_count[victim] >= programmed and \
+                programmed >= self.geometry.pages_per_block:
+            raise OutOfSpaceError(
+                "all candidate blocks are fully valid — logical space "
+                "overcommitted; write less or raise over-provisioning")
+        self._reclaim_block(victim, is_gc_event=True)
+        return True
+
+    def _reclaim_block(self, block: int, is_gc_event: bool) -> None:
+        """Evacuate valid pages, erase, and return ``block`` to the free
+        pool."""
+        self._in_gc = True
+        try:
+            self._evacuate(block)
+        finally:
+            self._in_gc = False
+        self.nand.erase(block)
+        self.stats.block_erases += 1
+        if is_gc_event:
+            self.stats.gc_events += 1
+        self._valid_count[block] = 0
+        if block == self._active_host:
+            self._active_host = None
+        if block == self._active_gc:
+            self._active_gc = None
+        self._free_blocks.append(block)
+
+    def _evacuate(self, victim: int) -> None:
+        geometry = self.geometry
+        start = geometry.first_ppn(victim)
+        for offset in range(self.nand.programmed_pages_in_block(victim)):
+            ppn = start + offset
+            if ppn in self._shadow_owner:
+                self._move_shadow_page(ppn)
+                continue
+            if not self.rev.is_valid(ppn):
+                continue
+            if self.rev.spilled_refs_of(ppn):
+                # Firmware must re-read the mapping log to learn the
+                # overflowed reverse mappings of this page.
+                self.stats.spill_lookups += 1
+            refs = sorted(self.rev.refs(ppn))
+            data = self.nand.read(ppn)
+            new_ppn = self._alloc_page(for_gc=True)
+            # Pages of an in-flight atomic write stay unstamped so a crash
+            # before their commit record keeps them invisible to recovery.
+            stamps = tuple((lpn, self._next_seq()) for lpn in refs
+                           if lpn not in self._pending_atomic)
+            self.nand.program(new_ppn, data, spare=stamps)
+            self.rev.move_page(ppn, new_ppn, refs[0])
+            self._valid_count[victim] -= 1
+            self._valid_count[geometry.block_of(new_ppn)] += 1
+            stamped = {lpn for lpn, __ in stamps}
+            for lpn in refs:
+                self.fwd.update(lpn, new_ppn)
+                if lpn in stamped:
+                    # The copy's spare stamps the LPN, so the mapping is
+                    # recoverable from OOB again; drop the log backing.
+                    self._share_backed.pop(lpn, None)
+            self.stats.copyback_pages += 1
+
+    def _move_shadow_page(self, ppn: int) -> None:
+        """GC move of an uncommitted X-FTL shadow page: the copy stays
+        unstamped (crash must keep it invisible) and the transaction's
+        table follows the move."""
+        txn_id, lpn = self._shadow_owner.pop(ppn)
+        data = self.nand.read(ppn)
+        new_ppn = self._alloc_page(for_gc=True)
+        self.nand.program(new_ppn, data, spare=())
+        self._txn_shadow[txn_id][lpn] = new_ppn
+        self._shadow_owner[new_ppn] = (txn_id, lpn)
+        self._valid_count[self.geometry.block_of(ppn)] -= 1
+        self._valid_count[self.geometry.block_of(new_ppn)] += 1
+        self.stats.copyback_pages += 1
+
+    # ------------------------------------------------------------ snapshot
+
+    def _snapshot_records(self) -> List[DeltaRecord]:
+        """Live log-backed assertions for map-log checkpointing."""
+        records = [DeltaRecord(KIND_SNAP, lpn, None, ppn, seq)
+                   for lpn, (ppn, seq) in self._share_backed.items()]
+        records.extend(DeltaRecord(KIND_SNAP, lpn, None, None, seq)
+                       for lpn, seq in self._trim_tombstones.items())
+        records.sort(key=lambda record: record.seq)
+        return records
+
+    # ------------------------------------------------------------ recovery
+
+    @classmethod
+    def recover(cls, nand: NandArray, config: Optional[FtlConfig] = None,
+                faults: FaultPlan = NO_FAULTS) -> "PageMappingFtl":
+        """Rebuild the full mapping state from the media after a crash.
+
+        The newest assertion per LPN wins, where assertions come from data
+        pages' spare stamps (normal writes and GC copies) and the mapping
+        log (SHARE, TRIM, checkpoint snapshots).
+        """
+        ftl = cls(nand, config, faults)
+        state = ftl._scan_media()
+        ftl._apply_recovered(state)
+        ftl.maplog.bind_to_end_of_log()
+        return ftl
+
+    def _scan_media(self) -> _RecoveredState:
+        state = _RecoveredState()
+
+        def assert_mapping(lpn: int, seq: int, ppn: Optional[int], source: str) -> None:
+            current = state.winners.get(lpn)
+            if current is None or seq > current[0]:
+                state.winners[lpn] = (seq, ppn, source)
+            state.max_seq = max(state.max_seq, seq)
+
+        for block in self._data_blocks:
+            for ppn, spare in self.nand.scan_block(block):
+                if not isinstance(spare, tuple):
+                    raise FtlError(f"malformed spare at PPN {ppn}: {spare!r}")
+                for lpn, seq in spare:
+                    assert_mapping(lpn, seq, ppn, "oob")
+        for record in MapLog.scan(self.nand, self.geometry, self._map_blocks):
+            source = record.kind
+            assert_mapping(record.lpn, record.seq, record.new_ppn, source)
+        return state
+
+    def _apply_recovered(self, state: _RecoveredState) -> None:
+        rev_entries: List[Tuple[int, int, bool]] = []
+        by_ppn: Dict[int, List[int]] = {}
+        for lpn, (seq, ppn, source) in sorted(state.winners.items()):
+            if ppn is None:
+                self._trim_tombstones[lpn] = seq
+                continue
+            if not self.nand.is_programmed(ppn):
+                # Defensive: a stale assertion into an erased block loses.
+                self._trim_tombstones[lpn] = seq
+                continue
+            if lpn >= self._logical_pages:
+                raise FtlError(f"recovered LPN {lpn} outside logical space")
+            self.fwd.update(lpn, ppn)
+            by_ppn.setdefault(ppn, []).append(lpn)
+            if source in (KIND_SHARE, KIND_SNAP, KIND_AWRITE, KIND_XCOMMIT):
+                self._share_backed[lpn] = (ppn, seq)
+        for ppn, lpns in by_ppn.items():
+            stamped = set()
+            spare = self.nand.read_spare(ppn)
+            if isinstance(spare, tuple):
+                stamped = {entry[0] for entry in spare}
+            primary_candidates = [lpn for lpn in lpns if lpn in stamped]
+            primary = primary_candidates[0] if primary_candidates else lpns[0]
+            for lpn in lpns:
+                rev_entries.append((ppn, lpn, lpn == primary))
+        self.rev.rebuild(rev_entries)
+        for ppn, lpns in by_ppn.items():
+            self._valid_count[self.geometry.block_of(ppn)] += 1
+        self._free_blocks = [
+            block for block in self._data_blocks
+            if self.nand.programmed_pages_in_block(block) == 0]
+        partial = [block for block in self._data_blocks
+                   if 0 < self.nand.programmed_pages_in_block(block)
+                   < self.geometry.pages_per_block]
+        self._active_host = partial[0] if partial else None
+        self._active_gc = partial[1] if len(partial) > 1 else None
+        self._seq = state.max_seq + 1
+
+    # --------------------------------------------------------------- debug
+
+    def check_invariants(self) -> None:
+        """Expensive consistency check used by tests: the reverse map must
+        mirror the forward map exactly and valid counts must agree."""
+        expected_refs: Dict[int, set] = {}
+        for lpn, ppn in self.fwd.mapped_lpns():
+            expected_refs.setdefault(ppn, set()).add(lpn)
+        for ppn, lpns in expected_refs.items():
+            if self.rev.refs(ppn) != lpns:
+                raise AssertionError(
+                    f"reverse map mismatch at PPN {ppn}: "
+                    f"{self.rev.refs(ppn)} != {lpns}")
+        valid_by_block: Dict[int, int] = {b: 0 for b in self._data_blocks}
+        for ppn in expected_refs:
+            valid_by_block[self.geometry.block_of(ppn)] += 1
+        for block in self._data_blocks:
+            if self._valid_count[block] != valid_by_block[block]:
+                raise AssertionError(
+                    f"valid count mismatch at block {block}: "
+                    f"{self._valid_count[block]} != {valid_by_block[block]}")

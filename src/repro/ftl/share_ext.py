@@ -1,0 +1,90 @@
+"""SHARE command semantics: pairs, ranged expansion, batch validation.
+
+``share(LPN1, LPN2, length)`` (Section 3.2): LPN1 is the *destination* —
+after the command it maps to the physical page currently backing LPN2, the
+*source*.  ``length`` expands the command over consecutive LPNs and must
+not make the two ranges overlap.  A batch of pairs commits atomically as
+long as its delta records fit one mapping page (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ShareError
+
+#: Sentinel for validate_batch callers that do not enforce a batch limit.
+MAX_BATCH_UNLIMITED = -1
+
+
+@dataclass(frozen=True)
+class SharePair:
+    """One remap: ``dst_lpn`` will point at the physical page of
+    ``src_lpn``."""
+
+    dst_lpn: int
+    src_lpn: int
+
+    def __post_init__(self) -> None:
+        if self.dst_lpn < 0:
+            raise ShareError(f"negative destination LPN: {self.dst_lpn}")
+        if self.src_lpn < 0:
+            raise ShareError(f"negative source LPN: {self.src_lpn}")
+        if self.dst_lpn == self.src_lpn:
+            raise ShareError(
+                f"destination and source LPN are identical: {self.dst_lpn}")
+
+
+def expand_range(dst_lpn: int, src_lpn: int, length: int) -> List[SharePair]:
+    """Expand ``share(dst, src, length)`` into per-page pairs.
+
+    Enforces the paper's rule: "the range between LPN1 and LPN1+length
+    cannot be overlapped with the range between LPN2 and LPN2+length".
+    """
+    if length < 1:
+        raise ShareError(f"length must be >= 1: {length}")
+    dst_end = dst_lpn + length
+    src_end = src_lpn + length
+    if dst_lpn < src_end and src_lpn < dst_end:
+        raise ShareError(
+            f"ranges overlap: dst [{dst_lpn}, {dst_end}) vs "
+            f"src [{src_lpn}, {src_end})")
+    return [SharePair(dst_lpn + i, src_lpn + i) for i in range(length)]
+
+
+def validate_batch(pairs: Sequence[SharePair], logical_pages: int,
+                   max_batch: int) -> None:
+    """Reject malformed batches before any state changes.
+
+    Rules:
+    * non-empty, within the logical address space,
+    * no duplicate destination (two remaps of one LPN in one atomic batch
+      are ambiguous),
+    * no destination that is also a source (the batch applies as a snapshot
+      of the pre-command mapping, so chaining inside one batch is
+      ill-defined and rejected, mirroring the ranged-overlap rule),
+    * at most ``max_batch`` pairs so the delta fits one mapping page.
+    """
+    if not pairs:
+        raise ShareError("empty SHARE batch")
+    if max_batch != MAX_BATCH_UNLIMITED and len(pairs) > max_batch:
+        raise ShareError(
+            f"SHARE batch of {len(pairs)} pairs exceeds the atomic limit of "
+            f"{max_batch} (one mapping page of deltas)")
+    destinations = set()
+    sources = set()
+    for pair in pairs:
+        for lpn in (pair.dst_lpn, pair.src_lpn):
+            if lpn >= logical_pages:
+                raise ShareError(
+                    f"LPN {lpn} outside logical space [0, {logical_pages})")
+        if pair.dst_lpn in destinations:
+            raise ShareError(f"duplicate destination LPN in batch: {pair.dst_lpn}")
+        destinations.add(pair.dst_lpn)
+        sources.add(pair.src_lpn)
+    chained = destinations & sources
+    if chained:
+        raise ShareError(
+            f"LPNs appear as both destination and source in one batch: "
+            f"{sorted(chained)[:8]}")

@@ -1,0 +1,7 @@
+"""Host storage stack: extent-based filesystem and the share ioctl path."""
+
+from repro.host.file import File
+from repro.host.filesystem import FsConfig, HostFs
+from repro.host.ioctl import share_file_ranges, share_ioctl
+
+__all__ = ["File", "FsConfig", "HostFs", "share_file_ranges", "share_ioctl"]

@@ -1,0 +1,156 @@
+"""Full (data=journal) filesystem journaling, with and without SHARE.
+
+Section 6.3 relates SHARE to JFTL: under ext4's ``data=journal`` mode
+every data page is written twice — once into the journal, once at its
+home location during checkpoint — and JFTL showed the second write can be
+replaced by a remap inside the FTL.  SHARE expresses the same
+optimisation through a public interface: the journal *is* the staged
+copy, and checkpointing becomes a SHARE batch.
+
+``DataJournalingFs`` wraps a :class:`HostFs` with transactional
+journaled writes:
+
+* ``CLASSIC`` checkpoint — copy each journaled page to its home block,
+* ``SHARE`` checkpoint — remap each home block onto its journal copy.
+
+Checkpoints run when the journal fills (or explicitly), exactly like the
+kernel's journal-space-driven checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FileSystemError
+from repro.host.file import File
+from repro.host.filesystem import HostFs
+from repro.host.ioctl import share_file_ranges
+
+
+class CheckpointMode(Enum):
+    """How journaled pages reach their home locations."""
+
+    CLASSIC = "classic"
+    SHARE = "share"
+
+
+@dataclass
+class JournalStats:
+    """Write accounting for the JFTL comparison."""
+
+    transactions: int = 0
+    journaled_pages: int = 0
+    journal_block_writes: int = 0
+    checkpoint_writes: int = 0
+    checkpoint_share_pairs: int = 0
+    checkpoints: int = 0
+
+
+class DataJournalingFs:
+    """data=journal semantics over a HostFs."""
+
+    def __init__(self, fs: HostFs, mode: CheckpointMode,
+                 journal_blocks: int = 256) -> None:
+        if journal_blocks < 8:
+            raise ValueError(
+                f"data journal needs >= 8 blocks: {journal_blocks}")
+        self.fs = fs
+        self.mode = mode
+        self.journal = fs.create("/.datajournal")
+        self.journal.fallocate(journal_blocks)
+        self.journal_blocks = journal_blocks
+        self._cursor = 0
+        self._txn: Optional[List[Tuple[File, int, Any]]] = None
+        # Journal entries awaiting checkpoint: (file, home block) -> the
+        # journal block holding the newest copy.
+        self._unckpt: Dict[Tuple[int, int], Tuple[File, int, int]] = {}
+        self.stats = JournalStats()
+
+    # -------------------------------------------------------------- write
+
+    def begin(self) -> None:
+        if self._txn is not None:
+            raise FileSystemError("journal transaction already open")
+        self._txn = []
+
+    def journaled_write(self, file: File, block: int, data: Any) -> None:
+        """Stage one page write into the open transaction."""
+        if self._txn is None:
+            raise FileSystemError("journaled write outside a transaction")
+        self._txn.append((file, block, data))
+
+    def commit(self) -> None:
+        """Write the transaction's pages + commit record to the journal
+        (the durability point), deferring home-location propagation to
+        the next checkpoint."""
+        if self._txn is None:
+            raise FileSystemError("no journal transaction to commit")
+        txn, self._txn = self._txn, None
+        if not txn:
+            return
+        needed = len(txn) + 1  # data blocks + commit record
+        if needed > self.journal_blocks:
+            raise FileSystemError(
+                f"transaction of {len(txn)} pages exceeds the journal")
+        if self._cursor + needed > self.journal_blocks:
+            self.checkpoint()
+        # Journal data blocks hold the RAW page images — that is what
+        # makes the SHARE checkpoint possible: remapping a home block
+        # onto a journal block must expose the page content itself.  The
+        # descriptor (which home block each image belongs to) rides in
+        # the commit record, as in ext4's descriptor blocks.
+        records: List[Any] = [data for __, __, data in txn]
+        records.append(("jcommit",
+                        tuple((file.path, block) for file, block, __ in txn)))
+        self.journal.pwrite_blocks(self._cursor, records)
+        self.journal.fsync()
+        for offset, (file, block, data) in enumerate(txn):
+            self._unckpt[(id(file), block)] = (file, block,
+                                               self._cursor + offset)
+        self._cursor += needed
+        self.stats.transactions += 1
+        self.stats.journaled_pages += len(txn)
+        self.stats.journal_block_writes += needed
+
+    # ------------------------------------------------------------- reads
+
+    def read(self, file: File, block: int) -> Any:
+        """Read through the journal: the newest un-checkpointed copy wins."""
+        entry = self._unckpt.get((id(file), block))
+        if entry is not None:
+            return self.journal.pread_block(entry[2])
+        return file.pread_block(block)
+
+    # --------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> None:
+        """Propagate every journaled page to its home location and free
+        the journal space."""
+        if self._unckpt:
+            if self.mode is CheckpointMode.CLASSIC:
+                self._checkpoint_classic()
+            else:
+                self._checkpoint_share()
+        self._unckpt.clear()
+        self._cursor = 0
+        self.stats.checkpoints += 1
+
+    def _checkpoint_classic(self) -> None:
+        """ext4's way: read each journal copy, write it home."""
+        for file, block, journal_block in self._unckpt.values():
+            image = self.journal.pread_block(journal_block)
+            file.pwrite_block(block, image)
+            self.stats.checkpoint_writes += 1
+        self.fs.ssd.flush()
+
+    def _checkpoint_share(self) -> None:
+        """The JFTL/SHARE way: remap home blocks onto journal copies."""
+        by_file: Dict[int, Tuple[File, List[Tuple[int, int, int]]]] = {}
+        for file, block, journal_block in self._unckpt.values():
+            entry = by_file.setdefault(id(file), (file, []))
+            entry[1].append((block, journal_block, 1))
+        for file, ranges in by_file.values():
+            share_file_ranges(file, self.journal, ranges)
+            self.stats.checkpoint_share_pairs += len(ranges)

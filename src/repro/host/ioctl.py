@@ -1,0 +1,86 @@
+"""The share ioctl: file-level entry point of the SHARE command.
+
+Applications address file blocks; the filesystem resolves them to device
+LPNs and forwards batches of :class:`SharePair` to the device, exactly the
+ioctl plumbing of Section 4 ("a user-level library that implements a
+protocol for the new commands via the ioctl system call").
+
+Batches larger than the device's atomic limit are split: each sub-batch is
+atomic on its own, and the helpers return the number of device commands so
+callers can reason about (and the stats can count) the round trips that
+Section 3.2's batching argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import IoctlError
+from repro.ftl.share_ext import SharePair
+from repro.host.file import File
+
+
+def share_ioctl(dst_file: File, dst_block: int, src_file: File,
+                src_block: int, length: int = 1) -> int:
+    """Remap ``length`` blocks of ``dst_file`` (starting at ``dst_block``)
+    onto the physical pages of ``src_file``'s blocks.
+
+    Returns the number of SHARE commands issued to the device.
+    """
+    if length < 1:
+        raise IoctlError(f"length must be >= 1: {length}")
+    if dst_file.fs is not src_file.fs:
+        raise IoctlError("share across filesystems is impossible")
+    pairs = [(dst_file.block_lpn(dst_block + i),
+              src_file.block_lpn(src_block + i))
+             for i in range(length)]
+    return _issue(dst_file, pairs)
+
+
+def share_file_ranges(dst_file: File, src_file: File,
+                      ranges: Sequence[Tuple[int, int, int]]) -> int:
+    """Batch form: each range is (dst_block, src_block, length).
+
+    Used by the SHARE-based Couchbase compaction, which shares every valid
+    document of the old file into the new file with as few round trips as
+    possible.  Returns the number of device commands issued.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for dst_block, src_block, length in ranges:
+        if length < 1:
+            raise IoctlError(f"length must be >= 1: {length}")
+        pairs.extend((dst_file.block_lpn(dst_block + i),
+                      src_file.block_lpn(src_block + i))
+                     for i in range(length))
+    if not pairs:
+        raise IoctlError("no ranges to share")
+    return _issue(dst_file, pairs)
+
+
+def atomic_write_ioctl(file: File, items: Sequence[Tuple[int, object]]) -> int:
+    """Atomic multi-page write through the file layer: each item is
+    (file block index, page image).  Used by the atomic-write baseline
+    mode (Section 6.1); returns the number of device commands issued."""
+    if not items:
+        raise IoctlError("no pages to write atomically")
+    ssd = file.fs.ssd
+    limit = ssd.max_share_batch
+    resolved = [(file.block_lpn(block), data) for block, data in items]
+    commands = 0
+    for start in range(0, len(resolved), limit):
+        ssd.write_atomic(resolved[start:start + limit])
+        commands += 1
+    return commands
+
+
+def _issue(any_file: File, lpn_pairs: Sequence[Tuple[int, int]]) -> int:
+    ssd = any_file.fs.ssd
+    if not ssd.supports_share:
+        raise IoctlError("device does not support the SHARE command")
+    limit = ssd.max_share_batch
+    commands = 0
+    for start in range(0, len(lpn_pairs), limit):
+        chunk = lpn_pairs[start:start + limit]
+        ssd.share_batch([SharePair(dst, src) for dst, src in chunk])
+        commands += 1
+    return commands

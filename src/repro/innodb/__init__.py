@@ -1,0 +1,32 @@
+"""InnoDB-like storage engine.
+
+Implements the flush pipeline the paper's MySQL experiments exercise: an
+LRU buffer pool, a redo log on a separate log device, and three page-flush
+modes —
+
+* ``DWB_ON``   — the default doublewrite: batch to the doublewrite buffer,
+  fsync, then write each page at its home location (two writes per page),
+* ``DWB_OFF``  — write home locations directly (fast but torn-page unsafe),
+* ``SHARE``    — batch to the doublewrite buffer, fsync, then one SHARE
+  batch remapping home LPNs onto the staged copies (Section 4.3).
+"""
+
+from repro.innodb.buffer_pool import BufferPool, Frame
+from repro.innodb.btree import BTree
+from repro.innodb.doublewrite import DoublewriteBuffer
+from repro.innodb.engine import FlushMode, InnoDBConfig, InnoDBEngine
+from repro.innodb.page import Page, torn_copy
+from repro.innodb.redo import RedoLog
+
+__all__ = [
+    "BufferPool",
+    "Frame",
+    "BTree",
+    "DoublewriteBuffer",
+    "FlushMode",
+    "InnoDBConfig",
+    "InnoDBEngine",
+    "Page",
+    "torn_copy",
+    "RedoLog",
+]

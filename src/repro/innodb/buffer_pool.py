@@ -1,0 +1,165 @@
+"""LRU buffer pool.
+
+Pages live in frames; a miss reads from the tablespace file, an eviction
+of a dirty victim triggers a flush batch through the engine's doublewrite
+pipeline (the callback the engine installs).  The paper's
+``buffer_flush_neighbors = off`` behaviour is the default and only mode:
+each flush batch contains exactly the dirty pages chosen from the LRU tail,
+never their neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import EngineError
+from repro.innodb.page import Page
+
+
+@dataclass
+class Frame:
+    """One buffer-pool slot."""
+
+    page: Page
+    dirty: bool = False
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages keyed by page id.
+
+    ``fetch`` is the only read path; ``put`` installs or updates a page
+    and marks it dirty.  When the pool is full, the least-recently-used
+    frames are evicted; dirty victims are handed to ``flush_callback`` in
+    batches so the engine can push them through the mode-specific flush
+    pipeline before they are dropped.
+    """
+
+    def __init__(self, capacity_pages: int,
+                 read_page: Callable[[int], Page],
+                 flush_callback: Callable[[List[Page]], None],
+                 flush_batch_pages: int = 64) -> None:
+        if capacity_pages < 8:
+            raise ValueError(
+                f"buffer pool needs at least 8 pages: {capacity_pages}")
+        if flush_batch_pages < 1:
+            raise ValueError(
+                f"flush batch must be >= 1 page: {flush_batch_pages}")
+        self.capacity_pages = capacity_pages
+        self.flush_batch_pages = flush_batch_pages
+        self._read_page = read_page
+        self._flush = flush_callback
+        self._frames: "OrderedDict[int, Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, reading it from storage on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.hits += 1
+            return frame.page
+        self.misses += 1
+        page = self._read_page(page_id)
+        if page.page_id != page_id:
+            raise EngineError(
+                f"storage returned page {page.page_id} for id {page_id}")
+        self._install(page_id, Frame(page))
+        return page
+
+    def put(self, page: Page) -> None:
+        """Install a (new or modified) page and mark it dirty."""
+        frame = self._frames.get(page.page_id)
+        if frame is not None:
+            frame.page = page
+            frame.dirty = True
+            self._frames.move_to_end(page.page_id)
+            return
+        self._install(page.page_id, Frame(page, dirty=True))
+
+    def _install(self, page_id: int, frame: Frame) -> None:
+        self._make_room()
+        self._frames[page_id] = frame
+
+    # ------------------------------------------------------------ eviction
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity_pages:
+            self._evict_tail()
+
+    def _evict_tail(self) -> None:
+        """Drop the LRU victim; if it is dirty, flush a batch of dirty
+        pages from the cold end first so the write happens in
+        doublewrite-sized groups (as InnoDB's page cleaner does)."""
+        victim_id = next(iter(self._frames))
+        victim = self._frames[victim_id]
+        if victim.dirty:
+            self._flush_cold_batch()
+        self._frames.pop(victim_id, None)
+        self.evictions += 1
+
+    def _flush_cold_batch(self) -> None:
+        batch: List[Page] = []
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                batch.append(frame.page)
+                if len(batch) >= self.flush_batch_pages:
+                    break
+        if not batch:
+            return
+        self._flush(batch)
+        for page in batch:
+            frame = self._frames.get(page.page_id)
+            if frame is not None and frame.page is page:
+                frame.dirty = False
+
+    # ------------------------------------------------------------ flushing
+
+    def flush_some(self, max_pages: Optional[int] = None) -> int:
+        """Adaptive-flushing entry point: flush up to ``max_pages`` dirty
+        pages from the cold end; returns how many were flushed."""
+        limit = max_pages if max_pages is not None else self.flush_batch_pages
+        batch: List[Page] = []
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                batch.append(frame.page)
+                if len(batch) >= limit:
+                    break
+        if not batch:
+            return 0
+        self._flush(batch)
+        for page in batch:
+            frame = self._frames.get(page.page_id)
+            if frame is not None and frame.page is page:
+                frame.dirty = False
+        return len(batch)
+
+    def flush_all(self) -> int:
+        """Checkpoint: flush every dirty page (in batches)."""
+        total = 0
+        while True:
+            flushed = self.flush_some(self.flush_batch_pages)
+            if flushed == 0:
+                return total
+            total += flushed
+
+    def drop_clean(self) -> None:
+        """Drop every clean frame (used by tests to force re-reads)."""
+        clean = [pid for pid, frame in self._frames.items() if not frame.dirty]
+        for pid in clean:
+            del self._frames[pid]

@@ -1,0 +1,263 @@
+"""The InnoDB-like engine: tables, transactions, flush modes.
+
+Layout of the system tablespace file (block indices = page ids):
+
+* block 0 — catalog page (table name -> root page id, next allocation),
+* blocks 1 .. dwb_pages — the doublewrite area,
+* everything after — table pages, allocated by a bump allocator.
+
+The engine drives exactly the pipeline the paper measures: transactions
+append redo records to a log on a *separate* device and group-commit;
+dirty pages leave the LRU buffer pool in batches through the
+mode-specific doublewrite pipeline; adaptive flushing keeps the dirty
+fraction bounded so flushing happens continuously in steady state rather
+than in checkpoint bursts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import EngineError
+from repro.host.filesystem import FsConfig, HostFs
+from repro.innodb.btree import BTree
+from repro.innodb.buffer_pool import BufferPool
+from repro.innodb.doublewrite import DoublewriteBuffer
+from repro.innodb.page import Page
+from repro.innodb.redo import RedoLog
+from repro.sim.faults import NO_FAULTS, FaultPlan
+from repro.ssd.device import Ssd
+
+CATALOG_PAGE_ID = 0
+
+
+class FlushMode(Enum):
+    """The three configurations of Section 5.3.1, plus the related-work
+    atomic-write FTL baseline (Section 6.1) for comparison."""
+
+    DWB_ON = "dwb_on"
+    DWB_OFF = "dwb_off"
+    SHARE = "share"
+    ATOMIC_WRITE = "atomic_write"
+
+
+@dataclass(frozen=True)
+class InnoDBConfig:
+    """Engine tunables.
+
+    ``buffer_pool_pages`` plays the role of the paper's 50–150 MB buffer
+    pool (divide by the page size to compare).  ``dirty_flush_threshold``
+    triggers adaptive flushing: when the dirty fraction of the pool
+    exceeds it, each commit flushes one batch.
+    """
+
+    buffer_pool_pages: int = 1024
+    flush_batch_pages: int = 64
+    dwb_pages: int = 128
+    leaf_capacity: int = 32
+    internal_fanout: int = 64
+    dirty_flush_threshold: float = 0.5
+    file_grow_chunk: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.flush_batch_pages > self.dwb_pages:
+            raise ValueError("flush batch cannot exceed the doublewrite area")
+        if not 0.0 < self.dirty_flush_threshold <= 1.0:
+            raise ValueError(
+                f"dirty_flush_threshold must be in (0, 1]: "
+                f"{self.dirty_flush_threshold}")
+
+
+class InnoDBEngine:
+    """MySQL/InnoDB stand-in with pluggable page-flush mode."""
+
+    def __init__(self, mode: FlushMode, data_ssd: Ssd, log_ssd: Ssd,
+                 config: Optional[InnoDBConfig] = None,
+                 faults: FaultPlan = NO_FAULTS) -> None:
+        self.mode = mode
+        self.config = config or InnoDBConfig()
+        self.faults = faults
+        self.data_ssd = data_ssd
+        self.fs = HostFs(data_ssd, FsConfig())
+        self.tablespace = self.fs.create("/ibdata")
+        self.tablespace.fallocate(1 + self.config.dwb_pages
+                                  + self.config.file_grow_chunk)
+        self.dwb = DoublewriteBuffer(self.tablespace, first_block=1,
+                                     size_pages=self.config.dwb_pages,
+                                     faults=faults)
+        self.redo = RedoLog(log_ssd)
+        self.pool = BufferPool(
+            capacity_pages=self.config.buffer_pool_pages,
+            read_page=self._read_page_from_disk,
+            flush_callback=self._flush_batch,
+            flush_batch_pages=self.config.flush_batch_pages)
+        self._next_page_id = 1 + self.config.dwb_pages
+        self.tables: Dict[str, BTree] = {}
+        self._in_transaction = False
+        self.transactions = 0
+        self.flush_batches = 0
+
+    # ----------------------------------------------------------- page I/O
+
+    def _read_page_from_disk(self, page_id: int) -> Page:
+        page = self.tablespace.pread_block(page_id)
+        if not isinstance(page, Page):
+            raise EngineError(
+                f"block {page_id} does not hold a page image: {page!r}")
+        return page
+
+    def _write_page(self, page: Page) -> None:
+        self.pool.put(page)
+
+    def _allocate_page(self) -> int:
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        if page_id >= self.tablespace.block_count:
+            self.tablespace.fallocate(
+                self.tablespace.block_count + self.config.file_grow_chunk)
+        return page_id
+
+    def _flush_batch(self, pages: List[Page]) -> None:
+        """Route one dirty batch through the mode's pipeline."""
+        if self.mode is FlushMode.DWB_ON:
+            self.dwb.flush_dwb_on(pages)
+        elif self.mode is FlushMode.DWB_OFF:
+            self.dwb.flush_dwb_off(pages)
+        elif self.mode is FlushMode.ATOMIC_WRITE:
+            # Section 6.1 baseline: the device's atomic-write command
+            # replaces the doublewrite buffer entirely (Ouyang et al.).
+            from repro.host.ioctl import atomic_write_ioctl
+            atomic_write_ioctl(self.tablespace,
+                               [(page.page_id, page) for page in pages])
+        else:
+            self.dwb.flush_share(pages)
+        self.flush_batches += 1
+
+    # ------------------------------------------------------------- tables
+
+    def create_table(self, name: str) -> BTree:
+        if name in self.tables:
+            raise EngineError(f"table exists: {name}")
+        tree = BTree(name,
+                     fetch=self.pool.fetch,
+                     write=self._write_page,
+                     allocate=self._allocate_page,
+                     next_lsn=lambda: self.redo.next_lsn,
+                     leaf_capacity=self.config.leaf_capacity,
+                     internal_fanout=self.config.internal_fanout)
+        self.tables[name] = tree
+        return tree
+
+    def table(self, name: str) -> BTree:
+        tree = self.tables.get(name)
+        if tree is None:
+            raise EngineError(f"no such table: {name}")
+        return tree
+
+    # ------------------------------------------------------- transactions
+
+    @contextmanager
+    def transaction(self) -> Iterator["Transaction"]:
+        """One transaction: logical ops are applied to the trees and
+        logged; commit group-commits the redo log, then adaptive flushing
+        may push one dirty batch.
+
+        An exception inside the block aborts the transaction: the undo
+        records collected per operation are applied in reverse (InnoDB's
+        rollback), and the buffered redo records are discarded before
+        they ever reach the log device.
+        """
+        if self._in_transaction:
+            raise EngineError("nested transactions are not supported")
+        self._in_transaction = True
+        txn = Transaction(self)
+        try:
+            yield txn
+        except BaseException:
+            txn._rollback()
+            self._in_transaction = False
+            raise
+        self._in_transaction = False
+        self.redo.commit()
+        self.transactions += 1
+        self._adaptive_flush()
+
+    def _adaptive_flush(self) -> None:
+        threshold = self.config.dirty_flush_threshold
+        if self.pool.dirty_count > self.pool.capacity_pages * threshold:
+            self.pool.flush_some(self.config.flush_batch_pages)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def checkpoint(self) -> None:
+        """Flush every dirty page and persist the catalog."""
+        self.pool.flush_all()
+        catalog = {name: tree.root_page_id for name, tree in self.tables.items()}
+        payload = ("catalog", tuple(sorted(catalog.items())), self._next_page_id)
+        self.tablespace.pwrite_block(
+            CATALOG_PAGE_ID,
+            Page(CATALOG_PAGE_ID, self.redo.next_lsn, payload))
+        self.tablespace.fsync()
+
+    def shutdown(self) -> None:
+        """Clean shutdown: checkpoint then final log commit."""
+        self.redo.commit()
+        self.checkpoint()
+
+
+class Transaction:
+    """Handle exposing logical operations inside a transaction scope.
+
+    Reads go straight to the trees; writes are applied to the trees (the
+    buffer pool holds the dirty pages) *and* appended to the redo log so
+    recovery can replay them.  Each write also records its logical
+    inverse so an abort can roll the trees back (InnoDB's undo).
+    Durability of the logical operations comes from the log commit; the
+    flush pipeline only controls how page images reach their home
+    locations.
+    """
+
+    def __init__(self, engine: InnoDBEngine) -> None:
+        self._engine = engine
+        self._undo: List = []
+        self._redo_mark = len(engine.redo._pending)
+
+    # Reads -----------------------------------------------------------------
+
+    def get(self, table: str, key: Any) -> Optional[Any]:
+        return self._engine.table(table).get(key)
+
+    def range(self, table: str, low: Any, high: Any,
+              limit: Optional[int] = None) -> List:
+        return list(self._engine.table(table).range(low, high, limit))
+
+    # Writes ----------------------------------------------------------------
+
+    def put(self, table: str, key: Any, row: Any) -> bool:
+        tree = self._engine.table(table)
+        self._undo.append((table, key, tree.get(key)))
+        self._engine.redo.append(("put", table, key, row))
+        return tree.put(key, row)
+
+    def delete(self, table: str, key: Any) -> bool:
+        tree = self._engine.table(table)
+        self._undo.append((table, key, tree.get(key)))
+        self._engine.redo.append(("delete", table, key))
+        return tree.delete(key)
+
+    # Abort -----------------------------------------------------------------
+
+    def _rollback(self) -> None:
+        """Apply undo records newest-first and drop the un-committed redo
+        tail (it never reached the log device)."""
+        for table, key, old_row in reversed(self._undo):
+            tree = self._engine.table(table)
+            if old_row is None:
+                tree.delete(key)
+            else:
+                tree.put(key, old_row)
+        self._undo.clear()
+        del self._engine.redo._pending[self._redo_mark:]

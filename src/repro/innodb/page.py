@@ -1,0 +1,44 @@
+"""Database page images.
+
+A :class:`Page` is what the engine stores in a device page: the page id,
+the LSN of the last modification, an opaque payload (the B+tree node
+content), and a checksum.  The checksum is what detects torn writes — a
+crash in the middle of an in-place page write leaves a mix of old and new
+sectors on media, which :func:`torn_copy` models explicitly so recovery
+tests can produce the exact failure Section 2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+_TORN_MARK = "<torn>"
+
+
+@dataclass(frozen=True)
+class Page:
+    """One page image.
+
+    ``payload`` is treated as opaque, immutable data; the engine always
+    builds a fresh Page when a node changes, so device pages never alias
+    mutable host state.
+    """
+
+    page_id: int
+    lsn: int
+    payload: Any
+    checksum_ok: bool = True
+
+    def is_torn(self) -> bool:
+        """True when the checksum does not match — a torn write."""
+        return not self.checksum_ok
+
+    def with_payload(self, payload: Any, lsn: int) -> "Page":
+        return Page(self.page_id, lsn, payload)
+
+
+def torn_copy(page: Page) -> Page:
+    """The on-media result of a page write interrupted by power loss: a
+    detectably corrupt image (mixed old/new sectors fail the checksum)."""
+    return Page(page.page_id, page.lsn, _TORN_MARK, checksum_ok=False)

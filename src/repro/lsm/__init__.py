@@ -1,0 +1,29 @@
+"""LSM-tree storage engine with SHARE-assisted compaction.
+
+Section 2.2 of the paper points out that LSM-based stores (BigTable,
+Cassandra, MongoDB/WiredTiger's LSM mode) share Couchbase's problem: the
+merge compaction rewrites large volumes of data that did not change.
+This package implements a two-level LSM store (memtable + L0 runs + one
+L1 run per store) with a write-ahead log, and two compaction modes:
+
+* ``COPY``  — the classic merge: every surviving entry is re-written.
+* ``SHARE`` — data blocks whose entries all survive the merge unchanged
+  are remapped into the output run with the SHARE command instead of
+  being copied; only blocks whose content actually changes are written.
+  Under skewed updates most of the cold key space moves for free.
+"""
+
+from repro.lsm.compaction import CompactionMode, LsmCompactionResult
+from repro.lsm.memtable import Memtable
+from repro.lsm.sstable import SSTable, TOMBSTONE
+from repro.lsm.store import LsmConfig, LsmStore
+
+__all__ = [
+    "CompactionMode",
+    "LsmCompactionResult",
+    "Memtable",
+    "SSTable",
+    "TOMBSTONE",
+    "LsmConfig",
+    "LsmStore",
+]

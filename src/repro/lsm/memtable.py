@@ -1,0 +1,37 @@
+"""The in-memory write buffer of the LSM store."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.lsm.sstable import TOMBSTONE
+
+
+class Memtable:
+    """Mutable key-value buffer; deletes are tombstones so they shadow
+    older on-disk versions until compaction drops them."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The buffered value, TOMBSTONE, or None when absent."""
+        return self._entries.get(key)
+
+    def sorted_items(self) -> List[Tuple[Any, Any]]:
+        return sorted(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self.sorted_items())

@@ -1,0 +1,253 @@
+"""The LSM store: memtable + WAL + L0 runs + one bottom (L1) run.
+
+Writes buffer in the memtable and append to a write-ahead log (durable at
+:meth:`commit`); a full memtable flushes to a fresh L0 SSTable; when L0
+accumulates ``l0_limit`` runs they merge — together with the current L1
+run — into a new L1 via :func:`repro.lsm.compaction.merge_compact`, in
+either COPY or SHARE mode.  A single-block manifest records the live file
+set so :meth:`reopen` can recover after a crash (manifest rewrite is a
+single page write, atomic on the simulated device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import EngineError
+from repro.host.filesystem import HostFs
+from repro.lsm.compaction import (
+    CompactionMode,
+    LsmCompactionResult,
+    merge_compact,
+)
+from repro.lsm.memtable import Memtable
+from repro.lsm.sstable import TOMBSTONE, SSTable
+from repro.sim.clock import SimClock
+
+_MANIFEST_TAG = "lsm-manifest"
+_WAL_TAG = "lsm-wal"
+
+
+@dataclass(frozen=True)
+class LsmConfig:
+    """Store shape."""
+
+    memtable_limit: int = 512
+    l0_limit: int = 4
+    block_capacity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.memtable_limit < 1:
+            raise ValueError(f"memtable_limit must be >= 1: {self.memtable_limit}")
+        if self.l0_limit < 1:
+            raise ValueError(f"l0_limit must be >= 1: {self.l0_limit}")
+        if self.block_capacity < 1:
+            raise ValueError(f"block_capacity must be >= 1: {self.block_capacity}")
+
+
+@dataclass
+class LsmStats:
+    flushes: int = 0
+    compactions: int = 0
+    wal_pages: int = 0
+    compaction_results: List[LsmCompactionResult] = field(default_factory=list)
+
+
+class LsmStore:
+    """A two-level LSM key-value store."""
+
+    def __init__(self, fs: HostFs, name: str, mode: CompactionMode,
+                 clock: SimClock,
+                 config: Optional[LsmConfig] = None) -> None:
+        self.fs = fs
+        self.name = name
+        self.mode = mode
+        self.clock = clock
+        self.config = config or LsmConfig()
+        self.memtable = Memtable()
+        self.l0: List[SSTable] = []       # newest first
+        self.l1: Optional[SSTable] = None
+        self.stats = LsmStats()
+        self._file_seq = 0
+        self._pending_ops: List[Tuple[str, Any, Any]] = []
+        self._manifest = fs.create(self._manifest_path())
+        self._manifest.fallocate(1)
+        self._wal = fs.create(self._wal_path())
+        self._wal_cursor = 0
+        self._write_manifest()
+
+    # ------------------------------------------------------------- naming
+
+    def _manifest_path(self) -> str:
+        return f"/{self.name}.manifest"
+
+    def _wal_path(self) -> str:
+        return f"/{self.name}.wal"
+
+    def _next_sst_path(self) -> str:
+        self._file_seq += 1
+        return f"/{self.name}.sst-{self._file_seq}"
+
+    # -------------------------------------------------------------- reads
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Newest value for key across memtable, L0 (newest first), L1."""
+        value = self.memtable.get(key)
+        if value is not None:
+            return None if value is TOMBSTONE else value
+        for table in self.l0:
+            value = table.get(key)
+            if value is not None:
+                return None if value is TOMBSTONE else value
+        if self.l1 is not None:
+            value = self.l1.get(key)
+            if value is not None:
+                return None if value is TOMBSTONE else value
+        return None
+
+    # ------------------------------------------------------------- writes
+
+    def put(self, key: Any, value: Any) -> None:
+        if value is None:
+            raise EngineError("None is not storable; use delete()")
+        self.memtable.put(key, value)
+        self._pending_ops.append(("put", key, value))
+        self._maybe_flush()
+
+    def delete(self, key: Any) -> None:
+        self.memtable.delete(key)
+        self._pending_ops.append(("del", key, None))
+        self._maybe_flush()
+
+    def commit(self) -> None:
+        """Durability point: append pending operations to the WAL."""
+        if not self._pending_ops:
+            return
+        if self._wal_cursor >= self._wal.block_count:
+            self._wal.fallocate(self._wal.block_count + 64)
+        self._wal.pwrite_block(self._wal_cursor,
+                               (_WAL_TAG, tuple(self._pending_ops)))
+        self._wal_cursor += 1
+        self.stats.wal_pages += 1
+        self._wal.fsync()
+        self._pending_ops.clear()
+
+    # ------------------------------------------------------------ flushes
+
+    def _maybe_flush(self) -> None:
+        if len(self.memtable) >= self.config.memtable_limit:
+            self.flush_memtable()
+
+    def flush_memtable(self) -> None:
+        """Freeze the memtable into a new L0 run and reset the WAL."""
+        if len(self.memtable) == 0:
+            return
+        self.commit()
+        table = SSTable.build(self.fs, self._next_sst_path(),
+                              self.memtable.sorted_items(),
+                              self.config.block_capacity)
+        self.l0.insert(0, table)
+        self.memtable.clear()
+        self._reset_wal()
+        self._write_manifest()
+        self.stats.flushes += 1
+        if len(self.l0) > self.config.l0_limit:
+            self.compact()
+
+    def _reset_wal(self) -> None:
+        self._wal.truncate_blocks(0)
+        self._wal_cursor = 0
+        self._wal.fsync()
+
+    # ---------------------------------------------------------- compaction
+
+    def compact(self) -> LsmCompactionResult:
+        """Merge every L0 run plus L1 into a fresh L1."""
+        runs = list(self.l0)
+        if self.l1 is not None:
+            runs.append(self.l1)
+        if not runs:
+            raise EngineError("nothing to compact")
+        out_path = self._next_sst_path()
+        new_l1, result = merge_compact(self.fs, runs, out_path, self.mode,
+                                       self.clock,
+                                       self.config.block_capacity)
+        old_files = [table.path for table in runs]
+        self.l0 = []
+        self.l1 = new_l1
+        self._write_manifest()
+        for path in old_files:
+            self.fs.unlink(path)
+        self.stats.compactions += 1
+        self.stats.compaction_results.append(result)
+        return result
+
+    # ------------------------------------------------------------ manifest
+
+    def _write_manifest(self) -> None:
+        self._manifest.pwrite_block(0, (
+            _MANIFEST_TAG, self._file_seq,
+            tuple(table.path for table in self.l0),
+            self.l1.path if self.l1 is not None else None))
+        self._manifest.fsync()
+
+    # ------------------------------------------------------------- reopen
+
+    @classmethod
+    def reopen(cls, fs: HostFs, name: str, mode: CompactionMode,
+               clock: SimClock,
+               config: Optional[LsmConfig] = None) -> "LsmStore":
+        """Crash recovery: manifest names the live runs; the WAL replays
+        into a fresh memtable."""
+        store = cls.__new__(cls)
+        store.fs = fs
+        store.name = name
+        store.mode = mode
+        store.clock = clock
+        store.config = config or LsmConfig()
+        store.memtable = Memtable()
+        store.stats = LsmStats()
+        store._pending_ops = []
+        store._manifest = fs.open(store._manifest_path())
+        record = store._manifest.pread_block(0)
+        if not (isinstance(record, tuple) and record[0] == _MANIFEST_TAG):
+            raise EngineError(f"{name}: corrupt manifest")
+        __, file_seq, l0_paths, l1_path = record
+        store._file_seq = file_seq
+        store.l0 = [SSTable.open(fs, path) for path in l0_paths]
+        store.l1 = SSTable.open(fs, l1_path) if l1_path else None
+        store._wal = fs.open(store._wal_path())
+        store._wal_cursor = store._replay_wal()
+        return store
+
+    def _replay_wal(self) -> int:
+        cursor = 0
+        while cursor < self._wal.block_count:
+            lpn = self._wal.block_lpn(cursor)
+            if not self.fs.ssd.ftl.is_mapped(lpn):
+                break
+            record = self._wal.pread_block(cursor)
+            if not (isinstance(record, tuple) and record[0] == _WAL_TAG):
+                break
+            for op, key, value in record[1]:
+                if op == "put":
+                    self.memtable.put(key, value)
+                else:
+                    self.memtable.delete(key)
+            cursor += 1
+        return cursor
+
+    # -------------------------------------------------------------- debug
+
+    def items(self) -> Dict[Any, Any]:
+        """Materialised view of the whole store (tests only)."""
+        merged: Dict[Any, Any] = {}
+        if self.l1 is not None:
+            merged.update(self.l1.items())
+        for table in reversed(self.l0):
+            merged.update(table.items())
+        for key, value in self.memtable:
+            merged[key] = value
+        return {key: value for key, value in merged.items()
+                if value is not TOMBSTONE}

@@ -1,0 +1,14 @@
+"""PostgreSQL-like engine for the paper's in-text pgbench experiment.
+
+Section 5.3.1 reports a side experiment: with ``full_page_writes`` off,
+pgbench throughput roughly doubles and the WAL shrinks by about the volume
+of the data pages it no longer embeds.  This package implements the two
+mechanisms that experiment exercises: a heap with WAL-before-data, and the
+full-page-image rule ("whenever a page is updated first after the last
+checkpoint, the before-image of the page is saved in the WAL log").
+"""
+
+from repro.postgres.engine import PostgresConfig, PostgresEngine
+from repro.postgres.wal import Wal, WalStats
+
+__all__ = ["PostgresConfig", "PostgresEngine", "Wal", "WalStats"]

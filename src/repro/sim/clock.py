@@ -1,0 +1,69 @@
+"""Deterministic virtual clock.
+
+Every simulated component charges time to a shared :class:`SimClock` instead
+of sleeping.  Throughput numbers reported by the benchmark harness are
+``operations / clock.now_seconds``, which makes every experiment exactly
+reproducible regardless of host machine speed.
+
+Time is tracked in integer microseconds to avoid floating-point drift when
+millions of small latencies are accumulated.
+"""
+
+from __future__ import annotations
+
+US_PER_SECOND = 1_000_000
+US_PER_MS = 1_000
+
+
+class SimClock:
+    """Monotonic virtual clock with microsecond resolution.
+
+    The clock only moves forward via :meth:`advance`; components never read
+    wall-clock time.  A single clock instance is shared by the whole
+    simulated stack (host CPU model, SSD, log device).
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: int = 0) -> None:
+        if start_us < 0:
+            raise ValueError(f"clock cannot start at negative time: {start_us}")
+        self._now_us = int(start_us)
+
+    @property
+    def now_us(self) -> int:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_us / US_PER_MS
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / US_PER_SECOND
+
+    def advance(self, delta_us: float) -> int:
+        """Move time forward by ``delta_us`` microseconds.
+
+        Fractional microseconds are accepted (latency models may scale) and
+        rounded to the nearest whole microsecond.  Returns the new time.
+        """
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock backwards: {delta_us}")
+        self._now_us += int(round(delta_us))
+        return self._now_us
+
+    def elapsed_since(self, start_us: int) -> int:
+        """Microseconds elapsed since a previously sampled timestamp."""
+        return self._now_us - start_us
+
+    def reset(self) -> None:
+        """Rewind to time zero.  Only the benchmark harness should use this,
+        between independent experiment runs."""
+        self._now_us = 0
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_us={self._now_us})"

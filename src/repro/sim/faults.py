@@ -1,0 +1,88 @@
+"""Power-failure injection.
+
+The paper's atomicity argument (Section 4.2.2, Figure 4) is about what
+survives a power cut at each step of a SHARE operation or a page write.  To
+test it, the FTL and the engines call :meth:`FaultPlan.checkpoint` with a
+named fault point at every step that could be interrupted; a test arms the
+plan to blow up at a chosen point, catches :class:`PowerFailure`, throws
+away all volatile state, and restarts from the persisted media image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import PowerFailure
+
+
+class PowerFailAfter:
+    """Fire a :class:`PowerFailure` the ``nth`` time ``point`` is reached.
+
+    ``nth`` is 1-based: ``PowerFailAfter("nand.program", 3)`` survives two
+    page programs and dies during the third.
+    """
+
+    def __init__(self, point: str, nth: int = 1) -> None:
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1: {nth}")
+        self.point = point
+        self.nth = nth
+
+    def __repr__(self) -> str:
+        return f"PowerFailAfter({self.point!r}, nth={self.nth})"
+
+
+class FaultPlan:
+    """Collects armed faults and fires them at matching checkpoints.
+
+    A disarmed plan (the default everywhere) is nearly free: one dict lookup
+    per checkpoint.  The plan also records every point it passes so tests
+    can assert code paths were actually exercised.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, int] = {}
+        self._hits: Dict[str, int] = {}
+        self._trace_enabled = False
+        self._trace: List[str] = []
+
+    def arm(self, fault: PowerFailAfter) -> None:
+        """Arm a single power failure at ``fault.point``.
+
+        ``nth`` counts from the moment of arming: hits that happened
+        before arm() do not consume the fuse."""
+        self._armed[fault.point] = self._hits.get(fault.point, 0) + fault.nth
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def enable_trace(self) -> None:
+        self._trace_enabled = True
+
+    @property
+    def trace(self) -> List[str]:
+        return list(self._trace)
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been reached so far."""
+        return self._hits.get(point, 0)
+
+    def checkpoint(self, point: str) -> None:
+        """Called by instrumented code at each interruptible step.
+
+        Raises :class:`PowerFailure` when an armed fault's count is reached.
+        """
+        count = self._hits.get(point, 0) + 1
+        self._hits[point] = count
+        if self._trace_enabled:
+            self._trace.append(point)
+        nth = self._armed.get(point)
+        if nth is not None and count == nth:
+            raise PowerFailure(f"injected power failure at {point!r} (hit {count})")
+
+
+#: Shared no-op plan used by components when the caller does not inject one.
+NO_FAULTS = FaultPlan()

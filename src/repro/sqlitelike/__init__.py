@@ -1,0 +1,17 @@
+"""SQLite-like embedded database on SHARE (the paper's Section 3.3 /
+future-work claim).
+
+SQLite guarantees atomic commits with either a *rollback journal* (write
+before-images, then update in place) or a *write-ahead log* (append
+after-images, checkpoint later) — both out-of-place schemes with the
+write amplification the paper targets.  ``repro.sqlitelike`` implements a
+pager with both classic modes plus a SHARE mode that "can simply turn
+them off, because SHARE supports transactional atomicity and durability
+at the storage level": dirty pages are staged into a scratch region of
+the database file and published with one atomic SHARE batch.
+"""
+
+from repro.sqlitelike.db import SqliteLikeDb
+from repro.sqlitelike.pager import JournalMode, Pager, PagerStats
+
+__all__ = ["JournalMode", "Pager", "PagerStats", "SqliteLikeDb"]

@@ -1,0 +1,7 @@
+"""SSD block device: latency-charging, stat-counting facade over the FTL."""
+
+from repro.ssd.device import Ssd, SsdConfig
+from repro.ssd.stats import DeviceStats
+from repro.ssd.trace import IoTrace, TraceEvent
+
+__all__ = ["Ssd", "SsdConfig", "DeviceStats", "IoTrace", "TraceEvent"]

@@ -1,0 +1,320 @@
+"""The SSD block device.
+
+``Ssd`` is what the host stack talks to: a page-addressed block device with
+``read``/``write``/``trim``/``flush`` plus the paper's vendor-unique
+``share`` command.  It wraps a :class:`PageMappingFtl`, charges every
+command's latency (including GC work the command triggered) to the shared
+:class:`SimClock`, and maintains the :class:`DeviceStats` counters Figure 6
+reports.
+
+A second, plain :class:`Ssd` without SHARE enabled stands in for the
+Samsung PM853T log device of the experimental setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.errors import DeviceError, ShareError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.flash.timing import MLC_TIMING, FlashTiming
+from repro.ftl.config import FtlConfig
+from repro.ftl.pagemap import PageMappingFtl
+from repro.ftl.share_ext import SharePair
+from repro.sim.clock import SimClock
+from repro.sim.faults import NO_FAULTS, FaultPlan
+from repro.ssd.stats import DeviceStats
+from repro.ssd.trace import IoTrace, TraceEvent
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Device assembly options.
+
+    ``dram_cache_pages`` models the controller's I/O read cache — the
+    DRAM that Section 4.2.1 says the reverse-mapping share table is
+    traded against ("we trade a portion of cache space for the reverse
+    mapping").  0 disables it.
+    """
+
+    geometry: FlashGeometry = FlashGeometry()
+    timing: FlashTiming = MLC_TIMING
+    ftl: FtlConfig = FtlConfig()
+    share_enabled: bool = True
+    trace_capacity: int = 0
+    dram_cache_pages: int = 0
+
+
+@dataclass
+class _WorkSnapshot:
+    copybacks: int
+    erases: int
+    map_writes: int
+    spills: int
+    spill_lookups: int
+    gc_events: int
+
+
+class Ssd:
+    """Page-addressed block device with the SHARE extension."""
+
+    def __init__(self, clock: SimClock, config: Optional[SsdConfig] = None,
+                 faults: FaultPlan = NO_FAULTS) -> None:
+        self.config = config or SsdConfig()
+        self.clock = clock
+        self.faults = faults
+        self.nand = NandArray(self.config.geometry)
+        self.ftl = PageMappingFtl(self.nand, self.config.ftl, faults)
+        self.timing = self.config.timing
+        self.stats = DeviceStats(page_size=self.config.geometry.page_size)
+        self.trace = IoTrace(self.config.trace_capacity)
+        from repro.ssd.cache import DramReadCache
+        self.cache = DramReadCache(self.config.dram_cache_pages)
+
+    # ---------------------------------------------------------- properties
+
+    @property
+    def page_size(self) -> int:
+        return self.config.geometry.page_size
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.logical_pages * self.page_size
+
+    @property
+    def max_share_batch(self) -> int:
+        return self.ftl.max_share_batch
+
+    @property
+    def supports_share(self) -> bool:
+        return self.config.share_enabled
+
+    # ------------------------------------------------------------ commands
+
+    def read(self, lpn: int) -> Any:
+        """Read one page (through the controller DRAM cache if enabled)."""
+        before = self._work_snapshot()
+        cached = self.cache.lookup(lpn)
+        if cached is not None:
+            self.stats.host_read_pages += 1
+            self._finish("read", lpn, 1, before, 0.0)  # DRAM-speed hit
+            return cached[0]
+        data = self.ftl.read(lpn)
+        self.cache.insert(lpn, data)
+        self.stats.host_read_pages += 1
+        self._finish("read", lpn, 1, before,
+                     self.timing.read_latency(self.page_size))
+        return data
+
+    def write(self, lpn: int, data: Any) -> None:
+        """Write one page (out-of-place inside the device)."""
+        before = self._work_snapshot()
+        self.ftl.write(lpn, data)
+        self.cache.insert(lpn, data)
+        self.stats.host_write_pages += 1
+        self._finish("write", lpn, 1, before,
+                     self.timing.program_latency(self.page_size))
+
+    def write_multi(self, lpn: int, pages: Sequence[Any]) -> None:
+        """Write consecutive pages in one host command (one command
+        overhead, per-page programs)."""
+        if not pages:
+            raise DeviceError("write_multi with no pages")
+        before = self._work_snapshot()
+        for index, page in enumerate(pages):
+            self.ftl.write(lpn + index, page)
+            self.cache.insert(lpn + index, page)
+        self.stats.host_write_pages += len(pages)
+        self._finish("write", lpn, len(pages), before,
+                     len(pages) * self.timing.program_latency(self.page_size))
+
+    def write_atomic(self, items: Sequence) -> None:
+        """Atomic multi-page write (the Section 6.1 baseline command:
+        Park et al. / FusionIO-style).  All pages land or none do."""
+        if not items:
+            raise DeviceError("write_atomic with no pages")
+        before = self._work_snapshot()
+        self.ftl.write_atomic(items)
+        for item_lpn, data in items:
+            self.cache.insert(item_lpn, data)
+        self.stats.host_write_pages += len(items)
+        self.stats.extra["atomic_write_commands"] = (
+            self.stats.extra.get("atomic_write_commands", 0) + 1)
+        self._finish("write", items[0][0], len(items), before,
+                     len(items) * self.timing.program_latency(self.page_size))
+
+    # X-FTL transactional interface (Section 6.2 baseline) --------------
+
+    def begin_txn(self) -> int:
+        """Open an X-FTL transaction."""
+        return self.ftl.begin_txn()
+
+    def write_txn(self, txn_id: int, lpn: int, data: Any) -> None:
+        """Stage one in-place page write under a transaction."""
+        before = self._work_snapshot()
+        self.ftl.write_txn(txn_id, lpn, data)
+        self.stats.host_write_pages += 1
+        self._finish("write", lpn, 1, before,
+                     self.timing.program_latency(self.page_size))
+
+    def commit_txn(self, txn_id: int) -> None:
+        """Atomically publish a transaction's staged pages."""
+        before = self._work_snapshot()
+        staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
+        self.ftl.commit_txn(txn_id)
+        for lpn in staged_lpns:
+            self.cache.invalidate(lpn)
+        self._finish("flush", 0, 0, before, 0.0)
+
+    def abort_txn(self, txn_id: int) -> None:
+        """Discard a transaction's staged pages."""
+        before = self._work_snapshot()
+        self.ftl.abort_txn(txn_id)
+        self._finish("trim", 0, 0, before, 0.0)
+
+    def trim(self, lpn: int, count: int = 1) -> None:
+        """Invalidate a logical range."""
+        before = self._work_snapshot()
+        self.ftl.trim(lpn, count)
+        self.cache.invalidate(lpn, count)
+        self.stats.trim_commands += 1
+        self._finish("trim", lpn, count, before,
+                     count * self.timing.map_update_us)
+
+    def idle_gc(self, max_blocks: int = 1,
+                min_invalid_fraction: float = 0.5) -> int:
+        """Host-initiated background GC (run during think time).  The
+        reclaim work is charged to the clock like any other command, but
+        it happens when no foreground request is waiting — trading idle
+        time for smaller foreground stalls."""
+        before = self._work_snapshot()
+        reclaimed = self.ftl.idle_gc(max_blocks, min_invalid_fraction)
+        self._finish("trim", 0, reclaimed, before, 0.0)
+        return reclaimed
+
+    def flush(self) -> None:
+        """Barrier: persist pending mapping changes.  Data-page writes are
+        durable at command completion already (no volatile write cache is
+        modelled), matching the paper's O_DIRECT setup."""
+        before = self._work_snapshot()
+        self.ftl.flush()
+        self.stats.flush_commands += 1
+        self._finish("flush", 0, 0, before, 0.0)
+
+    def share(self, dst_lpn: int, src_lpn: int, length: int = 1) -> None:
+        """Vendor-unique SHARE command (ranged form)."""
+        if not self.config.share_enabled:
+            raise ShareError("device does not support the SHARE command")
+        before = self._work_snapshot()
+        self.ftl.share(dst_lpn, src_lpn, length)
+        self.cache.invalidate(dst_lpn, length)
+        self.stats.share_commands += 1
+        self.stats.share_pairs += length
+        self._finish("share", dst_lpn, length, before,
+                     length * self.timing.map_update_us)
+
+    def share_batch(self, pairs: Sequence[SharePair]) -> None:
+        """Vendor-unique SHARE command (batched pair form)."""
+        if not self.config.share_enabled:
+            raise ShareError("device does not support the SHARE command")
+        before = self._work_snapshot()
+        self.ftl.share_batch(pairs)
+        for pair in pairs:
+            self.cache.invalidate(pair.dst_lpn)
+        self.stats.share_commands += 1
+        self.stats.share_pairs += len(pairs)
+        self._finish("share", pairs[0].dst_lpn, len(pairs), before,
+                     len(pairs) * self.timing.map_update_us)
+
+    # ----------------------------------------------------------- internals
+
+    def _work_snapshot(self) -> _WorkSnapshot:
+        ftl_stats = self.ftl.stats
+        return _WorkSnapshot(
+            copybacks=ftl_stats.copyback_pages,
+            erases=ftl_stats.block_erases,
+            map_writes=self.ftl.map_page_writes,
+            spills=ftl_stats.share_spills,
+            spill_lookups=ftl_stats.spill_lookups,
+            gc_events=ftl_stats.gc_events,
+        )
+
+    def _finish(self, kind: str, lpn: int, count: int,
+                before: _WorkSnapshot, base_latency_us: float) -> None:
+        """Charge latency for the command plus the internal work (GC
+        copybacks, erases, mapping-page programs, spills) it triggered."""
+        ftl_stats = self.ftl.stats
+        copybacks = ftl_stats.copyback_pages - before.copybacks
+        erases = ftl_stats.block_erases - before.erases
+        map_writes = self.ftl.map_page_writes - before.map_writes
+        spills = ftl_stats.share_spills - before.spills
+        spill_lookups = ftl_stats.spill_lookups - before.spill_lookups
+        gc_events = ftl_stats.gc_events - before.gc_events
+        latency = (base_latency_us
+                   + self.timing.command_overhead_us
+                   + copybacks * self.timing.copyback_us
+                   + erases * self.timing.erase_us
+                   + map_writes * self.timing.program_us
+                   + spills * (self.timing.read_us + self.timing.program_us)
+                   + spill_lookups * self.timing.read_us)
+        self.stats.copyback_pages += copybacks
+        self.stats.block_erases += erases
+        self.stats.map_page_writes += map_writes
+        self.stats.share_spill_pages += spills
+        self.stats.gc_events += gc_events
+        self.stats.busy_us += latency
+        self.clock.advance(latency)
+        if self.trace is not None and self.trace._capacity:
+            self.trace.record(TraceEvent(
+                timestamp_us=self.clock.now_us, kind=kind, lpn=lpn,
+                count=count, latency_us=latency, gc_events=gc_events,
+                copyback_pages=copybacks))
+
+    # ------------------------------------------------------------ recovery
+
+    def power_cycle(self) -> None:
+        """Simulate power loss + reboot: drop all volatile state and run
+        the FTL recovery scan over the surviving media."""
+        self.ftl = PageMappingFtl.recover(self.nand, self.config.ftl, self.faults)
+        self.cache.clear()
+
+    # --------------------------------------------------------------- aging
+
+    def age(self, fill_fraction: float, rewrite_fraction: float,
+            seed: int = 17) -> None:
+        """Pre-condition the device as in Section 5.1's aging pre-run.
+
+        Fills ``fill_fraction`` of the logical space sequentially, then
+        rewrites ``rewrite_fraction`` of it at random so blocks hold a mix
+        of valid and stale pages and GC is active during measurement.
+        Aging I/O is excluded from stats and virtual time.
+        """
+        if not 0.0 <= fill_fraction <= 1.0:
+            raise ValueError(f"fill_fraction must be in [0, 1]: {fill_fraction}")
+        if not 0.0 <= rewrite_fraction <= 1.0:
+            raise ValueError(
+                f"rewrite_fraction must be in [0, 1]: {rewrite_fraction}")
+        import random
+        rng = random.Random(seed)
+        pages = int(self.logical_pages * fill_fraction)
+        for lpn in range(pages):
+            self.ftl.write(lpn, ("age", lpn))
+        for _ in range(int(pages * rewrite_fraction)):
+            lpn = rng.randrange(pages)
+            self.ftl.write(lpn, ("age2", lpn))
+        self.reset_measurement()
+
+    def reset_measurement(self) -> None:
+        """Zero the host-visible counters (keep media state) so the
+        measured interval starts clean, as after the paper's warm-up."""
+        self.stats = DeviceStats(page_size=self.page_size)
+        ftl_stats = self.ftl.stats
+        for name in list(ftl_stats.__dict__):
+            setattr(ftl_stats, name, 0)
+        self.trace.clear()

@@ -1,0 +1,85 @@
+"""Host-visible device counters.
+
+These are the numbers Figure 6 plots: page writes requested by the host,
+garbage-collection events inside the device, and copyback pages moved by
+GC.  Write amplification factor (WAF) is derived as
+``(host programs + GC copybacks + map/spill programs) / host programs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters maintained by the :class:`repro.ssd.device.Ssd`
+    facade.  All byte counts use the device page size."""
+
+    page_size: int = 4096
+    host_write_pages: int = 0
+    host_read_pages: int = 0
+    share_commands: int = 0
+    share_pairs: int = 0
+    trim_commands: int = 0
+    flush_commands: int = 0
+    gc_events: int = 0
+    copyback_pages: int = 0
+    block_erases: int = 0
+    map_page_writes: int = 0
+    share_spill_pages: int = 0
+    busy_us: float = 0.0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def host_written_bytes(self) -> int:
+        return self.host_write_pages * self.page_size
+
+    @property
+    def host_read_bytes(self) -> int:
+        return self.host_read_pages * self.page_size
+
+    @property
+    def total_nand_programs(self) -> int:
+        """Every page program the media absorbed."""
+        return (self.host_write_pages + self.copyback_pages
+                + self.map_page_writes + self.share_spill_pages)
+
+    @property
+    def write_amplification(self) -> float:
+        """Device-internal WAF relative to host page writes."""
+        if self.host_write_pages == 0:
+            return 0.0
+        return self.total_nand_programs / self.host_write_pages
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "host_write_pages": self.host_write_pages,
+            "host_read_pages": self.host_read_pages,
+            "share_commands": self.share_commands,
+            "share_pairs": self.share_pairs,
+            "trim_commands": self.trim_commands,
+            "flush_commands": self.flush_commands,
+            "gc_events": self.gc_events,
+            "copyback_pages": self.copyback_pages,
+            "block_erases": self.block_erases,
+            "map_page_writes": self.map_page_writes,
+            "share_spill_pages": self.share_spill_pages,
+            "write_amplification": self.write_amplification,
+            "busy_us": self.busy_us,
+        }
+        out.update(self.extra)
+        return out
+
+    def delta_since(self, before: "DeviceStats") -> Dict[str, float]:
+        """Difference of the numeric counters against an earlier copy."""
+        now = self.snapshot()
+        past = before.snapshot()
+        return {key: now[key] - past.get(key, 0) for key in now}
+
+    def copy(self) -> "DeviceStats":
+        clone = DeviceStats(page_size=self.page_size)
+        clone.__dict__.update({k: (dict(v) if isinstance(v, dict) else v)
+                               for k, v in self.__dict__.items()})
+        return clone

@@ -1,0 +1,65 @@
+"""Optional I/O trace capture.
+
+A trace records every host command the device served, with its virtual
+timestamp and the internal work (copybacks, erases) it triggered.  Tests
+use traces to assert ordering properties; analysis examples use them to
+plot jitter (the paper's "consistent IO performance with less performance
+jitter" claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One host command as the device served it."""
+
+    timestamp_us: int
+    kind: str                  # "read" | "write" | "trim" | "share" | "flush"
+    lpn: int
+    count: int
+    latency_us: float
+    gc_events: int = 0
+    copyback_pages: int = 0
+
+
+class IoTrace:
+    """Bounded in-memory trace.  Disabled (capacity 0) by default in the
+    device so steady-state benchmarks pay nothing for it."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative: {capacity}")
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self._events) >= self._capacity:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def max_latency_us(self, kind: Optional[str] = None) -> float:
+        events = self.events(kind)
+        if not events:
+            raise ValueError("trace holds no matching events")
+        return max(event.latency_us for event in events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

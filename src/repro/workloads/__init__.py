@@ -1,0 +1,19 @@
+"""Benchmark workloads: LinkBench (MySQL/InnoDB), YCSB A/F (Couchbase),
+and a pgbench-style TPC-B mix (PostgreSQL)."""
+
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDriver, LinkBenchResult
+from repro.workloads.pgbench import PgBenchConfig, PgBenchResult, run_pgbench
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbResult, YcsbWorkload
+
+__all__ = [
+    "LinkBenchConfig",
+    "LinkBenchDriver",
+    "LinkBenchResult",
+    "PgBenchConfig",
+    "PgBenchResult",
+    "run_pgbench",
+    "YcsbConfig",
+    "YcsbDriver",
+    "YcsbResult",
+    "YcsbWorkload",
+]

@@ -1,0 +1,29 @@
+"""Shared fixtures: small, fast device stacks for unit tests."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FAST_TIMING
+from repro.ftl.config import FtlConfig
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd, SsdConfig
+
+
+def small_ssd_config(page_size=4096, share_entries=250, trace=0):
+    return SsdConfig(
+        geometry=FlashGeometry.small(page_size=page_size),
+        timing=FAST_TIMING,
+        ftl=FtlConfig(map_block_count=4, share_table_entries=share_entries),
+        trace_capacity=trace,
+    )
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def ssd(clock):
+    """A small SHARE-capable SSD on fast timing."""
+    return Ssd(clock, small_ssd_config())

@@ -1,0 +1,151 @@
+"""Tests for both compaction algorithms (Figure 3 / Table 2) and the
+crash-mid-compaction restart path."""
+
+import pytest
+
+from repro.couchstore.compaction import abandon_partial, compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.host.filesystem import FsConfig, HostFs
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+
+def loaded_store(clock, mode, keys=60, churn_rounds=3):
+    ssd = Ssd(clock, small_ssd_config())
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    config = CouchConfig(leaf_capacity=4, internal_fanout=8,
+                         prealloc_blocks=64)
+    store = CouchStore(fs, "/db", mode, config)
+    for key in range(keys):
+        store.set(key, ("v0", key))
+    store.commit()
+    for round_number in range(1, churn_rounds + 1):
+        for key in range(keys):
+            store.set(key, (f"v{round_number}", key))
+        store.commit()
+    return ssd, fs, store
+
+
+class TestCopyCompaction:
+    def test_preserves_every_document(self, clock):
+        __, __, store = loaded_store(clock, CommitMode.ORIGINAL)
+        new_store, result = compact(store, clock)
+        assert result.mode == "copy"
+        assert result.docs_moved == 60
+        for key in range(60):
+            assert new_store.get(key) == ("v3", key)
+
+    def test_resets_stale_ratio(self, clock):
+        __, __, store = loaded_store(clock, CommitMode.ORIGINAL)
+        assert store.stale_ratio > 0.3
+        new_store, __ = compact(store, clock)
+        assert new_store.stale_blocks == 0
+
+    def test_new_file_replaces_old_path(self, clock):
+        __, fs, store = loaded_store(clock, CommitMode.ORIGINAL)
+        new_store, __ = compact(store, clock)
+        assert new_store.path == "/db"
+        assert fs.exists("/db")
+        assert not fs.exists("/db.compact")
+
+    def test_copies_every_document_byte(self, clock):
+        ssd, __, store = loaded_store(clock, CommitMode.ORIGINAL)
+        ssd.reset_measurement()
+        __, result = compact(store, clock)
+        # Copy compaction writes at least one page per document.
+        assert result.written_bytes >= 60 * ssd.page_size
+
+
+class TestShareCompaction:
+    def test_preserves_every_document(self, clock):
+        __, __, store = loaded_store(clock, CommitMode.SHARE)
+        new_store, result = compact(store, clock)
+        assert result.mode == "share"
+        assert result.docs_moved == 60
+        for key in range(60):
+            assert new_store.get(key) == ("v3", key)
+
+    def test_writes_no_document_pages(self, clock):
+        ssd, __, store = loaded_store(clock, CommitMode.SHARE)
+        ssd.reset_measurement()
+        __, result = compact(store, clock)
+        # Only index nodes + header (+ journal metadata) are written; all
+        # 60 document pages move by remapping.
+        assert result.written_bytes < 60 * ssd.page_size
+        assert result.share_commands >= 1
+
+    def test_reads_only_document_headers(self, clock):
+        ssd, __, store = loaded_store(clock, CommitMode.SHARE)
+        ssd.reset_measurement()
+        __, result = compact(store, clock)
+        # One header-page read per document (Table 2's residual cost).
+        assert result.read_bytes == 60 * ssd.page_size
+
+    def test_cheaper_than_copy(self, clock):
+        from repro.sim.clock import SimClock
+        results = {}
+        for mode in CommitMode:
+            local_clock = SimClock()
+            __, __, store = loaded_store(local_clock, mode)
+            __, results[mode] = compact(store, local_clock)
+        copy_result = results[CommitMode.ORIGINAL]
+        share_result = results[CommitMode.SHARE]
+        assert share_result.written_bytes < copy_result.written_bytes / 3
+        assert share_result.elapsed_seconds < copy_result.elapsed_seconds
+
+    def test_survives_power_cycle_after_compaction(self, clock):
+        ssd, fs, store = loaded_store(clock, CommitMode.SHARE)
+        new_store, __ = compact(store, clock)
+        ssd.power_cycle()
+        reopened = CouchStore.reopen(fs, "/db", CommitMode.SHARE,
+                                     store.config)
+        for key in range(60):
+            assert reopened.get(key) == ("v3", key)
+
+    def test_old_file_trim_keeps_shared_pages_alive(self, clock):
+        ssd, fs, store = loaded_store(clock, CommitMode.SHARE)
+        new_store, __ = compact(store, clock)
+        # The unlink of the old file trimmed its LPNs; the shared
+        # physical pages must survive through the new file's references.
+        assert ssd.stats.trim_commands > 0
+        assert new_store.get(30) == ("v3", 30)
+        ssd.ftl.check_invariants()
+
+
+class TestCrashMidCompaction:
+    @pytest.mark.parametrize("mode", list(CommitMode))
+    def test_partial_compaction_discarded_and_restartable(self, clock, mode):
+        ssd, fs, store = loaded_store(clock, mode)
+        # Simulate a crash halfway: build the partial file manually by
+        # creating it and stopping before the switch-over.
+        partial = fs.create("/db.compact")
+        for key in range(10):
+            partial.append_block(("partial", key))
+        ssd.power_cycle()
+        reopened = CouchStore.reopen(fs, "/db", mode, store.config)
+        assert abandon_partial(reopened)
+        assert not fs.exists("/db.compact")
+        # The whole compaction restarts and completes.
+        new_store, result = compact(reopened, clock)
+        assert result.docs_moved == 60
+        for key in range(60):
+            assert new_store.get(key) == ("v3", key)
+
+    def test_abandon_partial_noop_when_absent(self, clock):
+        __, __, store = loaded_store(clock, CommitMode.SHARE)
+        assert not abandon_partial(store)
+
+
+class TestRepeatedCompaction:
+    @pytest.mark.parametrize("mode", list(CommitMode))
+    def test_churn_compact_cycles(self, clock, mode):
+        ssd, fs, store = loaded_store(clock, mode, keys=40, churn_rounds=2)
+        for cycle in range(3):
+            for key in range(40):
+                store.set(key, ("cycle", cycle, key))
+            store.commit()
+            store, __ = compact(store, clock)
+            for key in range(0, 40, 7):
+                assert store.get(key) == ("cycle", cycle, key)
+            ssd.ftl.check_invariants()

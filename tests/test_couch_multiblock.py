@@ -1,0 +1,91 @@
+"""Couchstore with multi-block documents: exercises the ranged form of
+the SHARE command (``share(LPN1, LPN2, length)``) through the engine, as
+the paper's length argument intends for documents larger than the FTL
+mapping granularity."""
+
+import pytest
+
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.host.filesystem import FsConfig, HostFs
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+DOC_BLOCKS = 3
+
+
+@pytest.fixture
+def stores(clock):
+    def make(mode):
+        ssd = Ssd(clock, small_ssd_config())
+        fs = HostFs(ssd, FsConfig(journal_blocks=8))
+        config = CouchConfig(leaf_capacity=4, internal_fanout=8,
+                             doc_blocks=DOC_BLOCKS, prealloc_blocks=64)
+        return ssd, fs, CouchStore(fs, "/db", mode, config)
+    return make
+
+
+@pytest.mark.parametrize("mode", list(CommitMode))
+def test_multiblock_set_get(stores, mode):
+    __, __, store = stores(mode)
+    store.set("k", {"big": "doc"})
+    store.commit()
+    assert store.get("k") == {"big": "doc"}
+
+
+def test_share_update_remaps_whole_range(stores):
+    ssd, __, store = stores(CommitMode.SHARE)
+    store.set("k", "v1")
+    store.commit()
+    pairs_before = ssd.stats.share_pairs
+    store.set("k", "v2")
+    store.commit()
+    # One ranged share covering all DOC_BLOCKS pages.
+    assert ssd.stats.share_pairs - pairs_before == DOC_BLOCKS
+    assert store.get("k") == "v2"
+    ssd.ftl.check_invariants()
+
+
+@pytest.mark.parametrize("mode", list(CommitMode))
+def test_multiblock_updates_and_compaction(stores, mode, clock):
+    ssd, fs, store = stores(mode)
+    for key in range(20):
+        store.set(key, ("v0", key))
+    store.commit()
+    for round_number in (1, 2):
+        for key in range(0, 20, 2):
+            store.set(key, (f"v{round_number}", key))
+        store.commit()
+    new_store, result = compact(store, clock)
+    assert result.docs_moved == 20
+    for key in range(20):
+        expected = ("v2", key) if key % 2 == 0 else ("v0", key)
+        assert new_store.get(key) == expected
+    ssd.ftl.check_invariants()
+
+
+def test_multiblock_share_compaction_shares_all_blocks(stores, clock):
+    ssd, __, store = stores(CommitMode.SHARE)
+    for key in range(12):
+        store.set(key, ("doc", key))
+    store.commit()
+    ssd.reset_measurement()
+    new_store, result = compact(store, clock)
+    # Every document page moved by remap: 12 docs x 3 blocks.
+    assert ssd.stats.share_pairs == 12 * DOC_BLOCKS
+    assert result.docs_moved == 12
+
+
+@pytest.mark.parametrize("mode", list(CommitMode))
+def test_multiblock_reopen(stores, mode):
+    ssd, fs, store = stores(mode)
+    for key in range(10):
+        store.set(key, ("v", key))
+    store.commit()
+    store.set(3, "updated")
+    store.commit()
+    ssd.power_cycle()
+    reopened = CouchStore.reopen(fs, "/db", mode, store.config)
+    assert reopened.get(3) == "updated"
+    assert reopened.get(7) == ("v", 7)

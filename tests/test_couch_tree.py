@@ -1,0 +1,167 @@
+"""Unit tests for the append-only (wandering) B+tree."""
+
+import random
+
+import pytest
+
+from repro.couchstore.tree import AppendTree, _balanced_chunks
+from repro.host.filesystem import FsConfig, HostFs
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+
+@pytest.fixture
+def tree(clock):
+    ssd = Ssd(clock, small_ssd_config())
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    file = fs.create("/t")
+    return AppendTree(file, leaf_capacity=4, internal_fanout=4)
+
+
+class TestBalancedChunks:
+    def test_empty(self):
+        assert _balanced_chunks([], 4) == []
+
+    def test_exact_fit(self):
+        assert _balanced_chunks([1, 2, 3, 4], 4) == [[1, 2, 3, 4]]
+
+    def test_balances(self):
+        chunks = _balanced_chunks(list(range(5)), 4)
+        assert [len(c) for c in chunks] == [3, 2]
+
+    def test_never_exceeds_capacity(self):
+        for n in range(1, 40):
+            for cap in (2, 3, 5, 7):
+                chunks = _balanced_chunks(list(range(n)), cap)
+                assert all(1 <= len(c) <= cap for c in chunks)
+                assert sum(chunks, []) == list(range(n))
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert tree.root_block is None
+        assert tree.get(1) is None
+        assert list(tree.items()) == []
+        assert tree.depth() == 0
+
+    def test_first_batch_builds_root(self, tree):
+        tree.apply_batch({1: "a", 2: "b"})
+        assert tree.get(1) == "a"
+        assert tree.get(2) == "b"
+        assert tree.depth() == 1
+
+    def test_updates_are_copy_on_write(self, tree):
+        tree.apply_batch({1: "v1"})
+        root_before = tree.root_block
+        tree.apply_batch({1: "v2"})
+        assert tree.root_block != root_before
+        assert tree.get(1) == "v2"
+
+    def test_unchanged_subtrees_are_reused(self, tree):
+        tree.apply_batch({k: k for k in range(64)})
+        nodes_before = tree.nodes_written
+        tree.apply_batch({0: "new"})
+        # Only one root-to-leaf path rewritten, not the whole tree.
+        assert tree.nodes_written - nodes_before <= tree.depth() + 1
+
+    def test_batch_dedups_paths(self, tree):
+        tree.apply_batch({k: k for k in range(64)})
+        nodes_before = tree.nodes_written
+        # Two keys in the same leaf: the path is written once.
+        tree.apply_batch({0: "x", 1: "y"})
+        per_pair = tree.nodes_written - nodes_before
+        nodes_before = tree.nodes_written
+        tree.apply_batch({0: "x2"})
+        per_single = tree.nodes_written - nodes_before
+        assert per_pair == per_single
+
+    def test_deletes(self, tree):
+        tree.apply_batch({k: k for k in range(20)})
+        tree.apply_batch({5: None, 6: None})
+        assert tree.get(5) is None
+        assert tree.get(7) == 7
+        assert len(list(tree.items())) == 18
+
+    def test_delete_everything(self, tree):
+        tree.apply_batch({k: k for k in range(10)})
+        tree.apply_batch({k: None for k in range(10)})
+        assert list(tree.items()) == []
+        tree.apply_batch({3: "back"})
+        assert tree.get(3) == "back"
+
+    def test_empty_batch_is_noop(self, tree):
+        assert tree.apply_batch({}) == 0
+
+    def test_items_in_key_order(self, tree):
+        keys = list(range(100))
+        random.Random(3).shuffle(keys)
+        for chunk_start in range(0, 100, 10):
+            tree.apply_batch({k: ("v", k)
+                              for k in keys[chunk_start:chunk_start + 10]})
+        assert [k for k, __ in tree.items()] == list(range(100))
+
+    def test_depth_grows(self, tree):
+        tree.apply_batch({k: k for k in range(200)})
+        assert tree.depth() >= 3
+
+    def test_bulk_load(self, tree):
+        items = [(k, ("v", k)) for k in range(100)]
+        nodes = tree.bulk_load(items)
+        assert nodes > 0
+        assert [k for k, __ in tree.items()] == list(range(100))
+        assert tree.get(50) == ("v", 50)
+
+    def test_bulk_load_empty(self, tree):
+        tree.bulk_load([])
+        assert list(tree.items()) == []
+
+
+class TestAmplification:
+    def test_wandering_writes_full_path(self, tree):
+        """The signature cost of Section 2.2: one key update rewrites
+        depth-many nodes."""
+        tree.apply_batch({k: k for k in range(256)})
+        depth = tree.depth()
+        assert depth >= 3
+        nodes_before = tree.nodes_written
+        tree.apply_batch({128: "update"})
+        assert tree.nodes_written - nodes_before == depth
+
+    def test_obsoleted_counts_replaced_nodes(self, tree):
+        tree.apply_batch({k: k for k in range(64)})
+        obsoleted_before = tree.nodes_obsoleted
+        tree.apply_batch({0: "x"})
+        assert tree.nodes_obsoleted > obsoleted_before
+
+
+class TestValidation:
+    def test_bad_capacity(self, tree):
+        with pytest.raises(ValueError):
+            AppendTree(tree.file, leaf_capacity=1)
+        with pytest.raises(ValueError):
+            AppendTree(tree.file, internal_fanout=2)
+
+
+class TestModelEquivalence:
+    def test_random_batches_match_dict(self, clock):
+        ssd = Ssd(clock, small_ssd_config())
+        fs = HostFs(ssd, FsConfig(journal_blocks=8))
+        tree = AppendTree(fs.create("/m"), leaf_capacity=3, internal_fanout=4)
+        rng = random.Random(7)
+        model = {}
+        for __ in range(60):
+            batch = {}
+            for __ in range(rng.randrange(1, 12)):
+                key = rng.randrange(120)
+                if rng.random() < 0.25:
+                    batch[key] = None
+                else:
+                    batch[key] = ("v", key, rng.random())
+            tree.apply_batch(batch)
+            for key, value in batch.items():
+                if value is None:
+                    model.pop(key, None)
+                else:
+                    model[key] = value
+            assert sorted(model.items()) == list(tree.items())

@@ -1,0 +1,136 @@
+"""Tests for the data=journal filesystem mode (the Section 6.3 / JFTL
+comparison)."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.host.datajournal import CheckpointMode, DataJournalingFs
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+
+@pytest.fixture
+def env(clock):
+    fs = HostFs(Ssd(clock, small_ssd_config()), FsConfig(journal_blocks=8))
+    return fs
+
+
+def make(fs, mode, journal_blocks=32):
+    journal = DataJournalingFs(fs, mode, journal_blocks=journal_blocks)
+    data_file = fs.create("/data")
+    data_file.fallocate(64)
+    return journal, data_file
+
+
+class TestTransactions:
+    @pytest.mark.parametrize("mode", list(CheckpointMode))
+    def test_committed_writes_readable(self, env, mode):
+        journal, file = make(env, mode)
+        journal.begin()
+        journal.journaled_write(file, 3, "three")
+        journal.journaled_write(file, 4, "four")
+        journal.commit()
+        assert journal.read(file, 3) == "three"
+        assert journal.read(file, 4) == "four"
+
+    @pytest.mark.parametrize("mode", list(CheckpointMode))
+    def test_checkpoint_makes_home_copies_visible(self, env, mode):
+        journal, file = make(env, mode)
+        journal.begin()
+        journal.journaled_write(file, 3, "payload")
+        journal.commit()
+        journal.checkpoint()
+        # Direct file read (bypassing the journal) now sees the data.
+        assert file.pread_block(3) == "payload"
+        assert journal.read(file, 3) == "payload"
+
+    def test_write_outside_txn_rejected(self, env):
+        journal, file = make(env, CheckpointMode.SHARE)
+        with pytest.raises(FileSystemError):
+            journal.journaled_write(file, 0, "x")
+
+    def test_double_begin_rejected(self, env):
+        journal, __ = make(env, CheckpointMode.SHARE)
+        journal.begin()
+        with pytest.raises(FileSystemError):
+            journal.begin()
+
+    def test_oversized_txn_rejected(self, env):
+        journal, file = make(env, CheckpointMode.SHARE, journal_blocks=8)
+        journal.begin()
+        for block in range(10):
+            journal.journaled_write(file, block, block)
+        with pytest.raises(FileSystemError):
+            journal.commit()
+
+    @pytest.mark.parametrize("mode", list(CheckpointMode))
+    def test_journal_wrap_triggers_checkpoint(self, env, mode):
+        journal, file = make(env, mode, journal_blocks=8)
+        for i in range(10):
+            journal.begin()
+            journal.journaled_write(file, i % 4, ("v", i))
+            journal.commit()
+        assert journal.stats.checkpoints > 0
+        assert journal.read(file, 1) == ("v", 9)
+
+    @pytest.mark.parametrize("mode", list(CheckpointMode))
+    def test_newest_copy_wins_at_checkpoint(self, env, mode):
+        journal, file = make(env, mode)
+        for version in range(3):
+            journal.begin()
+            journal.journaled_write(file, 5, ("v", version))
+            journal.commit()
+        journal.checkpoint()
+        assert file.pread_block(5) == ("v", 2)
+
+
+class TestWriteAccounting:
+    def run_workload(self, mode, ops=120):
+        clock = SimClock()
+        fs = HostFs(Ssd(clock, small_ssd_config()),
+                    FsConfig(journal_blocks=8))
+        journal, file = make(fs, mode, journal_blocks=32)
+        for i in range(ops):
+            journal.begin()
+            journal.journaled_write(file, i % 48, ("v", i))
+            journal.commit()
+        journal.checkpoint()
+        return journal.stats, fs.ssd.stats
+
+    def test_classic_writes_everything_twice(self):
+        stats, __ = self.run_workload(CheckpointMode.CLASSIC)
+        assert stats.checkpoint_writes > 0
+        # Every journaled page got a second (home) write at checkpoint.
+        assert stats.checkpoint_writes >= stats.journaled_pages * 0.6
+
+    def test_share_checkpoints_write_nothing(self):
+        stats, __ = self.run_workload(CheckpointMode.SHARE)
+        assert stats.checkpoint_writes == 0
+        assert stats.checkpoint_share_pairs > 0
+
+    def test_share_roughly_halves_device_writes(self):
+        __, classic_dev = self.run_workload(CheckpointMode.CLASSIC)
+        __, share_dev = self.run_workload(CheckpointMode.SHARE)
+        assert (share_dev.host_write_pages
+                < classic_dev.host_write_pages * 0.75)
+
+
+class TestSharedJournalReuse:
+    def test_journal_slot_reuse_preserves_home_content(self, env):
+        """After a SHARE checkpoint the journal blocks are rewritten by
+        later transactions; the home blocks must keep the old content."""
+        journal, file = make(env, CheckpointMode.SHARE, journal_blocks=8)
+        journal.begin()
+        journal.journaled_write(file, 1, "epoch-1")
+        journal.commit()
+        journal.checkpoint()
+        for i in range(6):
+            journal.begin()
+            journal.journaled_write(file, 2 + i % 3, ("later", i))
+            journal.commit()
+        journal.checkpoint()
+        assert file.pread_block(1) == "epoch-1"
+        env.ssd.ftl.check_invariants()

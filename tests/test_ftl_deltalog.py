@@ -1,0 +1,111 @@
+"""Unit tests for the mapping delta log."""
+
+import pytest
+
+from repro.errors import FtlError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.ftl.deltalog import (
+    KIND_SHARE,
+    KIND_SNAP,
+    KIND_TRIM,
+    DeltaRecord,
+    MapLog,
+)
+
+
+@pytest.fixture
+def env():
+    geo = FlashGeometry.small()
+    nand = NandArray(geo)
+    blocks = [geo.block_count - 2, geo.block_count - 1]
+    log = MapLog(nand, geo, blocks, records_per_page=4)
+    return nand, geo, blocks, log
+
+
+def record(lpn, seq, kind=KIND_SHARE, new_ppn=0):
+    return DeltaRecord(kind, lpn, None, new_ppn, seq)
+
+
+class TestDeltaRecord:
+    def test_valid(self):
+        rec = DeltaRecord(KIND_SHARE, 1, 2, 3, 4)
+        assert rec.new_ppn == 3
+
+    def test_trim_must_have_no_new_ppn(self):
+        with pytest.raises(ValueError):
+            DeltaRecord(KIND_TRIM, 1, 2, 3, 4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaRecord("bogus", 1, None, None, 1)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaRecord(KIND_SHARE, -1, None, 0, 1)
+        with pytest.raises(ValueError):
+            DeltaRecord(KIND_SHARE, 1, None, 0, -1)
+
+
+class TestMapLog:
+    def test_append_and_scan(self, env):
+        nand, geo, blocks, log = env
+        log.append_atomic([record(1, 1), record(2, 2)])
+        records = MapLog.scan(nand, geo, blocks)
+        assert [r.lpn for r in records] == [1, 2]
+        assert log.page_writes == 1
+
+    def test_empty_batch_rejected(self, env):
+        __, __, __, log = env
+        with pytest.raises(ValueError):
+            log.append_atomic([])
+
+    def test_oversized_batch_rejected(self, env):
+        __, __, __, log = env
+        with pytest.raises(FtlError):
+            log.append_atomic([record(i, i + 1) for i in range(5)])
+
+    def test_append_splits_large_batches(self, env):
+        nand, geo, blocks, log = env
+        log.append([record(i, i + 1) for i in range(10)])
+        assert log.page_writes == 3  # 4 + 4 + 2
+        assert len(MapLog.scan(nand, geo, blocks)) == 10
+
+    def test_checkpoint_triggers_when_full(self, env):
+        nand, geo, blocks, log = env
+        live = [record(99, 10_000, KIND_SNAP)]
+        log.set_snapshot_provider(lambda: list(live))
+        total_pages = len(blocks) * geo.pages_per_block
+        for i in range(total_pages + 3):
+            log.append_atomic([record(i, i + 1)])
+        assert log.checkpoints >= 1
+        scanned = MapLog.scan(nand, geo, blocks)
+        # The snapshot record must be present after compaction.
+        assert any(r.lpn == 99 and r.kind == KIND_SNAP for r in scanned)
+
+    def test_checkpoint_without_provider_fails(self, env):
+        nand, geo, blocks, log = env
+        total_pages = len(blocks) * geo.pages_per_block
+        with pytest.raises(FtlError):
+            for i in range(total_pages + 1):
+                log.append_atomic([record(i, i + 1)])
+
+    def test_bind_to_end_of_log_appends_after_existing(self, env):
+        nand, geo, blocks, log = env
+        log.append_atomic([record(1, 1)])
+        other = MapLog(nand, geo, blocks, records_per_page=4)
+        other.bind_to_end_of_log()
+        other.append_atomic([record(2, 2)])
+        assert len(MapLog.scan(nand, geo, blocks)) == 2
+
+    def test_scan_rejects_foreign_pages(self, env):
+        nand, geo, blocks, __ = env
+        nand.program(geo.first_ppn(blocks[0]), "data", spare=((1, 1),))
+        with pytest.raises(FtlError):
+            MapLog.scan(nand, geo, blocks)
+
+    def test_needs_a_block(self):
+        geo = FlashGeometry.small()
+        nand = NandArray(geo)
+        with pytest.raises(ValueError):
+            MapLog(nand, geo, [], records_per_page=4)

@@ -1,0 +1,62 @@
+"""Unit tests for the forward (L2P) map."""
+
+import pytest
+
+from repro.ftl.mapping import ForwardMap
+
+
+def test_starts_unmapped():
+    fwd = ForwardMap(16)
+    assert fwd.lookup(0) is None
+    assert not fwd.is_mapped(0)
+    assert fwd.mapped_count == 0
+
+
+def test_update_and_lookup():
+    fwd = ForwardMap(16)
+    assert fwd.update(3, 100) is None
+    assert fwd.lookup(3) == 100
+    assert fwd.mapped_count == 1
+
+
+def test_update_returns_old():
+    fwd = ForwardMap(16)
+    fwd.update(3, 100)
+    assert fwd.update(3, 200) == 100
+    assert fwd.mapped_count == 1
+
+
+def test_clear():
+    fwd = ForwardMap(16)
+    fwd.update(3, 100)
+    assert fwd.clear(3) == 100
+    assert fwd.lookup(3) is None
+    assert fwd.mapped_count == 0
+
+
+def test_clear_unmapped_returns_none():
+    fwd = ForwardMap(16)
+    assert fwd.clear(5) is None
+
+
+def test_bounds_checked():
+    fwd = ForwardMap(16)
+    with pytest.raises(ValueError):
+        fwd.lookup(16)
+    with pytest.raises(ValueError):
+        fwd.update(-1, 0)
+    with pytest.raises(ValueError):
+        fwd.update(0, -2)
+
+
+def test_mapped_lpns_iterates_live_entries():
+    fwd = ForwardMap(8)
+    fwd.update(1, 10)
+    fwd.update(5, 50)
+    fwd.clear(1)
+    assert list(fwd.mapped_lpns()) == [(5, 50)]
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        ForwardMap(0)

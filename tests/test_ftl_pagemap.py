@@ -1,0 +1,296 @@
+"""Integration-grade unit tests for the page-mapping FTL: basic I/O, TRIM,
+SHARE semantics, garbage collection, share-table spills, and the
+check_invariants() self-check."""
+
+import pytest
+
+from repro.errors import OutOfSpaceError, ShareError, UnmappedPageError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.ftl.config import FtlConfig
+from repro.ftl.pagemap import PageMappingFtl
+from repro.ftl.share_ext import SharePair
+
+
+def make_ftl(share_entries=250, page_size=4096, op=0.125, policy="log"):
+    geo = FlashGeometry(page_size=page_size, pages_per_block=32,
+                        block_count=64, overprovision_ratio=op)
+    nand = NandArray(geo)
+    return PageMappingFtl(nand, FtlConfig(map_block_count=4,
+                                          share_table_entries=share_entries,
+                                          share_overflow_policy=policy))
+
+
+@pytest.fixture
+def ftl():
+    return make_ftl()
+
+
+class TestBasicIo:
+    def test_write_read_roundtrip(self, ftl):
+        ftl.write(5, "five")
+        assert ftl.read(5) == "five"
+        assert ftl.stats.host_page_writes == 1
+        assert ftl.stats.host_page_reads == 1
+
+    def test_overwrite_replaces(self, ftl):
+        ftl.write(5, "old")
+        ftl.write(5, "new")
+        assert ftl.read(5) == "new"
+
+    def test_read_unmapped_raises(self, ftl):
+        with pytest.raises(UnmappedPageError):
+            ftl.read(5)
+
+    def test_is_mapped(self, ftl):
+        assert not ftl.is_mapped(5)
+        ftl.write(5, "x")
+        assert ftl.is_mapped(5)
+
+    def test_lpn_bounds(self, ftl):
+        with pytest.raises(ValueError):
+            ftl.write(ftl.logical_pages, "x")
+        with pytest.raises(ValueError):
+            ftl.read(-1)
+
+    def test_invariants_after_writes(self, ftl):
+        for i in range(100):
+            ftl.write(i % 37, ("v", i))
+        ftl.check_invariants()
+
+
+class TestTrim:
+    def test_trim_unmaps(self, ftl):
+        ftl.write(5, "x")
+        ftl.trim(5)
+        assert not ftl.is_mapped(5)
+        with pytest.raises(UnmappedPageError):
+            ftl.read(5)
+
+    def test_trim_range(self, ftl):
+        for i in range(10):
+            ftl.write(i, i)
+        ftl.trim(2, count=5)
+        assert ftl.is_mapped(1)
+        for i in range(2, 7):
+            assert not ftl.is_mapped(i)
+        assert ftl.is_mapped(7)
+        assert ftl.stats.trim_pages == 5
+
+    def test_trim_unmapped_is_noop(self, ftl):
+        ftl.trim(5)
+        assert ftl.stats.trim_pages == 0
+
+    def test_trim_frees_space_for_gc(self, ftl):
+        # Fill most of the logical space, trim it all, refill: GC must be
+        # able to reclaim the trimmed blocks.
+        n = ftl.logical_pages - 10
+        for i in range(n):
+            ftl.write(i, i)
+        ftl.trim(0, count=n)
+        for i in range(n):
+            ftl.write(i, ("again", i))
+        ftl.check_invariants()
+
+
+class TestShare:
+    def test_share_redirects_dst(self, ftl):
+        ftl.write(1, "src-data")
+        ftl.share(2, 1)
+        assert ftl.read(2) == "src-data"
+        assert ftl.fwd.lookup(2) == ftl.fwd.lookup(1)
+        ftl.check_invariants()
+
+    def test_share_keeps_snapshot_when_source_moves_on(self, ftl):
+        ftl.write(1, "v1")
+        ftl.share(2, 1)
+        ftl.write(1, "v2")
+        assert ftl.read(1) == "v2"
+        assert ftl.read(2) == "v1"
+        ftl.check_invariants()
+
+    def test_share_overwrites_dst_mapping(self, ftl):
+        ftl.write(1, "one")
+        ftl.write(2, "two")
+        ftl.share(2, 1)
+        assert ftl.read(2) == "one"
+
+    def test_share_unmapped_source_rejected(self, ftl):
+        with pytest.raises(ShareError):
+            ftl.share(2, 1)
+
+    def test_share_range(self, ftl):
+        for i in range(4):
+            ftl.write(10 + i, ("s", i))
+        ftl.share(100, 10, length=4)
+        for i in range(4):
+            assert ftl.read(100 + i) == ("s", i)
+
+    def test_share_batch_atomic_limit(self, ftl):
+        limit = ftl.max_share_batch
+        for i in range(2):
+            ftl.write(i, i)
+        too_big = [SharePair(1000 + i, i % 2) for i in range(limit + 1)]
+        with pytest.raises(ShareError):
+            ftl.share_batch(too_big)
+
+    def test_share_stats(self, ftl):
+        ftl.write(1, "x")
+        ftl.share(2, 1)
+        ftl.share_batch([SharePair(3, 1), SharePair(4, 1)])
+        assert ftl.stats.share_commands == 2
+        assert ftl.stats.share_pairs == 3
+
+    def test_trim_of_source_keeps_dst_alive(self, ftl):
+        ftl.write(1, "keep")
+        ftl.share(2, 1)
+        ftl.trim(1)
+        assert ftl.read(2) == "keep"
+        ftl.check_invariants()
+
+    def test_share_after_share(self, ftl):
+        ftl.write(1, "x")
+        ftl.share(2, 1)
+        ftl.share(3, 2)
+        assert ftl.read(3) == "x"
+        # All three LPNs share one physical page.
+        ppns = {ftl.fwd.lookup(i) for i in (1, 2, 3)}
+        assert len(ppns) == 1
+
+
+class TestShareOverflowCopyPolicy:
+    """The 'copy' overflow policy reconciles the oldest extra reference
+    with a private page copy when the DRAM table is full."""
+
+    def test_spill_materialises_copy(self):
+        ftl = make_ftl(share_entries=2, policy="copy")
+        ftl.write(1, "payload")
+        ftl.share(10, 1)
+        ftl.share(11, 1)
+        assert ftl.rev.is_full
+        ftl.share(12, 1)  # must reconcile the oldest extra
+        assert ftl.stats.share_spills == 1
+        for lpn in (10, 11, 12):
+            assert ftl.read(lpn) == "payload"
+        ftl.check_invariants()
+
+    def test_spilled_lpn_becomes_private(self):
+        ftl = make_ftl(share_entries=1, policy="copy")
+        ftl.write(1, "v1")
+        ftl.share(10, 1)
+        ftl.share(11, 1)  # spills LPN 10 into its own copy
+        assert ftl.fwd.lookup(10) != ftl.fwd.lookup(1)
+        ftl.write(1, "v2")
+        assert ftl.read(10) == "v1"
+        assert ftl.read(11) == "v1"
+
+
+class TestShareOverflowLogPolicy:
+    """The default 'log' policy keeps overflowed reverse mappings
+    resolvable from the mapping log: no data copies, GC pays lookups."""
+
+    def test_overflow_makes_no_copies(self):
+        ftl = make_ftl(share_entries=2, policy="log")
+        ftl.write(1, "payload")
+        programs_before = ftl.nand.total_programs
+        for dst in range(10, 20):
+            ftl.share(dst, 1)
+        # Only mapping-log pages were programmed, no data copies.
+        data_programs = (ftl.nand.total_programs - programs_before
+                         - ftl.map_page_writes)
+        assert ftl.stats.share_spills == 0
+        assert ftl.stats.share_log_spills == 8  # 10 extras, 2 fit in DRAM
+        assert ftl.rev.spilled_entries == 8
+        for dst in range(10, 20):
+            assert ftl.read(dst) == "payload"
+        ftl.check_invariants()
+
+    def test_gc_resolves_spilled_refs(self):
+        import random
+        rng = random.Random(3)
+        ftl = make_ftl(share_entries=1, policy="log")
+        ftl.write(1, "shared")
+        for dst in range(10, 14):
+            ftl.share(dst, 1)
+        # Random churn over most of the space mixes hot and cold pages in
+        # every block, so GC must move valid pages — including the shared
+        # one, whose overflowed reverse mappings need a log lookup.
+        span = ftl.logical_pages - 50
+        for i in range(ftl.logical_pages * 4):
+            ftl.write(20 + rng.randrange(span), ("churn", i))
+        assert ftl.stats.gc_events > 0
+        assert ftl.stats.copyback_pages > 0
+        for dst in range(10, 14):
+            assert ftl.read(dst) == "shared"
+        assert ftl.stats.spill_lookups > 0
+        ftl.check_invariants()
+
+    def test_spilled_entries_released_on_overwrite(self):
+        ftl = make_ftl(share_entries=1, policy="log")
+        ftl.write(1, "v1")
+        ftl.share(10, 1)
+        ftl.share(11, 1)  # spills
+        assert ftl.rev.spilled_entries == 1
+        ftl.write(11, "private")
+        assert ftl.rev.spilled_entries == 0
+        ftl.check_invariants()
+
+    def test_recovery_restores_spilled_refs(self):
+        ftl = make_ftl(share_entries=1, policy="log")
+        ftl.write(1, "v1")
+        for dst in range(10, 14):
+            ftl.share(dst, 1)
+        recovered = PageMappingFtl.recover(
+            ftl.nand, FtlConfig(map_block_count=4, share_table_entries=1))
+        for dst in range(10, 14):
+            assert recovered.read(dst) == "v1"
+        recovered.check_invariants()
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_overwritten_space(self, ftl):
+        hot = ftl.logical_pages // 4
+        for i in range(ftl.logical_pages * 3):
+            ftl.write(i % hot, ("w", i))
+        assert ftl.stats.gc_events > 0
+        assert ftl.free_block_count > 0
+        ftl.check_invariants()
+
+    def test_gc_preserves_data(self, ftl):
+        hot = 50
+        for i in range(ftl.logical_pages * 2):
+            ftl.write(i % hot, ("w", i % hot, i // hot))
+        # After the dust settles every hot LPN holds its newest version.
+        last_round = {}
+        for i in range(ftl.logical_pages * 2):
+            last_round[i % hot] = ("w", i % hot, i // hot)
+        for lpn, expected in last_round.items():
+            assert ftl.read(lpn) == expected
+
+    def test_gc_moves_shared_pages_intact(self, ftl):
+        ftl.write(1, "shared-payload")
+        ftl.share(2, 1)
+        # Churn unrelated LPNs to force GC over the shared page's block.
+        for i in range(ftl.logical_pages * 3):
+            ftl.write(3 + (i % 100), ("churn", i))
+        assert ftl.stats.gc_events > 0
+        assert ftl.read(1) == "shared-payload"
+        assert ftl.read(2) == "shared-payload"
+        assert ftl.fwd.lookup(1) == ftl.fwd.lookup(2)
+        ftl.check_invariants()
+
+    def test_overcommit_raises(self):
+        ftl = make_ftl(op=0.02)
+        with pytest.raises(OutOfSpaceError):
+            # Writing every logical page repeatedly with no invalidation
+            # headroom must eventually fail rather than loop forever.
+            for round_number in range(10):
+                for lpn in range(ftl.logical_pages):
+                    ftl.write(lpn, (round_number, lpn))
+
+    def test_wear_spreads_over_blocks(self, ftl):
+        hot = ftl.logical_pages // 4
+        for i in range(ftl.logical_pages * 4):
+            ftl.write(i % hot, i)
+        summary = ftl.nand.wear_summary()
+        assert summary["max"] >= 1

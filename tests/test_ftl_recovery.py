@@ -1,0 +1,175 @@
+"""Crash-recovery tests for the FTL: the delta-log atomicity protocol of
+Section 4.2.2 / Figure 4, exercised with injected power failures."""
+
+import pytest
+
+from repro.errors import PowerFailure
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.ftl.config import FtlConfig
+from repro.ftl.pagemap import PageMappingFtl
+from repro.ftl.share_ext import SharePair
+from repro.sim.faults import FaultPlan, PowerFailAfter
+
+
+def make_stack(share_entries=250, faults=None):
+    geo = FlashGeometry(page_size=4096, pages_per_block=32, block_count=64,
+                        overprovision_ratio=0.125)
+    nand = NandArray(geo)
+    config = FtlConfig(map_block_count=4, share_table_entries=share_entries)
+    ftl = PageMappingFtl(nand, config, faults or FaultPlan())
+    return nand, config, ftl
+
+
+def recover(nand, config):
+    return PageMappingFtl.recover(nand, config)
+
+
+class TestPlainRecovery:
+    def test_writes_survive(self):
+        nand, config, ftl = make_stack()
+        for i in range(200):
+            ftl.write(i % 50, ("v", i))
+        recovered = recover(nand, config)
+        for lpn in range(50):
+            assert recovered.read(lpn) == ftl.read(lpn)
+        recovered.check_invariants()
+
+    def test_trim_survives(self):
+        nand, config, ftl = make_stack()
+        ftl.write(1, "x")
+        ftl.trim(1)
+        ftl.flush()
+        recovered = recover(nand, config)
+        assert not recovered.is_mapped(1)
+
+    def test_unflushed_trim_may_resurrect_but_is_consistent(self):
+        # TRIM durability is only promised at flush, like real TRIM.
+        nand, config, ftl = make_stack()
+        ftl.write(1, "x")
+        ftl.trim(1)  # pending, below the auto-flush threshold
+        recovered = recover(nand, config)
+        if recovered.is_mapped(1):
+            assert recovered.read(1) == "x"
+        recovered.check_invariants()
+
+    def test_share_survives(self):
+        nand, config, ftl = make_stack()
+        ftl.write(1, "v1")
+        ftl.share(2, 1)
+        ftl.write(1, "v2")
+        recovered = recover(nand, config)
+        assert recovered.read(2) == "v1"
+        assert recovered.read(1) == "v2"
+        recovered.check_invariants()
+
+    def test_gc_survives(self):
+        nand, config, ftl = make_stack()
+        hot = 40
+        for i in range(ftl.logical_pages * 3):
+            ftl.write(i % hot, ("w", i))
+        assert ftl.stats.gc_events > 0
+        recovered = recover(nand, config)
+        for lpn in range(hot):
+            assert recovered.read(lpn) == ftl.read(lpn)
+        recovered.check_invariants()
+
+    def test_recovery_continues_sequence(self):
+        nand, config, ftl = make_stack()
+        ftl.write(1, "a")
+        recovered = recover(nand, config)
+        recovered.write(1, "b")
+        again = recover(nand, config)
+        assert again.read(1) == "b"
+
+
+class TestShareAtomicity:
+    """Crash on either side of the SHARE commit point (Figure 4)."""
+
+    def test_crash_before_commit_keeps_old_mapping(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        ftl.write(1, "new-copy")
+        ftl.write(2, "old-copy")
+        faults.arm(PowerFailAfter("maplog.before_commit"))
+        with pytest.raises(PowerFailure):
+            ftl.share(2, 1)
+        recovered = recover(nand, config)
+        assert recovered.read(2) == "old-copy"
+        assert recovered.read(1) == "new-copy"
+        recovered.check_invariants()
+
+    def test_crash_after_commit_keeps_new_mapping(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        ftl.write(1, "new-copy")
+        ftl.write(2, "old-copy")
+        faults.arm(PowerFailAfter("maplog.after_commit"))
+        with pytest.raises(PowerFailure):
+            ftl.share(2, 1)
+        recovered = recover(nand, config)
+        assert recovered.read(2) == "new-copy"
+        recovered.check_invariants()
+
+    def test_batch_is_all_or_nothing_before_commit(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        for i in range(4):
+            ftl.write(i, ("new", i))
+            ftl.write(100 + i, ("old", i))
+        faults.arm(PowerFailAfter("maplog.before_commit"))
+        with pytest.raises(PowerFailure):
+            ftl.share_batch([SharePair(100 + i, i) for i in range(4)])
+        recovered = recover(nand, config)
+        for i in range(4):
+            assert recovered.read(100 + i) == ("old", i)
+
+    def test_batch_is_all_or_nothing_after_commit(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        for i in range(4):
+            ftl.write(i, ("new", i))
+            ftl.write(100 + i, ("old", i))
+        faults.arm(PowerFailAfter("maplog.after_commit"))
+        with pytest.raises(PowerFailure):
+            ftl.share_batch([SharePair(100 + i, i) for i in range(4)])
+        recovered = recover(nand, config)
+        for i in range(4):
+            assert recovered.read(100 + i) == ("new", i)
+
+
+class TestMapLogCheckpoint:
+    def test_log_wraps_and_survives(self):
+        # Enough SHARE commands to exhaust the map region and force a
+        # checkpoint; everything must still recover.
+        nand, config, ftl = make_stack()
+        ftl.write(1, "payload")
+        pages_in_log = 4 * nand.geometry.pages_per_block
+        for round_number in range(pages_in_log + 8):
+            ftl.write(1, ("payload", round_number))
+            ftl.share(2, 1)
+        assert ftl.maplog.checkpoints >= 1
+        recovered = recover(nand, config)
+        assert recovered.read(2) == ("payload", pages_in_log + 7)
+        recovered.check_invariants()
+
+    def test_crash_during_write_leaves_old_or_new(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        ftl.write(7, "old")
+        faults.arm(PowerFailAfter("ftl.before_program", nth=1))
+        with pytest.raises(PowerFailure):
+            ftl.write(7, "new")
+        recovered = recover(nand, config)
+        # The program never happened: the page must read old.
+        assert recovered.read(7) == "old"
+
+    def test_crash_after_program_shows_new(self):
+        faults = FaultPlan()
+        nand, config, ftl = make_stack(faults=faults)
+        ftl.write(7, "old")
+        faults.arm(PowerFailAfter("ftl.after_program", nth=1))
+        with pytest.raises(PowerFailure):
+            ftl.write(7, "new")
+        recovered = recover(nand, config)
+        assert recovered.read(7) == "new"

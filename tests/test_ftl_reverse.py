@@ -1,0 +1,118 @@
+"""Unit tests for the reverse map and the bounded share table."""
+
+import pytest
+
+from repro.ftl.reverse import ReverseMap
+
+
+@pytest.fixture
+def rev():
+    return ReverseMap(capacity=4)
+
+
+def test_primary_reference_free(rev):
+    rev.set_primary(10, 1)
+    assert rev.refs(10) == {1}
+    assert rev.primary_of(10) == 1
+    assert rev.extra_entries == 0
+    assert rev.is_valid(10)
+
+
+def test_extra_consumes_capacity(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    assert rev.refs(10) == {1, 2}
+    assert rev.extra_entries == 1
+    assert rev.ref_count(10) == 2
+
+
+def test_duplicate_extra_is_noop(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    rev.add_extra(10, 2)
+    assert rev.extra_entries == 1
+
+
+def test_drop_extra_frees_capacity(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    became_invalid = rev.drop_ref(10, 2)
+    assert not became_invalid
+    assert rev.extra_entries == 0
+    assert rev.refs(10) == {1}
+
+
+def test_drop_last_ref_invalidates(rev):
+    rev.set_primary(10, 1)
+    assert rev.drop_ref(10, 1)
+    assert not rev.is_valid(10)
+    assert rev.refs(10) == set()
+
+
+def test_primary_departure_promotes_extra(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    rev.drop_ref(10, 1)
+    assert rev.primary_of(10) == 2
+    # Promotion releases the share-table entry.
+    assert rev.extra_entries == 0
+
+
+def test_is_full(rev):
+    rev.set_primary(10, 0)
+    for lpn in range(1, 5):
+        rev.add_extra(10, lpn)
+    assert rev.is_full
+    assert rev.oldest_extra() == (10, 1)
+
+
+def test_oldest_extra_fifo(rev):
+    rev.set_primary(10, 0)
+    rev.set_primary(11, 5)
+    rev.add_extra(10, 1)
+    rev.add_extra(11, 6)
+    assert rev.oldest_extra() == (10, 1)
+    rev.drop_ref(10, 1)
+    assert rev.oldest_extra() == (11, 6)
+
+
+def test_oldest_extra_none_when_empty(rev):
+    assert rev.oldest_extra() is None
+
+
+def test_move_page_transfers_refs(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    refs = rev.move_page(10, 20, new_primary=1)
+    assert sorted(refs) == [1, 2]
+    assert rev.refs(10) == set()
+    assert rev.refs(20) == {1, 2}
+    assert rev.primary_of(20) == 1
+    assert rev.extra_entries == 1  # LPN 2 still occupies a share entry
+
+
+def test_move_page_bad_primary_rejected(rev):
+    rev.set_primary(10, 1)
+    with pytest.raises(ValueError):
+        rev.move_page(10, 20, new_primary=9)
+
+
+def test_set_primary_clears_previous_life(rev):
+    rev.set_primary(10, 1)
+    rev.add_extra(10, 2)
+    rev.set_primary(10, 3)  # page reprogrammed after erase
+    assert rev.refs(10) == {3}
+    assert rev.extra_entries == 0
+
+
+def test_rebuild(rev):
+    rev.rebuild([(10, 1, True), (10, 2, False), (11, 3, True)])
+    assert rev.refs(10) == {1, 2}
+    assert rev.primary_of(10) == 1
+    assert rev.extra_entries == 1
+    assert rev.primary_of(11) == 3
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ReverseMap(0)

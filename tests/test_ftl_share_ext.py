@@ -1,0 +1,86 @@
+"""Unit tests for SHARE command validation (pairs, ranges, batches)."""
+
+import pytest
+
+from repro.errors import ShareError
+from repro.ftl.share_ext import (
+    MAX_BATCH_UNLIMITED,
+    SharePair,
+    expand_range,
+    validate_batch,
+)
+
+
+class TestSharePair:
+    def test_valid_pair(self):
+        pair = SharePair(10, 20)
+        assert pair.dst_lpn == 10
+        assert pair.src_lpn == 20
+
+    def test_identical_lpns_rejected(self):
+        with pytest.raises(ShareError):
+            SharePair(5, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShareError):
+            SharePair(-1, 5)
+        with pytest.raises(ShareError):
+            SharePair(5, -1)
+
+
+class TestExpandRange:
+    def test_single(self):
+        assert expand_range(0, 10, 1) == [SharePair(0, 10)]
+
+    def test_multi(self):
+        pairs = expand_range(100, 200, 3)
+        assert pairs == [SharePair(100, 200), SharePair(101, 201),
+                         SharePair(102, 202)]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ShareError):
+            expand_range(10, 12, 4)  # [10,14) overlaps [12,16)
+        with pytest.raises(ShareError):
+            expand_range(12, 10, 4)
+
+    def test_adjacent_ranges_allowed(self):
+        pairs = expand_range(10, 14, 4)  # [10,14) and [14,18) touch only
+        assert len(pairs) == 4
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ShareError):
+            expand_range(0, 10, 0)
+
+
+class TestValidateBatch:
+    def test_ok(self):
+        validate_batch([SharePair(0, 10), SharePair(1, 11)], 100, 16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShareError):
+            validate_batch([], 100, 16)
+
+    def test_too_large_rejected(self):
+        pairs = [SharePair(i, 50 + i) for i in range(5)]
+        with pytest.raises(ShareError):
+            validate_batch(pairs, 100, 4)
+
+    def test_unlimited_sentinel(self):
+        pairs = [SharePair(i, 500 + i) for i in range(300)]
+        validate_batch(pairs, 1000, MAX_BATCH_UNLIMITED)
+
+    def test_out_of_space_rejected(self):
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(99, 100)], 100, 16)
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(0, 10), SharePair(0, 11)], 100, 16)
+
+    def test_chained_lpn_rejected(self):
+        # 5 is a destination in one pair and a source in another.
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(5, 10), SharePair(6, 5)], 100, 16)
+
+    def test_shared_source_allowed(self):
+        validate_batch([SharePair(0, 10), SharePair(1, 10)], 100, 16)

@@ -1,0 +1,134 @@
+"""End-to-end soak tests: several subsystems sharing one device through
+one filesystem, interleaved with compactions, crashes, and recovery —
+the kind of cross-module interaction no unit test reaches."""
+
+import random
+
+import pytest
+
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FAST_TIMING
+from repro.ftl.config import FtlConfig
+from repro.host.filesystem import FsConfig, HostFs
+from repro.lsm import CompactionMode, LsmConfig, LsmStore
+from repro.sim.clock import SimClock
+from repro.sqlitelike import JournalMode, SqliteLikeDb
+from repro.ssd.device import Ssd, SsdConfig
+
+
+def big_fs(clock):
+    geometry = FlashGeometry(page_size=4096, pages_per_block=64,
+                             block_count=512, overprovision_ratio=0.1)
+    ssd = Ssd(clock, SsdConfig(geometry=geometry, timing=FAST_TIMING,
+                               ftl=FtlConfig(map_block_count=16)))
+    return ssd, HostFs(ssd, FsConfig())
+
+
+def test_two_couch_stores_share_one_device(clock):
+    ssd, fs = big_fs(clock)
+    a = CouchStore(fs, "/a", CommitMode.SHARE,
+                   CouchConfig(leaf_capacity=4, internal_fanout=8,
+                               prealloc_blocks=64))
+    b = CouchStore(fs, "/b", CommitMode.ORIGINAL,
+                   CouchConfig(leaf_capacity=4, internal_fanout=8,
+                               prealloc_blocks=64))
+    rng = random.Random(1)
+    model_a, model_b = {}, {}
+    for i in range(600):
+        key = rng.randrange(60)
+        a.set(key, ("a", i))
+        model_a[key] = ("a", i)
+        b.set(key, ("b", i))
+        model_b[key] = ("b", i)
+        if i % 16 == 15:
+            a.commit()
+            b.commit()
+    a.commit()
+    b.commit()
+    a, __ = compact(a, clock)
+    b, __ = compact(b, clock)
+    for key, value in model_a.items():
+        assert a.get(key) == value
+    for key, value in model_b.items():
+        assert b.get(key) == value
+    ssd.ftl.check_invariants()
+
+
+def test_couch_lsm_sqlite_coexist_and_survive_crash(clock):
+    ssd, fs = big_fs(clock)
+    couch = CouchStore(fs, "/couch", CommitMode.SHARE,
+                       CouchConfig(leaf_capacity=4, internal_fanout=8,
+                                   prealloc_blocks=64))
+    lsm = LsmStore(fs, "lsm", CompactionMode.SHARE, clock,
+                   LsmConfig(memtable_limit=64, l0_limit=2,
+                             block_capacity=4))
+    sqlite = SqliteLikeDb(fs, "/sq.db", JournalMode.SHARE, page_count=1024,
+                          leaf_capacity=4, internal_fanout=4)
+    rng = random.Random(2)
+    for i in range(400):
+        key = rng.randrange(80)
+        couch.set(key, ("c", i))
+        lsm.put(key, ("l", i))
+        sqlite.put(key, ("s", i))
+        if i % 20 == 19:
+            couch.commit()
+            lsm.commit()
+    couch.commit()
+    lsm.commit()
+    couch_state = dict(couch.items())
+    lsm_state = lsm.items()
+    sqlite_state = dict(sqlite.items())
+    ssd.power_cycle()
+    couch2 = CouchStore.reopen(fs, "/couch", CommitMode.SHARE, couch.config)
+    lsm2 = LsmStore.reopen(fs, "lsm", CompactionMode.SHARE, clock)
+    sqlite2 = SqliteLikeDb.open(fs, "/sq.db", JournalMode.SHARE,
+                                page_count=1024)
+    assert dict(couch2.items()) == couch_state
+    assert lsm2.items() == lsm_state
+    assert dict(sqlite2.items()) == sqlite_state
+    ssd.ftl.check_invariants()
+
+
+def test_repeated_compaction_cycles_never_leak_space(clock):
+    """Churn + compact in a loop: recycled extents, TRIMmed shares, and
+    GC must reach a steady state instead of exhausting the device."""
+    ssd, fs = big_fs(clock)
+    store = CouchStore(fs, "/db", CommitMode.SHARE,
+                       CouchConfig(leaf_capacity=4, internal_fanout=8,
+                                   prealloc_blocks=64))
+    for key in range(100):
+        store.set(key, ("v0", key))
+    store.commit()
+    for cycle in range(6):
+        for key in range(100):
+            store.set(key, ("cycle", cycle, key))
+            if key % 25 == 24:
+                store.commit()
+        store.commit()
+        store, __ = compact(store, clock)
+        assert store.get(50) == ("cycle", cycle, 50)
+    # The device still has healthy free space after 6 full rewrites.
+    assert ssd.ftl.free_block_count > 2
+    ssd.ftl.check_invariants()
+
+
+def test_reflink_clones_of_live_database(clock):
+    """Snapshot a SQLite-like database with reflink_copy mid-run, keep
+    writing to the original, and open the frozen clone afterwards."""
+    ssd, fs = big_fs(clock)
+    db = SqliteLikeDb(fs, "/live.db", JournalMode.SHARE, page_count=512,
+                      leaf_capacity=4, internal_fanout=4)
+    for i in range(120):
+        db.put(i % 40, ("v1", i))
+    fs.reflink_copy("/live.db", "/snap.db")
+    for i in range(120):
+        db.put(i % 40, ("v2", i))
+    snapshot = SqliteLikeDb.open(fs, "/snap.db", JournalMode.SHARE,
+                                 page_count=512)
+    # The snapshot shows the v1 state; the live database shows v2.
+    for key in range(40):
+        assert snapshot.get(key) == ("v1", 80 + key)
+        assert db.get(key) == ("v2", 80 + key)
+    ssd.ftl.check_invariants()

@@ -1,0 +1,104 @@
+"""Property-based tests: the couchstore engine (in both commit modes)
+must match a dict model through batched commits, reopen, and compaction."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+KEYS = st.integers(0, 40)
+VALUES = st.integers(0, 1000)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("set"), KEYS, VALUES),
+    st.tuples(st.just("delete"), KEYS, st.just(0)),
+)
+batch_strategy = st.lists(op_strategy, min_size=1, max_size=10)
+
+
+def fresh(mode):
+    clock = SimClock()
+    ssd = Ssd(clock, small_ssd_config())
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    config = CouchConfig(leaf_capacity=3, internal_fanout=4,
+                         prealloc_blocks=32)
+    return clock, ssd, fs, CouchStore(fs, "/db", mode, config)
+
+
+def drive(store, batches, model):
+    for batch in batches:
+        for kind, key, value in batch:
+            if kind == "set":
+                store.set(key, ("v", key, value))
+                model[key] = ("v", key, value)
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        store.commit()
+
+
+@settings(max_examples=35, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, max_size=15),
+       st.sampled_from(list(CommitMode)))
+def test_engine_matches_dict(batches, mode):
+    __, ssd, __, store = fresh(mode)
+    model = {}
+    drive(store, batches, model)
+    for key in range(41):
+        assert store.get(key) == model.get(key)
+    assert store.doc_count == len(model)
+    ssd.ftl.check_invariants()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, min_size=1, max_size=10),
+       st.sampled_from(list(CommitMode)))
+def test_reopen_after_power_cycle_matches_committed_state(batches, mode):
+    __, ssd, fs, store = fresh(mode)
+    model = {}
+    drive(store, batches, model)
+    ssd.power_cycle()
+    reopened = CouchStore.reopen(fs, "/db", mode, store.config)
+    for key in range(41):
+        assert reopened.get(key) == model.get(key)
+    assert reopened.doc_count == len(model)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, min_size=1, max_size=10),
+       st.sampled_from(list(CommitMode)))
+def test_compaction_preserves_contents(batches, mode):
+    clock, ssd, __, store = fresh(mode)
+    model = {}
+    drive(store, batches, model)
+    new_store, result = compact(store, clock)
+    assert result.docs_moved == len(model)
+    for key in range(41):
+        assert new_store.get(key) == model.get(key)
+    assert new_store.stale_blocks == 0
+    ssd.ftl.check_invariants()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, min_size=2, max_size=8),
+       st.sampled_from(list(CommitMode)))
+def test_usable_after_compact_then_reopen(batches, mode):
+    clock, ssd, fs, store = fresh(mode)
+    model = {}
+    drive(store, batches[:-1], model)
+    store, __ = compact(store, clock)
+    drive(store, batches[-1:], model)
+    ssd.power_cycle()
+    reopened = CouchStore.reopen(fs, "/db", mode, store.config)
+    for key, expected in model.items():
+        assert reopened.get(key) == expected

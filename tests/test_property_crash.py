@@ -1,0 +1,155 @@
+"""Property-based crash testing: power may fail at ANY instrumented point
+during a random operation stream; after recovery the device must expose a
+consistent prefix of the durable history.
+
+Consistency contract checked:
+* every LPN reads either a value it held at some committed point, never a
+  torn mix or a phantom,
+* operations completed before the crash are durable (writes and SHAREs
+  return only after their media/commit step),
+* SHARE batches are all-or-nothing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PowerFailure, ShareError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.ftl.config import FtlConfig
+from repro.ftl.pagemap import PageMappingFtl
+from repro.ftl.share_ext import SharePair
+from repro.sim.faults import FaultPlan, PowerFailAfter
+
+SPAN = 48
+
+FAULT_POINTS = (
+    "ftl.before_program",
+    "ftl.after_program",
+    "maplog.before_commit",
+    "maplog.after_commit",
+    "maplog.checkpoint_start",
+    "maplog.checkpoint_end",
+)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, SPAN - 1),
+              st.integers(0, 999)),
+    st.tuples(st.just("share"), st.integers(0, SPAN - 1),
+              st.integers(0, SPAN - 1)),
+    st.tuples(st.just("batch"), st.integers(0, SPAN - 5),
+              st.integers(1, 4)),
+    st.tuples(st.just("trim"), st.integers(0, SPAN - 1), st.just(0)),
+    st.tuples(st.just("flush"), st.just(0), st.just(0)),
+)
+
+
+def fresh(faults):
+    geo = FlashGeometry(page_size=4096, pages_per_block=16, block_count=40,
+                        overprovision_ratio=0.2)
+    nand = NandArray(geo)
+    config = FtlConfig(map_block_count=4, share_table_entries=8)
+    return nand, config, PageMappingFtl(nand, config, faults)
+
+
+def run_stream(ftl, ops, committed, durable_writes):
+    """Apply ops; ``committed`` mirrors the logical state after each
+    *completed* operation; ``durable_writes`` records ops whose durability
+    is promised at return (writes, shares)."""
+    for op in ops:
+        kind, a, b = op
+        if kind == "write":
+            ftl.write(a, ("v", a, b))
+            committed[a] = ("v", a, b)
+            durable_writes[a] = ("v", a, b)
+        elif kind == "share":
+            if a == b:
+                continue
+            try:
+                ftl.share(a, b)
+            except ShareError:
+                continue
+            committed[a] = committed[b]
+            durable_writes[a] = committed[b]
+        elif kind == "batch":
+            sources = [lpn for lpn in range(SPAN)
+                       if lpn in committed
+                       and not a <= lpn < a + b]
+            if len(sources) < b:
+                continue
+            pairs = [SharePair(a + i, sources[i]) for i in range(b)]
+            try:
+                ftl.share_batch(pairs)
+            except ShareError:
+                continue
+            for pair in pairs:
+                committed[pair.dst_lpn] = committed[pair.src_lpn]
+                durable_writes[pair.dst_lpn] = committed[pair.src_lpn]
+        elif kind == "trim":
+            ftl.trim(a)
+            committed.pop(a, None)
+            durable_writes.pop(a, None)
+        elif kind == "flush":
+            ftl.flush()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy, min_size=5, max_size=60),
+       st.sampled_from(FAULT_POINTS),
+       st.integers(1, 25))
+def test_crash_anywhere_recovers_consistently(ops, fault_point, nth):
+    faults = FaultPlan()
+    nand, config, ftl = fresh(faults)
+    committed = {}
+    durable = {}
+    faults.arm(PowerFailAfter(fault_point, nth=nth))
+    crashed = False
+    try:
+        run_stream(ftl, ops, committed, durable)
+    except PowerFailure:
+        crashed = True
+    recovered = PageMappingFtl.recover(nand, config)
+    recovered.check_invariants()
+    for lpn, expected in durable.items():
+        # Durability: every operation that returned must survive.
+        assert recovered.is_mapped(lpn), (
+            f"LPN {lpn} lost after crash at {fault_point}")
+        assert recovered.read(lpn) == expected
+    if not crashed:
+        # No crash fired: full state must match, including trims (after
+        # an explicit flush).
+        recovered2 = recovered
+        for lpn in range(SPAN):
+            if lpn in committed:
+                assert recovered2.read(lpn) == committed[lpn]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(1, 6), st.integers(1, 3),
+       st.sampled_from(["maplog.before_commit", "maplog.after_commit"]))
+def test_share_batch_all_or_nothing_under_crash(batch_size, nth, point):
+    faults = FaultPlan()
+    nand, config, ftl = fresh(faults)
+    for lpn in range(batch_size):
+        ftl.write(lpn, ("src", lpn))
+        ftl.write(20 + lpn, ("old", lpn))
+    faults.arm(PowerFailAfter(point, nth=nth))
+    pairs = [SharePair(20 + lpn, lpn) for lpn in range(batch_size)]
+    crashed = False
+    try:
+        ftl.share_batch(pairs)
+    except PowerFailure:
+        crashed = True
+    recovered = PageMappingFtl.recover(nand, config)
+    values = [recovered.read(20 + lpn) for lpn in range(batch_size)]
+    all_old = all(value == ("old", lpn)
+                  for lpn, value in enumerate(values))
+    all_new = all(value == ("src", lpn)
+                  for lpn, value in enumerate(values))
+    assert all_old or all_new, (
+        f"partial SHARE batch visible after crash at {point}: {values}")
+    if not crashed:
+        assert all_new

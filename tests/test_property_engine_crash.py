@@ -1,0 +1,153 @@
+"""Property-based crash testing at the ENGINE level: power may fail at a
+random device-layer point during a random couchstore workload.
+
+The contract checked is the engine's real one (Section 4.3): each
+*document* operation is atomic, and a commit() that returned is fully
+durable.  A commit interrupted by the crash may surface partially at
+batch granularity — in SHARE mode updates publish through the device
+remap while inserts/deletes publish through the header — but every key
+must read as either its last-durable or its in-flight version, never a
+torn mix, and the store must remain fully usable."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.errors import PowerFailure
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FAST_TIMING
+from repro.ftl.config import FtlConfig
+from repro.host.filesystem import FsConfig, HostFs
+from repro.sim.clock import SimClock
+from repro.sim.faults import FaultPlan, PowerFailAfter
+from repro.ssd.device import Ssd, SsdConfig
+
+KEYS = st.integers(0, 30)
+VALUES = st.integers(0, 1000)
+FAULT_POINTS = (
+    "ftl.before_program",
+    "ftl.after_program",
+    "maplog.before_commit",
+    "maplog.after_commit",
+)
+
+batch_strategy = st.lists(
+    st.one_of(st.tuples(st.just("set"), KEYS, VALUES),
+              st.tuples(st.just("delete"), KEYS, st.just(0))),
+    min_size=1, max_size=6)
+
+
+def _check_per_key_contract(recovered, durable, inflight, point, nth, mode):
+    """Per-key atomicity + durability of returned commits.
+
+    Every key must read as its last-durable version or (only while a
+    commit was interrupted) its in-flight version — nothing else, nothing
+    torn, no phantom keys.
+    """
+    every_key = set(durable) | set(recovered)
+    if inflight is not None:
+        every_key |= set(inflight)
+    for key in every_key:
+        allowed = {repr(durable.get(key))}
+        if inflight is not None:
+            allowed.add(repr(inflight.get(key)))
+        assert repr(recovered.get(key)) in allowed, (
+            f"key {key} reads {recovered.get(key)!r}, expected one of "
+            f"{allowed} (crash at {point} #{nth}, mode {mode.value})")
+
+
+def fresh(mode, faults):
+    clock = SimClock()
+    geo = FlashGeometry(page_size=4096, pages_per_block=32, block_count=96,
+                        overprovision_ratio=0.15)
+    ssd = Ssd(clock, SsdConfig(geometry=geo, timing=FAST_TIMING,
+                               ftl=FtlConfig(map_block_count=6)),
+              faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    store = CouchStore(fs, "/db", mode,
+                       CouchConfig(leaf_capacity=3, internal_fanout=4,
+                                   prealloc_blocks=32))
+    return ssd, fs, store
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, min_size=1, max_size=10),
+       st.sampled_from(list(CommitMode)),
+       st.sampled_from(FAULT_POINTS),
+       st.integers(1, 40))
+def test_couch_crash_exposes_a_committed_prefix(batches, mode, point, nth):
+    faults = FaultPlan()
+    ssd, fs, store = fresh(mode, faults)
+    # States the recovered store may legitimately expose: the state after
+    # each completed commit, plus — when the crash interrupts a commit —
+    # the in-flight batch's state (its single-page header program is the
+    # atomic point, so the whole batch appears or none of it does).
+    durable = {}          # state after the last commit that RETURNED
+    inflight = None       # state of the batch whose commit crashed
+    model = {}
+    faults.arm(PowerFailAfter(point, nth=nth))
+    try:
+        for batch in batches:
+            for kind, key, value in batch:
+                if kind == "set":
+                    store.set(key, ("v", key, value))
+                    model[key] = ("v", key, value)
+                else:
+                    store.delete(key)
+                    model.pop(key, None)
+            inflight = dict(model)
+            store.commit()
+            durable = dict(model)
+            inflight = None
+    except PowerFailure:
+        pass
+    faults.disarm()   # the fuse must not fire during recovery checks
+    ssd.power_cycle()
+    reopened = CouchStore.reopen(fs, "/db", mode, store.config)
+    recovered = {key: value for key, value in reopened.items()}
+    _check_per_key_contract(recovered, durable, inflight, point, nth, mode)
+    # The store must be fully usable after recovery.
+    reopened.set(999, "post-crash")
+    reopened.commit()
+    assert reopened.get(999) == "post-crash"
+    ssd.ftl.check_invariants()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(batch_strategy, min_size=1, max_size=6),
+       st.sampled_from(FAULT_POINTS),
+       st.integers(1, 30))
+def test_share_mode_committed_batches_are_durable(batches, point, nth):
+    """Stronger property for SHARE mode: every batch whose commit()
+    RETURNED before the crash must be present after reopen (commits are
+    device-durable, not just buffered)."""
+    faults = FaultPlan()
+    ssd, fs, store = fresh(CommitMode.SHARE, faults)
+    model = {}
+    durable = {}
+    inflight = None
+    faults.arm(PowerFailAfter(point, nth=nth))
+    try:
+        for batch in batches:
+            for kind, key, value in batch:
+                if kind == "set":
+                    store.set(key, ("v", key, value))
+                    model[key] = ("v", key, value)
+                else:
+                    store.delete(key)
+                    model.pop(key, None)
+            inflight = dict(model)
+            store.commit()
+            durable = dict(model)
+            inflight = None
+    except PowerFailure:
+        pass
+    faults.disarm()   # the fuse must not fire during recovery checks
+    ssd.power_cycle()
+    reopened = CouchStore.reopen(fs, "/db", CommitMode.SHARE, store.config)
+    recovered = {key: value for key, value in reopened.items()}
+    _check_per_key_contract(recovered, durable, inflight, point, nth,
+                            CommitMode.SHARE)

@@ -1,0 +1,67 @@
+"""Unit tests for power-failure injection."""
+
+import pytest
+
+from repro.errors import PowerFailure
+from repro.sim.faults import FaultPlan, PowerFailAfter
+
+
+def test_disarmed_plan_is_silent():
+    plan = FaultPlan()
+    for _ in range(10):
+        plan.checkpoint("anywhere")
+    assert plan.hits("anywhere") == 10
+
+
+def test_fires_on_nth_hit():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("ftl.before_program", nth=3))
+    plan.checkpoint("ftl.before_program")
+    plan.checkpoint("ftl.before_program")
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("ftl.before_program")
+
+
+def test_fires_only_once():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("p", nth=1))
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+    plan.checkpoint("p")  # must not raise again
+
+
+def test_other_points_unaffected():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("a"))
+    plan.checkpoint("b")
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("a")
+
+
+def test_disarm():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("a"))
+    plan.disarm("a")
+    plan.checkpoint("a")
+
+
+def test_disarm_all():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("a"))
+    plan.arm(PowerFailAfter("b"))
+    plan.disarm()
+    plan.checkpoint("a")
+    plan.checkpoint("b")
+
+
+def test_trace_records_order():
+    plan = FaultPlan()
+    plan.enable_trace()
+    plan.checkpoint("x")
+    plan.checkpoint("y")
+    assert plan.trace == ["x", "y"]
+
+
+def test_bad_nth_rejected():
+    with pytest.raises(ValueError):
+        PowerFailAfter("p", nth=0)

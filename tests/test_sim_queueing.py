@@ -1,0 +1,70 @@
+"""Unit tests for the closed-loop queueing model."""
+
+import pytest
+
+from repro.sim.queueing import ClosedLoopQueue
+
+
+def test_single_client_has_no_wait():
+    queue = ClosedLoopQueue(1)
+    first = queue.submit(10.0)
+    second = queue.submit(5.0)
+    assert first.wait_us == 0.0
+    assert second.wait_us == 0.0
+    assert second.response_us == 5.0
+    assert queue.makespan_us == 15.0
+
+
+def test_two_clients_queue_behind_each_other():
+    queue = ClosedLoopQueue(2)
+    a = queue.submit(10.0)   # client 0: starts at 0, done at 10
+    b = queue.submit(10.0)   # client 1: arrives 0, waits 10, done 20
+    assert a.response_us == 10.0
+    assert b.wait_us == 10.0
+    assert b.response_us == 20.0
+
+
+def test_steady_state_response_is_n_times_service():
+    clients = 8
+    queue = ClosedLoopQueue(clients)
+    last = None
+    for __ in range(200):
+        last = queue.submit(1.0)
+    # With uniform service, every client waits behind the other N-1.
+    assert last.response_us == pytest.approx(clients * 1.0)
+
+
+def test_makespan_equals_total_service():
+    """Zero think time: the server never idles after startup, so the
+    makespan equals the sum of services — throughput is unchanged by
+    the client count."""
+    queue = ClosedLoopQueue(5)
+    total = 0.0
+    for service in (3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0):
+        queue.submit(service)
+        total += service
+    assert queue.makespan_us == pytest.approx(total)
+
+
+def test_burst_inflates_followers_latency():
+    """A long (GC-stalled) operation delays every queued client — the
+    mechanism behind the paper's Table 1 read tails."""
+    queue = ClosedLoopQueue(4)
+    for __ in range(8):
+        queue.submit(1.0)
+    queue.submit(100.0)          # the GC burst
+    follower = queue.submit(1.0)
+    assert follower.response_us > 100.0
+
+
+def test_round_robin_client_assignment():
+    queue = ClosedLoopQueue(3)
+    completions = [queue.submit(1.0) for __ in range(6)]
+    assert [c.client for c in completions] == [0, 1, 2, 0, 1, 2]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClosedLoopQueue(0)
+    with pytest.raises(ValueError):
+        ClosedLoopQueue(2).submit(-1.0)

@@ -1,0 +1,120 @@
+"""Unit tests for counters, histograms, and the latency recorder."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, LatencyRecorder, percentile
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        values = sorted([3.2, 1.1, 9.9, 4.4, 2.2, 8.8, 0.5])
+        for p in (10, 25, 50, 75, 90, 99):
+            assert percentile(values, p) == pytest.approx(
+                float(numpy.percentile(values, p)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestCounter:
+    def test_default_zero(self):
+        assert Counter().get("x") == 0
+
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("writes")
+        counter.add("writes", 4)
+        assert counter["writes"] == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add("x", -1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.add("x", 3)
+        counter.reset()
+        assert counter.get("x") == 0
+
+    def test_names_sorted(self):
+        counter = Counter()
+        counter.add("b")
+        counter.add("a")
+        assert counter.names() == ["a", "b"]
+
+
+class TestHistogram:
+    def test_mean_and_extremes(self):
+        hist = Histogram()
+        hist.extend([1.0, 2.0, 3.0])
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.count == 3
+
+    def test_summary_shape(self):
+        hist = Histogram()
+        hist.extend(float(i) for i in range(1, 101))
+        summary = hist.summary()
+        assert set(summary) == {"mean", "p25", "p50", "p75", "p99", "max"}
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().mean
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-0.1)
+
+    def test_pct_after_record_invalidates_cache(self):
+        hist = Histogram()
+        hist.record(1.0)
+        assert hist.pct(50) == 1.0
+        hist.record(100.0)
+        assert hist.pct(100) == 100.0
+
+
+class TestLatencyRecorder:
+    def test_records_per_op(self):
+        recorder = LatencyRecorder()
+        recorder.record("Get_Node", 5.0)
+        recorder.record("Get_Node", 7.0)
+        recorder.record("Add_Link", 50.0)
+        table = recorder.table()
+        assert table["Get_Node"]["mean"] == pytest.approx(6.0)
+        assert table["Add_Link"]["max"] == 50.0
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            LatencyRecorder().histogram("nope")
+
+    def test_merged(self):
+        recorder = LatencyRecorder()
+        recorder.record("a", 1.0)
+        recorder.record("b", 3.0)
+        assert recorder.merged().mean == pytest.approx(2.0)
+
+    def test_op_names(self):
+        recorder = LatencyRecorder()
+        recorder.record("b", 1.0)
+        recorder.record("a", 1.0)
+        assert recorder.op_names() == ["a", "b"]

@@ -1,0 +1,74 @@
+"""Tests for the sweep CLI."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.sweeps import (
+    main,
+    sweep_linkbench,
+    sweep_microbench,
+    sweep_ycsb,
+    write_csv,
+)
+from repro.couchstore.engine import CommitMode
+from repro.innodb.engine import FlushMode
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def test_ycsb_sweep_rows():
+    rows = sweep_ycsb(YcsbWorkload.F, [1, 8], records=400, operations=300,
+                      modes=[CommitMode.ORIGINAL, CommitMode.SHARE])
+    assert len(rows) == 4
+    by_key = {(r["mode"], r["batch_size"]): r for r in rows}
+    assert (by_key[("share", 1)]["throughput_ops"]
+            > by_key[("original", 1)]["throughput_ops"])
+    assert by_key[("share", 1)]["share_pairs"] > 0
+    assert by_key[("original", 1)]["share_pairs"] == 0
+
+
+def test_linkbench_sweep_rows():
+    rows = sweep_linkbench([50], nodes=1200, transactions=800,
+                           modes=[FlushMode.DWB_ON, FlushMode.SHARE])
+    assert len(rows) == 2
+    dwb, share = rows
+    assert share["host_writes"] < dwb["host_writes"]
+    assert share["throughput_tps"] > dwb["throughput_tps"]
+
+
+def test_microbench_sweep_rows():
+    rows = sweep_microbench(["randread"], ops=300, utilizations=[0.3, 0.6])
+    assert len(rows) == 2
+    assert all(r["iops"] > 0 for r in rows)
+
+
+def test_write_csv_shape():
+    rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+    buffer = io.StringIO()
+    write_csv(rows, buffer)
+    parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+    assert parsed == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+
+def test_write_csv_empty_rejected():
+    with pytest.raises(ValueError):
+        write_csv([], io.StringIO())
+
+
+def test_main_stdout(capsys):
+    assert main(["microbench", "--patterns", "randread",
+                 "--utilizations", "0.4", "--ops", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "pattern" in out.splitlines()[0]
+    assert "randread" in out
+
+
+def test_main_csv_file(tmp_path, capsys):
+    target = tmp_path / "rows.csv"
+    assert main(["ycsb", "--workload", "F", "--batches", "4",
+                 "--records", "300", "--ops", "200",
+                 "--couch-modes", "share", "--csv", str(target)]) == 0
+    parsed = list(csv.DictReader(target.open()))
+    assert len(parsed) == 1
+    assert parsed[0]["mode"] == "share"

@@ -1,0 +1,90 @@
+"""Tests for the CLI tools (microbench and inspector)."""
+
+import pytest
+
+from repro.tools.inspect import (
+    SCENARIOS,
+    build_device,
+    format_report,
+    gather_report,
+    run_scenario,
+)
+from repro.tools.microbench import PATTERNS, MicrobenchResult, run_microbench
+
+
+class TestMicrobench:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_every_pattern_runs(self, pattern):
+        result = run_microbench(pattern, ops=400, block_count=64)
+        assert isinstance(result, MicrobenchResult)
+        assert result.operations == 400
+        assert result.elapsed_seconds > 0
+        assert result.iops > 0
+
+    def test_reads_faster_than_writes(self):
+        reads = run_microbench("randread", ops=500, block_count=64)
+        writes = run_microbench("randwrite", ops=500, block_count=64)
+        assert reads.iops > writes.iops
+
+    def test_high_utilization_raises_waf(self):
+        low = run_microbench("randwrite", ops=4000, utilization=0.3,
+                             block_count=48)
+        high = run_microbench("randwrite", ops=4000, utilization=0.9,
+                              block_count=48)
+        assert high.waf >= low.waf
+        assert high.gc_events >= low.gc_events
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_microbench("bogus")
+        with pytest.raises(ValueError):
+            run_microbench("randread", utilization=0.99)
+
+    def test_format_is_one_line(self):
+        result = run_microbench("randread", ops=100, block_count=64)
+        assert "\n" not in result.format()
+        assert "IOPS" in result.format()
+
+    def test_main_entrypoint(self, capsys):
+        from repro.tools.microbench import main
+        assert main(["--pattern", "randread", "--ops", "200",
+                     "--blocks", "64"]) == 0
+        assert "randread" in capsys.readouterr().out
+
+
+class TestInspector:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_scenarios_run_and_report(self, scenario):
+        ssd = build_device(block_count=64)
+        run_scenario(ssd, scenario)
+        ssd.ftl.check_invariants()
+        report = gather_report(ssd)
+        assert report["mapped_lpns"] > 0
+        assert 0 < report["utilization"] <= 1.0
+        assert report["share_table_capacity"] == 250
+        assert sum(report["wear_histogram"].values()) \
+            == ssd.config.geometry.block_count
+
+    def test_share_heavy_uses_share_table(self):
+        ssd = build_device(block_count=64)
+        run_scenario(ssd, "share-heavy")
+        report = gather_report(ssd)
+        assert report["shared_physical_pages"] > 0
+        assert report["share_table_used"] > 0
+
+    def test_unknown_scenario_rejected(self):
+        ssd = build_device(block_count=64)
+        with pytest.raises(ValueError):
+            run_scenario(ssd, "nope")
+
+    def test_format_report(self):
+        ssd = build_device(block_count=64)
+        run_scenario(ssd, "overwrite")
+        text = format_report(gather_report(ssd))
+        assert "wear histogram" in text
+        assert "utilization" in text
+
+    def test_main_entrypoint(self, capsys):
+        from repro.tools.inspect import main
+        assert main(["--scenario", "overwrite", "--blocks", "64"]) == 0
+        assert "device state" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Tests for trace parsing, replay, and synthesis."""
+
+import pytest
+
+from repro.workloads.tracereplay import (
+    ReplayResult,
+    TraceFormatError,
+    TraceOp,
+    dump_trace,
+    parse_trace,
+    replay,
+    synthesize_trace,
+)
+
+
+class TestParsing:
+    def test_basic_ops(self):
+        text = """
+        # a comment
+        W 10 2
+        R 10
+        S 100 10 2
+        T 10 2
+        F
+        """
+        ops = list(parse_trace(text.splitlines()))
+        assert [op.kind for op in ops] == ["W", "R", "S", "T", "F"]
+        assert ops[0].count == 2
+        assert ops[1].count == 1
+        assert ops[2].lpn == 100 and ops[2].src_lpn == 10
+
+    def test_case_insensitive(self):
+        ops = list(parse_trace(["w 1", "r 1"]))
+        assert [op.kind for op in ops] == ["W", "R"]
+
+    def test_inline_comments(self):
+        ops = list(parse_trace(["W 5  # write page five"]))
+        assert ops[0].lpn == 5
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(parse_trace(["X 1"]))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(parse_trace(["W"]))
+        with pytest.raises(TraceFormatError):
+            list(parse_trace(["W abc"]))
+
+    def test_roundtrip(self):
+        ops = [TraceOp("W", lpn=1, count=2), TraceOp("S", lpn=9, count=3,
+                                                     src_lpn=2),
+               TraceOp("F")]
+        assert list(parse_trace(dump_trace(ops).splitlines())) == ops
+
+
+class TestReplay:
+    def test_counts_and_effects(self, ssd):
+        ops = list(parse_trace(["W 0 3", "R 0 2", "W 10", "S 20 10",
+                                "T 0 1", "F"]))
+        result = replay(ssd, ops)
+        assert isinstance(result, ReplayResult)
+        assert result.operations == 6
+        assert result.host_write_pages == 4
+        assert result.host_read_pages == 2
+        assert result.share_pairs == 1
+        assert result.elapsed_seconds > 0
+        assert ssd.read(20) == ("trace", 10)
+        assert not ssd.ftl.is_mapped(0)
+
+    def test_replay_resets_counters(self, ssd):
+        ssd.write(0, "pre-existing")
+        result = replay(ssd, [TraceOp("W", lpn=1)])
+        assert result.host_write_pages == 1
+
+    def test_same_trace_two_devices_comparable(self, clock):
+        from conftest import small_ssd_config
+        from repro.ssd.device import Ssd
+        from repro.sim.clock import SimClock
+        trace = synthesize_trace(1000, 3000, seed=5)
+        results = []
+        for __ in range(2):
+            device = Ssd(SimClock(), small_ssd_config())
+            results.append(replay(device, trace))
+        assert results[0] == results[1]  # fully deterministic
+
+
+class TestSynthesis:
+    def test_shape(self):
+        ops = synthesize_trace(1000, 500, seed=1)
+        assert len(ops) == 500
+        assert all(op.kind in ("W", "R") for op in ops)
+        assert all(0 <= op.lpn < 1000 for op in ops)
+
+    def test_hot_skew(self):
+        ops = synthesize_trace(1000, 4000, hot_fraction=0.2,
+                               hot_access_fraction=0.8, seed=2)
+        hot = sum(1 for op in ops if op.lpn < 200)
+        assert hot > len(ops) * 0.7
+
+    def test_write_fraction(self):
+        ops = synthesize_trace(1000, 4000, write_fraction=0.3, seed=3)
+        writes = sum(1 for op in ops if op.kind == "W")
+        # Reads of never-written pages become writes, so expect a bit
+        # above the nominal fraction.
+        assert 0.25 < writes / len(ops) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(100, 10, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            synthesize_trace(100, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            synthesize_trace(100, 10, hot_access_fraction=1.0)

@@ -1,0 +1,103 @@
+"""Tests for the full YCSB workload suite (B-E beyond the paper's A/F)
+and the couch range-scan primitive behind workload E."""
+
+import pytest
+
+from repro.bench.harness import build_couch_stack
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.host.filesystem import FsConfig, HostFs
+from repro.ssd.device import Ssd
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
+
+from conftest import small_ssd_config
+
+
+@pytest.fixture
+def driver(clock):
+    stack = build_couch_stack(CommitMode.SHARE, 600, 3000)
+    driver = YcsbDriver(stack.store, stack.clock,
+                        YcsbConfig(record_count=600))
+    driver.load()
+    return driver
+
+
+class TestScanPrimitive:
+    @pytest.fixture
+    def store(self, clock):
+        ssd = Ssd(clock, small_ssd_config())
+        fs = HostFs(ssd, FsConfig(journal_blocks=8))
+        store = CouchStore(fs, "/db", CommitMode.SHARE,
+                           CouchConfig(leaf_capacity=4, internal_fanout=8,
+                                       prealloc_blocks=64))
+        for key in range(0, 100, 2):
+            store.set(key, ("v", key))
+        store.commit()
+        return store
+
+    def test_scan_from_key(self, store):
+        got = store.scan(10, 5)
+        assert got == [(k, ("v", k)) for k in (10, 12, 14, 16, 18)]
+
+    def test_scan_from_missing_key_starts_at_successor(self, store):
+        got = store.scan(11, 3)
+        assert [k for k, __ in got] == [12, 14, 16]
+
+    def test_scan_past_end(self, store):
+        assert store.scan(98, 10) == [(98, ("v", 98))]
+        assert store.scan(200, 5) == []
+
+    def test_scan_empty_store(self, clock):
+        ssd = Ssd(clock, small_ssd_config())
+        fs = HostFs(ssd, FsConfig(journal_blocks=8))
+        store = CouchStore(fs, "/e", CommitMode.SHARE)
+        assert store.scan(0, 5) == []
+
+    def test_scan_limit_validated(self, store):
+        with pytest.raises(ValueError):
+            store.tree.range_from(0, 0)
+
+
+class TestWorkloadMixes:
+    def test_b_is_mostly_reads(self, driver):
+        result = driver.run(YcsbWorkload.B, 1000, batch_size=8)
+        assert result.writes < 120
+        assert result.reads > 880
+
+    def test_c_is_all_reads(self, driver):
+        result = driver.run(YcsbWorkload.C, 500, batch_size=8)
+        assert result.writes == 0
+        assert result.reads == 500
+
+    def test_d_inserts_new_keys(self, driver):
+        before = driver._next_insert_key
+        result = driver.run(YcsbWorkload.D, 1000, batch_size=8)
+        assert driver._next_insert_key > before
+        assert result.writes == driver._next_insert_key - before
+        # Inserted keys are readable.
+        assert driver.store.get(before) is not None
+
+    def test_d_latest_skews_to_recent(self, driver):
+        driver.run(YcsbWorkload.D, 500, batch_size=8)
+        span = driver._next_insert_key
+        draws = [driver._latest_key() for __ in range(2000)]
+        recent = sum(1 for key in draws if key > span * 0.9)
+        assert recent > 2000 * 0.3
+
+    def test_e_scans(self, driver):
+        result = driver.run(YcsbWorkload.E, 300, batch_size=8)
+        assert result.reads > 250  # scans count as reads
+        assert result.writes < 50
+
+    def test_read_heavy_workloads_write_fewer_pages(self, clock):
+        from repro.sim.clock import SimClock
+        volumes = {}
+        for workload in (YcsbWorkload.A, YcsbWorkload.B, YcsbWorkload.C):
+            stack = build_couch_stack(CommitMode.ORIGINAL, 600, 3000)
+            local_driver = YcsbDriver(stack.store, stack.clock,
+                                      YcsbConfig(record_count=600))
+            local_driver.load()
+            stack.ssd.reset_measurement()
+            local_driver.run(workload, 600, batch_size=8)
+            volumes[workload] = stack.ssd.stats.host_write_pages
+        assert volumes[YcsbWorkload.C] < volumes[YcsbWorkload.B]
+        assert volumes[YcsbWorkload.B] < volumes[YcsbWorkload.A]
