@@ -5,10 +5,12 @@ bounded below 50 % by filesystem metadata traffic), GC events by ~55 %,
 and copyback pages by ~75 %, across every buffer size.
 """
 
+from pathlib import Path
+
 from conftest import run_once
 
 from repro.bench import experiments
-from repro.bench.experiments import fig5b, fig6
+from repro.bench.experiments import fig5b, fig6, linkbench_telemetry
 
 
 def test_fig6_io_counters(benchmark, scale):
@@ -53,3 +55,43 @@ def test_fig6_reduction_cascade(benchmark, scale):
           f"(paper: 45% / 55% / 75%)")
     assert mean(gc_red) > mean(write_red) * 0.9
     assert mean(cb_red) > mean(gc_red) * 0.9
+
+
+def test_fig6_telemetry_artifact(benchmark, scale):
+    """End-to-end telemetry: an instrumented LinkBench run writes a JSONL
+    artifact under results/ from which the report CLI reproduces the
+    Figure-6 activity breakdown with per-span GC attribution."""
+    from repro.tools import report
+
+    out = Path(__file__).resolve().parent.parent / "results" \
+        / "fig6_telemetry.jsonl"
+    cell = run_once(benchmark, lambda: linkbench_telemetry(
+        scale, jsonl_path=str(out)))
+    assert out.exists()
+    records = report.load(str(out))
+    spans = [r for r in records if r.get("type") == "span"]
+    snapshots = [r for r in records if r.get("type") == "metrics"]
+    assert spans and snapshots
+
+    # The final snapshot agrees with the cell's own device counters.
+    metrics = report.last_metrics(records)
+    assert metrics["device.data.host_write_pages"] == \
+        cell["host_write_pages"]
+
+    # Figure-6 breakdown renders with live host-write and GC bars.
+    labels, values = report.activity_breakdown(metrics)
+    table = dict(zip(labels, values))
+    assert table["host writes (pages)"] > 0
+    text = report.render(records)
+    print()
+    print(text)
+    assert "I/O activities" in text
+    assert "Latency distributions" in text
+
+    # Every GC event attributes through the span tree to a host-level
+    # root operation (nothing orphaned at ftl.gc itself).
+    attribution = report.gc_attribution(records)
+    if metrics.get("ftl.gc.events", 0):
+        assert attribution
+        assert "ftl.gc" not in attribution
+        assert sum(attribution.values()) == metrics["ftl.gc.events"]

@@ -6,6 +6,11 @@ so examples and benchmark output can show the whole shape, not just the
 summary percentiles.
 """
 
-from repro.analysis.text_plots import ascii_cdf, ascii_histogram, compare_cdfs
+from repro.analysis.text_plots import (
+    ascii_bars,
+    ascii_cdf,
+    ascii_histogram,
+    compare_cdfs,
+)
 
-__all__ = ["ascii_cdf", "ascii_histogram", "compare_cdfs"]
+__all__ = ["ascii_bars", "ascii_cdf", "ascii_histogram", "compare_cdfs"]

@@ -57,6 +57,25 @@ def _bin_of(value: float, edges: List[float]) -> int:
     return len(edges) - 2
 
 
+def ascii_bars(labels: Sequence[str], values: Sequence[float],
+               width: int = 50, title: str = "") -> str:
+    """Render labelled quantities as a horizontal bar chart (the shape of
+    Figure 6's per-activity breakdown)."""
+    if not labels or len(labels) != len(values):
+        raise ValueError("need one value per label")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = ("#" * max(0, round(value / peak * width))) if peak else ""
+        lines.append(f"{label:<{label_width}} |{bar:<{width}}| {value:g}")
+    return "\n".join(lines)
+
+
 def ascii_cdf(values: Sequence[float],
               points: Sequence[float] = (25, 50, 75, 90, 95, 99, 99.9),
               width: int = 50, title: str = "") -> str:

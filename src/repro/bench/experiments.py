@@ -60,24 +60,42 @@ LINKBENCH_CLIENTS = 16
 def run_linkbench_cell(mode: FlushMode, page_size: int,
                        paper_buffer_mib: int, params: ScaleParams,
                        collect_latencies: bool = False,
-                       concurrency: int = LINKBENCH_CLIENTS) -> Dict:
-    """One (mode, page size, buffer size) cell of the MySQL experiments."""
+                       concurrency: int = LINKBENCH_CLIENTS,
+                       telemetry=None) -> Dict:
+    """One (mode, page size, buffer size) cell of the MySQL experiments.
+
+    With ``telemetry`` the whole stack is instrumented: spans and metric
+    snapshots go to the telemetry's sink, warm-up is excluded via
+    pause/resume, and the measured run's per-operation latencies land in
+    ``linkbench.op.<op>.latency_ms`` histograms."""
     leaf_capacity = max(8, 32 * (page_size // 4096))
     db_pages = _estimate_db_pages(params.linkbench_nodes, leaf_capacity)
     buffer_pages = buffer_pages_for(paper_buffer_mib, db_pages, page_size)
-    stack = build_innodb_stack(mode, page_size, buffer_pages, db_pages)
+    stack = build_innodb_stack(mode, page_size, buffer_pages, db_pages,
+                               telemetry=telemetry)
+    tel = stack.data_ssd.telemetry
     driver = LinkBenchDriver(
         stack.engine, stack.clock,
         LinkBenchConfig(node_count=params.linkbench_nodes))
+    tel.pause()  # exclude load + warm-up from spans and snapshots
     driver.load()
     # Warm-up (the paper's 300 s pre-run), then measure from zero.
     driver.run(max(500, params.linkbench_transactions // 8))
     stack.data_ssd.reset_measurement()
     stack.log_ssd.reset_measurement()
     stack.clock.reset()
+    tel.resume()
+    tel.reset_measurement()
     result = driver.run(params.linkbench_transactions,
                         concurrency=concurrency)
     stats = stack.data_ssd.stats
+    if telemetry is not None:
+        for op in result.latencies.op_names():
+            hist = telemetry.metrics.histogram(
+                f"linkbench.op.{op}.latency_ms")
+            for sample in result.latencies.histogram(op)._samples:
+                hist.record(sample)
+        telemetry.snapshot(stack.clock.now_us)
     cell = {
         "mode": mode.value,
         "page_size": page_size,
@@ -94,6 +112,34 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
     }
     if collect_latencies:
         cell["latency_table"] = result.latencies.table()
+    return cell
+
+
+def linkbench_telemetry(scale: Scale = Scale.QUICK,
+                        mode: FlushMode = FlushMode.SHARE,
+                        jsonl_path: str = "results/linkbench_telemetry.jsonl",
+                        snapshot_interval_us: int = 1_000_000) -> Dict:
+    """One fully instrumented LinkBench cell: runs (mode, 4 KiB, 50 MB)
+    with a JSONL sink and returns the cell dict plus the artifact path.
+
+    Render the artifact with ``python -m repro.tools.report <path>``.
+    """
+    import os
+
+    from repro.obs import JsonlSink, Telemetry
+
+    directory = os.path.dirname(jsonl_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    telemetry = Telemetry(JsonlSink(jsonl_path),
+                          snapshot_interval_us=snapshot_interval_us)
+    try:
+        cell = run_linkbench_cell(mode, 4096, 50, SCALES[scale],
+                                  collect_latencies=True,
+                                  telemetry=telemetry)
+    finally:
+        telemetry.close()
+    cell["jsonl_path"] = jsonl_path
     return cell
 
 
@@ -158,19 +204,27 @@ def table1(scale: Scale = Scale.QUICK) -> Dict:
 # --------------------------------------------------------------------------
 
 def _run_ycsb_sweep(workload: YcsbWorkload, scale: Scale,
-                    batch_sizes=PAPER_BATCH_SIZES) -> Dict:
+                    batch_sizes=PAPER_BATCH_SIZES,
+                    telemetry=None) -> Dict:
     params = SCALES[scale]
     cells = {}
     for mode in (CommitMode.ORIGINAL, CommitMode.SHARE):
         stack = build_couch_stack(mode, params.ycsb_records,
-                                  params.ycsb_operations * len(batch_sizes))
+                                  params.ycsb_operations * len(batch_sizes),
+                                  telemetry=telemetry)
+        tel = stack.ssd.telemetry
         driver = YcsbDriver(stack.store, stack.clock,
                             YcsbConfig(record_count=params.ycsb_records))
+        tel.pause()  # the load phase is not part of any cell
         driver.load()
+        tel.resume()
         for batch_size in batch_sizes:
             stack.ssd.reset_measurement()
             stack.clock.reset()
+            tel.reset_measurement()
             result = driver.run(workload, params.ycsb_operations, batch_size)
+            if telemetry is not None:
+                telemetry.snapshot(stack.clock.now_us)
             stats = stack.ssd.stats
             cells[(batch_size, mode.value)] = {
                 "mode": mode.value,
@@ -377,9 +431,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=Scale.QUICK.value)
     parser.add_argument("--only", choices=[
         "fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "table2",
-        "pgbench"], default=None)
+        "pgbench", "telemetry"], default=None)
+    parser.add_argument(
+        "--telemetry-out", default="results/linkbench_telemetry.jsonl",
+        help="JSONL artifact path for --only telemetry")
     args = parser.parse_args(argv)
     scale = Scale(args.scale)
+    if args.only == "telemetry":
+        cell = linkbench_telemetry(scale, jsonl_path=args.telemetry_out)
+        print(f"throughput_tps: {cell['throughput_tps']:.1f}")
+        print(f"telemetry written to {cell['jsonl_path']}")
+        print(f"render with: python -m repro.tools.report "
+              f"{cell['jsonl_path']}")
+        return 0
     if args.only is None:
         print(run_all(scale))
         return 0

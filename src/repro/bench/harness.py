@@ -118,13 +118,16 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
                        leaf_capacity: Optional[int] = None,
                        share_table_entries: int = 250,
                        age_device: bool = True,
-                       trace_capacity: int = 0) -> InnoDbStack:
+                       trace_capacity: int = 0,
+                       telemetry=None) -> InnoDbStack:
     """Assemble data device + log device + engine for one experiment cell.
 
     ``leaf_capacity`` scales with the page size by default: bigger pages
     hold proportionally more rows, exactly why the paper's Figure 5(a)
     varies the page size.  ``age_device`` reproduces Section 5.1's aging
-    pre-run so garbage collection is active in steady state.
+    pre-run so garbage collection is active in steady state.  Passing a
+    :class:`repro.obs.Telemetry` instruments both devices (metric prefixes
+    ``device.data`` and ``device.log``) and every layer above them.
     """
     clock = SimClock()
     geometry = innodb_device_geometry(page_size, db_pages_estimate)
@@ -132,7 +135,8 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
                       map_block_count=_map_blocks_for(geometry.block_count)),
-        trace_capacity=trace_capacity))
+        trace_capacity=trace_capacity),
+        telemetry=telemetry, name="data")
     if age_device:
         # Light sequential pre-fill of the region the database will NOT
         # overwrite is pointless cold weight; the paper-faithful aging is
@@ -146,7 +150,8 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
                                  overprovision_ratio=0.08)
     log_ssd = Ssd(clock, SsdConfig(geometry=log_geometry,
                                    timing=SATA_SSD_TIMING,
-                                   share_enabled=False))
+                                   share_enabled=False),
+                  telemetry=telemetry, name="log")
     if leaf_capacity is None:
         leaf_capacity = max(8, 32 * (page_size // 4096))
     config = InnoDBConfig(
@@ -189,11 +194,14 @@ def build_couch_stack(mode: CommitMode, record_count: int,
                       timing: FlashTiming = MLC_TIMING,
                       config: Optional[CouchConfig] = None,
                       share_table_entries: int = 250,
-                      age_device: bool = False) -> CouchStack:
+                      age_device: bool = False,
+                      telemetry=None) -> CouchStack:
     """Assemble the device + filesystem + couchstore for one cell.
 
     The device is sized for the record set plus the append churn of the
-    run so compaction pressure (stale ratio) builds as in the paper."""
+    run so compaction pressure (stale ratio) builds as in the paper.
+    ``telemetry`` instruments the device (prefix ``device.data``) and the
+    store above it."""
     clock = SimClock()
     churn = operations_estimate * 6
     needed_logical = record_count * 2 + churn + 4096
@@ -204,7 +212,8 @@ def build_couch_stack(mode: CommitMode, record_count: int,
     ssd = Ssd(clock, SsdConfig(
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
-                      map_block_count=_map_blocks_for(geometry.block_count))))
+                      map_block_count=_map_blocks_for(geometry.block_count))),
+        telemetry=telemetry, name="data")
     if age_device:
         ssd.age(fill_fraction=0.5, rewrite_fraction=0.3)
     fs = HostFs(ssd, FsConfig())

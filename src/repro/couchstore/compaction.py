@@ -52,9 +52,23 @@ def compact(store: CouchStore, clock: SimClock,
             suffix: str = ".compact") -> Tuple[CouchStore, CompactionResult]:
     """Compact ``store`` using its own mode's algorithm; returns the new
     store (same path, swapped in place) and the measurement."""
-    if store.mode is CommitMode.SHARE:
-        return _compact_share(store, clock, suffix)
-    return _compact_copy(store, clock, suffix)
+    telemetry = store.telemetry
+    with telemetry.tracer.span("couch.compaction",
+                               mode=store.mode.value) as span:
+        if store.mode is CommitMode.SHARE:
+            new_store, result = _compact_share(store, clock, suffix)
+        else:
+            new_store, result = _compact_copy(store, clock, suffix)
+        span.set(docs_moved=result.docs_moved,
+                 share_commands=result.share_commands,
+                 index_nodes_written=result.index_nodes_written)
+    metrics = telemetry.metrics.scope("couch.compaction")
+    metrics.counter("runs").inc()
+    metrics.counter("pages_moved").inc(
+        result.docs_moved * store.config.doc_blocks)
+    metrics.counter("share_commands").inc(result.share_commands)
+    metrics.counter("index_nodes_written").inc(result.index_nodes_written)
+    return new_store, result
 
 
 def abandon_partial(store: CouchStore, suffix: str = ".compact") -> bool:

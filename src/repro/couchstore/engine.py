@@ -111,6 +111,12 @@ class CouchStore:
         self.doc_count = _doc_count
         self.stale_blocks = _stale_blocks
         self.stats = CouchStats()
+        self.telemetry = fs.telemetry
+        metrics = self.telemetry.metrics.scope("couch")
+        self._m_commits = metrics.counter("commits")
+        self._m_share_pairs = metrics.counter("share_pairs")
+        self._m_doc_blocks = metrics.counter("doc_blocks_written")
+        self._m_headers = metrics.counter("headers_written")
         self._last_obsoleted = 0
         self._live_snapshots = 0
         # Pending (uncommitted) state.
@@ -166,6 +172,7 @@ class CouchStore:
         for __ in range(self.config.doc_blocks - 1):
             self._append(("doc-cont", key, self.update_seq))
         self.stats.doc_blocks_written += self.config.doc_blocks
+        self._m_doc_blocks.inc(self.config.doc_blocks)
         old_pointer = self._current_pointer(key)
         if old_pointer is None:
             if self._pending_docs.get(key, "absent") is None:
@@ -223,25 +230,31 @@ class CouchStore:
     def commit(self) -> None:
         """Durability point for everything since the previous commit."""
         tree_changed = bool(self._pending_tree)
-        if self._pending_shares:
-            ranges = [(dst, src, self.config.doc_blocks)
-                      for dst, src in sorted(self._pending_shares.items())]
-            commands = share_file_ranges(self.file, self.file, ranges)
-            self.stats.share_commands += commands
-            self.stats.share_pairs += len(ranges) * self.config.doc_blocks
-        if tree_changed:
-            self.tree.apply_batch(dict(self._pending_tree))
-            self._write_header()
-        self.stale_blocks += self._pending_stale
-        # Replaced index nodes are stale file blocks too (ORIGINAL mode's
-        # wandering-tree churn; SHARE updates obsolete none).
-        self.stale_blocks += self._tree_obsoleted_delta()
-        self.file.fsync()
+        with self.telemetry.tracer.span(
+                "couch.commit", mode=self.mode.value,
+                tree_changed=tree_changed,
+                share_pairs=len(self._pending_shares)):
+            if self._pending_shares:
+                ranges = [(dst, src, self.config.doc_blocks)
+                          for dst, src in sorted(self._pending_shares.items())]
+                commands = share_file_ranges(self.file, self.file, ranges)
+                self.stats.share_commands += commands
+                self.stats.share_pairs += len(ranges) * self.config.doc_blocks
+                self._m_share_pairs.inc(len(ranges) * self.config.doc_blocks)
+            if tree_changed:
+                self.tree.apply_batch(dict(self._pending_tree))
+                self._write_header()
+            self.stale_blocks += self._pending_stale
+            # Replaced index nodes are stale file blocks too (ORIGINAL
+            # mode's wandering-tree churn; SHARE updates obsolete none).
+            self.stale_blocks += self._tree_obsoleted_delta()
+            self.file.fsync()
         self._pending_docs.clear()
         self._pending_tree.clear()
         self._pending_shares.clear()
         self._pending_stale = 0
         self.stats.commits += 1
+        self._m_commits.inc()
 
     def _tree_obsoleted_delta(self) -> int:
         delta = self.tree.nodes_obsoleted - self._last_obsoleted
@@ -253,6 +266,7 @@ class CouchStore:
             self.tree.root_block, self.update_seq, self.doc_count,
             self.stale_blocks))
         self.stats.headers_written += 1
+        self._m_headers.inc()
         self.stats.index_nodes_written = self.tree.nodes_written
 
     # ----------------------------------------------------------- triggers

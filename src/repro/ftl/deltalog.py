@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.errors import FtlError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
+from repro.obs import NULL_TELEMETRY
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
 #: Spare-area tag marking a mapping page (vs a data page).
@@ -78,7 +79,7 @@ class MapLog:
 
     def __init__(self, nand: NandArray, geometry: FlashGeometry,
                  map_blocks: Sequence[int], records_per_page: int,
-                 faults: FaultPlan = NO_FAULTS) -> None:
+                 faults: FaultPlan = NO_FAULTS, telemetry=None) -> None:
         if not map_blocks:
             raise ValueError("need at least one map block")
         self._nand = nand
@@ -90,6 +91,11 @@ class MapLog:
         self._page_writes = 0
         self._checkpoints = 0
         self._snapshot_provider: Optional[Callable[[], List[DeltaRecord]]] = None
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._m_page_writes = metrics.counter("ftl.maplog.page_writes")
+        self._m_checkpoints = metrics.counter("ftl.maplog.checkpoints")
+        self._m_records = metrics.histogram("ftl.maplog.records_per_commit")
 
     # --------------------------------------------------------------- setup
 
@@ -139,6 +145,8 @@ class MapLog:
         ppn = self._next_map_ppn()
         self._nand.program(ppn, tuple(records), spare=(MAP_PAGE_TAG,))
         self._page_writes += 1
+        self._m_page_writes.inc()
+        self._m_records.record(len(records))
         self._faults.checkpoint("maplog.after_commit")
 
     def append(self, records: Sequence[DeltaRecord]) -> None:
@@ -175,7 +183,12 @@ class MapLog:
         """
         if self._snapshot_provider is None:
             raise FtlError("map log full and no snapshot provider registered")
+        with self.telemetry.tracer.span("ftl.maplog.checkpoint") as span:
+            self._do_checkpoint(span)
+
+    def _do_checkpoint(self, span) -> None:
         live = self._snapshot_provider()
+        span.set(live_records=len(live))
         self._faults.checkpoint("maplog.checkpoint_start")
         page_capacity = self._records_per_page
         pages_per_block = self._geometry.pages_per_block
@@ -205,6 +218,7 @@ class MapLog:
                            and needed_pages % pages_per_block == 0)
         self._cursor = last_used + 1 if last_block_full else last_used
         self._checkpoints += 1
+        self._m_checkpoints.inc()
         self._faults.checkpoint("maplog.checkpoint_end")
 
     # ------------------------------------------------------------ recovery

@@ -36,7 +36,13 @@ from repro.ftl.deltalog import (
 )
 from repro.ftl.mapping import ForwardMap
 from repro.ftl.reverse import ReverseMap
-from repro.ftl.share_ext import SharePair, expand_range, validate_batch
+from repro.ftl.share_ext import (
+    SharePair,
+    expand_range,
+    observe_batch,
+    validate_batch,
+)
+from repro.obs import NULL_TELEMETRY
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
 
@@ -79,11 +85,12 @@ class PageMappingFtl:
     """
 
     def __init__(self, nand: NandArray, config: Optional[FtlConfig] = None,
-                 faults: FaultPlan = NO_FAULTS) -> None:
+                 faults: FaultPlan = NO_FAULTS, telemetry=None) -> None:
         self.nand = nand
         self.geometry = nand.geometry
         self.config = config or FtlConfig()
         self.faults = faults
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         geometry = self.geometry
         if self.config.map_block_count >= geometry.block_count - 4:
             raise ValueError("map region leaves too few data blocks")
@@ -98,11 +105,23 @@ class PageMappingFtl:
         self.rev = ReverseMap(self.config.share_table_entries)
         self._records_per_page = self.config.deltas_per_page(geometry.page_size)
         self.maplog = MapLog(nand, geometry, self._map_blocks,
-                             self._records_per_page, faults)
+                             self._records_per_page, faults,
+                             telemetry=self.telemetry)
         self.maplog.set_snapshot_provider(self._snapshot_records)
         self.stats = FtlStats()
+        # Telemetry handles (shared no-ops when telemetry is disabled).
+        metrics = self.telemetry.metrics
+        self._m_gc_events = metrics.counter("ftl.gc.events")
+        self._m_copybacks = metrics.counter("ftl.gc.copyback_pages")
+        self._m_erases = metrics.counter("ftl.gc.block_erases")
+        self._m_spill_lookups = metrics.counter("ftl.gc.spill_lookups")
+        self._m_wear_moves = metrics.counter("ftl.wear.level_moves")
+        self._m_share_spills = metrics.counter("ftl.share.spills")
+        self._m_share_log_spills = metrics.counter("ftl.share.log_spills")
+        self._m_free_blocks = metrics.gauge("ftl.free_blocks")
         self._valid_count: Dict[int, int] = {b: 0 for b in self._data_blocks}
         self._free_blocks: List[int] = list(self._data_blocks)
+        self._m_free_blocks.set(len(self._free_blocks))
         self._active_host: Optional[int] = None
         self._active_gc: Optional[int] = None
         self._seq = 1
@@ -388,6 +407,7 @@ class PageMappingFtl:
                 # 'log' policy: the entry is resolvable from the mapping
                 # log this very batch persists; only GC pays a lookup.
                 self.stats.share_log_spills += 1
+                self._m_share_log_spills.inc()
             self.fwd.update(dst_lpn, src_ppn)
             if old_ppn is not None and old_ppn != src_ppn:
                 self._drop_ref(old_ppn, dst_lpn)
@@ -397,6 +417,8 @@ class PageMappingFtl:
         self.maplog.append_atomic(deltas)
         self.stats.share_commands += 1
         self.stats.share_pairs += len(pairs)
+        if self.telemetry.enabled:
+            observe_batch(self.telemetry.metrics, pairs)
 
     def _reconcile_oldest_share(self) -> None:
         """Share table full: materialise a private copy for the oldest
@@ -416,6 +438,7 @@ class PageMappingFtl:
         self._drop_ref(ppn, lpn)
         self._share_backed.pop(lpn, None)
         self.stats.share_spills += 1
+        self._m_share_spills.inc()
 
     # ------------------------------------------------------------- allocate
 
@@ -435,6 +458,7 @@ class PageMappingFtl:
         if not self._free_blocks:
             raise OutOfSpaceError("no free blocks available for allocation")
         block = self._free_blocks.pop(0)
+        self._m_free_blocks.set(len(self._free_blocks))
         if for_gc:
             self._active_gc = block
         else:
@@ -512,6 +536,7 @@ class PageMappingFtl:
             if spread >= self.config.wear_delta_threshold:
                 self._reclaim_block(coldest, is_gc_event=False)
                 self.stats.wear_level_moves += 1
+                self._m_wear_moves.inc()
                 candidates = self._gc_candidates()
                 if not candidates:
                     return True
@@ -527,22 +552,33 @@ class PageMappingFtl:
 
     def _reclaim_block(self, block: int, is_gc_event: bool) -> None:
         """Evacuate valid pages, erase, and return ``block`` to the free
-        pool."""
-        self._in_gc = True
-        try:
-            self._evacuate(block)
-        finally:
-            self._in_gc = False
-        self.nand.erase(block)
-        self.stats.block_erases += 1
-        if is_gc_event:
-            self.stats.gc_events += 1
-        self._valid_count[block] = 0
-        if block == self._active_host:
-            self._active_host = None
-        if block == self._active_gc:
-            self._active_gc = None
-        self._free_blocks.append(block)
+        pool.  The whole pass runs inside an ``ftl.gc`` span, so the
+        copyback/erase work is attributed to whichever host command (and
+        engine operation above it) triggered the collection."""
+        copybacks_before = self.stats.copyback_pages
+        with self.telemetry.tracer.span(
+                "ftl.gc", block=block,
+                wear_leveling=not is_gc_event) as span:
+            self._in_gc = True
+            try:
+                self._evacuate(block)
+            finally:
+                self._in_gc = False
+            self.nand.erase(block)
+            self.stats.block_erases += 1
+            self._m_erases.inc()
+            if is_gc_event:
+                self.stats.gc_events += 1
+                self._m_gc_events.inc()
+            self._valid_count[block] = 0
+            if block == self._active_host:
+                self._active_host = None
+            if block == self._active_gc:
+                self._active_gc = None
+            self._free_blocks.append(block)
+            span.set(copyback_pages=self.stats.copyback_pages
+                     - copybacks_before)
+            self._m_free_blocks.set(len(self._free_blocks))
 
     def _evacuate(self, victim: int) -> None:
         geometry = self.geometry
@@ -558,6 +594,7 @@ class PageMappingFtl:
                 # Firmware must re-read the mapping log to learn the
                 # overflowed reverse mappings of this page.
                 self.stats.spill_lookups += 1
+                self._m_spill_lookups.inc()
             refs = sorted(self.rev.refs(ppn))
             data = self.nand.read(ppn)
             new_ppn = self._alloc_page(for_gc=True)
@@ -577,6 +614,7 @@ class PageMappingFtl:
                     # recoverable from OOB again; drop the log backing.
                     self._share_backed.pop(lpn, None)
             self.stats.copyback_pages += 1
+            self._m_copybacks.inc()
 
     def _move_shadow_page(self, ppn: int) -> None:
         """GC move of an uncommitted X-FTL shadow page: the copy stays
@@ -591,6 +629,7 @@ class PageMappingFtl:
         self._valid_count[self.geometry.block_of(ppn)] -= 1
         self._valid_count[self.geometry.block_of(new_ppn)] += 1
         self.stats.copyback_pages += 1
+        self._m_copybacks.inc()
 
     # ------------------------------------------------------------ snapshot
 
@@ -607,14 +646,15 @@ class PageMappingFtl:
 
     @classmethod
     def recover(cls, nand: NandArray, config: Optional[FtlConfig] = None,
-                faults: FaultPlan = NO_FAULTS) -> "PageMappingFtl":
+                faults: FaultPlan = NO_FAULTS,
+                telemetry=None) -> "PageMappingFtl":
         """Rebuild the full mapping state from the media after a crash.
 
         The newest assertion per LPN wins, where assertions come from data
         pages' spare stamps (normal writes and GC copies) and the mapping
         log (SHARE, TRIM, checkpoint snapshots).
         """
-        ftl = cls(nand, config, faults)
+        ftl = cls(nand, config, faults, telemetry=telemetry)
         state = ftl._scan_media()
         ftl._apply_recovered(state)
         ftl.maplog.bind_to_end_of_log()

@@ -88,3 +88,27 @@ def validate_batch(pairs: Sequence[SharePair], logical_pages: int,
         raise ShareError(
             f"LPNs appear as both destination and source in one batch: "
             f"{sorted(chained)[:8]}")
+
+
+def observe_batch(metrics, pairs: Sequence[SharePair]) -> None:
+    """Record the shape of one committed SHARE batch.
+
+    Batch size drives how often the delta log spills past a single mapping
+    page, and contiguity shows whether callers exploit the ranged form of
+    the command — both feed the ``ftl.share.*`` namespace:
+
+    * ``ftl.share.pairs`` — total pairs committed,
+    * ``ftl.share.batch_pairs`` — per-batch size distribution,
+    * ``ftl.share.contiguous_runs`` — per-batch count of maximal runs of
+      consecutive ``(dst, src)`` pairs (1 == fully ranged batch).
+    """
+    metrics.counter("ftl.share.pairs").inc(len(pairs))
+    metrics.histogram("ftl.share.batch_pairs").record(len(pairs))
+    runs = 0
+    prev: SharePair = None  # type: ignore[assignment]
+    for pair in pairs:
+        if (prev is None or pair.dst_lpn != prev.dst_lpn + 1
+                or pair.src_lpn != prev.src_lpn + 1):
+            runs += 1
+        prev = pair
+    metrics.histogram("ftl.share.contiguous_runs").record(runs)

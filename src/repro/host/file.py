@@ -74,7 +74,9 @@ class File:
     def pwrite_block(self, index: int, data: Any) -> None:
         """Write one existing block in place (from the file's view; the
         device still writes out of place internally)."""
-        self.fs.ssd.write(self.block_lpn(index), data)
+        with self.fs.telemetry.tracer.span("host.pwrite", path=self.path,
+                                           blocks=1):
+            self.fs.ssd.write(self.block_lpn(index), data)
 
     def pwrite_blocks(self, index: int, pages: Sequence[Any]) -> None:
         """Write consecutive blocks with one device command per contiguous
@@ -83,13 +85,15 @@ class File:
         if not pages:
             return
         lpns = [self.block_lpn(index + i) for i in range(len(pages))]
-        run_start = 0
-        for i in range(1, len(lpns) + 1):
-            contiguous = i < len(lpns) and lpns[i] == lpns[i - 1] + 1
-            if not contiguous:
-                self.fs.ssd.write_multi(lpns[run_start],
-                                        list(pages[run_start:i]))
-                run_start = i
+        with self.fs.telemetry.tracer.span("host.pwrite", path=self.path,
+                                           blocks=len(pages)):
+            run_start = 0
+            for i in range(1, len(lpns) + 1):
+                contiguous = i < len(lpns) and lpns[i] == lpns[i - 1] + 1
+                if not contiguous:
+                    self.fs.ssd.write_multi(lpns[run_start],
+                                            list(pages[run_start:i]))
+                    run_start = i
 
     def pread_block(self, index: int) -> Any:
         """Read one block."""

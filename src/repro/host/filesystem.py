@@ -60,6 +60,10 @@ class HostFs:
         self.config = config or FsConfig()
         if self.config.journal_blocks >= ssd.logical_pages // 4:
             raise ValueError("journal area would consume too much of the device")
+        self.telemetry = ssd.telemetry
+        metrics = self.telemetry.metrics
+        self._m_meta_commits = metrics.counter("host.metadata_commits")
+        self._m_fsyncs = metrics.counter("host.fsync_calls")
         self.block_size = ssd.page_size
         self._journal_base = 0
         self._journal_cursor = 0
@@ -96,12 +100,14 @@ class HostFs:
         handle = self._files.pop(path, None)
         if handle is None:
             raise FileNotFound(f"no such file: {path}")
-        for start, count in _runs(handle._blocks):
-            self.ssd.trim(start, count)
-        self.release_blocks(handle._blocks)
-        handle._blocks = []
-        handle._unlinked = True
-        self._commit_metadata()
+        with self.telemetry.tracer.span("host.unlink", path=path,
+                                        blocks=len(handle._blocks)):
+            for start, count in _runs(handle._blocks):
+                self.ssd.trim(start, count)
+            self.release_blocks(handle._blocks)
+            handle._blocks = []
+            handle._unlinked = True
+            self._commit_metadata()
 
     def reflink_copy(self, src_path: str, dst_path: str) -> int:
         """Copy a file without copying data (Section 1's "file copy
@@ -187,20 +193,26 @@ class HostFs:
     def _commit_metadata(self) -> None:
         """Write one ordered-mode journal transaction (descriptor +
         commit) to the journal area."""
-        for _ in range(self.config.metadata_pages_per_commit):
-            lpn = self._journal_base + self._journal_cursor
-            self._journal_cursor = (self._journal_cursor + 1) % self.config.journal_blocks
-            self.ssd.write(lpn, ("fsmeta", self.metadata_commits))
-        self.ssd.flush()
+        with self.telemetry.tracer.span("host.journal_commit"):
+            for _ in range(self.config.metadata_pages_per_commit):
+                lpn = self._journal_base + self._journal_cursor
+                self._journal_cursor = (self._journal_cursor + 1) % self.config.journal_blocks
+                self.ssd.write(lpn, ("fsmeta", self.metadata_commits))
+            self.ssd.flush()
         self.metadata_commits += 1
+        self._m_meta_commits.inc()
 
     def fsync_file(self, handle: File) -> None:
         """Durability point for one file: device flush plus a metadata
         journal commit when the file's metadata changed."""
-        self.ssd.flush()
-        if handle._metadata_dirty:
-            self._commit_metadata()
-            handle._metadata_dirty = False
+        with self.telemetry.tracer.span(
+                "host.fsync", path=handle.path,
+                metadata=handle._metadata_dirty):
+            self.ssd.flush()
+            if handle._metadata_dirty:
+                self._commit_metadata()
+                handle._metadata_dirty = False
+        self._m_fsyncs.inc()
 
 
 def _runs(blocks: List[int]) -> List[tuple]:

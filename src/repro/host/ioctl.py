@@ -67,9 +67,12 @@ def atomic_write_ioctl(file: File, items: Sequence[Tuple[int, object]]) -> int:
     limit = ssd.max_share_batch
     resolved = [(file.block_lpn(block), data) for block, data in items]
     commands = 0
-    for start in range(0, len(resolved), limit):
-        ssd.write_atomic(resolved[start:start + limit])
-        commands += 1
+    with ssd.telemetry.tracer.span("host.atomic_write_ioctl",
+                                   pages=len(resolved)) as span:
+        for start in range(0, len(resolved), limit):
+            ssd.write_atomic(resolved[start:start + limit])
+            commands += 1
+        span.set(commands=commands)
     return commands
 
 
@@ -79,8 +82,12 @@ def _issue(any_file: File, lpn_pairs: Sequence[Tuple[int, int]]) -> int:
         raise IoctlError("device does not support the SHARE command")
     limit = ssd.max_share_batch
     commands = 0
-    for start in range(0, len(lpn_pairs), limit):
-        chunk = lpn_pairs[start:start + limit]
-        ssd.share_batch([SharePair(dst, src) for dst, src in chunk])
-        commands += 1
+    with ssd.telemetry.tracer.span("host.share_ioctl",
+                                   pairs=len(lpn_pairs)) as span:
+        for start in range(0, len(lpn_pairs), limit):
+            chunk = lpn_pairs[start:start + limit]
+            ssd.share_batch([SharePair(dst, src) for dst, src in chunk])
+            commands += 1
+        span.set(commands=commands)
+        ssd.telemetry.metrics.counter("host.ioctl.share_commands").inc(commands)
     return commands

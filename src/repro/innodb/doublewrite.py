@@ -44,6 +44,12 @@ class DoublewriteBuffer:
         self.faults = faults
         self._cursor = 0
         self.batches_staged = 0
+        self.telemetry = tablespace.fs.telemetry
+        metrics = self.telemetry.metrics.scope("innodb.dwb")
+        self._m_batches = metrics.counter("batches_staged")
+        self._m_staged_pages = metrics.counter("pages_staged")
+        self._m_home_writes = metrics.counter("home_page_writes")
+        self._m_share_batches = metrics.counter("share_batches")
 
     def _stage(self, pages: List[Page]) -> List[int]:
         """Write the batch into the doublewrite area and fsync; returns
@@ -55,12 +61,16 @@ class DoublewriteBuffer:
         if self._cursor + len(pages) > self.size_pages:
             self._cursor = 0
         start = self.first_block + self._cursor
-        self.faults.checkpoint("innodb.dwb_stage")
-        self.tablespace.pwrite_blocks(start, pages)
-        self.tablespace.fsync()
+        with self.telemetry.tracer.span("innodb.dwb.stage",
+                                        pages=len(pages)):
+            self.faults.checkpoint("innodb.dwb_stage")
+            self.tablespace.pwrite_blocks(start, pages)
+            self.tablespace.fsync()
         blocks = list(range(start, start + len(pages)))
         self._cursor += len(pages)
         self.batches_staged += 1
+        self._m_batches.inc()
+        self._m_staged_pages.inc(len(pages))
         return blocks
 
     def staged_blocks(self) -> List[int]:
@@ -92,6 +102,7 @@ class DoublewriteBuffer:
                   for page, staged_block in zip(pages, staged)]
         self.faults.checkpoint("innodb.share_remap")
         share_file_ranges(self.tablespace, self.tablespace, ranges)
+        self._m_share_batches.inc()
 
     # ------------------------------------------------------------ internals
 
@@ -104,3 +115,4 @@ class DoublewriteBuffer:
             self.tablespace.pwrite_block(page.page_id, torn_copy(page))
             raise
         self.tablespace.pwrite_block(page.page_id, page)
+        self._m_home_writes.inc()

@@ -81,6 +81,11 @@ class InnoDBEngine:
         self.config = config or InnoDBConfig()
         self.faults = faults
         self.data_ssd = data_ssd
+        self.telemetry = data_ssd.telemetry
+        metrics = self.telemetry.metrics.scope("innodb")
+        self._m_transactions = metrics.counter("transactions")
+        self._m_flush_batches = metrics.counter("flush_batches")
+        self._m_flush_pages = metrics.histogram("flush_batch_pages")
         self.fs = HostFs(data_ssd, FsConfig())
         self.tablespace = self.fs.create("/ibdata")
         self.tablespace.fallocate(1 + self.config.dwb_pages
@@ -122,19 +127,24 @@ class InnoDBEngine:
 
     def _flush_batch(self, pages: List[Page]) -> None:
         """Route one dirty batch through the mode's pipeline."""
-        if self.mode is FlushMode.DWB_ON:
-            self.dwb.flush_dwb_on(pages)
-        elif self.mode is FlushMode.DWB_OFF:
-            self.dwb.flush_dwb_off(pages)
-        elif self.mode is FlushMode.ATOMIC_WRITE:
-            # Section 6.1 baseline: the device's atomic-write command
-            # replaces the doublewrite buffer entirely (Ouyang et al.).
-            from repro.host.ioctl import atomic_write_ioctl
-            atomic_write_ioctl(self.tablespace,
-                               [(page.page_id, page) for page in pages])
-        else:
-            self.dwb.flush_share(pages)
+        with self.telemetry.tracer.span("innodb.flush_batch",
+                                        mode=self.mode.value,
+                                        pages=len(pages)):
+            if self.mode is FlushMode.DWB_ON:
+                self.dwb.flush_dwb_on(pages)
+            elif self.mode is FlushMode.DWB_OFF:
+                self.dwb.flush_dwb_off(pages)
+            elif self.mode is FlushMode.ATOMIC_WRITE:
+                # Section 6.1 baseline: the device's atomic-write command
+                # replaces the doublewrite buffer entirely (Ouyang et al.).
+                from repro.host.ioctl import atomic_write_ioctl
+                atomic_write_ioctl(self.tablespace,
+                                   [(page.page_id, page) for page in pages])
+            else:
+                self.dwb.flush_share(pages)
         self.flush_batches += 1
+        self._m_flush_batches.inc()
+        self._m_flush_pages.record(len(pages))
 
     # ------------------------------------------------------------- tables
 
@@ -181,9 +191,11 @@ class InnoDBEngine:
             self._in_transaction = False
             raise
         self._in_transaction = False
-        self.redo.commit()
-        self.transactions += 1
-        self._adaptive_flush()
+        with self.telemetry.tracer.span("innodb.txn_commit"):
+            self.redo.commit()
+            self.transactions += 1
+            self._m_transactions.inc()
+            self._adaptive_flush()
 
     def _adaptive_flush(self) -> None:
         threshold = self.config.dirty_flush_threshold
@@ -194,13 +206,16 @@ class InnoDBEngine:
 
     def checkpoint(self) -> None:
         """Flush every dirty page and persist the catalog."""
-        self.pool.flush_all()
-        catalog = {name: tree.root_page_id for name, tree in self.tables.items()}
-        payload = ("catalog", tuple(sorted(catalog.items())), self._next_page_id)
-        self.tablespace.pwrite_block(
-            CATALOG_PAGE_ID,
-            Page(CATALOG_PAGE_ID, self.redo.next_lsn, payload))
-        self.tablespace.fsync()
+        with self.telemetry.tracer.span("innodb.checkpoint"):
+            self.pool.flush_all()
+            catalog = {name: tree.root_page_id
+                       for name, tree in self.tables.items()}
+            payload = ("catalog", tuple(sorted(catalog.items())),
+                       self._next_page_id)
+            self.tablespace.pwrite_block(
+                CATALOG_PAGE_ID,
+                Page(CATALOG_PAGE_ID, self.redo.next_lsn, payload))
+            self.tablespace.fsync()
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint then final log commit."""

@@ -1,0 +1,66 @@
+"""Unified observability for the SHARE reproduction stack.
+
+Three pieces, one facade:
+
+* :class:`MetricsRegistry` — counters / gauges / bounded histograms under
+  hierarchical dotted names (``ftl.gc.copyback_pages``,
+  ``innodb.dwb.share_batches``, ``couch.compaction.pages_moved``),
+* :class:`Tracer` — nestable spans on the virtual clock, attributing one
+  host operation through engine -> host file -> device command -> FTL ->
+  GC/copyback work,
+* sinks — JSONL export (:class:`JsonlSink`), in-memory capture
+  (:class:`MemorySink`), and the no-op :class:`NullSink`.
+
+Enable telemetry by building a :class:`Telemetry` and passing it to the
+stack builders (or directly to :class:`repro.ssd.device.Ssd` and the
+engines).  Components default to :data:`NULL_TELEMETRY`, whose
+instruments and spans are shared no-ops, so the instrumentation is free
+when disabled.  Render an artifact with ``python -m repro.tools.report``.
+See ``docs/observability.md`` for the metric catalog, span hierarchy,
+and JSONL schema.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_MAX_SAMPLES,
+    BoundedHistogram,
+    CounterMetric,
+    GaugeMetric,
+    MetricsRegistry,
+    MetricsScope,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    NULL_SINK,
+    NullSink,
+    TeeSink,
+    read_jsonl,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BoundedHistogram",
+    "CounterMetric",
+    "DEFAULT_MAX_SAMPLES",
+    "GaugeMetric",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_REGISTRY",
+    "NULL_SINK",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullSink",
+    "NullTracer",
+    "Span",
+    "TeeSink",
+    "Telemetry",
+    "Tracer",
+    "read_jsonl",
+]

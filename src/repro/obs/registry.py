@@ -1,0 +1,304 @@
+"""Hierarchical metrics registry: counters, gauges, bounded histograms.
+
+Every subsystem registers its instruments under dotted names
+(``ftl.gc.copyback_pages``, ``innodb.dwb.share_batches``, ...) so one
+:meth:`MetricsRegistry.snapshot` call yields the whole stack's state as a
+flat, JSON-serialisable mapping.  Instruments are cached by name: looking
+one up twice returns the same object, so hot paths resolve their handles
+once at construction time and pay a single attribute call per event.
+
+The null registry (:data:`NULL_REGISTRY`) hands out a shared no-op
+instrument, which is how disabled telemetry costs ~nothing: the device
+still calls ``self._m_writes.inc()``, but the call body is ``pass``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.sim.stats import percentile
+
+#: Reservoir size bounding a histogram's memory (see BoundedHistogram).
+DEFAULT_MAX_SAMPLES = 4096
+
+SnapshotValue = Union[int, float, Dict[str, float]]
+
+
+def _check_name(name: str) -> str:
+    if not name or any(c.isspace() for c in name):
+        raise ValueError(f"metric names must be non-empty, no spaces: {name!r}")
+    if name.startswith(".") or name.endswith(".") or ".." in name:
+        raise ValueError(f"malformed dotted metric name: {name!r}")
+    return name
+
+
+class CounterMetric:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class GaugeMetric:
+    """Last-write-wins value (queue depths, free-block counts, ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class BoundedHistogram:
+    """Latency/size distribution with bounded memory.
+
+    Count, total, min, and max are exact.  Percentiles come from a
+    deterministic reservoir: the first ``max_samples`` values are kept
+    verbatim; after that each new value replaces a pseudo-random slot with
+    probability ``max_samples / seen`` (Vitter's algorithm R, driven by a
+    private LCG so runs stay reproducible).  Percentile math reuses
+    :func:`repro.sim.stats.percentile`, so summaries agree exactly with
+    :class:`repro.sim.stats.Histogram` while the reservoir is not full.
+    """
+
+    __slots__ = ("name", "_samples", "_cap", "_seen", "_total", "_min",
+                 "_max", "_lcg")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1: {max_samples}")
+        self.name = name
+        self._samples: List[float] = []
+        self._cap = max_samples
+        self._seen = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lcg = 0x2545F4914F6CDD1D
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be non-negative: {value}")
+        value = float(value)
+        self._seen += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+            return
+        # Reservoir replacement (algorithm R) with a deterministic LCG.
+        self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) \
+            & 0xFFFFFFFFFFFFFFFF
+        slot = (self._lcg >> 16) % self._seen
+        if slot < self._cap:
+            self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._seen
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if not self._seen:
+            raise ValueError("mean of empty histogram")
+        return self._total / self._seen
+
+    @property
+    def max(self) -> float:
+        if not self._seen:
+            raise ValueError("max of empty histogram")
+        return self._max
+
+    @property
+    def min(self) -> float:
+        if not self._seen:
+            raise ValueError("min of empty histogram")
+        return self._min
+
+    def pct(self, p: float) -> float:
+        if not self._samples:
+            raise ValueError("percentile of empty histogram")
+        return percentile(sorted(self._samples), p)
+
+    def summary(self) -> Dict[str, float]:
+        """Table-1-shaped summary (count/mean/p25/p50/p75/p99/max)."""
+        if not self._seen:
+            return {"count": 0}
+        ordered = sorted(self._samples)
+        out: Dict[str, float] = {
+            "count": self._seen,
+            "total": self._total,
+            "mean": self.mean,
+        }
+        for p in (25, 50, 75, 99):
+            out[f"p{p}"] = percentile(ordered, p)
+        out["max"] = self._max
+        return out
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._seen = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+
+class MetricsRegistry:
+    """The stack-wide instrument namespace.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by dotted name;
+    re-registering a name as a different kind is an error (two subsystems
+    fighting over one name is always a bug).  :meth:`scope` returns a
+    prefixed view so a component can register relative names.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, *args) -> object:
+        name = _check_name(name)
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> CounterMetric:
+        return self._get(name, CounterMetric)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._get(name, GaugeMetric)
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_MAX_SAMPLES) -> BoundedHistogram:
+        return self._get(name, BoundedHistogram, max_samples)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self, _check_name(prefix))
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """Flat dotted-name -> value (counters/gauges) or summary dict
+        (histograms).  JSON-serialisable as-is."""
+        out: Dict[str, SnapshotValue] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, BoundedHistogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value  # type: ignore[union-attr]
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations survive; handles held by
+        components stay valid).  Used at measurement-interval boundaries,
+        mirroring ``Ssd.reset_measurement``."""
+        for instrument in self._instruments.values():
+            instrument.reset()  # type: ignore[union-attr]
+
+
+class MetricsScope:
+    """A registry view that prefixes every name with ``<prefix>.``."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str) -> CounterMetric:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_MAX_SAMPLES) -> BoundedHistogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", max_samples)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, f"{self._prefix}.{prefix}")
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op (shared singleton)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in for disabled telemetry: every lookup returns the
+    shared no-op instrument and snapshots are empty."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_MAX_SAMPLES) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def scope(self, prefix: str) -> "NullRegistry":
+        return self
+
+    def names(self) -> List[str]:
+        return []
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,137 @@
+"""The telemetry facade wired through the stack.
+
+One :class:`Telemetry` object is shared by every layer of a simulated
+stack (device, FTL, filesystem, engines, benchmark driver).  It bundles
+
+* a :class:`~repro.obs.registry.MetricsRegistry` components register
+  instruments into,
+* a :class:`~repro.obs.tracing.Tracer` whose span stack threads
+  attribution across layers, and
+* a sink receiving finished spans and periodic metric snapshots.
+
+Construction order: the harness creates the telemetry (with its sink and
+snapshot interval), then builds the stack; the device binds the shared
+clock via :meth:`bind_clock` and calls :meth:`maybe_snapshot` as virtual
+time passes, which is what drives the periodic snapshotter.
+
+``NULL_TELEMETRY`` is the always-disabled singleton every component
+defaults to.  Its registry hands out shared no-op instruments and its
+tracer returns a shared no-op span, so instrumented hot paths cost one
+or two trivially-inlined method calls when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sinks import NULL_SINK, NullSink
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.sim.clock import SimClock
+
+
+class Telemetry:
+    """Live telemetry: metrics + tracing + sink + periodic snapshots."""
+
+    def __init__(self, sink: Optional[Any] = None,
+                 snapshot_interval_us: int = 0) -> None:
+        if snapshot_interval_us < 0:
+            raise ValueError(
+                f"snapshot interval must be >= 0: {snapshot_interval_us}")
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.sink)
+        self.enabled = True
+        self.snapshot_interval_us = snapshot_interval_us
+        self._last_snapshot_us = 0
+        self._clock: Optional[SimClock] = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Attach the stack's virtual clock (idempotent; the first device
+        built does this)."""
+        self._clock = clock
+        self.tracer.bind_clock(clock)
+
+    def pause(self) -> None:
+        """Stop emitting spans and snapshots (load/warm-up phases).
+        Metric instruments keep counting; call ``metrics.reset()`` at the
+        measurement boundary to zero them."""
+        self.enabled = False
+        self.tracer.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+        self.tracer.enabled = True
+
+    def reset_measurement(self) -> None:
+        """Zero metrics and restart the snapshot cadence — the telemetry
+        side of ``Ssd.reset_measurement``."""
+        self.metrics.reset()
+        self._last_snapshot_us = self._clock.now_us if self._clock else 0
+
+    # ----------------------------------------------------------- snapshots
+
+    def maybe_snapshot(self, now_us: int) -> bool:
+        """Emit a metrics snapshot when at least one snapshot interval of
+        virtual time has passed.  Called from the device's command
+        completion path; cheap when disabled or not yet due."""
+        if (not self.enabled or not self.snapshot_interval_us
+                or now_us - self._last_snapshot_us < self.snapshot_interval_us):
+            return False
+        self._last_snapshot_us = now_us
+        self.snapshot(now_us)
+        return True
+
+    def snapshot(self, now_us: Optional[int] = None) -> Dict[str, Any]:
+        """Emit (and return) a metrics snapshot record."""
+        if now_us is None:
+            now_us = self._clock.now_us if self._clock else 0
+        record = {"type": "metrics", "t_us": now_us,
+                  "metrics": self.metrics.snapshot()}
+        self.sink.emit(record)
+        return record
+
+    def close(self) -> Dict[str, Any]:
+        """Final snapshot, then close the sink.  Returns the snapshot so
+        callers can report without re-reading the artifact."""
+        record = self.snapshot()
+        self.sink.close()
+        return record
+
+
+class _NullTelemetry:
+    """The disabled singleton.  Everything is a no-op; ``enabled`` is
+    False forever so guards can skip optional work."""
+
+    __slots__ = ()
+    enabled = False
+    metrics = NULL_REGISTRY
+    tracer = NULL_TRACER
+    sink = NULL_SINK
+    snapshot_interval_us = 0
+
+    def bind_clock(self, clock: SimClock) -> None:
+        pass
+
+    def pause(self) -> None:
+        pass
+
+    def resume(self) -> None:
+        pass
+
+    def reset_measurement(self) -> None:
+        pass
+
+    def maybe_snapshot(self, now_us: int) -> bool:
+        return False
+
+    def snapshot(self, now_us: Optional[int] = None) -> Dict[str, Any]:
+        return {"type": "metrics", "t_us": now_us or 0, "metrics": {}}
+
+    def close(self) -> Dict[str, Any]:
+        return self.snapshot()
+
+
+NULL_TELEMETRY = _NullTelemetry()

@@ -1,0 +1,184 @@
+"""Span tracing on the virtual clock.
+
+A span brackets one unit of work with virtual-time start/end stamps and
+free-form attributes.  Spans nest: the tracer keeps an open-span stack, so
+a single host operation is attributed all the way down —
+
+    innodb.txn -> innodb.flush_batch -> innodb.dwb.flush
+      -> host.file.pwrite -> device.write -> ftl.gc
+
+— and the GC pass that stalled a doublewrite batch is one parent-chain
+walk away.  Finished spans are emitted to the telemetry sink as plain
+dicts (``{"type": "span", ...}``), which is also the JSONL schema.
+
+All timestamps come from the shared :class:`repro.sim.clock.SimClock`;
+the tracer never reads wall-clock time, so traces are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+class Span:
+    """One traced operation.  Use as a context manager; attach data with
+    :meth:`set`.  Attributes must be JSON-serialisable."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "trace_id",
+                 "start_us", "end_us", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], trace_id: int, start_us: int,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.start_us = start_us
+        self.end_us: Optional[int] = None
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_us(self) -> int:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_us - self.start_us
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSONL schema of a finished span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "duration_us": self.duration_us,
+            "attrs": self.attrs,
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.finish(self)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, start_us={self.start_us})")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    trace_id = 0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and stack for nested spans.
+
+    The sink is any object with ``emit(record: dict)``; the clock is bound
+    late (the harness builds the telemetry object before the stack's
+    clock exists).  Disabling the tracer (``enabled = False``) makes
+    :meth:`span` return the shared null span, so paused telemetry skips
+    record construction entirely.
+    """
+
+    def __init__(self, sink: Any, clock: Optional[SimClock] = None) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.enabled = True
+
+    def bind_clock(self, clock: SimClock) -> None:
+        self._clock = clock
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current(self) -> Any:
+        """The innermost open span (the null span when none is open)."""
+        return self._stack[-1] if self._stack else NULL_SPAN
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Open a child of the current span (or a new root)."""
+        if not self.enabled:
+            return NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            start_us=self._clock.now_us if self._clock is not None else 0,
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` and emit its record.  Closing out of order also
+        closes any younger spans still open (defensive; normal use is
+        strictly nested ``with`` blocks)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_us = self._clock.now_us if self._clock is not None else 0
+            self._sink.emit(top.to_record())
+        span.end_us = self._clock.now_us if self._clock is not None else 0
+        self._sink.emit(span.to_record())
+
+
+class NullTracer:
+    """Tracer stand-in for disabled telemetry."""
+
+    __slots__ = ()
+    enabled = False
+    depth = 0
+    current = NULL_SPAN
+
+    def bind_clock(self, clock: SimClock) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -23,6 +23,7 @@ from repro.flash.timing import MLC_TIMING, FlashTiming
 from repro.ftl.config import FtlConfig
 from repro.ftl.pagemap import PageMappingFtl
 from repro.ftl.share_ext import SharePair
+from repro.obs import NULL_TELEMETRY
 from repro.sim.clock import SimClock
 from repro.sim.faults import NO_FAULTS, FaultPlan
 from repro.ssd.stats import DeviceStats
@@ -44,6 +45,7 @@ class SsdConfig:
     ftl: FtlConfig = FtlConfig()
     share_enabled: bool = True
     trace_capacity: int = 0
+    trace_keep: str = "oldest"
     dram_cache_pages: int = 0
 
 
@@ -53,25 +55,48 @@ class _WorkSnapshot:
     erases: int
     map_writes: int
     spills: int
+    log_spills: int
     spill_lookups: int
     gc_events: int
+    wear_moves: int
 
 
 class Ssd:
     """Page-addressed block device with the SHARE extension."""
 
     def __init__(self, clock: SimClock, config: Optional[SsdConfig] = None,
-                 faults: FaultPlan = NO_FAULTS) -> None:
+                 faults: FaultPlan = NO_FAULTS, telemetry=None,
+                 name: str = "ssd") -> None:
         self.config = config or SsdConfig()
         self.clock = clock
         self.faults = faults
+        self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry.bind_clock(clock)
         self.nand = NandArray(self.config.geometry)
-        self.ftl = PageMappingFtl(self.nand, self.config.ftl, faults)
+        self.ftl = PageMappingFtl(self.nand, self.config.ftl, faults,
+                                  telemetry=self.telemetry)
         self.timing = self.config.timing
         self.stats = DeviceStats(page_size=self.config.geometry.page_size)
-        self.trace = IoTrace(self.config.trace_capacity)
+        self.trace = IoTrace(self.config.trace_capacity,
+                             keep=self.config.trace_keep)
         from repro.ssd.cache import DramReadCache
         self.cache = DramReadCache(self.config.dram_cache_pages)
+        # Telemetry handles, resolved once (no-op singletons when the
+        # telemetry is NULL_TELEMETRY, so the hot path stays free).
+        metrics = self.telemetry.metrics.scope(f"device.{name}")
+        self._m_commands = {kind: metrics.counter(f"{kind}_commands")
+                            for kind in ("read", "write", "trim", "share",
+                                         "flush")}
+        self._m_pages = {"read": metrics.counter("host_read_pages"),
+                         "write": metrics.counter("host_write_pages"),
+                         "trim": metrics.counter("trim_pages"),
+                         "share": metrics.counter("share_pairs"),
+                         "flush": metrics.counter("flush_pages")}
+        self._m_latency = {kind: metrics.histogram(f"latency_us.{kind}")
+                           for kind in ("read", "write", "trim", "share",
+                                        "flush")}
+        self._m_busy_us = metrics.counter("busy_us")
 
     # ---------------------------------------------------------- properties
 
@@ -99,55 +124,61 @@ class Ssd:
 
     def read(self, lpn: int) -> Any:
         """Read one page (through the controller DRAM cache if enabled)."""
-        before = self._work_snapshot()
-        cached = self.cache.lookup(lpn)
-        if cached is not None:
+        with self.telemetry.tracer.span("device.read"):
+            before = self._work_snapshot()
+            cached = self.cache.lookup(lpn)
+            if cached is not None:
+                self.stats.host_read_pages += 1
+                self._finish("read", lpn, 1, before, 0.0)  # DRAM-speed hit
+                return cached[0]
+            data = self.ftl.read(lpn)
+            self.cache.insert(lpn, data)
             self.stats.host_read_pages += 1
-            self._finish("read", lpn, 1, before, 0.0)  # DRAM-speed hit
-            return cached[0]
-        data = self.ftl.read(lpn)
-        self.cache.insert(lpn, data)
-        self.stats.host_read_pages += 1
-        self._finish("read", lpn, 1, before,
-                     self.timing.read_latency(self.page_size))
-        return data
+            self._finish("read", lpn, 1, before,
+                         self.timing.read_latency(self.page_size))
+            return data
 
     def write(self, lpn: int, data: Any) -> None:
         """Write one page (out-of-place inside the device)."""
-        before = self._work_snapshot()
-        self.ftl.write(lpn, data)
-        self.cache.insert(lpn, data)
-        self.stats.host_write_pages += 1
-        self._finish("write", lpn, 1, before,
-                     self.timing.program_latency(self.page_size))
+        with self.telemetry.tracer.span("device.write"):
+            before = self._work_snapshot()
+            self.ftl.write(lpn, data)
+            self.cache.insert(lpn, data)
+            self.stats.host_write_pages += 1
+            self._finish("write", lpn, 1, before,
+                         self.timing.program_latency(self.page_size))
 
     def write_multi(self, lpn: int, pages: Sequence[Any]) -> None:
         """Write consecutive pages in one host command (one command
         overhead, per-page programs)."""
         if not pages:
             raise DeviceError("write_multi with no pages")
-        before = self._work_snapshot()
-        for index, page in enumerate(pages):
-            self.ftl.write(lpn + index, page)
-            self.cache.insert(lpn + index, page)
-        self.stats.host_write_pages += len(pages)
-        self._finish("write", lpn, len(pages), before,
-                     len(pages) * self.timing.program_latency(self.page_size))
+        with self.telemetry.tracer.span("device.write"):
+            before = self._work_snapshot()
+            for index, page in enumerate(pages):
+                self.ftl.write(lpn + index, page)
+                self.cache.insert(lpn + index, page)
+            self.stats.host_write_pages += len(pages)
+            self._finish("write", lpn, len(pages), before,
+                         len(pages)
+                         * self.timing.program_latency(self.page_size))
 
     def write_atomic(self, items: Sequence) -> None:
         """Atomic multi-page write (the Section 6.1 baseline command:
         Park et al. / FusionIO-style).  All pages land or none do."""
         if not items:
             raise DeviceError("write_atomic with no pages")
-        before = self._work_snapshot()
-        self.ftl.write_atomic(items)
-        for item_lpn, data in items:
-            self.cache.insert(item_lpn, data)
-        self.stats.host_write_pages += len(items)
-        self.stats.extra["atomic_write_commands"] = (
-            self.stats.extra.get("atomic_write_commands", 0) + 1)
-        self._finish("write", items[0][0], len(items), before,
-                     len(items) * self.timing.program_latency(self.page_size))
+        with self.telemetry.tracer.span("device.write", atomic=True):
+            before = self._work_snapshot()
+            self.ftl.write_atomic(items)
+            for item_lpn, data in items:
+                self.cache.insert(item_lpn, data)
+            self.stats.host_write_pages += len(items)
+            self.stats.extra["atomic_write_commands"] = (
+                self.stats.extra.get("atomic_write_commands", 0) + 1)
+            self._finish("write", items[0][0], len(items), before,
+                         len(items)
+                         * self.timing.program_latency(self.page_size))
 
     # X-FTL transactional interface (Section 6.2 baseline) --------------
 
@@ -157,35 +188,39 @@ class Ssd:
 
     def write_txn(self, txn_id: int, lpn: int, data: Any) -> None:
         """Stage one in-place page write under a transaction."""
-        before = self._work_snapshot()
-        self.ftl.write_txn(txn_id, lpn, data)
-        self.stats.host_write_pages += 1
-        self._finish("write", lpn, 1, before,
-                     self.timing.program_latency(self.page_size))
+        with self.telemetry.tracer.span("device.write", txn=txn_id):
+            before = self._work_snapshot()
+            self.ftl.write_txn(txn_id, lpn, data)
+            self.stats.host_write_pages += 1
+            self._finish("write", lpn, 1, before,
+                         self.timing.program_latency(self.page_size))
 
     def commit_txn(self, txn_id: int) -> None:
         """Atomically publish a transaction's staged pages."""
-        before = self._work_snapshot()
-        staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
-        self.ftl.commit_txn(txn_id)
-        for lpn in staged_lpns:
-            self.cache.invalidate(lpn)
-        self._finish("flush", 0, 0, before, 0.0)
+        with self.telemetry.tracer.span("device.flush", txn=txn_id):
+            before = self._work_snapshot()
+            staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
+            self.ftl.commit_txn(txn_id)
+            for lpn in staged_lpns:
+                self.cache.invalidate(lpn)
+            self._finish("flush", 0, 0, before, 0.0)
 
     def abort_txn(self, txn_id: int) -> None:
         """Discard a transaction's staged pages."""
-        before = self._work_snapshot()
-        self.ftl.abort_txn(txn_id)
-        self._finish("trim", 0, 0, before, 0.0)
+        with self.telemetry.tracer.span("device.trim", txn=txn_id):
+            before = self._work_snapshot()
+            self.ftl.abort_txn(txn_id)
+            self._finish("trim", 0, 0, before, 0.0)
 
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate a logical range."""
-        before = self._work_snapshot()
-        self.ftl.trim(lpn, count)
-        self.cache.invalidate(lpn, count)
-        self.stats.trim_commands += 1
-        self._finish("trim", lpn, count, before,
-                     count * self.timing.map_update_us)
+        with self.telemetry.tracer.span("device.trim"):
+            before = self._work_snapshot()
+            self.ftl.trim(lpn, count)
+            self.cache.invalidate(lpn, count)
+            self.stats.trim_commands += 1
+            self._finish("trim", lpn, count, before,
+                         count * self.timing.map_update_us)
 
     def idle_gc(self, max_blocks: int = 1,
                 min_invalid_fraction: float = 0.5) -> int:
@@ -193,44 +228,48 @@ class Ssd:
         reclaim work is charged to the clock like any other command, but
         it happens when no foreground request is waiting — trading idle
         time for smaller foreground stalls."""
-        before = self._work_snapshot()
-        reclaimed = self.ftl.idle_gc(max_blocks, min_invalid_fraction)
-        self._finish("trim", 0, reclaimed, before, 0.0)
-        return reclaimed
+        with self.telemetry.tracer.span("device.idle_gc"):
+            before = self._work_snapshot()
+            reclaimed = self.ftl.idle_gc(max_blocks, min_invalid_fraction)
+            self._finish("trim", 0, reclaimed, before, 0.0)
+            return reclaimed
 
     def flush(self) -> None:
         """Barrier: persist pending mapping changes.  Data-page writes are
         durable at command completion already (no volatile write cache is
         modelled), matching the paper's O_DIRECT setup."""
-        before = self._work_snapshot()
-        self.ftl.flush()
-        self.stats.flush_commands += 1
-        self._finish("flush", 0, 0, before, 0.0)
+        with self.telemetry.tracer.span("device.flush"):
+            before = self._work_snapshot()
+            self.ftl.flush()
+            self.stats.flush_commands += 1
+            self._finish("flush", 0, 0, before, 0.0)
 
     def share(self, dst_lpn: int, src_lpn: int, length: int = 1) -> None:
         """Vendor-unique SHARE command (ranged form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        before = self._work_snapshot()
-        self.ftl.share(dst_lpn, src_lpn, length)
-        self.cache.invalidate(dst_lpn, length)
-        self.stats.share_commands += 1
-        self.stats.share_pairs += length
-        self._finish("share", dst_lpn, length, before,
-                     length * self.timing.map_update_us)
+        with self.telemetry.tracer.span("device.share"):
+            before = self._work_snapshot()
+            self.ftl.share(dst_lpn, src_lpn, length)
+            self.cache.invalidate(dst_lpn, length)
+            self.stats.share_commands += 1
+            self.stats.share_pairs += length
+            self._finish("share", dst_lpn, length, before,
+                         length * self.timing.map_update_us)
 
     def share_batch(self, pairs: Sequence[SharePair]) -> None:
         """Vendor-unique SHARE command (batched pair form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        before = self._work_snapshot()
-        self.ftl.share_batch(pairs)
-        for pair in pairs:
-            self.cache.invalidate(pair.dst_lpn)
-        self.stats.share_commands += 1
-        self.stats.share_pairs += len(pairs)
-        self._finish("share", pairs[0].dst_lpn, len(pairs), before,
-                     len(pairs) * self.timing.map_update_us)
+        with self.telemetry.tracer.span("device.share"):
+            before = self._work_snapshot()
+            self.ftl.share_batch(pairs)
+            for pair in pairs:
+                self.cache.invalidate(pair.dst_lpn)
+            self.stats.share_commands += 1
+            self.stats.share_pairs += len(pairs)
+            self._finish("share", pairs[0].dst_lpn, len(pairs), before,
+                         len(pairs) * self.timing.map_update_us)
 
     # ----------------------------------------------------------- internals
 
@@ -241,8 +280,10 @@ class Ssd:
             erases=ftl_stats.block_erases,
             map_writes=self.ftl.map_page_writes,
             spills=ftl_stats.share_spills,
+            log_spills=ftl_stats.share_log_spills,
             spill_lookups=ftl_stats.spill_lookups,
             gc_events=ftl_stats.gc_events,
+            wear_moves=ftl_stats.wear_level_moves,
         )
 
     def _finish(self, kind: str, lpn: int, count: int,
@@ -267,10 +308,25 @@ class Ssd:
         self.stats.block_erases += erases
         self.stats.map_page_writes += map_writes
         self.stats.share_spill_pages += spills
+        self.stats.share_log_spills += \
+            ftl_stats.share_log_spills - before.log_spills
+        self.stats.spill_lookups += spill_lookups
         self.stats.gc_events += gc_events
+        self.stats.wear_level_moves += \
+            ftl_stats.wear_level_moves - before.wear_moves
         self.stats.busy_us += latency
         self.clock.advance(latency)
-        if self.trace is not None and self.trace._capacity:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.tracer.current.set(
+                kind=kind, lpn=lpn, count=count, latency_us=latency,
+                gc_events=gc_events, copyback_pages=copybacks)
+            self._m_commands[kind].inc()
+            self._m_pages[kind].inc(count)
+            self._m_latency[kind].record(latency)
+            self._m_busy_us.inc(latency)
+            telemetry.maybe_snapshot(self.clock.now_us)
+        if self.trace is not None and self.trace.capacity:
             self.trace.record(TraceEvent(
                 timestamp_us=self.clock.now_us, kind=kind, lpn=lpn,
                 count=count, latency_us=latency, gc_events=gc_events,
@@ -281,7 +337,9 @@ class Ssd:
     def power_cycle(self) -> None:
         """Simulate power loss + reboot: drop all volatile state and run
         the FTL recovery scan over the surviving media."""
-        self.ftl = PageMappingFtl.recover(self.nand, self.config.ftl, self.faults)
+        self.ftl = PageMappingFtl.recover(self.nand, self.config.ftl,
+                                          self.faults,
+                                          telemetry=self.telemetry)
         self.cache.clear()
 
     # --------------------------------------------------------------- aging
@@ -318,3 +376,4 @@ class Ssd:
         for name in list(ftl_stats.__dict__):
             setattr(ftl_stats, name, 0)
         self.trace.clear()
+        self.telemetry.reset_measurement()

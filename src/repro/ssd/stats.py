@@ -12,6 +12,12 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
+def _waf(host_writes: float, total_programs: float) -> float:
+    if host_writes <= 0:
+        return 0.0
+    return total_programs / host_writes
+
+
 @dataclass
 class DeviceStats:
     """Cumulative counters maintained by the :class:`repro.ssd.device.Ssd`
@@ -29,6 +35,9 @@ class DeviceStats:
     block_erases: int = 0
     map_page_writes: int = 0
     share_spill_pages: int = 0
+    share_log_spills: int = 0
+    spill_lookups: int = 0
+    wear_level_moves: int = 0
     busy_us: float = 0.0
     extra: Dict[str, int] = field(default_factory=dict)
 
@@ -48,10 +57,10 @@ class DeviceStats:
 
     @property
     def write_amplification(self) -> float:
-        """Device-internal WAF relative to host page writes."""
-        if self.host_write_pages == 0:
-            return 0.0
-        return self.total_nand_programs / self.host_write_pages
+        """Device-internal WAF relative to host page writes.  A fresh
+        device (no host writes yet — e.g. internal map traffic only)
+        reports 0.0 rather than dividing by zero."""
+        return _waf(self.host_write_pages, self.total_nand_programs)
 
     def snapshot(self) -> Dict[str, float]:
         out: Dict[str, float] = {
@@ -66,6 +75,9 @@ class DeviceStats:
             "block_erases": self.block_erases,
             "map_page_writes": self.map_page_writes,
             "share_spill_pages": self.share_spill_pages,
+            "share_log_spills": self.share_log_spills,
+            "spill_lookups": self.spill_lookups,
+            "wear_level_moves": self.wear_level_moves,
             "write_amplification": self.write_amplification,
             "busy_us": self.busy_us,
         }
@@ -73,10 +85,21 @@ class DeviceStats:
         return out
 
     def delta_since(self, before: "DeviceStats") -> Dict[str, float]:
-        """Difference of the numeric counters against an earlier copy."""
+        """Difference of the numeric counters against an earlier copy.
+
+        ``write_amplification`` is a ratio, so its delta is recomputed
+        from the interval's own counters (guarded against a write-free
+        interval) rather than subtracting two cumulative ratios, which
+        would be meaningless.
+        """
         now = self.snapshot()
         past = before.snapshot()
-        return {key: now[key] - past.get(key, 0) for key in now}
+        delta = {key: now[key] - past.get(key, 0) for key in now}
+        host = delta["host_write_pages"]
+        programs = (host + delta["copyback_pages"]
+                    + delta["map_page_writes"] + delta["share_spill_pages"])
+        delta["write_amplification"] = _waf(host, programs)
+        return delta
 
     def copy(self) -> "DeviceStats":
         clone = DeviceStats(page_size=self.page_size)

@@ -5,12 +5,30 @@ timestamp and the internal work (copybacks, erases) it triggered.  Tests
 use traces to assert ordering properties; analysis examples use them to
 plot jitter (the paper's "consistent IO performance with less performance
 jitter" claim).
+
+Since the unified telemetry subsystem (:mod:`repro.obs`) landed, the
+device's primary instrumentation is span-based: each command emits a
+``device.<kind>`` span carrying the same fields.  :class:`IoTrace`
+remains the stable flat-event API; :meth:`IoTrace.from_span_records`
+rebuilds one as a compatibility view over exported span records, so any
+pre-existing trace analysis keeps working against JSONL artifacts.
+
+Two retention modes handle long soak runs:
+
+* ``keep="oldest"`` (default, the historical behaviour) — once full,
+  new events are dropped and counted, preserving the run's head;
+* ``keep="newest"`` — a ring buffer that overwrites the oldest event,
+  preserving the tail (what you want when the interesting jitter is at
+  the end of a multi-hour soak).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+KEEP_MODES = ("oldest", "newest")
 
 
 @dataclass(frozen=True)
@@ -26,22 +44,74 @@ class TraceEvent:
     copyback_pages: int = 0
 
 
+def trace_event_from_span(record: Dict[str, Any]) -> TraceEvent:
+    """Convert one exported ``device.*`` span record into a TraceEvent."""
+    attrs = record.get("attrs", {})
+    return TraceEvent(
+        timestamp_us=record["end_us"],
+        kind=attrs.get("kind", record["name"].rsplit(".", 1)[-1]),
+        lpn=attrs.get("lpn", 0),
+        count=attrs.get("count", 0),
+        latency_us=attrs.get("latency_us", record["duration_us"]),
+        gc_events=attrs.get("gc_events", 0),
+        copyback_pages=attrs.get("copyback_pages", 0),
+    )
+
+
 class IoTrace:
     """Bounded in-memory trace.  Disabled (capacity 0) by default in the
     device so steady-state benchmarks pay nothing for it."""
 
-    def __init__(self, capacity: int = 1_000_000) -> None:
+    def __init__(self, capacity: int = 1_000_000,
+                 keep: str = "oldest") -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative: {capacity}")
+        if keep not in KEEP_MODES:
+            raise ValueError(
+                f"keep must be one of {KEEP_MODES}, got {keep!r}")
         self._capacity = capacity
-        self._events: List[TraceEvent] = []
+        self._keep = keep
+        self._events: "deque[TraceEvent]" = deque()
         self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def keep(self) -> str:
+        return self._keep
 
     def record(self, event: TraceEvent) -> None:
         if len(self._events) >= self._capacity:
             self.dropped += 1
-            return
+            if self._keep == "oldest":
+                return
+            self._events.popleft()
         self._events.append(event)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Machine-readable trace health: how much was kept vs dropped."""
+        return {
+            "capacity": self._capacity,
+            "recorded": len(self._events),
+            "dropped": self.dropped,
+            "keep": self._keep,  # type: ignore[dict-item]
+        }
+
+    @classmethod
+    def from_span_records(cls, records: Iterable[Dict[str, Any]],
+                          capacity: int = 1_000_000,
+                          keep: str = "oldest") -> "IoTrace":
+        """Compatibility view: rebuild a flat trace from exported span
+        records (e.g. loaded from a JSONL artifact), using only the
+        device-command spans."""
+        trace = cls(capacity, keep)
+        for record in records:
+            if record.get("type") == "span" and \
+                    record.get("name", "").startswith("device."):
+                trace.record(trace_event_from_span(record))
+        return trace
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,195 @@
+"""Render a telemetry JSONL artifact as paper-shaped text reports.
+
+Usage::
+
+    python -m repro.tools.report results/linkbench_telemetry.jsonl
+    python -m repro.tools.report out.jsonl --section activities
+
+Sections:
+
+* ``activities`` — Figure-6-style breakdown of I/O activity inside the
+  device (host writes vs GC copybacks vs mapping traffic), drawn from the
+  final metrics snapshot,
+* ``latency``    — Table-1-style percentile rows for every latency
+  histogram in the final snapshot,
+* ``spans``      — per-span-name count / total / mean virtual duration,
+* ``gc``         — GC attribution: each ``ftl.gc`` span walked up its
+  parent chain to the host-level operation that triggered it.
+
+The artifact is whatever a :class:`repro.obs.JsonlSink` captured — metric
+snapshots (``type: "metrics"``) and finished spans (``type: "span"``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.text_plots import ascii_bars
+from repro.bench.report import format_table
+from repro.obs.sinks import read_jsonl
+
+#: Final-snapshot counters that make up the Figure-6-style breakdown,
+#: as (label, dotted-name-suffix-or-name) pairs.  Device counters are
+#: summed across device scopes (``device.<name>.<suffix>``).
+ACTIVITY_DEVICE_COUNTERS = (
+    ("host writes (pages)", "host_write_pages"),
+    ("host reads (pages)", "host_read_pages"),
+    ("flushes", "flush_commands"),
+    ("share pairs", "share_pairs"),
+    ("trims", "trim_commands"),
+)
+ACTIVITY_FTL_COUNTERS = (
+    ("GC events", "ftl.gc.events"),
+    ("GC copybacks (pages)", "ftl.gc.copyback_pages"),
+    ("block erases", "ftl.gc.block_erases"),
+    ("map page writes", "ftl.maplog.page_writes"),
+    ("wear-level moves", "ftl.wear.level_moves"),
+)
+
+
+def load(path: str) -> List[Dict]:
+    """Read every record of a telemetry JSONL artifact."""
+    return read_jsonl(path)
+
+
+def last_metrics(records: Sequence[Dict]) -> Dict:
+    """The final metrics snapshot's name -> value mapping ({} if none)."""
+    out: Dict = {}
+    for record in records:
+        if record.get("type") == "metrics":
+            out = record.get("metrics", {})
+    return out
+
+
+def _sum_device_counter(metrics: Dict, suffix: str) -> float:
+    total = 0.0
+    for name, value in metrics.items():
+        if name.startswith("device.") and name.endswith(f".{suffix}"):
+            total += value
+    return total
+
+
+def activity_breakdown(metrics: Dict) -> Tuple[List[str], List[float]]:
+    """Figure-6-style labels and values from a metrics snapshot."""
+    labels: List[str] = []
+    values: List[float] = []
+    for label, suffix in ACTIVITY_DEVICE_COUNTERS:
+        labels.append(label)
+        values.append(_sum_device_counter(metrics, suffix))
+    for label, name in ACTIVITY_FTL_COUNTERS:
+        labels.append(label)
+        values.append(float(metrics.get(name, 0)))
+    return labels, values
+
+
+def render_activities(metrics: Dict, width: int = 50) -> str:
+    if not metrics:
+        return "no metrics snapshots in artifact"
+    labels, values = activity_breakdown(metrics)
+    return ascii_bars(labels, values, width=width,
+                      title="I/O activities (Figure 6 shape)")
+
+
+def latency_table(metrics: Dict) -> str:
+    """Table-1-shaped rows for every histogram summary in the snapshot."""
+    rows = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if not isinstance(value, dict) or not value.get("count"):
+            continue
+        if not all(f"p{p}" in value for p in (25, 50, 75, 99)):
+            continue
+        rows.append([name, value["count"], value["mean"], value["p25"],
+                     value["p50"], value["p75"], value["p99"], value["max"]])
+    if not rows:
+        return "no latency histograms in artifact"
+    return format_table(
+        ["histogram", "count", "mean", "P25", "P50", "P75", "P99", "max"],
+        rows, title="Latency distributions (Table 1 shape)")
+
+
+def span_summary(records: Sequence[Dict]) -> str:
+    """Count / total / mean virtual duration per span name."""
+    agg: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        entry = agg.setdefault(record["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += record.get("duration_us", 0)
+    if not agg:
+        return "no spans in artifact"
+    rows = [[name, int(count), total_us, total_us / count]
+            for name, (count, total_us) in sorted(agg.items())]
+    return format_table(
+        ["span", "count", "total_us", "mean_us"], rows,
+        title="Spans by name (virtual time)")
+
+
+def gc_attribution(records: Sequence[Dict]) -> Dict[str, int]:
+    """For every ``ftl.gc`` span, walk the parent chain to its root span
+    and count GC events per root name — answering 'which host operation
+    triggered the garbage collection?'."""
+    by_id = {record["span_id"]: record for record in records
+             if record.get("type") == "span"}
+    out: Dict[str, int] = {}
+    for record in by_id.values():
+        if record["name"] != "ftl.gc":
+            continue
+        root = record
+        while root.get("parent_id") is not None:
+            parent = by_id.get(root["parent_id"])
+            if parent is None:
+                break  # parent fell outside the capture window
+            root = parent
+        out[root["name"]] = out.get(root["name"], 0) + 1
+    return out
+
+
+def render_gc_attribution(records: Sequence[Dict]) -> str:
+    counts = gc_attribution(records)
+    if not counts:
+        return "no ftl.gc spans in artifact"
+    rows = [[name, count] for name, count in
+            sorted(counts.items(), key=lambda item: -item[1])]
+    return format_table(["root span", "gc events"], rows,
+                        title="GC attribution (root operation -> GC runs)")
+
+
+SECTIONS = ("activities", "latency", "spans", "gc")
+
+
+def render(records: Sequence[Dict], section: str = "all") -> str:
+    metrics = last_metrics(records)
+    parts = []
+    if section in ("all", "activities"):
+        parts.append(render_activities(metrics))
+    if section in ("all", "latency"):
+        parts.append(latency_table(metrics))
+    if section in ("all", "spans"):
+        parts.append(span_summary(records))
+    if section in ("all", "gc"):
+        parts.append(render_gc_attribution(records))
+    return "\n\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Render a telemetry JSONL artifact")
+    parser.add_argument("path", help="JSONL artifact written by JsonlSink")
+    parser.add_argument("--section", choices=("all",) + SECTIONS,
+                        default="all")
+    args = parser.parse_args(argv)
+    try:
+        records = load(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render(records, args.section))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""Tests for the metrics registry: namespacing, instrument semantics,
+histogram percentile parity with repro.sim.stats, bounded memory."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MAX_SAMPLES,
+    BoundedHistogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.sim.stats import Histogram, percentile
+
+
+class TestCounter:
+    def test_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("a")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = MetricsRegistry().counter("a")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+
+class TestNamespacing:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x.y") is registry.counter("x.y")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x.y")
+
+    @pytest.mark.parametrize("bad", ["", ".a", "a.", "a..b", "a b"])
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter(bad)
+
+    def test_scope_prefixes(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("device.data")
+        counter = scope.counter("writes")
+        counter.inc()
+        assert registry.counter("device.data.writes").value == 1
+
+    def test_nested_scopes(self):
+        registry = MetricsRegistry()
+        inner = registry.scope("a").scope("b")
+        inner.gauge("g").set(7)
+        assert registry.snapshot()["a.b.g"] == 7
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1)
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap == {"a": 1, "b": 2}
+
+    def test_registry_reset_keeps_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert registry.snapshot()["c"] == 1
+
+
+class TestBoundedHistogram:
+    def test_percentiles_match_sim_stats_below_cap(self):
+        """While the reservoir is not full, summaries agree exactly with
+        repro.sim.stats.Histogram — same percentile math, same samples."""
+        bounded = BoundedHistogram("h")
+        exact = Histogram()
+        values = [float(v) for v in (5, 1, 9, 2, 8, 3, 7, 4, 6, 10)]
+        for value in values:
+            bounded.record(value)
+            exact.record(value)
+        b, e = bounded.summary(), exact.summary()
+        assert b["count"] == len(values)
+        for key in ("mean", "p25", "p50", "p75", "p99", "max"):
+            assert b[key] == e[key], key
+
+    def test_exact_stats_beyond_cap(self):
+        hist = BoundedHistogram("h", max_samples=16)
+        for value in range(1000):
+            hist.record(float(value))
+        assert hist.count == 1000
+        assert hist.total == sum(range(1000))
+        assert hist.min == 0.0
+        assert hist.max == 999.0
+        assert len(hist._samples) == 16
+
+    def test_reservoir_percentiles_are_plausible(self):
+        hist = BoundedHistogram("h", max_samples=256)
+        for value in range(10_000):
+            hist.record(float(value))
+        # The reservoir is a uniform sample; the median of 0..9999 must
+        # land far from either edge.
+        assert 2000 < hist.pct(50) < 8000
+
+    def test_deterministic_across_runs(self):
+        def fill():
+            hist = BoundedHistogram("h", max_samples=8)
+            for value in range(500):
+                hist.record(float(value))
+            return hist.summary()
+        assert fill() == fill()
+
+    def test_empty_summary(self):
+        assert BoundedHistogram("h").summary() == {"count": 0}
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram("h").record(-1.0)
+
+    def test_default_cap(self):
+        assert BoundedHistogram("h")._cap == DEFAULT_MAX_SAMPLES
+
+    def test_percentile_function_is_shared(self):
+        hist = BoundedHistogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.record(value)
+        assert hist.pct(50) == percentile([1.0, 2.0, 3.0, 4.0], 50)
+
+
+class TestNullRegistry:
+    def test_null_instruments_accept_everything(self):
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc()
+        counter.inc(100)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").record(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.names() == []
+
+    def test_null_scope_is_itself(self):
+        assert NULL_REGISTRY.scope("x") is NULL_REGISTRY

@@ -1,0 +1,171 @@
+"""Tests for sinks (JSONL round-trip, periodic snapshotter) and the
+IoTrace retention modes / span-compatibility view."""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, Telemetry, TeeSink, read_jsonl
+from repro.sim.clock import SimClock
+from repro.ssd.trace import IoTrace, TraceEvent, trace_event_from_span
+
+
+def make_event(index, kind="write"):
+    return TraceEvent(timestamp_us=index, kind=kind, lpn=index, count=1,
+                      latency_us=float(index))
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        sink = JsonlSink(path)
+        records = [
+            {"type": "span", "name": "device.write", "span_id": 1,
+             "parent_id": None, "trace_id": 1, "start_us": 0, "end_us": 5,
+             "duration_us": 5, "attrs": {"lpn": 3}},
+            {"type": "metrics", "t_us": 10, "metrics": {"a.b": 2}},
+        ]
+        for record in records:
+            sink.emit(record)
+        sink.close()
+        assert sink.emitted == 2
+        assert read_jsonl(path) == records
+
+    def test_one_object_per_line(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"type": "metrics", "t_us": 0, "metrics": {}})
+        sink.close()
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["type"] == "metrics"
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"type": "metrics"})
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_jsonl(str(path))
+
+
+class TestTeeSink:
+    def test_fans_out_and_closes(self, tmp_path):
+        memory = MemorySink()
+        jsonl = JsonlSink(str(tmp_path / "out.jsonl"))
+        tee = TeeSink(memory, jsonl)
+        tee.emit({"type": "metrics", "t_us": 0, "metrics": {}})
+        tee.close()
+        assert len(memory.records) == 1
+        assert jsonl.emitted == 1
+
+
+class TestPeriodicSnapshotter:
+    def test_snapshots_on_interval(self):
+        telemetry = Telemetry(MemorySink(), snapshot_interval_us=100)
+        clock = SimClock()
+        telemetry.bind_clock(clock)
+        telemetry.metrics.counter("c").inc()
+        assert not telemetry.maybe_snapshot(clock.now_us)  # not yet due
+        clock.advance(100)
+        assert telemetry.maybe_snapshot(clock.now_us)
+        clock.advance(50)
+        assert not telemetry.maybe_snapshot(clock.now_us)
+        clock.advance(50)
+        assert telemetry.maybe_snapshot(clock.now_us)
+        snapshots = telemetry.sink.metrics()
+        assert [s["t_us"] for s in snapshots] == [100, 200]
+        assert snapshots[0]["metrics"]["c"] == 1
+
+    def test_zero_interval_disables_cadence(self):
+        telemetry = Telemetry(MemorySink(), snapshot_interval_us=0)
+        telemetry.bind_clock(SimClock())
+        assert not telemetry.maybe_snapshot(10**9)
+        assert telemetry.sink.metrics() == []
+
+    def test_paused_telemetry_skips_snapshots(self):
+        telemetry = Telemetry(MemorySink(), snapshot_interval_us=1)
+        telemetry.bind_clock(SimClock())
+        telemetry.pause()
+        assert not telemetry.maybe_snapshot(100)
+        assert telemetry.sink.metrics() == []
+
+    def test_close_emits_final_snapshot(self):
+        telemetry = Telemetry(MemorySink())
+        telemetry.metrics.counter("c").inc(3)
+        record = telemetry.close()
+        assert record["metrics"]["c"] == 3
+        assert telemetry.sink.metrics()[-1] == record
+
+
+class TestIoTraceRetention:
+    def test_keep_oldest_drops_new_events(self):
+        trace = IoTrace(capacity=3, keep="oldest")
+        for index in range(5):
+            trace.record(make_event(index))
+        assert [e.lpn for e in trace] == [0, 1, 2]
+        assert trace.dropped == 2
+
+    def test_keep_newest_is_a_ring(self):
+        trace = IoTrace(capacity=3, keep="newest")
+        for index in range(5):
+            trace.record(make_event(index))
+        assert [e.lpn for e in trace] == [2, 3, 4]
+        assert trace.dropped == 2
+
+    def test_snapshot_surfaces_drop_accounting(self):
+        trace = IoTrace(capacity=2, keep="newest")
+        for index in range(5):
+            trace.record(make_event(index))
+        assert trace.snapshot() == {
+            "capacity": 2, "recorded": 2, "dropped": 3, "keep": "newest"}
+
+    def test_invalid_keep_rejected(self):
+        with pytest.raises(ValueError, match="keep"):
+            IoTrace(capacity=1, keep="middle")
+
+    def test_clear_resets_drop_count(self):
+        trace = IoTrace(capacity=1)
+        trace.record(make_event(0))
+        trace.record(make_event(1))
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+
+class TestSpanCompatibilityView:
+    def span_record(self, kind="write", lpn=7):
+        return {"type": "span", "name": f"device.{kind}", "span_id": 1,
+                "parent_id": None, "trace_id": 1, "start_us": 10,
+                "end_us": 30, "duration_us": 20,
+                "attrs": {"kind": kind, "lpn": lpn, "count": 2,
+                          "latency_us": 20.0, "gc_events": 1,
+                          "copyback_pages": 4}}
+
+    def test_event_from_span(self):
+        event = trace_event_from_span(self.span_record())
+        assert event == TraceEvent(timestamp_us=30, kind="write", lpn=7,
+                                   count=2, latency_us=20.0, gc_events=1,
+                                   copyback_pages=4)
+
+    def test_from_span_records_filters_non_device(self):
+        records = [
+            self.span_record(),
+            {"type": "span", "name": "ftl.gc", "span_id": 2,
+             "parent_id": 1, "trace_id": 1, "start_us": 0, "end_us": 0,
+             "duration_us": 0, "attrs": {}},
+            {"type": "metrics", "t_us": 0, "metrics": {}},
+        ]
+        trace = IoTrace.from_span_records(records)
+        assert len(trace) == 1
+        assert trace.events("write")[0].lpn == 7
+
+    def test_kind_falls_back_to_span_name(self):
+        record = self.span_record()
+        del record["attrs"]["kind"]
+        assert trace_event_from_span(record).kind == "write"
