@@ -110,11 +110,13 @@ def _swap_in(store: CouchStore, new_store: CouchStore, tmp_path: str) -> None:
 
 def _compact_copy(store: CouchStore, clock: SimClock, suffix: str
                   ) -> Tuple[CouchStore, CompactionResult]:
+    faults = store.faults
     start = _measure_start(store, clock)
     tmp_path = store.path + suffix
     new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
                            _update_seq=store.update_seq,
                            _doc_count=store.doc_count, _stale_blocks=0)
+    faults.checkpoint("couch.compact_begin")
     new_file = new_store.file
     entries: List[Tuple] = []
     docs_moved = 0
@@ -125,13 +127,17 @@ def _compact_copy(store: CouchStore, clock: SimClock, suffix: str
             new_store._append(store.file.pread_block(block + offset))
         entries.append((key, (new_block, length)))
         docs_moved += 1
+    faults.checkpoint("couch.compact_index")
     nodes = new_store.tree.bulk_load(entries)
+    faults.checkpoint("couch.compact_header")
     new_store._append(header_record(new_store.tree.root_block,
                                     new_store.update_seq,
                                     new_store.doc_count, 0))
     new_store.stats.headers_written += 1
     new_file.fsync()
+    faults.checkpoint("couch.compact_switch")
     _swap_in(store, new_store, tmp_path)
+    faults.checkpoint("couch.compact_end")
     new_store.stats.compactions = store.stats.compactions + 1
     result = _measure_end(store, clock, start, "copy", docs_moved, nodes, 0)
     return new_store, result
@@ -139,11 +145,13 @@ def _compact_copy(store: CouchStore, clock: SimClock, suffix: str
 
 def _compact_share(store: CouchStore, clock: SimClock, suffix: str
                    ) -> Tuple[CouchStore, CompactionResult]:
+    faults = store.faults
     start = _measure_start(store, clock)
     tmp_path = store.path + suffix
     new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
                            _update_seq=store.update_seq,
                            _doc_count=store.doc_count, _stale_blocks=0)
+    faults.checkpoint("couch.compact_begin")
     new_file = new_store.file
     pointers = store.doc_pointers()
     # Step 1 (Figure 3): reserve the new file's document region up front.
@@ -151,6 +159,7 @@ def _compact_share(store: CouchStore, clock: SimClock, suffix: str
     if total_doc_blocks:
         new_file.fallocate(total_doc_blocks)
         new_store._append_cursor = total_doc_blocks
+        faults.checkpoint("couch.compact_alloc")
     # Step 2: share each valid document into the new file.  Only the
     # document's header block is read, to learn its length — the residual
     # read cost Table 2 explains.
@@ -172,16 +181,21 @@ def _compact_share(store: CouchStore, clock: SimClock, suffix: str
     if ranges:
         # The destination file blocks come from new_file; sources from the
         # old file.  share_file_ranges resolves both through the ioctl.
+        faults.checkpoint("couch.compact_share")
         share_commands = _share_across(new_file, store, ranges)
     # Step 3: rebuild the index over the new locations.  ``pointers`` came
     # from the tree in key order, so ``entries`` is already sorted.
+    faults.checkpoint("couch.compact_index")
     nodes = new_store.tree.bulk_load(entries)
+    faults.checkpoint("couch.compact_header")
     new_store._append(header_record(new_store.tree.root_block,
                                     new_store.update_seq,
                                     new_store.doc_count, 0))
     new_store.stats.headers_written += 1
     new_file.fsync()
+    faults.checkpoint("couch.compact_switch")
     _swap_in(store, new_store, tmp_path)
+    faults.checkpoint("couch.compact_end")
     new_store.stats.compactions = store.stats.compactions + 1
     new_store.stats.share_commands = share_commands
     new_store.stats.share_pairs = docs_moved

@@ -112,6 +112,10 @@ class CouchStore:
         self.stale_blocks = _stale_blocks
         self.stats = CouchStats()
         self.telemetry = fs.telemetry
+        # Fault instrumentation rides the device's plan: the commit and
+        # compaction paths checkpoint so crash-consistency sweeps can cut
+        # power at every engine-level step.
+        self.faults = fs.ssd.faults
         metrics = self.telemetry.metrics.scope("couch")
         self._m_commits = metrics.counter("commits")
         self._m_share_pairs = metrics.counter("share_pairs")
@@ -234,6 +238,7 @@ class CouchStore:
                 "couch.commit", mode=self.mode.value,
                 tree_changed=tree_changed,
                 share_pairs=len(self._pending_shares)):
+            self.faults.checkpoint("couch.commit_begin")
             if self._pending_shares:
                 ranges = [(dst, src, self.config.doc_blocks)
                           for dst, src in sorted(self._pending_shares.items())]
@@ -241,14 +246,17 @@ class CouchStore:
                 self.stats.share_commands += commands
                 self.stats.share_pairs += len(ranges) * self.config.doc_blocks
                 self._m_share_pairs.inc(len(ranges) * self.config.doc_blocks)
+                self.faults.checkpoint("couch.after_share")
             if tree_changed:
                 self.tree.apply_batch(dict(self._pending_tree))
+                self.faults.checkpoint("couch.before_header")
                 self._write_header()
             self.stale_blocks += self._pending_stale
             # Replaced index nodes are stale file blocks too (ORIGINAL
             # mode's wandering-tree churn; SHARE updates obsolete none).
             self.stale_blocks += self._tree_obsoleted_delta()
             self.file.fsync()
+            self.faults.checkpoint("couch.commit_end")
         self._pending_docs.clear()
         self._pending_tree.clear()
         self._pending_shares.clear()

@@ -1,0 +1,37 @@
+"""Systematic crash-consistency exploration.
+
+The paper's durability arguments (Sections 4.2.2 and 4.3) are stated per
+mechanism: the SHARE batch commits through a single mapping-page program,
+the doublewrite buffer repairs torn pages, the couchstore header is the
+commit point.  This package checks the *composition*: it enumerates every
+fault point a workload actually reaches (one traced run), then re-runs
+the workload once per occurrence with a power failure injected exactly
+there, recovers from the persisted media, and verifies a set of pluggable
+invariants — mapping-table agreement, recovery idempotence, bounded
+physical sharing, and each engine's read-your-acknowledged-writes
+contract.
+
+Entry points:
+
+* :func:`repro.crashcheck.explorer.enumerate_occurrences` — one traced run.
+* :func:`repro.crashcheck.explorer.explore` — the full sweep.
+* ``python -m repro.tools.crashexplore`` — the CLI.
+"""
+
+from repro.crashcheck.explorer import (ExplorationReport, Occurrence,
+                                       PointResult, enumerate_occurrences,
+                                       explore, explore_occurrence)
+from repro.crashcheck.invariants import check_media
+from repro.crashcheck.workloads import WORKLOADS, DeviceState
+
+__all__ = [
+    "ExplorationReport",
+    "Occurrence",
+    "PointResult",
+    "enumerate_occurrences",
+    "explore",
+    "explore_occurrence",
+    "check_media",
+    "WORKLOADS",
+    "DeviceState",
+]

@@ -1,0 +1,162 @@
+"""The crash-consistency explorer: enumerate fault points, inject, verify.
+
+The sweep is two-phase and fully deterministic:
+
+1. **Enumeration** — build the harness, enable the fault plan's trace,
+   run the workload once with no fault armed.  Every checkpoint the run
+   reaches becomes an :class:`Occurrence` ``(point, nth)`` — the nth time
+   that named point fires after setup.
+2. **Injection** — for each occurrence, build a *fresh* harness on a
+   fresh plan, arm ``PowerFailAfter(point, nth)``, run until the injected
+   :class:`PowerFailure`, discard all volatile state, recover from the
+   persisted media, and check every invariant: the media-level set from
+   :mod:`repro.crashcheck.invariants` on each recovered device plus the
+   harness's engine-level contract.
+
+Arming happens after setup in both phases, so ``nth`` counts the same
+occurrences the trace saw — determinism of the harness is what makes the
+sweep exhaustive rather than probabilistic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.crashcheck.invariants import check_media
+from repro.errors import PowerFailure
+from repro.sim.faults import FaultPlan, PowerFailAfter
+
+
+class Occurrence(NamedTuple):
+    """One injection site: the nth firing of a named fault point."""
+
+    point: str
+    nth: int
+
+
+class PointResult(NamedTuple):
+    """Verdict for one injected crash."""
+
+    point: str
+    nth: int
+    crashed: bool
+    violations: Tuple[str, ...]
+    recovery_trace: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "crashcheck",
+            "workload": workload,
+            "point": self.point,
+            "nth": self.nth,
+            "crashed": self.crashed,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "recovery_trace": list(self.recovery_trace[:24]),
+            "recovery_trace_len": len(self.recovery_trace),
+        }
+
+
+class ExplorationReport(NamedTuple):
+    """Aggregate of one sweep."""
+
+    workload: str
+    occurrences: Tuple[Occurrence, ...]
+    results: Tuple[PointResult, ...]
+
+    @property
+    def distinct_points(self) -> List[str]:
+        return sorted({occ.point for occ in self.occurrences})
+
+    @property
+    def failures(self) -> List[PointResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "crashcheck-summary",
+            "workload": self.workload,
+            "occurrences": len(self.occurrences),
+            "explored": len(self.results),
+            "distinct_points": len(self.distinct_points),
+            "crashed": sum(1 for res in self.results if res.crashed),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def enumerate_occurrences(factory: Callable[[FaultPlan], object]
+                          ) -> List[Occurrence]:
+    """Phase 1: one traced, fault-free run enumerating every checkpoint
+    occurrence the workload reaches (setup excluded)."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.enable_trace()
+    harness.run()
+    counts: Dict[str, int] = {}
+    occurrences: List[Occurrence] = []
+    for point in faults.trace:
+        counts[point] = counts.get(point, 0) + 1
+        occurrences.append(Occurrence(point, counts[point]))
+    return occurrences
+
+
+def explore_occurrence(factory: Callable[[FaultPlan], object],
+                       occurrence: Occurrence) -> PointResult:
+    """Phase 2 for one site: inject, recover, verify."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.arm(PowerFailAfter(occurrence.point, occurrence.nth))
+    crashed = False
+    try:
+        harness.run()
+    except PowerFailure:
+        crashed = True
+    faults.disarm()        # never fire during recovery
+    faults.enable_trace()  # ... but do record the recovery path
+    devices = harness.recover()
+    recovery_trace = tuple(faults.trace)
+    violations: List[str] = []
+    for device in devices:
+        violations += check_media(device.name, device.ssd, device.max_refs)
+    violations += harness.check_engine()
+    return PointResult(occurrence.point, occurrence.nth, crashed,
+                       tuple(violations), recovery_trace)
+
+
+def explore(factory: Callable[[FaultPlan], object], workload: str,
+            occurrences: Optional[List[Occurrence]] = None,
+            max_points: Optional[int] = None,
+            sink=None,
+            progress: Optional[Callable[[int, int, PointResult], None]]
+            = None) -> ExplorationReport:
+    """The full sweep: enumerate (unless given), then inject each site.
+
+    ``sink`` is any PR-1 telemetry sink (``emit(dict)``); each site's
+    verdict is emitted as it completes, then one summary record.
+    """
+    if occurrences is None:
+        occurrences = enumerate_occurrences(factory)
+    explored = (occurrences if max_points is None
+                else occurrences[:max_points])
+    results: List[PointResult] = []
+    for index, occurrence in enumerate(explored):
+        result = explore_occurrence(factory, occurrence)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(explored), result)
+    report = ExplorationReport(workload, tuple(occurrences), tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report

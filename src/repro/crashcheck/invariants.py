@@ -1,0 +1,79 @@
+"""Media-level crash invariants, checked on every recovered device.
+
+Each check returns a list of violation strings (empty = clean) so the
+explorer can aggregate them into one verdict per fault point.  They are
+deliberately independent of any engine: they hold for *any* workload on
+a correct FTL, no matter where power failed.
+
+* **mapping agreement** — the forward and reverse mapping tables must
+  mirror each other and per-block valid counts must match (the FTL's own
+  ``check_invariants``).
+* **replay idempotence** — running recovery twice over the same media
+  must produce identical logical state: the media scan has no side
+  effects, so a second crash *during* recovery loses nothing.
+* **bounded refs** — no physical page may be referenced by more LPNs
+  than the workload's sharing pattern allows (2 for plain SHARE staging;
+  3 for couchstore, whose compaction transiently holds old-file,
+  scratch and new-file references to one document page).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ftl.pagemap import PageMappingFtl
+
+
+def mapping_agreement(name: str, ssd) -> List[str]:
+    """Forward/reverse map and valid-count consistency."""
+    try:
+        ssd.ftl.check_invariants()
+    except AssertionError as exc:
+        return [f"{name}: mapping-agreement: {exc}"]
+    return []
+
+
+def replay_idempotence(name: str, ssd) -> List[str]:
+    """Two independent recoveries of the same media must agree."""
+    first = PageMappingFtl.recover(ssd.nand, ssd.config.ftl)
+    second = PageMappingFtl.recover(ssd.nand, ssd.config.ftl)
+    first_map = dict(first.fwd.mapped_lpns())
+    second_map = dict(second.fwd.mapped_lpns())
+    violations: List[str] = []
+    if first_map != second_map:
+        drift = set(first_map.items()) ^ set(second_map.items())
+        violations.append(
+            f"{name}: replay-idempotence: mapping drift across recoveries "
+            f"({len(drift)} entries differ)")
+    if first._trim_tombstones != second._trim_tombstones:
+        violations.append(
+            f"{name}: replay-idempotence: trim tombstones differ across "
+            f"recoveries")
+    if not violations:
+        for lpn in first_map:
+            if first.read(lpn) != second.read(lpn):
+                violations.append(
+                    f"{name}: replay-idempotence: LPN {lpn} reads "
+                    f"different data across recoveries")
+                break
+    return violations
+
+
+def bounded_refs(name: str, ssd, max_refs: int) -> List[str]:
+    """No physical page may be shared wider than the workload allows."""
+    refs: Dict[int, List[int]] = {}
+    for lpn, ppn in ssd.ftl.fwd.mapped_lpns():
+        refs.setdefault(ppn, []).append(lpn)
+    return [
+        f"{name}: bounded-refs: PPN {ppn} referenced by {len(lpns)} LPNs "
+        f"{sorted(lpns)} (limit {max_refs})"
+        for ppn, lpns in sorted(refs.items()) if len(lpns) > max_refs
+    ]
+
+
+def check_media(name: str, ssd, max_refs: int = 2) -> List[str]:
+    """Run every media invariant against one recovered device."""
+    violations = mapping_agreement(name, ssd)
+    violations += replay_idempotence(name, ssd)
+    violations += bounded_refs(name, ssd, max_refs)
+    return violations

@@ -185,15 +185,16 @@ class PageMappingFtl:
 
     def write(self, lpn: int, data: Any) -> None:
         """Program ``data`` for ``lpn`` out of place and remap."""
-        self._check_lpn_range(lpn)
-        self._ensure_free_space()
-        seq = self._next_seq()
-        ppn = self._alloc_page(for_gc=False)
-        self.faults.checkpoint("ftl.before_program")
-        self.nand.program(ppn, data, spare=((lpn, seq),))
-        self.faults.checkpoint("ftl.after_program")
-        self._remap_after_program(lpn, ppn)
-        self.stats.host_page_writes += 1
+        with self.faults.operation("ftl.write", (lpn,)):
+            self._check_lpn_range(lpn)
+            self._ensure_free_space()
+            seq = self._next_seq()
+            ppn = self._alloc_page(for_gc=False)
+            self.faults.checkpoint("ftl.before_program")
+            self.nand.program(ppn, data, spare=((lpn, seq),))
+            self.faults.checkpoint("ftl.after_program")
+            self._remap_after_program(lpn, ppn)
+            self.stats.host_page_writes += 1
 
     def _remap_after_program(self, lpn: int, ppn: int) -> None:
         old = self.fwd.update(lpn, ppn)
@@ -247,6 +248,11 @@ class PageMappingFtl:
     def commit_txn(self, txn_id: int) -> None:
         """Atomically publish every page of the transaction: one
         mapping-page program is the commit point, as in SHARE."""
+        with self.faults.operation(
+                "ftl.xcommit", tuple(self._txn_shadow.get(txn_id, ()))):
+            self._commit_txn(txn_id)
+
+    def _commit_txn(self, txn_id: int) -> None:
         shadow = self._txn_shadow.pop(txn_id, None)
         if shadow is None:
             raise FtlError(f"unknown transaction: {txn_id}")
@@ -298,6 +304,11 @@ class PageMappingFtl:
         at write time, and compaction-style remapping is impossible —
         exactly the flexibility gap the paper describes.
         """
+        with self.faults.operation("ftl.awrite",
+                                   tuple(lpn for lpn, __ in items)):
+            self._write_atomic(items)
+
+    def _write_atomic(self, items: Sequence[Tuple[int, Any]]) -> None:
         if not items:
             raise ValueError("empty atomic write")
         if len(items) > self._records_per_page:
@@ -341,6 +352,11 @@ class PageMappingFtl:
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate ``count`` LPNs starting at ``lpn`` (the TRIM command
         the paper contrasts SHARE with)."""
+        with self.faults.operation("ftl.trim",
+                                   tuple(range(lpn, lpn + max(count, 1)))):
+            self._trim(lpn, count)
+
+    def _trim(self, lpn: int, count: int) -> None:
         self._check_lpn_range(lpn, count)
         self.stats.trim_commands += 1
         for current in range(lpn, lpn + count):
@@ -360,7 +376,8 @@ class PageMappingFtl:
     def flush(self) -> None:
         """Persist pending mapping changes (trim deltas).  Host writes and
         SHAREs are already durable when their call returns."""
-        self._flush_pending_trims()
+        with self.faults.operation("ftl.flush"):
+            self._flush_pending_trims()
 
     def _flush_pending_trims(self) -> None:
         if not self._pending_trims:
@@ -382,6 +399,11 @@ class PageMappingFtl:
         program.  A power failure before that program leaves every
         destination at its old mapping; after it, at the new mapping.
         """
+        with self.faults.operation(
+                "ftl.share", tuple(pair.dst_lpn for pair in pairs)):
+            self._share_batch(pairs)
+
+    def _share_batch(self, pairs: Sequence[SharePair]) -> None:
         validate_batch(pairs, self._logical_pages, self.max_share_batch)
         resolved: List[Tuple[int, Optional[int], int]] = []
         for pair in pairs:

@@ -58,10 +58,17 @@ class DataJournalingFs:
                 f"data journal needs >= 8 blocks: {journal_blocks}")
         self.fs = fs
         self.mode = mode
+        self.faults = fs.ssd.faults
         self.journal = fs.create("/.datajournal")
         self.journal.fallocate(journal_blocks)
         self.journal_blocks = journal_blocks
         self._cursor = 0
+        # Checkpoint epoch: block 0 holds a ("jepoch", n) marker once the
+        # first checkpoint completes.  Commit records are tagged with the
+        # epoch they were written in, so post-crash replay can ignore
+        # commits from before the last checkpoint — their journal images
+        # may already be overwritten.
+        self._epoch = 0
         self._txn: Optional[List[Tuple[File, int, Any]]] = None
         # Journal entries awaiting checkpoint: (file, home block) -> the
         # journal block holding the newest copy.
@@ -91,28 +98,38 @@ class DataJournalingFs:
         if not txn:
             return
         needed = len(txn) + 1  # data blocks + commit record
-        if needed > self.journal_blocks:
+        if needed > self.journal_blocks - 1:
             raise FileSystemError(
                 f"transaction of {len(txn)} pages exceeds the journal")
         if self._cursor + needed > self.journal_blocks:
             self.checkpoint()
-        # Journal data blocks hold the RAW page images — that is what
-        # makes the SHARE checkpoint possible: remapping a home block
-        # onto a journal block must expose the page content itself.  The
-        # descriptor (which home block each image belongs to) rides in
-        # the commit record, as in ext4's descriptor blocks.
-        records: List[Any] = [data for __, __, data in txn]
-        records.append(("jcommit",
-                        tuple((file.path, block) for file, block, __ in txn)))
-        self.journal.pwrite_blocks(self._cursor, records)
-        self.journal.fsync()
-        for offset, (file, block, data) in enumerate(txn):
-            self._unckpt[(id(file), block)] = (file, block,
-                                               self._cursor + offset)
-        self._cursor += needed
-        self.stats.transactions += 1
-        self.stats.journaled_pages += len(txn)
-        self.stats.journal_block_writes += needed
+        start = self._cursor
+        with self.faults.operation(
+                "datajournal.commit",
+                tuple(self.journal.block_lpn(start + i)
+                      for i in range(needed))):
+            self.faults.checkpoint("datajournal.commit_begin")
+            # Journal data blocks hold the RAW page images — that is what
+            # makes the SHARE checkpoint possible: remapping a home block
+            # onto a journal block must expose the page content itself.
+            # The descriptor (which home block each image belongs to)
+            # rides in the commit record, as in ext4's descriptor blocks;
+            # it also carries the epoch and start cursor so replay can
+            # rebuild the un-checkpointed set.
+            records: List[Any] = [data for __, __, data in txn]
+            records.append(("jcommit", self._epoch, start,
+                            tuple((file.path, block)
+                                  for file, block, __ in txn)))
+            self.journal.pwrite_blocks(start, records)
+            self.journal.fsync()
+            self.faults.checkpoint("datajournal.commit_durable")
+            for offset, (file, block, data) in enumerate(txn):
+                self._unckpt[(id(file), block)] = (file, block,
+                                                   start + offset)
+            self._cursor += needed
+            self.stats.transactions += 1
+            self.stats.journaled_pages += len(txn)
+            self.stats.journal_block_writes += needed
 
     # ------------------------------------------------------------- reads
 
@@ -126,16 +143,24 @@ class DataJournalingFs:
     # --------------------------------------------------------- checkpoint
 
     def checkpoint(self) -> None:
-        """Propagate every journaled page to its home location and free
-        the journal space."""
+        """Propagate every journaled page to its home location, bump the
+        epoch marker, and free the journal space."""
+        self.faults.checkpoint("datajournal.ckpt_begin")
         if self._unckpt:
             if self.mode is CheckpointMode.CLASSIC:
                 self._checkpoint_classic()
             else:
                 self._checkpoint_share()
         self._unckpt.clear()
-        self._cursor = 0
+        # The marker makes the checkpoint durable *as an event*: replay
+        # only trusts jcommit records from the marker's epoch, because a
+        # later partial commit may overwrite older epochs' journal images.
+        self._epoch += 1
+        self.journal.pwrite_block(0, ("jepoch", self._epoch))
+        self.journal.fsync()
+        self._cursor = 1
         self.stats.checkpoints += 1
+        self.faults.checkpoint("datajournal.ckpt_end")
 
     def _checkpoint_classic(self) -> None:
         """ext4's way: read each journal copy, write it home."""
@@ -154,3 +179,46 @@ class DataJournalingFs:
         for file, ranges in by_file.values():
             share_file_ranges(file, self.journal, ranges)
             self.stats.checkpoint_share_pairs += len(ranges)
+
+    # ----------------------------------------------------------- recovery
+
+    def rescan(self) -> int:
+        """Post-crash journal replay: rebuild the un-checkpointed set
+        from the persisted journal.
+
+        Scans every mapped journal block, finds the newest ``jepoch``
+        marker, and replays (in write order) the ``jcommit`` records of
+        that epoch — those are the acknowledged transactions whose pages
+        have not yet reached their home locations.  Older epochs are
+        ignored: their images may have been overwritten, and checkpoint
+        already propagated them.  Returns the number of replayed
+        transactions."""
+        self._txn = None
+        self._unckpt.clear()
+        ssd = self.fs.ssd
+        epoch = 0
+        commits: List[Tuple[int, Tuple[Tuple[str, int], ...]]] = []
+        for jblock in range(self.journal_blocks):
+            if not ssd.ftl.is_mapped(self.journal.block_lpn(jblock)):
+                continue
+            record = self.journal.pread_block(jblock)
+            if not isinstance(record, tuple) or not record:
+                continue
+            if record[0] == "jepoch":
+                epoch = max(epoch, record[1])
+            elif record[0] == "jcommit" and len(record) == 4:
+                commits.append((record[2], record))
+        replayed = 0
+        end = 1 if epoch else 0
+        for start, (__, rec_epoch, __start, targets) in sorted(commits):
+            if rec_epoch != epoch:
+                continue
+            for offset, (path, block) in enumerate(targets):
+                file = self.fs.open(path)
+                self._unckpt[(id(file), block)] = (file, block,
+                                                   start + offset)
+            end = max(end, start + len(targets) + 1)
+            replayed += 1
+        self._epoch = epoch
+        self._cursor = end
+        return replayed

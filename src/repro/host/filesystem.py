@@ -100,6 +100,10 @@ class HostFs:
         handle = self._files.pop(path, None)
         if handle is None:
             raise FileNotFound(f"no such file: {path}")
+        self._release_file(handle, path)
+
+    def _release_file(self, handle: "File", path: str) -> None:
+        """TRIM a dropped file's extents and recycle its LPNs."""
         with self.telemetry.tracer.span("host.unlink", path=path,
                                         blocks=len(handle._blocks)):
             for start, count in _runs(handle._blocks):
@@ -140,16 +144,26 @@ class HostFs:
 
     def rename(self, old_path: str, new_path: str) -> None:
         """Atomic rename; replaces ``new_path`` if it exists (the couch
-        compaction switch-over)."""
+        compaction switch-over).
+
+        The directory entry swaps before the replaced file's extents are
+        TRIMmed: the swap itself touches no device state, so a power
+        failure leaves either the old name or the new one — never
+        neither.  Releasing the replaced extents afterwards mirrors a
+        real filesystem's orphaned-inode cleanup; a crash mid-release
+        at worst delays the TRIMs, it cannot lose the rename."""
         handle = self._files.get(old_path)
         if handle is None:
             raise FileNotFound(f"no such file: {old_path}")
-        if new_path in self._files and new_path != old_path:
-            self.unlink(new_path)
+        if new_path == old_path:
+            return
+        replaced = self._files.pop(new_path, None)
         del self._files[old_path]
         handle.path = new_path
         self._files[new_path] = handle
         self._commit_metadata()
+        if replaced is not None:
+            self._release_file(replaced, new_path)
 
     def list_files(self) -> List[str]:
         return sorted(self._files)

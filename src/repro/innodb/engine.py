@@ -76,7 +76,8 @@ class InnoDBEngine:
 
     def __init__(self, mode: FlushMode, data_ssd: Ssd, log_ssd: Ssd,
                  config: Optional[InnoDBConfig] = None,
-                 faults: FaultPlan = NO_FAULTS) -> None:
+                 faults: FaultPlan = NO_FAULTS,
+                 fs_config: Optional[FsConfig] = None) -> None:
         self.mode = mode
         self.config = config or InnoDBConfig()
         self.faults = faults
@@ -86,7 +87,7 @@ class InnoDBEngine:
         self._m_transactions = metrics.counter("transactions")
         self._m_flush_batches = metrics.counter("flush_batches")
         self._m_flush_pages = metrics.histogram("flush_batch_pages")
-        self.fs = HostFs(data_ssd, FsConfig())
+        self.fs = HostFs(data_ssd, fs_config or FsConfig())
         self.tablespace = self.fs.create("/ibdata")
         self.tablespace.fallocate(1 + self.config.dwb_pages
                                   + self.config.file_grow_chunk)
@@ -193,6 +194,7 @@ class InnoDBEngine:
         self._in_transaction = False
         with self.telemetry.tracer.span("innodb.txn_commit"):
             self.redo.commit()
+            self.faults.checkpoint("innodb.txn_durable")
             self.transactions += 1
             self._m_transactions.inc()
             self._adaptive_flush()
@@ -207,6 +209,7 @@ class InnoDBEngine:
     def checkpoint(self) -> None:
         """Flush every dirty page and persist the catalog."""
         with self.telemetry.tracer.span("innodb.checkpoint"):
+            self.faults.checkpoint("innodb.ckpt_begin")
             self.pool.flush_all()
             catalog = {name: tree.root_page_id
                        for name, tree in self.tables.items()}
@@ -216,6 +219,7 @@ class InnoDBEngine:
                 CATALOG_PAGE_ID,
                 Page(CATALOG_PAGE_ID, self.redo.next_lsn, payload))
             self.tablespace.fsync()
+            self.faults.checkpoint("innodb.ckpt_end")
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint then final log commit."""

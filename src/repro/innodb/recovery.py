@@ -45,17 +45,20 @@ class RecoveryReport:
 
 def recover(mode: FlushMode, data_ssd: Ssd, log_ssd: Ssd,
             config: Optional[InnoDBConfig] = None,
-            strict: bool = True) -> tuple:
+            strict: bool = True, fs_config=None) -> tuple:
     """Restart the engine after a crash.
 
     ``data_ssd`` and ``log_ssd`` carry the surviving media (after
     ``power_cycle()``).  Returns ``(engine, report)``.  With ``strict``
     a torn page without a doublewrite copy raises :class:`TornPageError`
-    — that is precisely the DWB_OFF data-loss scenario.
+    — that is precisely the DWB_OFF data-loss scenario.  ``fs_config``
+    must match whatever the crashed engine used (journal sizing drives
+    the tablespace's deterministic block layout).
     """
     data_ssd.power_cycle()
     log_ssd.power_cycle()
-    engine = InnoDBEngine(mode, data_ssd, log_ssd, config)
+    engine = InnoDBEngine(mode, data_ssd, log_ssd, config,
+                          fs_config=fs_config)
     report = RecoveryReport()
     _reextend_tablespace(engine, data_ssd)
     _repair_torn_pages(engine, report, strict)

@@ -47,6 +47,7 @@ class PostgresEngine:
                  config: Optional[PostgresConfig] = None) -> None:
         self.config = config or PostgresConfig()
         self.data_ssd = data_ssd
+        self.faults = data_ssd.faults
         self.wal = Wal(wal_ssd, record_bytes=self.config.wal_record_bytes,
                        data_page_bytes=data_ssd.page_size)
         self._tables: Dict[str, int] = {}          # name -> first page id
@@ -103,7 +104,7 @@ class PostgresEngine:
         if self.config.full_page_writes and page_id not in self._fpw_logged:
             self.wal.log_full_page_image(page_id, ("before", tuple(rows.items())))
             self._fpw_logged.add(page_id)
-        self.wal.log_record(("update", table, row_id))
+        self.wal.log_record(("update", table, row_id, value))
         rows[row_id] = value
         self._dirty.add(page_id)
 
@@ -116,6 +117,7 @@ class PostgresEngine:
     def commit(self) -> None:
         """fsync the WAL; checkpoint on schedule."""
         self.wal.commit()
+        self.faults.checkpoint("postgres.wal_commit")
         self.commits += 1
         if self.commits % self.config.checkpoint_interval_commits == 0:
             self.checkpoint()
@@ -123,17 +125,50 @@ class PostgresEngine:
     def checkpoint(self) -> None:
         """Flush dirty heap pages to the data device and reset the
         first-touch (full-page-image) tracking."""
+        self.faults.checkpoint("postgres.ckpt_begin")
         for page_id in sorted(self._dirty):
             rows = self._buffer[page_id]
             self.data_ssd.write(page_id,
                                 ("heap", page_id, tuple(rows.items())))
         self.data_ssd.flush()
+        self.wal.log_checkpoint_marker()
         self._dirty.clear()
         self._fpw_logged.clear()
         self.checkpoints += 1
+        self.faults.checkpoint("postgres.ckpt_end")
 
     # --------------------------------------------------------------- stats
 
     @property
     def wal_stats(self):
         return self.wal.stats
+
+
+def recover_row_state(data_ssd: Ssd, wal_ssd: Ssd,
+                      tables: Dict[str, tuple]) -> Dict[str, Dict[int, Any]]:
+    """Rebuild committed row state after a crash: read the surviving heap
+    pages, then replay WAL commits past the last checkpoint marker.
+
+    ``tables`` maps table name to ``(first_page, page_count)`` — the
+    catalog lives with the workload harness, not on the device.  Full
+    page images are ignored (they protect torn heap pages, which the
+    simulated device never produces); ``update`` records carry the new
+    value and are idempotent, so replay order only has to be by commit
+    sequence, which :meth:`Wal.replay_scan` guarantees."""
+    state: Dict[str, Dict[int, Any]] = {name: {} for name in tables}
+    for name, (first, count) in tables.items():
+        for page_id in range(first, first + count):
+            if not data_ssd.ftl.is_mapped(page_id):
+                continue
+            record = data_ssd.ftl.read(page_id)
+            if isinstance(record, tuple) and record and record[0] == "heap":
+                state[name].update(dict(record[2]))
+    for payload in Wal.replay_scan(wal_ssd):
+        for entry in payload:
+            if entry[0] != "rec":
+                continue
+            record = entry[1]
+            if record[0] == "update" and record[1] in state:
+                __, table, row_id, value = record
+                state[table][row_id] = value
+    return state

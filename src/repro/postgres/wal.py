@@ -80,10 +80,11 @@ class Wal:
         # WAL's well-known partial-page rewrite cost).
         if self._partial_fill and self._pending_bytes:
             new_pages += 1
+        seq = self.stats.commits + 1
         payload = tuple(self._pending_payload)
         region = max(1, self.device.logical_pages // 2)
         for __ in range(new_pages):
-            self.device.write(self._cursor_lpn, ("wal", payload))
+            self.device.write(self._cursor_lpn, ("wal", seq, payload))
             self._cursor_lpn = (self._cursor_lpn + 1) % region
             self.stats.wal_pages_written += 1
         self.device.flush()
@@ -91,3 +92,39 @@ class Wal:
         self._pending_bytes = 0
         self._pending_payload = []
         self.stats.commits += 1
+
+    def log_checkpoint_marker(self) -> None:
+        """Durably record that every commit so far is reflected in the
+        heap.  Replay after a crash skips commits at or below the newest
+        marker — without it, a surviving stale WAL page could roll a
+        checkpointed row backwards."""
+        region = max(1, self.device.logical_pages // 2)
+        self.device.write(self._cursor_lpn, ("walckpt", self.stats.commits))
+        self._cursor_lpn = (self._cursor_lpn + 1) % region
+        self.stats.wal_pages_written += 1
+        self.device.flush()
+        self._partial_fill = 0
+
+    @staticmethod
+    def replay_scan(device: Ssd):
+        """Post-crash scan of the WAL region.
+
+        Returns the payloads of commits newer than the latest durable
+        checkpoint marker, ordered by commit sequence.  Payload pages are
+        deduplicated by sequence number (a commit spanning several WAL
+        pages repeats its payload on each)."""
+        region = max(1, device.logical_pages // 2)
+        commits = {}
+        horizon = 0
+        for lpn in range(region):
+            if not device.ftl.is_mapped(lpn):
+                continue
+            record = device.ftl.read(lpn)
+            if not isinstance(record, tuple) or not record:
+                continue
+            if record[0] == "wal":
+                __, seq, payload = record
+                commits[seq] = payload
+            elif record[0] == "walckpt":
+                horizon = max(horizon, record[1])
+        return [commits[seq] for seq in sorted(commits) if seq > horizon]

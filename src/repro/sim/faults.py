@@ -6,11 +6,23 @@ test it, the FTL and the engines call :meth:`FaultPlan.checkpoint` with a
 named fault point at every step that could be interrupted; a test arms the
 plan to blow up at a chosen point, catches :class:`PowerFailure`, throws
 away all volatile state, and restarts from the persisted media image.
+
+The plan also journals the **ack boundary** of durable operations: code
+wraps each host-visible command in :meth:`FaultPlan.operation`, and the
+plan remembers the single operation that was in flight when a power
+failure fired (:meth:`unacked_op`).  That record is what lets crash tests
+assert the strict contract — *acknowledged* operations must survive, and
+only the one unacknowledged operation may be ambiguous — instead of
+guessing which LPNs were in flight.  Leaving the ``with`` block cleanly
+first fires a ``<kind>.ack`` checkpoint (modelling power failing after
+the media work but before completion reaches the caller), then marks the
+operation acknowledged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from bisect import insort
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PowerFailure
 
@@ -32,32 +44,121 @@ class PowerFailAfter:
         return f"PowerFailAfter({self.point!r}, nth={self.nth})"
 
 
+class OpRecord:
+    """One journalled operation: what was asked, and whether it acked.
+
+    ``status`` is ``"inflight"`` while the operation runs, ``"acked"``
+    once it returned to the caller, ``"unacked"`` when a power failure
+    interrupted it, and ``"failed"`` when it raised an ordinary error
+    (a failed operation promises nothing, so it is not ambiguous)."""
+
+    __slots__ = ("op_id", "kind", "lpns", "status")
+
+    def __init__(self, op_id: int, kind: str, lpns: Tuple[int, ...]) -> None:
+        self.op_id = op_id
+        self.kind = kind
+        self.lpns = lpns
+        self.status = "inflight"
+
+    def __repr__(self) -> str:
+        return (f"OpRecord(id={self.op_id}, kind={self.kind!r}, "
+                f"lpns={self.lpns!r}, status={self.status!r})")
+
+
+class _OpScope:
+    """Context manager for one :meth:`FaultPlan.operation` scope."""
+
+    __slots__ = ("plan", "kind", "record")
+
+    def __init__(self, plan: "FaultPlan", kind: str,
+                 record: Optional[OpRecord]) -> None:
+        self.plan = plan
+        self.kind = kind
+        self.record = record
+
+    def __enter__(self) -> Optional[OpRecord]:
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        plan = self.plan
+        plan._op_depth -= 1
+        record = self.record
+        if record is not None:
+            plan._current_op = None
+        if exc_type is None:
+            # Power may fail after the media work but before completion
+            # reaches the caller: the op's effect can be durable even
+            # though it never acknowledged.
+            try:
+                plan.checkpoint(self.kind + ".ack")
+            except PowerFailure:
+                if record is not None and plan._unacked_op is None:
+                    record.status = "unacked"
+                    plan._unacked_op = record
+                raise
+            if record is not None:
+                record.status = "acked"
+                plan._last_acked = record
+            return False
+        if issubclass(exc_type, PowerFailure):
+            if record is not None and plan._unacked_op is None:
+                record.status = "unacked"
+                plan._unacked_op = record
+        elif record is not None:
+            record.status = "failed"
+        return False
+
+
 class FaultPlan:
     """Collects armed faults and fires them at matching checkpoints.
 
     A disarmed plan (the default everywhere) is nearly free: one dict lookup
-    per checkpoint.  The plan also records every point it passes so tests
-    can assert code paths were actually exercised.
+    per checkpoint.  The plan records every point it passes so tests can
+    assert code paths were actually exercised, and each point may hold a
+    *list* of fuses so two faults at different ``nth`` can coexist; arming
+    the same (point, nth-from-now) twice raises instead of silently
+    replacing the earlier fuse.
     """
 
     def __init__(self) -> None:
-        self._armed: Dict[str, int] = {}
+        # point -> sorted absolute hit counts at which to fire.
+        self._armed: Dict[str, List[int]] = {}
         self._hits: Dict[str, int] = {}
         self._trace_enabled = False
         self._trace: List[str] = []
+        # Operation (ack-boundary) journal: only the current record and
+        # the terminal ones are kept, never a growing log — NO_FAULTS is
+        # a process-wide singleton and must stay O(1) in memory.
+        self._op_depth = 0
+        self._op_seq = 0
+        self._current_op: Optional[OpRecord] = None
+        self._unacked_op: Optional[OpRecord] = None
+        self._last_acked: Optional[OpRecord] = None
 
     def arm(self, fault: PowerFailAfter) -> None:
-        """Arm a single power failure at ``fault.point``.
+        """Arm a power failure at ``fault.point``.
 
         ``nth`` counts from the moment of arming: hits that happened
-        before arm() do not consume the fuse."""
-        self._armed[fault.point] = self._hits.get(fault.point, 0) + fault.nth
+        before arm() do not consume the fuse.  Several fuses may be armed
+        at one point (different ``nth``); re-arming an identical fuse
+        raises ``ValueError`` — a silent overwrite would hide test bugs."""
+        target = self._hits.get(fault.point, 0) + fault.nth
+        fuses = self._armed.setdefault(fault.point, [])
+        if target in fuses:
+            raise ValueError(
+                f"fault already armed at {fault.point!r} for nth={fault.nth} "
+                f"(disarm first to replace it)")
+        insort(fuses, target)
 
     def disarm(self, point: Optional[str] = None) -> None:
         if point is None:
             self._armed.clear()
         else:
             self._armed.pop(point, None)
+
+    def armed_count(self, point: str) -> int:
+        """How many fuses are currently armed at ``point``."""
+        return len(self._armed.get(point, ()))
 
     def enable_trace(self) -> None:
         self._trace_enabled = True
@@ -73,15 +174,55 @@ class FaultPlan:
     def checkpoint(self, point: str) -> None:
         """Called by instrumented code at each interruptible step.
 
-        Raises :class:`PowerFailure` when an armed fault's count is reached.
+        Raises :class:`PowerFailure` when an armed fault's count is
+        reached; the fired fuse is consumed (fires only once), any other
+        fuses at the point stay armed.
         """
         count = self._hits.get(point, 0) + 1
         self._hits[point] = count
         if self._trace_enabled:
             self._trace.append(point)
-        nth = self._armed.get(point)
-        if nth is not None and count == nth:
+        fuses = self._armed.get(point)
+        if fuses and count == fuses[0]:
+            fuses.pop(0)
+            if not fuses:
+                del self._armed[point]
             raise PowerFailure(f"injected power failure at {point!r} (hit {count})")
+
+    # ------------------------------------------------- ack-boundary journal
+
+    def operation(self, kind: str, lpns: Sequence[int] = ()) -> _OpScope:
+        """Bracket one host-visible durable operation.
+
+        Usage: ``with faults.operation("ftl.write", (lpn,)): ...``.  On a
+        clean exit the scope fires the ``<kind>.ack`` checkpoint, then
+        marks the operation acknowledged.  If a :class:`PowerFailure`
+        escapes the scope, the record becomes :meth:`unacked_op` — the
+        one operation whose durability is legitimately ambiguous.  Nested
+        scopes (a device command calling into the FTL) are transparent:
+        only the outermost scope journals, though a nested clean exit
+        still fires its own ``.ack`` checkpoint for point coverage."""
+        if self._op_depth:
+            self._op_depth += 1
+            return _OpScope(self, kind, None)
+        self._op_depth = 1
+        self._op_seq += 1
+        record = OpRecord(self._op_seq, kind, tuple(lpns))
+        self._current_op = record
+        return _OpScope(self, kind, record)
+
+    def unacked_op(self) -> Optional[OpRecord]:
+        """The operation interrupted by the (first) injected power
+        failure, or None when every operation either acked or failed."""
+        return self._unacked_op
+
+    def last_acked_op(self) -> Optional[OpRecord]:
+        return self._last_acked
+
+    def clear_unacked(self) -> None:
+        """Forget the recorded unacked operation (e.g. between two
+        independently injected crashes on one plan)."""
+        self._unacked_op = None
 
 
 #: Shared no-op plan used by components when the caller does not inject one.

@@ -140,7 +140,8 @@ class Ssd:
 
     def write(self, lpn: int, data: Any) -> None:
         """Write one page (out-of-place inside the device)."""
-        with self.telemetry.tracer.span("device.write"):
+        with self.faults.operation("device.write", (lpn,)), \
+                self.telemetry.tracer.span("device.write"):
             before = self._work_snapshot()
             self.ftl.write(lpn, data)
             self.cache.insert(lpn, data)
@@ -153,7 +154,9 @@ class Ssd:
         overhead, per-page programs)."""
         if not pages:
             raise DeviceError("write_multi with no pages")
-        with self.telemetry.tracer.span("device.write"):
+        with self.faults.operation("device.write_multi",
+                                   tuple(range(lpn, lpn + len(pages)))), \
+                self.telemetry.tracer.span("device.write"):
             before = self._work_snapshot()
             for index, page in enumerate(pages):
                 self.ftl.write(lpn + index, page)
@@ -168,7 +171,9 @@ class Ssd:
         Park et al. / FusionIO-style).  All pages land or none do."""
         if not items:
             raise DeviceError("write_atomic with no pages")
-        with self.telemetry.tracer.span("device.write", atomic=True):
+        with self.faults.operation("device.awrite",
+                                   tuple(lpn for lpn, __ in items)), \
+                self.telemetry.tracer.span("device.write", atomic=True):
             before = self._work_snapshot()
             self.ftl.write_atomic(items)
             for item_lpn, data in items:
@@ -197,7 +202,9 @@ class Ssd:
 
     def commit_txn(self, txn_id: int) -> None:
         """Atomically publish a transaction's staged pages."""
-        with self.telemetry.tracer.span("device.flush", txn=txn_id):
+        with self.faults.operation(
+                "device.xcommit", tuple(self.ftl._txn_shadow.get(txn_id, ()))), \
+                self.telemetry.tracer.span("device.flush", txn=txn_id):
             before = self._work_snapshot()
             staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
             self.ftl.commit_txn(txn_id)
@@ -214,7 +221,9 @@ class Ssd:
 
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate a logical range."""
-        with self.telemetry.tracer.span("device.trim"):
+        with self.faults.operation("device.trim",
+                                   tuple(range(lpn, lpn + max(count, 1)))), \
+                self.telemetry.tracer.span("device.trim"):
             before = self._work_snapshot()
             self.ftl.trim(lpn, count)
             self.cache.invalidate(lpn, count)
@@ -238,7 +247,8 @@ class Ssd:
         """Barrier: persist pending mapping changes.  Data-page writes are
         durable at command completion already (no volatile write cache is
         modelled), matching the paper's O_DIRECT setup."""
-        with self.telemetry.tracer.span("device.flush"):
+        with self.faults.operation("device.flush"), \
+                self.telemetry.tracer.span("device.flush"):
             before = self._work_snapshot()
             self.ftl.flush()
             self.stats.flush_commands += 1
@@ -248,7 +258,9 @@ class Ssd:
         """Vendor-unique SHARE command (ranged form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        with self.telemetry.tracer.span("device.share"):
+        with self.faults.operation("device.share",
+                                   tuple(range(dst_lpn, dst_lpn + length))), \
+                self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share(dst_lpn, src_lpn, length)
             self.cache.invalidate(dst_lpn, length)
@@ -261,7 +273,9 @@ class Ssd:
         """Vendor-unique SHARE command (batched pair form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        with self.telemetry.tracer.span("device.share"):
+        with self.faults.operation("device.share",
+                                   tuple(pair.dst_lpn for pair in pairs)), \
+                self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share_batch(pairs)
             for pair in pairs:

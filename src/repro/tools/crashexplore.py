@@ -1,0 +1,92 @@
+"""Exhaustive crash-consistency sweeps from the command line.
+
+Usage::
+
+    python -m repro.tools.crashexplore --workload linkbench-small
+    python -m repro.tools.crashexplore --workload ftl-basic \\
+        --out report.jsonl --max-points 150
+    python -m repro.tools.crashexplore --list
+
+One run enumerates every fault point the chosen workload reaches, then
+re-runs it once per occurrence with a power failure injected exactly
+there, recovers from the persisted media, and checks the full invariant
+set (see ``docs/crash-consistency.md``).  Each verdict is appended to the
+JSONL report as a ``{"type": "crashcheck", ...}`` record — the same sink
+format the telemetry subsystem uses — followed by one
+``crashcheck-summary`` record.  Exit status is 1 when any invariant was
+violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.crashcheck.explorer import enumerate_occurrences, explore
+from repro.crashcheck.workloads import WORKLOADS
+from repro.obs.sinks import JsonlSink
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.crashexplore",
+        description="Systematic power-failure sweep over a workload's "
+                    "fault points.")
+    parser.add_argument("--workload", default="linkbench-small",
+                        choices=sorted(WORKLOADS),
+                        help="workload harness to sweep "
+                             "(default: linkbench-small)")
+    parser.add_argument("--out", default="crashexplore-report.jsonl",
+                        help="JSONL report path "
+                             "(default: crashexplore-report.jsonl)")
+    parser.add_argument("--max-points", type=int, default=None,
+                        metavar="N",
+                        help="explore only the first N enumerated "
+                             "occurrences (budget cap for CI smoke runs)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-violation output")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+
+    factory = WORKLOADS[args.workload]
+    occurrences = enumerate_occurrences(factory)
+    distinct = sorted({occ.point for occ in occurrences})
+    print(f"[crashexplore] workload {args.workload}: "
+          f"{len(occurrences)} fault-point occurrences across "
+          f"{len(distinct)} distinct points")
+    if args.max_points is not None:
+        print(f"[crashexplore] budget cap: exploring first "
+              f"{min(args.max_points, len(occurrences))} occurrences")
+
+    sink = JsonlSink(args.out)
+    try:
+        report = explore(factory, args.workload, occurrences=occurrences,
+                         max_points=args.max_points, sink=sink)
+    finally:
+        sink.close()
+
+    summary = report.summary()
+    print(f"[crashexplore] explored {summary['explored']} sites: "
+          f"{summary['crashed']} crashed, "
+          f"{summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL at {result.point} "
+                          f"#{result.nth}: {violation}", file=sys.stderr)
+        return 1
+    print("[crashexplore] all invariants held at every explored point")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Unit tests for the crash-consistency explorer itself.
+
+The exhaustive sweeps live in ``test_property_crashcheck.py``; this file
+checks the machinery — deterministic enumeration, per-site verdicts,
+JSONL report shape, and the CLI entry point.
+"""
+
+import json
+
+from repro.crashcheck.explorer import (
+    ExplorationReport,
+    Occurrence,
+    PointResult,
+    enumerate_occurrences,
+    explore,
+    explore_occurrence,
+)
+from repro.crashcheck.workloads import WORKLOADS
+from repro.tools.crashexplore import main as crashexplore_main
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(dict(record))
+
+
+def test_enumeration_is_deterministic():
+    factory = WORKLOADS["ftl-basic"]
+    first = enumerate_occurrences(factory)
+    second = enumerate_occurrences(factory)
+    assert first == second
+    assert len(first) > 50
+
+
+def test_enumeration_counts_per_point():
+    occurrences = enumerate_occurrences(WORKLOADS["ftl-basic"])
+    seen = {}
+    for occ in occurrences:
+        seen[occ.point] = seen.get(occ.point, 0) + 1
+        # nth is the running 1-based count of that point.
+        assert occ.nth == seen[occ.point]
+
+
+def test_explore_occurrence_verdict_shape():
+    factory = WORKLOADS["ftl-basic"]
+    occurrences = enumerate_occurrences(factory)
+    result = explore_occurrence(factory, occurrences[0])
+    assert isinstance(result, PointResult)
+    assert result.point == occurrences[0].point
+    assert result.nth == 1
+    assert result.crashed
+    assert result.ok
+    assert result.violations == ()
+    assert isinstance(result.recovery_trace, tuple)
+
+
+def test_explore_emits_jsonl_records():
+    factory = WORKLOADS["ftl-basic"]
+    sink = ListSink()
+    report = explore(factory, "ftl-basic", max_points=5, sink=sink)
+    assert isinstance(report, ExplorationReport)
+    assert len(report.results) == 5
+    assert report.ok
+    site_records = [r for r in sink.records if r["type"] == "crashcheck"]
+    assert len(site_records) == 5
+    for record in site_records:
+        assert record["workload"] == "ftl-basic"
+        assert record["ok"] is True
+        assert record["violations"] == []
+        assert isinstance(record["nth"], int)
+        json.dumps(record)  # must be serialisable as-is
+    summaries = [r for r in sink.records if r["type"] == "crashcheck-summary"]
+    assert len(summaries) == 1
+    assert summaries[0]["explored"] == 5
+    assert summaries[0]["ok"] is True
+
+
+def test_report_distinct_points_and_failures():
+    report = ExplorationReport(
+        "w",
+        (Occurrence("a", 1), Occurrence("b", 1), Occurrence("a", 2)),
+        (PointResult("a", 1, True, (), ()),
+         PointResult("b", 1, True, ("broken",), ())),
+    )
+    assert report.distinct_points == ["a", "b"]
+    assert not report.ok
+    assert [res.point for res in report.failures] == ["b"]
+    assert report.summary()["violations"] == 1
+
+
+def test_cli_list():
+    assert crashexplore_main(["--list"]) == 0
+
+
+def test_cli_smoke(tmp_path, capsys):
+    out = tmp_path / "report.jsonl"
+    code = crashexplore_main(["--workload", "ftl-basic",
+                              "--max-points", "8", "--out", str(out)])
+    assert code == 0
+    lines = out.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert sum(1 for r in records if r["type"] == "crashcheck") == 8
+    assert records[-1]["type"] == "crashcheck-summary"
+    assert records[-1]["ok"] is True
+    captured = capsys.readouterr()
+    assert "fault-point occurrences" in captured.out
+    assert "all invariants held" in captured.out

@@ -3,12 +3,27 @@
 import pytest
 
 from repro.errors import ShareError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.ftl.config import FtlConfig
+from repro.ftl.pagemap import PageMappingFtl
 from repro.ftl.share_ext import (
     MAX_BATCH_UNLIMITED,
     SharePair,
     expand_range,
     validate_batch,
 )
+
+
+@pytest.fixture
+def small_ftl():
+    """Small pages keep ``max_share_batch`` (one mapping page of deltas)
+    tiny, so the atomic-limit boundary is cheap to cross."""
+    geo = FlashGeometry(page_size=512, pages_per_block=16, block_count=40,
+                        overprovision_ratio=0.2)
+    return PageMappingFtl(NandArray(geo),
+                          FtlConfig(map_block_count=4,
+                                    share_table_entries=64))
 
 
 class TestSharePair:
@@ -84,3 +99,68 @@ class TestValidateBatch:
 
     def test_shared_source_allowed(self):
         validate_batch([SharePair(0, 10), SharePair(1, 10)], 100, 16)
+
+
+class TestBatchBoundaryRegressions:
+    """Off-by-one and cross-pair-overlap regressions at the atomic batch
+    limit (audited: ``len(pairs) > max_batch`` is the correct strict
+    inequality — exactly ``max_batch`` deltas still fit one mapping
+    page).  These tests pin that behaviour."""
+
+    def test_exactly_max_batch_allowed(self):
+        pairs = [SharePair(i, 100 + i) for i in range(16)]
+        validate_batch(pairs, 1000, 16)
+
+    def test_one_past_max_batch_rejected(self):
+        pairs = [SharePair(i, 100 + i) for i in range(17)]
+        with pytest.raises(ShareError, match="exceeds the atomic limit"):
+            validate_batch(pairs, 1000, 16)
+
+    def test_max_batch_of_one(self):
+        validate_batch([SharePair(0, 10)], 100, 1)
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(0, 10), SharePair(1, 11)], 100, 1)
+
+    def test_last_valid_lpn_allowed(self):
+        # logical_pages - 1 is in space; logical_pages is the first out.
+        validate_batch([SharePair(98, 99)], 100, 16)
+        with pytest.raises(ShareError, match="outside logical space"):
+            validate_batch([SharePair(98, 100)], 100, 16)
+
+    def test_chain_detected_regardless_of_pair_order(self):
+        # Overlap check must be order-independent: the chained LPN may
+        # appear as a source before OR after the pair that writes it.
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(6, 5), SharePair(5, 10)], 100, 16)
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(5, 10), SharePair(6, 5)], 100, 16)
+
+    def test_self_chain_via_distinct_pairs_rejected(self):
+        # a->b and b->a in one batch: both LPNs are dst and src at once.
+        with pytest.raises(ShareError):
+            validate_batch([SharePair(3, 4), SharePair(4, 3)], 100, 16)
+
+    def test_ftl_accepts_exactly_max_share_batch(self, small_ftl):
+        limit = small_ftl.max_share_batch
+        span = 2 * limit + 2
+        assert small_ftl.logical_pages >= span
+        for lpn in range(limit):
+            small_ftl.write(lpn, ("src", lpn))
+        pairs = [SharePair(limit + i, i) for i in range(limit)]
+        small_ftl.share_batch(pairs)
+        for lpn in range(limit):
+            assert small_ftl.read(limit + lpn) == ("src", lpn)
+
+    def test_ftl_rejects_max_share_batch_plus_one(self, small_ftl):
+        limit = small_ftl.max_share_batch
+        for lpn in range(limit + 1):
+            small_ftl.write(lpn, ("src", lpn))
+        pairs = [SharePair(limit + 1 + i, i) for i in range(limit + 1)]
+        before = {lpn: small_ftl.read(lpn) for lpn in range(limit + 1)}
+        with pytest.raises(ShareError):
+            small_ftl.share_batch(pairs)
+        # Rejection happens before any state change.
+        for lpn, value in before.items():
+            assert small_ftl.read(lpn) == value
+        for i in range(limit + 1):
+            assert not small_ftl.is_mapped(limit + 1 + i)

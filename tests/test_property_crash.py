@@ -2,16 +2,21 @@
 during a random operation stream; after recovery the device must expose a
 consistent prefix of the durable history.
 
-Consistency contract checked:
-* every LPN reads either a value it held at some committed point, never a
-  torn mix or a phantom,
-* operations completed before the crash are durable (writes and SHAREs
-  return only after their media/commit step),
-* the single operation in flight at the crash may have landed or not
-  (e.g. power failing right after a write's page program leaves the new
-  value discoverable by the OOB scan even though the write never
-  returned) — but nothing *older* than the durable value may surface,
+Consistency contract checked — the STRICT version, keyed off the fault
+plan's ack-boundary journal:
+* every operation that acknowledged (returned to the caller) is durable:
+  its LPNs read back exactly their acknowledged values — no exceptions,
+* only the single operation the plan recorded as unacknowledged
+  (:meth:`FaultPlan.unacked_op`) may be ambiguous, and only on its own
+  LPNs: power may have failed after the media work but before completion
+  reached the caller, so its effect may have landed or not,
+* an LPN under an interrupted trim may read its old value or be unmapped
+  — but ONLY when the trim is the recorded unacked op, never because a
+  trim merely happened nearby,
 * SHARE batches are all-or-nothing.
+
+(Acked trims are buffered until a flush barrier, like real TRIM + FLUSH,
+so the model simply stops asserting about an LPN once its trim acks.)
 """
 
 import pytest
@@ -35,6 +40,11 @@ FAULT_POINTS = (
     "maplog.after_commit",
     "maplog.checkpoint_start",
     "maplog.checkpoint_end",
+    # The ack boundary itself: media work done, completion never returned.
+    "ftl.write.ack",
+    "ftl.share.ack",
+    "ftl.trim.ack",
+    "ftl.flush.ack",
 )
 
 op_strategy = st.one_of(
@@ -136,21 +146,44 @@ def test_crash_anywhere_recovers_consistently(ops, fault_point, nth):
         crashed = True
     recovered = PageMappingFtl.recover(nand, config)
     recovered.check_invariants()
+    # The ack journal is authoritative about which operation (if any) is
+    # ambiguous: every instrumented point fires inside an operation
+    # scope, so a crash always names its victim.
+    unacked = faults.unacked_op()
+    if crashed:
+        assert unacked is not None, (
+            f"crash at {fault_point} left no unacked operation record")
+        assert set(inflight) <= set(unacked.lpns), (
+            f"in-flight effects {sorted(inflight)} outside the unacked "
+            f"op's LPNs {sorted(unacked.lpns)}")
+    else:
+        assert unacked is None
+    ambiguous = set(unacked.lpns) if unacked is not None else set()
     for lpn, expected in durable.items():
-        # Durability: every operation that returned must survive.  The
-        # one op in flight at the crash is ambiguous: its effect may
-        # already be on media (a programmed-and-stamped page, an
-        # appended trim record) even though it never returned.
+        if lpn not in ambiguous:
+            # STRICT durability: acknowledged operations must survive,
+            # bit-for-bit, no carve-outs.
+            assert recovered.is_mapped(lpn), (
+                f"acked LPN {lpn} lost after crash at {fault_point}")
+            assert recovered.read(lpn) == expected, (
+                f"acked LPN {lpn} reads {recovered.read(lpn)!r}, "
+                f"expected {expected!r}")
+            continue
         pending = inflight.get(lpn)
         if pending is TRIMMED:
-            if not recovered.is_mapped(lpn):
-                continue  # the interrupted trim landed
+            # Only the recorded unacked trim may be ambiguous: landed
+            # (unmapped) or not (old value) — never anything else.
+            assert (not recovered.is_mapped(lpn)
+                    or recovered.read(lpn) == expected)
+        elif pending is None:
+            # Inside the unacked op's LPN range but with no in-flight
+            # effect recorded for it: the strict contract applies.
+            assert recovered.is_mapped(lpn)
             assert recovered.read(lpn) == expected
-            continue
-        assert recovered.is_mapped(lpn), (
-            f"LPN {lpn} lost after crash at {fault_point}")
-        allowed = {expected} if pending is None else {expected, pending}
-        assert recovered.read(lpn) in allowed
+        else:
+            assert recovered.is_mapped(lpn), (
+                f"LPN {lpn} lost under interrupted write at {fault_point}")
+            assert recovered.read(lpn) in {expected, pending}
     if not crashed:
         # No crash fired: full state must match, including trims (after
         # an explicit flush).

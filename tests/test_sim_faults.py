@@ -65,3 +65,141 @@ def test_trace_records_order():
 def test_bad_nth_rejected():
     with pytest.raises(ValueError):
         PowerFailAfter("p", nth=0)
+
+
+def test_two_fuses_at_one_point_both_fire():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("p", nth=2))
+    plan.arm(PowerFailAfter("p", nth=4))
+    plan.checkpoint("p")
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+    plan.checkpoint("p")
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+    plan.checkpoint("p")  # both fuses consumed
+
+
+def test_duplicate_arm_raises():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("p", nth=3))
+    with pytest.raises(ValueError):
+        plan.arm(PowerFailAfter("p", nth=3))
+    # A different nth at the same point is fine.
+    plan.arm(PowerFailAfter("p", nth=5))
+    assert plan.armed_count("p") == 2
+
+
+def test_nth_counts_from_arming():
+    plan = FaultPlan()
+    plan.checkpoint("p")
+    plan.checkpoint("p")
+    plan.arm(PowerFailAfter("p", nth=2))
+    plan.checkpoint("p")
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+
+
+def test_rearm_after_fire_allowed():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("p", nth=1))
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+    plan.arm(PowerFailAfter("p", nth=1))  # fired fuse no longer armed
+    with pytest.raises(PowerFailure):
+        plan.checkpoint("p")
+
+
+# ------------------------------------------------- ack-boundary journal
+
+
+def test_operation_acks_on_clean_exit():
+    plan = FaultPlan()
+    with plan.operation("dev.write", (7,)):
+        plan.checkpoint("dev.step")
+    assert plan.unacked_op() is None
+    acked = plan.last_acked_op()
+    assert acked is not None
+    assert acked.kind == "dev.write"
+    assert acked.lpns == (7,)
+    assert acked.status == "acked"
+
+
+def test_operation_records_unacked_on_power_failure():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("dev.step"))
+    with pytest.raises(PowerFailure):
+        with plan.operation("dev.write", (3, 4)):
+            plan.checkpoint("dev.step")
+    unacked = plan.unacked_op()
+    assert unacked is not None
+    assert unacked.kind == "dev.write"
+    assert unacked.lpns == (3, 4)
+    assert unacked.status == "unacked"
+    assert plan.last_acked_op() is None
+
+
+def test_operation_failed_is_not_ambiguous():
+    plan = FaultPlan()
+    with pytest.raises(RuntimeError):
+        with plan.operation("dev.write", (1,)):
+            raise RuntimeError("ordinary failure, not a power cut")
+    assert plan.unacked_op() is None
+    assert plan.last_acked_op() is None
+
+
+def test_clean_exit_fires_ack_checkpoint():
+    plan = FaultPlan()
+    plan.enable_trace()
+    with plan.operation("dev.write", (1,)):
+        pass
+    assert plan.trace == ["dev.write.ack"]
+
+
+def test_power_failure_at_ack_boundary_is_unacked():
+    # The op's media work completed, but power failed before completion
+    # reached the caller: durable-but-unacknowledged.
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("dev.write.ack"))
+    with pytest.raises(PowerFailure):
+        with plan.operation("dev.write", (9,)):
+            pass
+    unacked = plan.unacked_op()
+    assert unacked is not None
+    assert unacked.status == "unacked"
+    assert unacked.lpns == (9,)
+
+
+def test_nested_scopes_journal_only_outermost():
+    plan = FaultPlan()
+    plan.enable_trace()
+    with plan.operation("dev.write", (5,)):
+        with plan.operation("ftl.write", (5,)):
+            pass
+    # Inner scope fires its .ack for point coverage but does not journal.
+    assert plan.trace == ["ftl.write.ack", "dev.write.ack"]
+    acked = plan.last_acked_op()
+    assert acked is not None and acked.kind == "dev.write"
+
+
+def test_nested_power_failure_blames_outermost():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("ftl.step"))
+    with pytest.raises(PowerFailure):
+        with plan.operation("dev.write", (2,)):
+            with plan.operation("ftl.write", (2,)):
+                plan.checkpoint("ftl.step")
+    unacked = plan.unacked_op()
+    assert unacked is not None
+    assert unacked.kind == "dev.write"
+
+
+def test_clear_unacked():
+    plan = FaultPlan()
+    plan.arm(PowerFailAfter("x"))
+    with pytest.raises(PowerFailure):
+        with plan.operation("dev.trim", (0,)):
+            plan.checkpoint("x")
+    assert plan.unacked_op() is not None
+    plan.clear_unacked()
+    assert plan.unacked_op() is None
