@@ -11,17 +11,30 @@ invariants — mapping-table agreement, recovery idempotence, bounded
 physical sharing, and each engine's read-your-acknowledged-writes
 contract.
 
+A second sweep dimension covers media faults rather than power: every
+read / program / erase operation the workload issues is targeted in turn
+with a transient read error, a program failure, an erase failure, or a
+sticky dead page, and the same invariant set (plus bad-block accounting)
+must hold on the degraded device (see :mod:`repro.crashcheck.mediafaults`).
+
 Entry points:
 
 * :func:`repro.crashcheck.explorer.enumerate_occurrences` — one traced run.
-* :func:`repro.crashcheck.explorer.explore` — the full sweep.
-* ``python -m repro.tools.crashexplore`` — the CLI.
+* :func:`repro.crashcheck.explorer.explore` — the full power sweep.
+* :func:`repro.crashcheck.mediafaults.explore_media` — the media sweep.
+* ``python -m repro.tools.crashexplore`` — the CLI (``--media-faults``
+  selects the media sweep).
 """
 
 from repro.crashcheck.explorer import (ExplorationReport, Occurrence,
                                        PointResult, enumerate_occurrences,
                                        explore, explore_occurrence)
-from repro.crashcheck.invariants import check_media
+from repro.crashcheck.invariants import check_media, media_accounting
+from repro.crashcheck.mediafaults import (ALL_MODES, GENERIC_MODES,
+                                          MediaOccurrence, MediaReport,
+                                          MediaResult, enumerate_media_ops,
+                                          explore_media,
+                                          explore_media_occurrence)
 from repro.crashcheck.workloads import WORKLOADS, DeviceState
 
 __all__ = [
@@ -32,6 +45,15 @@ __all__ = [
     "explore",
     "explore_occurrence",
     "check_media",
+    "media_accounting",
+    "ALL_MODES",
+    "GENERIC_MODES",
+    "MediaOccurrence",
+    "MediaReport",
+    "MediaResult",
+    "enumerate_media_ops",
+    "explore_media",
+    "explore_media_occurrence",
     "WORKLOADS",
     "DeviceState",
 ]

@@ -15,12 +15,22 @@ a correct FTL, no matter where power failed.
   than the workload's sharing pattern allows (2 for plain SHARE staging;
   3 for couchstore, whose compaction transiently holds old-file,
   scratch and new-file references to one document page).
+* **media accounting** — grown-bad blocks must never reappear in the
+  free pool or as active blocks, spare-pool bookkeeping must balance,
+  and no forward mapping may point at a page that failed during program.
+
+On a device degraded by media faults a read may legitimately raise a
+typed :class:`MediaError` (the page is dead); the replay check therefore
+compares read *outcomes* — the value, or the exact error type — so "both
+recoveries surface the same typed error" passes and "one recovery reads
+data the other cannot" fails.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
+from repro.errors import MediaError
 from repro.ftl.pagemap import PageMappingFtl
 
 
@@ -31,6 +41,15 @@ def mapping_agreement(name: str, ssd) -> List[str]:
     except AssertionError as exc:
         return [f"{name}: mapping-agreement: {exc}"]
     return []
+
+
+def _read_outcome(ftl: PageMappingFtl, lpn: int) -> Tuple[str, object]:
+    """What a host read of ``lpn`` produces: the value, or the typed
+    media-error class (never wrong data, never an untyped failure)."""
+    try:
+        return ("ok", ftl.read(lpn))
+    except MediaError as exc:
+        return ("media-error", type(exc).__name__)
 
 
 def replay_idempotence(name: str, ssd) -> List[str]:
@@ -49,13 +68,53 @@ def replay_idempotence(name: str, ssd) -> List[str]:
         violations.append(
             f"{name}: replay-idempotence: trim tombstones differ across "
             f"recoveries")
+    if first.grown_bad_blocks != second.grown_bad_blocks:
+        violations.append(
+            f"{name}: replay-idempotence: grown-bad blocks differ across "
+            f"recoveries ({sorted(first.grown_bad_blocks)} vs "
+            f"{sorted(second.grown_bad_blocks)})")
     if not violations:
         for lpn in first_map:
-            if first.read(lpn) != second.read(lpn):
+            if _read_outcome(first, lpn) != _read_outcome(second, lpn):
                 violations.append(
                     f"{name}: replay-idempotence: LPN {lpn} reads "
-                    f"different data across recoveries")
+                    f"different outcomes across recoveries")
                 break
+    return violations
+
+
+def media_accounting(name: str, ssd) -> List[str]:
+    """Bad-block and spare-pool bookkeeping must stay coherent."""
+    ftl = ssd.ftl
+    violations: List[str] = []
+    grown = ftl.grown_bad_blocks
+    free = set(ftl._free_blocks)
+    spares = set(ftl._spare_blocks)
+    for block in sorted(grown & free):
+        violations.append(
+            f"{name}: media-accounting: grown-bad block {block} is back "
+            f"in the free pool")
+    for block in sorted(grown & spares):
+        violations.append(
+            f"{name}: media-accounting: grown-bad block {block} is held "
+            f"as a spare")
+    for role, active in (("host", ftl._active_host), ("gc", ftl._active_gc)):
+        if active is not None and active in grown:
+            violations.append(
+                f"{name}: media-accounting: grown-bad block {active} is "
+                f"the active {role} block")
+    expected_spares = max(0, ssd.config.ftl.spare_block_count - len(grown))
+    if len(spares) != expected_spares:
+        violations.append(
+            f"{name}: media-accounting: spare pool holds {len(spares)} "
+            f"blocks, expected {expected_spares} "
+            f"({ssd.config.ftl.spare_block_count} reserved, "
+            f"{len(grown)} grown bad)")
+    for lpn, ppn in ftl.fwd.mapped_lpns():
+        if ssd.nand.is_failed(ppn):
+            violations.append(
+                f"{name}: media-accounting: LPN {lpn} maps to PPN {ppn}, "
+                f"which failed during program and holds no data")
     return violations
 
 
@@ -76,4 +135,5 @@ def check_media(name: str, ssd, max_refs: int = 2) -> List[str]:
     violations = mapping_agreement(name, ssd)
     violations += replay_idempotence(name, ssd)
     violations += bounded_refs(name, ssd, max_refs)
+    violations += media_accounting(name, ssd)
     return violations

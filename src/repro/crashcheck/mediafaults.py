@@ -1,0 +1,319 @@
+"""The media-fault explorer: enumerate chip operations, inject, verify.
+
+The power-failure explorer (:mod:`repro.crashcheck.explorer`) sweeps
+*when* the device dies; this module sweeps *how the media itself fails*.
+The shape is the same two-phase deterministic sweep:
+
+1. **Enumeration** — build the harness, enable media-operation counting
+   on the plan, run the workload once with nothing armed.  That yields
+   the total number of read / program / erase operations the run issues
+   (setup excluded, matching where injection arms).
+2. **Injection** — for each operation of each requested mode, build a
+   *fresh* harness on a fresh plan, arm exactly one media fault targeted
+   at that operation, run, recover, and verify the full invariant set.
+
+Modes:
+
+* ``read-retry`` — a transient :class:`ReadFault` (one failed attempt,
+  then clears) at every read site.  Firmware read-retry must heal it:
+  the run must complete, with zero loss.
+* ``program-fail`` — a one-shot :class:`ProgramFault` at every program
+  site.  The FTL must re-program to a fresh page and retire the block;
+  acked writes survive.
+* ``erase-fail`` — a sticky :class:`EraseFault` at every erase site.
+  GC must retire the block instead of retrying forever.
+* ``uncorrectable`` — a sticky dead-page :class:`ReadFault` at every
+  read site, *kept armed through recovery*.  The run may abort with a
+  typed :class:`MediaError`; afterwards every acked LPN must read
+  either its exact value or a typed error — never silently wrong data.
+  Only meaningful on the raw ``ftl-basic`` harness, whose oracle this
+  module checks directly (the engine harnesses assume readable media).
+* ``power+read`` — a transient read fault paired with a power failure
+  at a sampled checkpoint occurrence: the degraded-and-then-dying case.
+
+A typed device-error abort (e.g. ``OutOfSpaceError`` after retiring a
+block on a device with no spare pool) is *recorded*, not condemned —
+the contract is "fail typed, lose nothing acknowledged", and the
+recovery-side invariants still run against the persisted media.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.crashcheck.explorer import Occurrence, enumerate_occurrences
+from repro.crashcheck.invariants import check_media
+from repro.errors import DeviceError, MediaError, PowerFailure
+from repro.sim.faults import (EraseFault, FaultPlan, PowerFailAfter,
+                              ProgramFault, ReadFault)
+
+MODE_READ_RETRY = "read-retry"
+MODE_PROGRAM_FAIL = "program-fail"
+MODE_ERASE_FAIL = "erase-fail"
+MODE_UNCORRECTABLE = "uncorrectable"
+MODE_POWER_READ = "power+read"
+
+#: Every sweep mode, in the order a full run executes them.
+ALL_MODES = (MODE_READ_RETRY, MODE_PROGRAM_FAIL, MODE_ERASE_FAIL,
+             MODE_UNCORRECTABLE, MODE_POWER_READ)
+
+#: Modes applicable to any workload harness.
+GENERIC_MODES = (MODE_READ_RETRY, MODE_PROGRAM_FAIL, MODE_ERASE_FAIL,
+                 MODE_POWER_READ)
+
+#: How many power occurrences the combined mode samples (strided evenly
+#: over the enumerated power points, each paired with a distinct read op).
+POWER_READ_SAMPLES = 24
+
+#: Co-prime stride used to spread the paired read-fault targets across
+#: the read-operation space deterministically.
+_READ_STRIDE = 37
+
+
+class MediaOccurrence(NamedTuple):
+    """One injection: a fault mode targeting the nth chip operation."""
+
+    mode: str
+    op: str                          # "read" | "program" | "erase"
+    nth: int                         # 1-based, counted from arming
+    power_point: Optional[str] = None   # power+read mode only
+    power_nth: int = 0
+
+
+class MediaResult(NamedTuple):
+    """Verdict for one injected media fault."""
+
+    mode: str
+    op: str
+    nth: int
+    power_point: Optional[str]
+    power_nth: int
+    fired: bool                      # did the armed fault actually trigger?
+    crashed: bool                    # power failure (power+read mode)
+    aborted: Optional[str]           # typed error class that ended run()
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "mediacheck",
+            "workload": workload,
+            "mode": self.mode,
+            "op": self.op,
+            "nth": self.nth,
+            "power_point": self.power_point,
+            "power_nth": self.power_nth,
+            "fired": self.fired,
+            "crashed": self.crashed,
+            "aborted": self.aborted,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+class MediaReport(NamedTuple):
+    """Aggregate of one media-fault sweep."""
+
+    workload: str
+    modes: Tuple[str, ...]
+    op_counts: Dict[str, int]
+    occurrences: Tuple[MediaOccurrence, ...]
+    results: Tuple[MediaResult, ...]
+
+    @property
+    def failures(self) -> List[MediaResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "mediacheck-summary",
+            "workload": self.workload,
+            "modes": list(self.modes),
+            "op_counts": dict(self.op_counts),
+            "occurrences": len(self.occurrences),
+            "explored": len(self.results),
+            "fired": sum(1 for res in self.results if res.fired),
+            "aborted": sum(1 for res in self.results if res.aborted),
+            "crashed": sum(1 for res in self.results if res.crashed),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def enumerate_media_ops(factory: Callable[[FaultPlan], object]
+                        ) -> Dict[str, int]:
+    """Phase 1: one counted, fault-free run.  Returns the number of
+    read / program / erase operations the workload issues after setup."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.media.enable_counting()
+    harness.run()
+    return dict(faults.media.op_counts)
+
+
+def _fault_for(occurrence: MediaOccurrence):
+    if occurrence.mode in (MODE_READ_RETRY, MODE_POWER_READ):
+        return ReadFault(nth=occurrence.nth, retries_to_clear=1)
+    if occurrence.mode == MODE_PROGRAM_FAIL:
+        return ProgramFault(nth=occurrence.nth)
+    if occurrence.mode == MODE_ERASE_FAIL:
+        return EraseFault(nth=occurrence.nth)
+    if occurrence.mode == MODE_UNCORRECTABLE:
+        return ReadFault(nth=occurrence.nth)   # sticky dead page
+    raise ValueError(f"unknown media sweep mode: {occurrence.mode!r}")
+
+
+def enumerate_media_occurrences(
+        factory: Callable[[FaultPlan], object],
+        modes: Tuple[str, ...] = GENERIC_MODES,
+        op_counts: Optional[Dict[str, int]] = None,
+        power_samples: int = POWER_READ_SAMPLES) -> List[MediaOccurrence]:
+    """Build the full injection list for the requested modes."""
+    if op_counts is None:
+        op_counts = enumerate_media_ops(factory)
+    occurrences: List[MediaOccurrence] = []
+    per_mode_op = {MODE_READ_RETRY: "read", MODE_PROGRAM_FAIL: "program",
+                   MODE_ERASE_FAIL: "erase", MODE_UNCORRECTABLE: "read"}
+    for mode in modes:
+        if mode == MODE_POWER_READ:
+            occurrences += _power_read_occurrences(factory, op_counts,
+                                                   power_samples)
+            continue
+        op = per_mode_op[mode]
+        occurrences += [MediaOccurrence(mode, op, nth)
+                        for nth in range(1, op_counts[op] + 1)]
+    return occurrences
+
+
+def _power_read_occurrences(factory: Callable[[FaultPlan], object],
+                            op_counts: Dict[str, int],
+                            samples: int) -> List[MediaOccurrence]:
+    """Deterministically pair sampled power-failure sites with read
+    faults: power occurrences strided evenly, read targets strided by a
+    co-prime so the pairs cover both spaces."""
+    reads = op_counts.get("read", 0)
+    if reads == 0 or samples <= 0:
+        return []
+    power = enumerate_occurrences(factory)
+    if not power:
+        return []
+    stride = max(1, len(power) // samples)
+    chosen = power[::stride][:samples]
+    return [
+        MediaOccurrence(MODE_POWER_READ, "read",
+                        (index * _READ_STRIDE) % reads + 1,
+                        occ.point, occ.nth)
+        for index, occ in enumerate(chosen)
+    ]
+
+
+def _typed_or_correct(harness) -> List[str]:
+    """The degraded-device contract for the raw ftl-basic harness: every
+    acked LPN outside the interrupted operation must read its exact
+    value or raise a typed :class:`MediaError` — never wrong data."""
+    violations: List[str] = []
+    ftl = harness.ssd.ftl
+    unacked = harness.faults.unacked_op()
+    ambiguous = set(unacked.lpns) if unacked is not None else set()
+    for lpn, expected in sorted(harness.durable.items()):
+        if lpn in ambiguous:
+            continue
+        if not ftl.is_mapped(lpn):
+            violations.append(
+                f"ftl: acked LPN {lpn} lost under media fault "
+                f"(expected {expected!r})")
+            continue
+        try:
+            value = ftl.read(lpn)
+        except MediaError:
+            continue   # a typed error IS the contract for a dead page
+        if value != expected:
+            violations.append(
+                f"ftl: acked LPN {lpn} silently corrupted under media "
+                f"fault: reads {value!r}, expected {expected!r}")
+    return violations
+
+
+def explore_media_occurrence(factory: Callable[[FaultPlan], object],
+                             occurrence: MediaOccurrence) -> MediaResult:
+    """Phase 2 for one site: inject one media fault, recover, verify."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.arm_media(_fault_for(occurrence))
+    if occurrence.power_point is not None:
+        faults.arm(PowerFailAfter(occurrence.power_point,
+                                  occurrence.power_nth))
+    crashed = False
+    aborted: Optional[str] = None
+    try:
+        harness.run()
+    except PowerFailure:
+        crashed = True
+    except (MediaError, DeviceError) as exc:
+        aborted = type(exc).__name__
+    # Transient and one-shot faults remove themselves when they trigger,
+    # so an emptied fault set also means the injection fired.
+    fired = bool(faults.media.fired_faults()) or not faults.media.armed()
+    faults.disarm()   # power fuses never fire during recovery
+    if occurrence.mode != MODE_UNCORRECTABLE:
+        faults.disarm_media()
+    devices = harness.recover()
+    violations: List[str] = []
+    for device in devices:
+        violations += check_media(device.name, device.ssd, device.max_refs)
+    if occurrence.mode == MODE_UNCORRECTABLE:
+        violations += _typed_or_correct(harness)
+    else:
+        if aborted is not None and occurrence.mode == MODE_READ_RETRY:
+            violations.append(
+                f"{occurrence.mode}: run aborted with {aborted} — a "
+                f"transient read fault must be healed by read-retry")
+        violations += harness.check_engine()
+    return MediaResult(occurrence.mode, occurrence.op, occurrence.nth,
+                       occurrence.power_point, occurrence.power_nth,
+                       fired, crashed, aborted, tuple(violations))
+
+
+def explore_media(factory: Callable[[FaultPlan], object], workload: str,
+                  modes: Tuple[str, ...] = GENERIC_MODES,
+                  occurrences: Optional[List[MediaOccurrence]] = None,
+                  max_points: Optional[int] = None,
+                  sink=None,
+                  progress: Optional[Callable[[int, int, MediaResult], None]]
+                  = None) -> MediaReport:
+    """The full media-fault sweep: enumerate (unless given), then inject.
+
+    ``max_points`` caps the sweep for CI smoke runs by striding evenly
+    across the occurrence list (not truncating it), so every mode and
+    every phase of the workload keeps coverage under a budget.
+    ``sink`` is any telemetry sink (``emit(dict)``).
+    """
+    op_counts = enumerate_media_ops(factory)
+    if occurrences is None:
+        occurrences = enumerate_media_occurrences(factory, modes,
+                                                  op_counts=op_counts)
+    explored = occurrences
+    if max_points is not None and len(occurrences) > max_points:
+        stride = max(1, len(occurrences) // max_points)
+        explored = occurrences[::stride][:max_points]
+    results: List[MediaResult] = []
+    for index, occurrence in enumerate(explored):
+        result = explore_media_occurrence(factory, occurrence)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(explored), result)
+    report = MediaReport(workload, tuple(modes), op_counts,
+                         tuple(occurrences), tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report

@@ -30,7 +30,7 @@ from typing import Dict, List, NamedTuple, Optional
 
 from repro.couchstore.compaction import abandon_partial, compact
 from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
-from repro.errors import PowerFailure, ShareError
+from repro.errors import DeviceError, PowerFailure, ReproError, ShareError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FAST_TIMING
 from repro.ftl.config import FtlConfig
@@ -84,7 +84,7 @@ def _small_ssd(faults: FaultPlan, clock: SimClock,
                block_count: int = 48, pages_per_block: int = 16,
                overprovision: float = 0.2, map_blocks: int = 4,
                share_entries: int = 64, gc_low_water: int = 3,
-               gc_high_water: int = 6) -> Ssd:
+               gc_high_water: int = 6, spare_blocks: int = 0) -> Ssd:
     geometry = FlashGeometry(page_size=4096, pages_per_block=pages_per_block,
                              block_count=block_count,
                              overprovision_ratio=overprovision)
@@ -92,7 +92,8 @@ def _small_ssd(faults: FaultPlan, clock: SimClock,
                        ftl=FtlConfig(map_block_count=map_blocks,
                                      share_table_entries=share_entries,
                                      gc_low_water=gc_low_water,
-                                     gc_high_water=gc_high_water))
+                                     gc_high_water=gc_high_water,
+                                     spare_block_count=spare_blocks))
     return Ssd(clock, config, faults=faults)
 
 
@@ -111,11 +112,15 @@ class FtlBasicHarness:
     def __init__(self, faults: FaultPlan) -> None:
         self.faults = faults
         self.clock = SimClock()
-        self.ssd = _small_ssd(faults, self.clock, block_count=40,
-                              overprovision=0.2, share_entries=16)
+        # Small enough that the run's churn drives GC (so erase sites
+        # exist for the media-fault sweep) while staying far from full.
+        self.ssd = _small_ssd(faults, self.clock, block_count=18,
+                              overprovision=0.2, share_entries=16,
+                              spare_blocks=2)
         self.durable: Dict[int, object] = {}
         self.inflight: Dict[int, object] = {}
         self.crashed = False
+        self.aborted = False   # run ended in a typed device error, not power
         self._span = 48
         self._share_members: set = set()
 
@@ -123,17 +128,17 @@ class FtlBasicHarness:
         rng = random.Random(0x5EED)
         ssd = self.ssd
         try:
-            for step in range(90):
+            for step in range(230):
                 roll = rng.random()
                 self.inflight = {}
-                if roll < 0.55:
+                if roll < 0.45:
                     lpn = rng.randrange(self._span)
                     value = ("d", step, lpn)
                     self.inflight = {lpn: value}
                     ssd.write(lpn, value)
                     self.durable[lpn] = value
                     self._share_members.discard(lpn)
-                elif roll < 0.70:
+                elif roll < 0.58:
                     # Share from a source not already in a share pair so
                     # the 2-reference bound stays the workload's promise.
                     sources = [l for l in sorted(self.durable)
@@ -152,7 +157,7 @@ class FtlBasicHarness:
                         continue
                     self.durable[dst] = self.durable[src]
                     self._share_members.update((src, dst))
-                elif roll < 0.80:
+                elif roll < 0.68:
                     lpn = rng.randrange(self._span)
                     if lpn not in self.durable:
                         continue
@@ -162,7 +167,7 @@ class FtlBasicHarness:
                     # the strict model simply stops tracking the LPN.
                     self.durable.pop(lpn, None)
                     self._share_members.discard(lpn)
-                elif roll < 0.92:
+                elif roll < 0.80:
                     base = rng.randrange(self._span - 3)
                     items = [(base + i, ("a", step, base + i))
                              for i in range(3)]
@@ -171,12 +176,26 @@ class FtlBasicHarness:
                     for lpn, value in items:
                         self.durable[lpn] = value
                         self._share_members.discard(lpn)
+                elif roll < 0.93:
+                    # Host read-back: gives the media-fault sweep read
+                    # sites to target (and is how transient read errors
+                    # get healed by scrubbing mid-run).
+                    if not self.durable:
+                        continue
+                    lpn = rng.choice(sorted(self.durable))
+                    ssd.read(lpn)
                 else:
                     self.inflight = {}
                     ssd.flush()
                 self.inflight = {}
         except PowerFailure:
             self.crashed = True
+            raise
+        except DeviceError:
+            # A media-degraded device may end the run with a typed error
+            # (never wrong data).  The interrupted op stays unacked, so
+            # check_engine treats its LPNs as ambiguous, like a crash.
+            self.aborted = True
             raise
 
     def recover(self) -> List[DeviceState]:
@@ -191,7 +210,7 @@ class FtlBasicHarness:
             violations.append(
                 "ftl: crash escaped run() without an operation record — "
                 "a checkpoint fired outside every ack scope")
-        if not self.crashed and unacked is not None:
+        if not self.crashed and not self.aborted and unacked is not None:
             violations.append(
                 f"ftl: no crash, yet an operation is recorded unacked: "
                 f"{unacked!r}")
@@ -242,7 +261,8 @@ class CouchHarness:
         self.faults = faults
         self.clock = SimClock()
         self.ssd = _small_ssd(faults, self.clock, block_count=64,
-                              pages_per_block=16, overprovision=0.2)
+                              pages_per_block=16, overprovision=0.2,
+                              spare_blocks=2)
         self.fs = HostFs(self.ssd, FsConfig(journal_blocks=8))
         self.config = CouchConfig(leaf_capacity=3, internal_fanout=4,
                                   prealloc_blocks=32)
@@ -283,7 +303,7 @@ class CouchHarness:
             self.reopened = CouchStore.reopen(self.fs, "/db",
                                               CommitMode.SHARE, self.config)
             abandon_partial(self.reopened)
-        except Exception as exc:  # a reopen failure IS the finding
+        except ReproError as exc:  # a reopen failure IS the finding
             self.recovery_errors.append(f"couch: reopen failed: {exc!r}")
         return [DeviceState("couch", self.ssd, 3)]
 
@@ -299,7 +319,7 @@ class CouchHarness:
             self.reopened.commit()
             if self.reopened.get(999) != "post-crash":
                 violations.append("couch: post-recovery write not readable")
-        except Exception as exc:
+        except ReproError as exc:
             violations.append(f"couch: store unusable after recovery: "
                               f"{exc!r}")
         return violations
@@ -330,7 +350,8 @@ class LinkbenchHarness:
         self.log_ssd = _small_ssd(faults, self.clock, block_count=32,
                                   pages_per_block=16, overprovision=0.25)
         self.couch_ssd = _small_ssd(faults, self.clock, block_count=64,
-                                    pages_per_block=16, overprovision=0.2)
+                                    pages_per_block=16, overprovision=0.2,
+                                    spare_blocks=2)
         self.iconfig = InnoDBConfig(buffer_pool_pages=32,
                                     flush_batch_pages=8, dwb_pages=8,
                                     leaf_capacity=8, internal_fanout=8,
@@ -416,7 +437,7 @@ class LinkbenchHarness:
             self.rec_engine, self.rec_report = innodb_recover(
                 FlushMode.SHARE, self.data_ssd, self.log_ssd, self.iconfig,
                 fs_config=self.fs_config)
-        except Exception as exc:
+        except ReproError as exc:
             self.recovery_errors.append(f"innodb: recovery failed: {exc!r}")
         self.couch_ssd.power_cycle()
         try:
@@ -424,7 +445,7 @@ class LinkbenchHarness:
                                                CommitMode.SHARE,
                                                self.couch_config)
             abandon_partial(self.rec_couch)
-        except Exception as exc:
+        except ReproError as exc:
             self.recovery_errors.append(f"couch: reopen failed: {exc!r}")
         return [DeviceState("innodb-data", self.data_ssd, 2),
                 DeviceState("innodb-log", self.log_ssd, 2),
@@ -458,7 +479,7 @@ class LinkbenchHarness:
                 if self.rec_engine.table("node").get(999) != "post-crash":
                     violations.append(
                         "innodb: post-recovery write not readable")
-            except Exception as exc:
+            except ReproError as exc:
                 violations.append(
                     f"innodb: engine unusable after recovery: {exc!r}")
         if self.rec_couch is not None:
@@ -522,7 +543,7 @@ class SqliteHarness:
             self.reopened = SqliteLikeDb.open(self.fs, "/app.db",
                                               JournalMode.SHARE,
                                               page_count=self.page_count)
-        except Exception as exc:
+        except ReproError as exc:
             self.recovery_errors.append(f"sqlite: reopen failed: {exc!r}")
         return [DeviceState("sqlite", self.ssd, 2)]
 
@@ -537,7 +558,7 @@ class SqliteHarness:
             self.reopened.put(999, "post-crash")
             if self.reopened.get(999) != "post-crash":
                 violations.append("sqlite: post-recovery write not readable")
-        except Exception as exc:
+        except ReproError as exc:
             violations.append(f"sqlite: db unusable after recovery: {exc!r}")
         return violations
 
@@ -584,7 +605,7 @@ class DataJournalHarness:
         self.ssd.power_cycle()
         try:
             self.journal.rescan()
-        except Exception as exc:
+        except ReproError as exc:
             self.recovery_errors.append(
                 f"datajournal: rescan failed: {exc!r}")
         return [DeviceState("datajournal", self.ssd, 2)]
@@ -600,7 +621,7 @@ class DataJournalHarness:
         for block in keys:
             try:
                 recovered[block] = self.journal.read(self.file, block)
-            except Exception:
+            except ReproError:
                 recovered[block] = None
         return violations + per_key_violations(
             "datajournal", recovered, self.durable, self.inflight)
@@ -656,7 +677,7 @@ class PostgresHarness:
             state = recover_row_state(self.data_ssd, self.wal_ssd,
                                       self.catalog)
             self.recovered = state["accounts"]
-        except Exception as exc:
+        except ReproError as exc:
             self.recovery_errors.append(f"postgres: replay failed: {exc!r}")
         return [DeviceState("postgres-data", self.data_ssd, 2),
                 DeviceState("postgres-wal", self.wal_ssd, 2)]

@@ -4,17 +4,73 @@ Each simulated layer (NAND array, FTL, SSD facade, host filesystem, database
 engines) raises a subclass of :class:`ReproError` so callers can distinguish
 programming mistakes (plain ``ValueError``/``TypeError``) from simulated
 device and protocol failures.
+
+The hierarchy separates two very different failure families at the flash
+layer:
+
+* **protocol violations** (:class:`ProgramError`, :class:`ReadError`,
+  :class:`EraseError`) — the FTL broke a chip-level rule (overwrote a
+  programmed page, read an erased one).  These indicate firmware bugs and
+  are never retried or masked.
+* **media faults** (:class:`MediaError` and subclasses) — the *medium*
+  failed: an uncorrectable read, a program failure, an erase failure.
+  Firmware is expected to survive these (read-retry, re-program elsewhere,
+  retire the block); when it cannot, the typed error propagates unchanged
+  through the device facade and host stack so engines never receive wrong
+  data silently.
+
+Everything a device command can legitimately surface to the host subclasses
+:class:`DeviceError` — media faults (via :class:`MediaError`'s dual
+parentage) and FTL-state errors (via :class:`FtlError`) alike — so host
+code can catch one type at the ioctl boundary without also swallowing
+programming mistakes.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DeviceError",
+    "FlashError",
+    "ProgramError",
+    "EraseError",
+    "ReadError",
+    "MediaError",
+    "UncorrectableReadError",
+    "ProgramFailError",
+    "EraseFailError",
+    "FtlError",
+    "OutOfSpaceError",
+    "UnmappedPageError",
+    "ShareError",
+    "PowerFailure",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "NoSpace",
+    "IoctlError",
+    "EngineError",
+    "TornPageError",
+    "RecoveryError",
+]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class DeviceError(ReproError):
+    """Base class for every error a device command can surface to the host.
+
+    This covers malformed requests raised by the SSD facade itself, FTL
+    state errors (:class:`FtlError`), and media faults
+    (:class:`MediaError`).  Host layers that must degrade gracefully catch
+    ``DeviceError``; anything else escaping a device call is a bug.
+    """
+
+
 class FlashError(ReproError):
-    """Base class for NAND-array level violations."""
+    """Base class for NAND-array level failures (protocol and media)."""
 
 
 class ProgramError(FlashError):
@@ -32,16 +88,49 @@ class EraseError(FlashError):
 
 
 class ReadError(FlashError):
-    """Raised when reading an unwritten (erased) page."""
+    """Raised when reading an unwritten (erased) page — an FTL bug, not a
+    media fault."""
 
 
-class FtlError(ReproError):
-    """Base class for FTL protocol violations."""
+class MediaError(FlashError, DeviceError):
+    """Base class for genuine media failures injected by the fault plan.
+
+    Unlike the protocol violations above, these model the physics of NAND
+    (charge loss, failed program pulses, worn-out blocks).  They are both
+    :class:`FlashError` (they originate at the array) and
+    :class:`DeviceError` (they may surface to the host when firmware
+    cannot mask them).
+    """
+
+
+class UncorrectableReadError(MediaError):
+    """Read ECC failure: the page's payload cannot be reconstructed.
+
+    May be transient (cleared by read-retry) or permanent (a dead page);
+    the FTL retries up to its budget, scrubs correctable pages to fresh
+    locations, and otherwise surfaces this error — never stale or wrong
+    data."""
+
+
+class ProgramFailError(MediaError):
+    """A program operation failed to commit charge; the target page is
+    unusable and its block must be retired after relocating live data."""
+
+
+class EraseFailError(MediaError):
+    """An erase operation failed; the block has grown bad and must be
+    retired (its previous contents remain readable but it can never be
+    reused)."""
+
+
+class FtlError(DeviceError):
+    """Base class for FTL protocol violations and state errors."""
 
 
 class OutOfSpaceError(FtlError):
     """Raised when the FTL cannot find a free page even after garbage
-    collection, i.e. the logical space is overcommitted."""
+    collection, i.e. the logical space is overcommitted (or the spare
+    pool and free pool are both exhausted by grown bad blocks)."""
 
 
 class UnmappedPageError(FtlError):
@@ -51,10 +140,6 @@ class UnmappedPageError(FtlError):
 class ShareError(FtlError):
     """Raised for invalid SHARE commands (bad range, overlap, unmapped
     source, or reverse-map capacity exhaustion that cannot be reconciled)."""
-
-
-class DeviceError(ReproError):
-    """Raised by the SSD block-device facade for malformed requests."""
 
 
 class PowerFailure(ReproError):

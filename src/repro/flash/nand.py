@@ -12,6 +12,22 @@ owning LPN / metadata tag, exactly as real firmware stamps out-of-band
 bytes.  The array is the *only* state that survives an injected power
 failure — everything above it (mapping tables in DRAM, buffer pools) is
 volatile and rebuilt during recovery.
+
+When a :class:`~repro.sim.faults.FaultPlan` with armed media faults is
+attached, chip operations can fail the way real NAND fails:
+
+* ``read`` raises :class:`UncorrectableReadError` (transient or sticky) or
+  returns a :data:`~repro.sim.faults.CORRUPT_PAYLOAD`-wrapped payload;
+* ``program`` raises :class:`ProgramFailError` and leaves the page
+  *failed* — it consumed its program slot (the in-order rule still holds)
+  but holds no readable data;
+* ``erase`` raises :class:`EraseFailError` and leaves the block's contents
+  untouched.
+
+The spare area is modelled as separately protected (real firmware guards
+OOB bytes with their own ECC), so ``read_spare`` and ``scan_block`` never
+consult read faults — recovery's OOB scan stays deterministic even on a
+degraded device.
 """
 
 from __future__ import annotations
@@ -20,8 +36,9 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
-from repro.errors import ProgramError, ReadError
+from repro.errors import ProgramError, ReadError, UncorrectableReadError
 from repro.flash.geometry import FlashGeometry
+from repro.sim.faults import CORRUPT_PAYLOAD, NO_FAULTS, FaultPlan
 
 
 class PageState(Enum):
@@ -36,6 +53,7 @@ class _Page:
     state: PageState = PageState.ERASED
     data: Any = None
     spare: Any = None
+    failed: bool = False   # program failure consumed the page; no payload
 
 
 class NandArray:
@@ -48,19 +66,31 @@ class NandArray:
     host-visible transfers.
     """
 
-    def __init__(self, geometry: FlashGeometry) -> None:
+    def __init__(self, geometry: FlashGeometry,
+                 faults: FaultPlan = NO_FAULTS) -> None:
         self.geometry = geometry
+        self.faults = faults
         self._pages: List[_Page] = [_Page() for _ in range(geometry.total_pages)]
         self._next_program_offset: List[int] = [0] * geometry.block_count
         self.erase_counts: List[int] = [0] * geometry.block_count
         self.total_programs = 0
         self.total_reads = 0
         self.total_erases = 0
+        # Media-failure accounting (injected faults that actually fired).
+        self.failed_reads = 0
+        self.failed_programs = 0
+        self.failed_erases = 0
 
     # ------------------------------------------------------------------ ops
 
     def program(self, ppn: int, data: Any, spare: Any = None) -> None:
-        """Program one page.  Enforces no-overwrite and in-order rules."""
+        """Program one page.  Enforces no-overwrite and in-order rules.
+
+        On an injected program failure the page transitions to a *failed*
+        PROGRAMMED state: it consumed its program slot (so the in-order
+        rule is preserved for the rest of the block) but holds no data —
+        any read of it raises :class:`UncorrectableReadError`, and the
+        OOB scan skips it."""
         self.geometry.check_ppn(ppn)
         page = self._pages[ppn]
         if page.state is not PageState.ERASED:
@@ -72,9 +102,23 @@ class NandArray:
             raise ProgramError(
                 f"out-of-order program in block {block}: page offset {offset}, "
                 f"expected {expected}")
+        media = self.faults.media
+        if media.active:
+            try:
+                media.on_program(ppn)
+            except Exception:
+                page.state = PageState.PROGRAMMED
+                page.data = None
+                page.spare = None
+                page.failed = True
+                self._next_program_offset[block] = offset + 1
+                self.total_programs += 1
+                self.failed_programs += 1
+                raise
         page.state = PageState.PROGRAMMED
         page.data = data
         page.spare = spare
+        page.failed = False
         self._next_program_offset[block] = offset + 1
         self.total_programs += 1
 
@@ -85,10 +129,27 @@ class NandArray:
         if page.state is not PageState.PROGRAMMED:
             raise ReadError(f"PPN {ppn} is erased; nothing to read")
         self.total_reads += 1
+        if page.failed:
+            self.failed_reads += 1
+            raise UncorrectableReadError(
+                f"PPN {ppn} failed during program; payload unreadable")
+        media = self.faults.media
+        if media.active:
+            block = self.geometry.block_of(ppn)
+            try:
+                corrupt = media.on_read(ppn, self.erase_counts[block])
+            except UncorrectableReadError:
+                self.failed_reads += 1
+                raise
+            if corrupt:
+                return (CORRUPT_PAYLOAD, ppn)
         return page.data
 
     def read_spare(self, ppn: int) -> Any:
-        """Read only the spare-area record (cheap OOB scan during recovery)."""
+        """Read only the spare-area record (cheap OOB scan during recovery).
+
+        The spare area is modelled as separately protected, so this never
+        consults read faults; a *failed* page still has no spare to give."""
         self.geometry.check_ppn(ppn)
         page = self._pages[ppn]
         if page.state is not PageState.PROGRAMMED:
@@ -96,14 +157,26 @@ class NandArray:
         return page.spare
 
     def erase(self, block: int) -> None:
-        """Erase a whole block, returning every page in it to ERASED."""
+        """Erase a whole block, returning every page in it to ERASED.
+
+        An injected erase failure leaves the block's contents untouched
+        (still readable, still counted as programmed) — the FTL is
+        expected to retire the block instead of reusing it."""
         self.geometry.check_block(block)
+        media = self.faults.media
+        if media.active:
+            try:
+                media.on_erase(block)
+            except Exception:
+                self.failed_erases += 1
+                raise
         start = self.geometry.first_ppn(block)
         for ppn in range(start, start + self.geometry.pages_per_block):
             page = self._pages[ppn]
             page.state = PageState.ERASED
             page.data = None
             page.spare = None
+            page.failed = False
         self._next_program_offset[block] = 0
         self.erase_counts[block] += 1
         self.total_erases += 1
@@ -115,7 +188,16 @@ class NandArray:
         return self._pages[ppn].state
 
     def is_programmed(self, ppn: int) -> bool:
-        return self.state_of(ppn) is PageState.PROGRAMMED
+        """True when the page holds *readable* programmed data (a page that
+        failed during program is not usable and reports False)."""
+        self.geometry.check_ppn(ppn)
+        page = self._pages[ppn]
+        return page.state is PageState.PROGRAMMED and not page.failed
+
+    def is_failed(self, ppn: int) -> bool:
+        """True when the page consumed its program slot but failed."""
+        self.geometry.check_ppn(ppn)
+        return self._pages[ppn].failed
 
     def programmed_pages_in_block(self, block: int) -> int:
         """How many pages of ``block`` have been programmed since its last
@@ -124,14 +206,18 @@ class NandArray:
         return self._next_program_offset[block]
 
     def scan_block(self, block: int) -> List[Tuple[int, Any]]:
-        """(ppn, spare) for every programmed page of a block, in program
-        order.  This is the recovery-time OOB scan."""
+        """(ppn, spare) for every readable programmed page of a block, in
+        program order.  This is the recovery-time OOB scan; pages that
+        failed during program are skipped (they hold no spare stamp)."""
         self.geometry.check_block(block)
         start = self.geometry.first_ppn(block)
         out: List[Tuple[int, Any]] = []
         for offset in range(self._next_program_offset[block]):
             ppn = start + offset
-            out.append((ppn, self._pages[ppn].spare))
+            page = self._pages[ppn]
+            if page.failed:
+                continue
+            out.append((ppn, page.spare))
         return out
 
     @property

@@ -29,6 +29,19 @@ class FtlConfig:
     gc_low_water / gc_high_water:
         Greedy GC starts when the free-block pool drops to ``gc_low_water``
         and collects victims until the pool reaches ``gc_high_water``.
+    read_retries:
+        How many extra read attempts firmware makes after an uncorrectable
+        read before surfacing the error to the host.
+    scrub_after_retry:
+        Relocate (scrub) a page that needed read-retry to a fresh PPN, so
+        a decaying page is healed before it dies outright.
+    spare_block_count:
+        Data blocks reserved as replacements for grown bad blocks.  The
+        default of 0 keeps usable capacity identical to a fault-free
+        device; harnesses that inject media faults opt in.
+    program_retry_limit:
+        How many fresh PPNs a single host write may try when programs keep
+        failing before giving up with the typed error.
     """
 
     map_block_count: int = 4
@@ -38,6 +51,10 @@ class FtlConfig:
     share_overflow_policy: str = "log"
     wear_leveling: bool = True
     wear_delta_threshold: int = 16
+    read_retries: int = 2
+    scrub_after_retry: bool = True
+    spare_block_count: int = 0
+    program_retry_limit: int = 4
 
     def __post_init__(self) -> None:
         if self.share_overflow_policy not in ("log", "copy"):
@@ -57,6 +74,14 @@ class FtlConfig:
             raise ValueError(f"gc_low_water must be >= 2: {self.gc_low_water}")
         if self.gc_high_water <= self.gc_low_water:
             raise ValueError("gc_high_water must exceed gc_low_water")
+        if self.read_retries < 0:
+            raise ValueError(f"read_retries must be >= 0: {self.read_retries}")
+        if self.spare_block_count < 0:
+            raise ValueError(
+                f"spare_block_count must be >= 0: {self.spare_block_count}")
+        if self.program_retry_limit < 1:
+            raise ValueError(
+                f"program_retry_limit must be >= 1: {self.program_retry_limit}")
 
     def deltas_per_page(self, page_size: int) -> int:
         """How many delta records fit in one mapping page — the atomic

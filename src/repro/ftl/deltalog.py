@@ -16,14 +16,35 @@ log-backed mappings (provided by the FTL) are rewritten as ``snap`` records
 into the last free map block, the exhausted blocks are erased, and logging
 continues.  Recovery merges log records with the spare-area stamps by
 sequence number — the newest assertion per LPN wins.
+
+Media faults make the log defend itself:
+
+* every mapping page is sealed with a CRC32 over its records, so a page
+  returned corrupted (or torn by a failed program) is *detected* during
+  :meth:`MapLog.scan` and skipped rather than replayed — recovery already
+  always merges the log with the full OOB scan by sequence number, so a
+  lost log page degrades to the stamps' view instead of silently replaying
+  garbage;
+* a program failure while appending simply retries the next mapping page
+  (the failed page consumed its slot and the OOB scan skips it);
+* an erase failure during a checkpoint retires the map block from the
+  rotation; a ``badblk`` record naming it rides in every later snapshot so
+  the retirement survives recovery, and the stale records left in the dead
+  block are harmless — they always lose the seq merge.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import FtlError
+from repro.errors import (
+    EraseFailError,
+    FtlError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
 from repro.obs import NULL_TELEMETRY
@@ -31,6 +52,9 @@ from repro.sim.faults import NO_FAULTS, FaultPlan
 
 #: Spare-area tag marking a mapping page (vs a data page).
 MAP_PAGE_TAG = "map"
+
+#: Magic leading every sealed mapping-page payload.
+MAP_MAGIC = "maplog-v2"
 
 KIND_SHARE = "share"
 KIND_TRIM = "trim"
@@ -40,8 +64,16 @@ KIND_SNAP = "snap"
 KIND_AWRITE = "awrite"
 #: Commit record of the X-FTL transactional baseline (Section 6.2).
 KIND_XCOMMIT = "xcommit"
+#: Grown-bad-block announcement: ``lpn`` holds the *block* number, both
+#: PPN fields are None.  Data-block records are emitted by the FTL at
+#: retirement time; map-block records are emitted by the log itself.
+KIND_BADBLK = "badblk"
 _KINDS = frozenset({KIND_SHARE, KIND_TRIM, KIND_SNAP, KIND_AWRITE,
-                    KIND_XCOMMIT})
+                    KIND_XCOMMIT, KIND_BADBLK})
+
+#: How many fresh mapping pages one append tries when programs keep
+#: failing before surfacing the error.
+_PROGRAM_ATTEMPTS = 4
 
 
 @dataclass(frozen=True)
@@ -49,7 +81,8 @@ class DeltaRecord:
     """One mapping-change assertion.
 
     ``new_ppn`` is None for trims.  ``seq`` totally orders this assertion
-    against spare-area stamps and other records.
+    against spare-area stamps and other records.  ``badblk`` records reuse
+    ``lpn`` for the retired block number and carry no PPNs.
     """
 
     kind: str
@@ -67,14 +100,37 @@ class DeltaRecord:
             raise ValueError(f"negative seq: {self.seq}")
         if self.kind == KIND_TRIM and self.new_ppn is not None:
             raise ValueError("trim records must have new_ppn=None")
+        if self.kind == KIND_BADBLK and (self.old_ppn is not None
+                                         or self.new_ppn is not None):
+            raise ValueError("badblk records carry no PPNs")
+
+
+def _seal(records: Tuple[DeltaRecord, ...]):
+    """Wrap a mapping page's records with a CRC so corruption is detected."""
+    crc = zlib.crc32(repr(records).encode("utf-8")) & 0xFFFFFFFF
+    return (MAP_MAGIC, records, crc)
+
+
+def _unseal(payload) -> Optional[List[DeltaRecord]]:
+    """Records from a sealed mapping page, or None when the page is
+    corrupt (bad magic, torn shape, or checksum mismatch)."""
+    if (not isinstance(payload, tuple) or len(payload) != 3
+            or payload[0] != MAP_MAGIC):
+        return None
+    _, records, crc = payload
+    if not isinstance(records, tuple):
+        return None
+    if zlib.crc32(repr(records).encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    return list(records)
 
 
 class MapLog:
     """Append-only delta log over the reserved map blocks.
 
-    The log programs whole mapping pages; each page carries a list of
-    :class:`DeltaRecord`.  Fault checkpoints bracket the commit program so
-    tests can kill power on either side of the atomic point.
+    The log programs whole mapping pages; each page carries a sealed list
+    of :class:`DeltaRecord`.  Fault checkpoints bracket the commit program
+    so tests can kill power on either side of the atomic point.
     """
 
     def __init__(self, nand: NandArray, geometry: FlashGeometry,
@@ -85,6 +141,7 @@ class MapLog:
         self._nand = nand
         self._geometry = geometry
         self._blocks = list(map_blocks)
+        self._bad_blocks: Set[int] = set()
         self._records_per_page = records_per_page
         self._faults = faults
         self._cursor = 0          # index into self._blocks
@@ -112,6 +169,30 @@ class MapLog:
                 self._cursor = index
         # If the cursor block is full, advance handled lazily by _target().
 
+    def retire_map_block(self, block: int) -> None:
+        """Drop a grown-bad map block from the rotation (idempotent).
+
+        Called when an erase of the block fails, and during recovery when
+        a scanned ``badblk`` record names a map block."""
+        if block in self._bad_blocks:
+            return
+        self._bad_blocks.add(block)
+        if block in self._blocks:
+            index = self._blocks.index(block)
+            self._blocks.remove(block)
+            if self._cursor > index:
+                self._cursor -= 1
+            if self._cursor >= len(self._blocks) and self._blocks:
+                self._cursor = len(self._blocks) - 1
+        if not self._blocks:
+            raise FtlError(
+                "every map block has grown bad; the mapping log cannot "
+                "persist further deltas")
+
+    @property
+    def bad_blocks(self) -> Set[int]:
+        return set(self._bad_blocks)
+
     @property
     def records_per_page(self) -> int:
         return self._records_per_page
@@ -132,7 +213,10 @@ class MapLog:
 
         This is the SHARE commit point: a crash before the program leaves
         the old mapping, a crash after it leaves the new mapping; there is
-        no in-between because the page program is atomic.
+        no in-between because the page program is atomic.  A program
+        failure moves on to the next mapping page — the failed page
+        consumed its slot and the OOB scan skips it, so atomicity holds:
+        either one intact sealed page carries the batch, or none does.
         """
         if not records:
             raise ValueError("cannot commit an empty delta batch")
@@ -142,8 +226,16 @@ class MapLog:
                 f"page capacity of {self._records_per_page} — the batch "
                 "would not commit atomically (Section 4.2.2)")
         self._faults.checkpoint("maplog.before_commit")
-        ppn = self._next_map_ppn()
-        self._nand.program(ppn, tuple(records), spare=(MAP_PAGE_TAG,))
+        payload = _seal(tuple(records))
+        for attempt in range(_PROGRAM_ATTEMPTS):
+            ppn = self._next_map_ppn()
+            try:
+                self._nand.program(ppn, payload, spare=(MAP_PAGE_TAG,))
+            except ProgramFailError:
+                if attempt + 1 == _PROGRAM_ATTEMPTS:
+                    raise
+                continue
+            break
         self._page_writes += 1
         self._m_page_writes.inc()
         self._m_records.record(len(records))
@@ -170,14 +262,19 @@ class MapLog:
             self._checkpoint()
         raise FtlError("map log has no space even after checkpoint")
 
+    def _badblk_records(self) -> List[DeltaRecord]:
+        """``badblk`` announcements for the log's own retired blocks; they
+        ride in every snapshot so retirement survives recovery."""
+        return [DeltaRecord(KIND_BADBLK, block, None, None, 0)
+                for block in sorted(self._bad_blocks)]
+
     def _checkpoint(self) -> None:
         """Compact the log: rewrite live records, erase exhausted blocks.
 
         The snapshot may span several map blocks (a busy SHARE workload —
         e.g. a compaction of a large store — can keep hundreds of
-        thousands of log-backed mappings live).  Blocks are erased one at
-        a time just before being refilled; the crash window between an
-        erase and the corresponding snapshot program is covered by the
+        thousands of log-backed mappings live).  The crash window between
+        the erases and the snapshot programs is covered by the
         controller's power capacitor on the OpenSSD, and the reproduction
         documents the same assumption.
         """
@@ -187,36 +284,55 @@ class MapLog:
             self._do_checkpoint(span)
 
     def _do_checkpoint(self, span) -> None:
-        live = self._snapshot_provider()
-        span.set(live_records=len(live))
         self._faults.checkpoint("maplog.checkpoint_start")
-        page_capacity = self._records_per_page
         pages_per_block = self._geometry.pages_per_block
+        page_capacity = self._records_per_page
+        # Erase the whole rotation first, retiring any block whose erase
+        # fails.  A retired block keeps its stale pages; they always lose
+        # the seq merge, and the badblk record below marks it dead.
+        usable: List[int] = []
+        for block in list(self._blocks):
+            try:
+                self._nand.erase(block)
+            except EraseFailError:
+                self.retire_map_block(block)
+            else:
+                usable.append(block)
+        self._blocks = usable
+        if not self._blocks:
+            raise FtlError(
+                "every map block has grown bad; the mapping log cannot "
+                "persist further deltas")
+        live = self._badblk_records() + list(self._snapshot_provider())
+        span.set(live_records=len(live))
         needed_pages = -(-len(live) // page_capacity) if live else 0
         needed_blocks = -(-needed_pages // pages_per_block) if needed_pages else 0
         if needed_blocks >= len(self._blocks):
             raise FtlError(
                 f"snapshot of {len(live)} live records needs {needed_blocks} "
-                f"map blocks but only {len(self._blocks)} exist (and one "
+                f"map blocks but only {len(self._blocks)} remain (and one "
                 "must stay free for new deltas); increase map_block_count")
+        block_index = 0
+        offset = 0
         cursor = 0
-        for block_index in range(max(1, needed_blocks)):
-            block = self._blocks[block_index]
-            self._nand.erase(block)
-            for offset in range(pages_per_block):
-                if cursor >= len(live):
-                    break
-                chunk = tuple(live[cursor:cursor + page_capacity])
-                self._nand.program(self._geometry.first_ppn(block) + offset,
-                                   chunk, spare=(MAP_PAGE_TAG,))
-                self._page_writes += 1
-                cursor += page_capacity
-        for block in self._blocks[max(1, needed_blocks):]:
-            self._nand.erase(block)
-        last_used = max(1, needed_blocks) - 1
-        last_block_full = (needed_pages > 0
-                           and needed_pages % pages_per_block == 0)
-        self._cursor = last_used + 1 if last_block_full else last_used
+        while cursor < len(live):
+            if offset >= pages_per_block:
+                block_index += 1
+                offset = 0
+                if block_index >= len(self._blocks):
+                    raise FtlError(
+                        "map-log snapshot overflowed the surviving blocks "
+                        "(program failures consumed too many pages)")
+            chunk = tuple(live[cursor:cursor + page_capacity])
+            ppn = self._geometry.first_ppn(self._blocks[block_index]) + offset
+            offset += 1
+            try:
+                self._nand.program(ppn, _seal(chunk), spare=(MAP_PAGE_TAG,))
+            except ProgramFailError:
+                continue   # the failed page consumed its slot; use the next
+            self._page_writes += 1
+            cursor += page_capacity
+        self._cursor = min(block_index, len(self._blocks) - 1)
         self._checkpoints += 1
         self._m_checkpoints.inc()
         self._faults.checkpoint("maplog.checkpoint_end")
@@ -225,13 +341,36 @@ class MapLog:
 
     @staticmethod
     def scan(nand: NandArray, geometry: FlashGeometry,
-             map_blocks: Sequence[int]) -> List[DeltaRecord]:
-        """Collect every delta record persisted in the map region."""
+             map_blocks: Sequence[int],
+             read_retries: int = 2) -> Tuple[List[DeltaRecord], int]:
+        """Collect every readable, intact delta record in the map region.
+
+        Returns ``(records, bad_pages)``.  A mapping page that stays
+        unreadable after ``read_retries`` extra attempts, or whose seal
+        fails verification, is counted in ``bad_pages`` and skipped —
+        recovery merges the log with the full OOB scan by sequence number,
+        so a lost log page degrades to the stamps' view of those LPNs
+        instead of replaying garbage.
+        """
         records: List[DeltaRecord] = []
+        bad_pages = 0
         for block in map_blocks:
             for ppn, spare in nand.scan_block(block):
                 if not (isinstance(spare, tuple) and spare and spare[0] == MAP_PAGE_TAG):
                     raise FtlError(
                         f"non-map page found in map block {block} (PPN {ppn})")
-                records.extend(nand.read(ppn))
-        return records
+                payload = None
+                readable = False
+                for _ in range(read_retries + 1):
+                    try:
+                        payload = nand.read(ppn)
+                    except UncorrectableReadError:
+                        continue
+                    readable = True
+                    break
+                unsealed = _unseal(payload) if readable else None
+                if unsealed is None:
+                    bad_pages += 1
+                    continue
+                records.extend(unsealed)
+        return records, bad_pages

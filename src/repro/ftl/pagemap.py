@@ -15,18 +15,44 @@ Layout: the last ``config.map_block_count`` blocks of the array hold the
 mapping log; every other block is a data block.  The logical address space
 is sized off the data blocks with the geometry's over-provisioning ratio
 held back for GC headroom.
+
+Media faults degrade the device gracefully instead of killing it:
+
+* an uncorrectable read is retried up to ``config.read_retries`` times;
+  a page that needed retries is *scrubbed* — relocated to a fresh PPN
+  (copy-safe for shared pages: every referencing LPN is stamped on the
+  copy) — before it decays further;
+* a program failure retires the active block (grown bad): its live pages
+  are evacuated, a ``badblk`` delta record persists the retirement, a
+  spare block backfills the free pool, and the host program retries at a
+  fresh PPN;
+* an erase failure at GC time retires the victim the same way, without
+  returning it to the free pool;
+* a page that stays unreadable keeps its mapping pinned into the retired
+  block so host reads surface the typed :class:`UncorrectableReadError`
+  — the device never returns wrong data silently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import FtlError, OutOfSpaceError, ShareError, UnmappedPageError
+from repro.errors import (
+    EraseFailError,
+    FtlError,
+    MediaError,
+    OutOfSpaceError,
+    ProgramFailError,
+    ShareError,
+    UncorrectableReadError,
+    UnmappedPageError,
+)
 from repro.flash.nand import NandArray
 from repro.ftl.config import FtlConfig
 from repro.ftl.deltalog import (
     KIND_AWRITE,
+    KIND_BADBLK,
     KIND_SHARE,
     KIND_SNAP,
     KIND_TRIM,
@@ -63,6 +89,13 @@ class FtlStats:
     trim_commands: int = 0
     trim_pages: int = 0
     wear_level_moves: int = 0
+    read_retries: int = 0          # extra read attempts that were needed
+    read_relocations: int = 0      # pages scrubbed after a retried read
+    uncorrectable_reads: int = 0   # reads that failed even after retries
+    program_fails: int = 0
+    erase_fails: int = 0
+    grown_bad_blocks: int = 0
+    corrupt_map_pages: int = 0     # mapping-log pages skipped at recovery
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -74,6 +107,7 @@ class _RecoveredState:
 
     winners: Dict[int, Tuple[int, Optional[int], str]] = field(default_factory=dict)
     max_seq: int = 0
+    grown_bad: Dict[int, int] = field(default_factory=dict)  # block -> seq
 
 
 class PageMappingFtl:
@@ -119,8 +153,26 @@ class PageMappingFtl:
         self._m_share_spills = metrics.counter("ftl.share.spills")
         self._m_share_log_spills = metrics.counter("ftl.share.log_spills")
         self._m_free_blocks = metrics.gauge("ftl.free_blocks")
+        self._m_read_retries = metrics.counter("media.read_retries")
+        self._m_relocations = metrics.counter("media.read_relocations")
+        self._m_uncorrectable = metrics.counter("media.uncorrectable_reads")
+        self._m_program_fails = metrics.counter("media.program_fails")
+        self._m_erase_fails = metrics.counter("media.erase_fails")
+        self._m_grown_bad = metrics.counter("media.grown_bad_blocks")
+        self._m_corrupt_map = metrics.counter("media.corrupt_map_pages")
+        self._m_spare_pool = metrics.gauge("media.spare_pool")
         self._valid_count: Dict[int, int] = {b: 0 for b in self._data_blocks}
         self._free_blocks: List[int] = list(self._data_blocks)
+        # Bad-block management: spare blocks held back from the free pool
+        # as replacements, and the persisted grown-bad set (block -> the
+        # seq of its badblk record).
+        if self.config.spare_block_count >= len(self._data_blocks) - 4:
+            raise ValueError("spare_block_count leaves too few data blocks")
+        self._spare_blocks: List[int] = [
+            self._free_blocks.pop()
+            for __ in range(self.config.spare_block_count)]
+        self._grown_bad: Dict[int, int] = {}
+        self._m_spare_pool.set(len(self._spare_blocks))
         self._m_free_blocks.set(len(self._free_blocks))
         self._active_host: Optional[int] = None
         self._active_gc: Optional[int] = None
@@ -171,13 +223,17 @@ class PageMappingFtl:
     # ------------------------------------------------------------- host IO
 
     def read(self, lpn: int) -> Any:
-        """Return the page image of ``lpn``."""
+        """Return the page image of ``lpn``.
+
+        Raises :class:`UncorrectableReadError` when the backing page is
+        unreadable even after firmware read-retry — the typed error is the
+        contract: the host never receives wrong data silently."""
         self._check_lpn_range(lpn)
         ppn = self.fwd.lookup(lpn)
         if ppn is None:
             raise UnmappedPageError(f"LPN {lpn} is unmapped")
         self.stats.host_page_reads += 1
-        return self.nand.read(ppn)
+        return self._read_page(ppn, scrub_ok=True)
 
     def is_mapped(self, lpn: int) -> bool:
         self._check_lpn_range(lpn)
@@ -189,9 +245,8 @@ class PageMappingFtl:
             self._check_lpn_range(lpn)
             self._ensure_free_space()
             seq = self._next_seq()
-            ppn = self._alloc_page(for_gc=False)
             self.faults.checkpoint("ftl.before_program")
-            self.nand.program(ppn, data, spare=((lpn, seq),))
+            ppn = self._program_data(data, ((lpn, seq),), for_gc=False)
             self.faults.checkpoint("ftl.after_program")
             self._remap_after_program(lpn, ppn)
             self.stats.host_page_writes += 1
@@ -208,6 +263,184 @@ class PageMappingFtl:
     def _drop_ref(self, ppn: int, lpn: int) -> None:
         if self.rev.drop_ref(ppn, lpn):
             self._valid_count[self.geometry.block_of(ppn)] -= 1
+
+    # ------------------------------------------------------- media handling
+
+    def _read_page(self, ppn: int, scrub_ok: bool = False) -> Any:
+        """NAND read with firmware read-retry.
+
+        Retries up to ``config.read_retries`` extra attempts; when a read
+        only succeeded after retries and ``scrub_ok`` is set, the page is
+        scrubbed (relocated) so the decaying cell is healed before it dies
+        outright.  A read that stays uncorrectable raises the typed error.
+        """
+        retries = self.config.read_retries
+        attempt = 0
+        while True:
+            try:
+                data = self.nand.read(ppn)
+            except UncorrectableReadError:
+                if attempt >= retries:
+                    self.stats.uncorrectable_reads += 1
+                    self._m_uncorrectable.inc()
+                    raise
+                attempt += 1
+                self.stats.read_retries += 1
+                self._m_read_retries.inc()
+                continue
+            if attempt and scrub_ok and self.config.scrub_after_retry:
+                self._scrub(ppn, data)
+            return data
+
+    def _scrub(self, ppn: int, data: Any) -> None:
+        """Best-effort relocation of a page that needed read-retry.
+
+        Copy-safe for shared pages: the fresh copy is stamped with *every*
+        referencing LPN, so all of them survive recovery.  Skipped when the
+        page cannot be moved safely right now (mid-GC, shadow page, LPNs of
+        an in-flight atomic write, or no space) — the next retried read
+        gets another chance."""
+        if self._in_gc or ppn in self._shadow_owner or not self.rev.is_valid(ppn):
+            return
+        refs = sorted(self.rev.refs(ppn))
+        if any(lpn in self._pending_atomic for lpn in refs):
+            return
+        stamps = tuple((lpn, self._next_seq()) for lpn in refs)
+        try:
+            new_ppn = self._program_data(data, stamps, for_gc=False)
+        except (MediaError, OutOfSpaceError):
+            return
+        self.rev.move_page(ppn, new_ppn, refs[0])
+        self._valid_count[self.geometry.block_of(ppn)] -= 1
+        self._valid_count[self.geometry.block_of(new_ppn)] += 1
+        for lpn in refs:
+            self.fwd.update(lpn, new_ppn)
+            self._share_backed.pop(lpn, None)
+        self.stats.read_relocations += 1
+        self._m_relocations.inc()
+
+    def _program_data(self, data: Any, spare, for_gc: bool) -> int:
+        """Program a data page, surviving program failures.
+
+        On a failure the consumed page's block grows bad — live pages are
+        evacuated, the retirement is persisted, a spare backfills the free
+        pool — and the program retries at a fresh PPN, up to
+        ``config.program_retry_limit`` blocks before surfacing the typed
+        error."""
+        last_error: Optional[ProgramFailError] = None
+        inflight = frozenset(lpn for lpn, __ in spare)
+        for __ in range(self.config.program_retry_limit):
+            ppn = self._alloc_page(for_gc=for_gc)
+            try:
+                self.nand.program(ppn, data, spare=spare)
+            except ProgramFailError as exc:
+                last_error = exc
+                self.stats.program_fails += 1
+                self._m_program_fails.inc()
+                self._retire_block(self.geometry.block_of(ppn), inflight)
+                continue
+            return ppn
+        raise ProgramFailError(
+            f"program failed on {self.config.program_retry_limit} "
+            f"consecutive blocks: {last_error}")
+
+    def _retire_block(self, block: int,
+                      inflight: frozenset = frozenset()) -> None:
+        """Grow ``block`` bad (idempotent): evacuate its live pages,
+        persist a ``badblk`` record, and backfill the free pool from the
+        spare pool.  The block is never erased or reused again; any page
+        that cannot be evacuated keeps its mapping pinned here so host
+        reads surface the typed error instead of wrong data.
+
+        ``inflight`` names LPNs whose *new* version is mid-program with an
+        already-assigned sequence number: evacuation must not re-stamp
+        their old copies, or the fresh (higher) stamp would beat the
+        in-flight write at recovery and resurrect stale data."""
+        if block in self._grown_bad:
+            return
+        if block == self._active_host:
+            self._active_host = None
+        if block == self._active_gc:
+            self._active_gc = None
+        if block in self._free_blocks:
+            self._free_blocks.remove(block)
+        seq = self._next_seq()
+        self._grown_bad[block] = seq
+        self.stats.grown_bad_blocks = len(self._grown_bad)
+        self._m_grown_bad.inc()
+        # Release a spare first: the evacuation below may need the space.
+        if self._spare_blocks:
+            self._free_blocks.append(self._spare_blocks.pop())
+        self._m_spare_pool.set(len(self._spare_blocks))
+        self._m_free_blocks.set(len(self._free_blocks))
+        self._evacuate_for_retirement(block, inflight)
+        self.maplog.append_atomic(
+            [DeltaRecord(KIND_BADBLK, block, None, None, seq)])
+
+    def _evacuate_for_retirement(self, block: int,
+                                 inflight: frozenset = frozenset()) -> None:
+        """Move every live page out of a block being retired, best effort.
+
+        Unlike GC evacuation this tolerates further media errors per page:
+        an unreadable page stays pinned in the retired block (its payload
+        is gone; the typed error is all the host can get), and a page that
+        cannot be re-programmed keeps its old mapping too."""
+        geometry = self.geometry
+        start = geometry.first_ppn(block)
+        for offset in range(self.nand.programmed_pages_in_block(block)):
+            ppn = start + offset
+            if ppn in self._shadow_owner:
+                try:
+                    self._move_shadow_page(ppn)
+                except (MediaError, OutOfSpaceError):
+                    pass   # shadow copy lost; its txn fails at read time
+                continue
+            if not self.rev.is_valid(ppn):
+                continue
+            refs = sorted(self.rev.refs(ppn))
+            try:
+                data = self._read_page(ppn)
+            except UncorrectableReadError:
+                continue
+            stamps = tuple((lpn, self._next_seq()) for lpn in refs
+                           if lpn not in self._pending_atomic
+                           and lpn not in inflight)
+            try:
+                new_ppn = self._program_data(data, stamps, for_gc=True)
+            except (MediaError, OutOfSpaceError):
+                continue
+            self.rev.move_page(ppn, new_ppn, refs[0])
+            self._valid_count[block] -= 1
+            self._valid_count[geometry.block_of(new_ppn)] += 1
+            stamped = {lpn for lpn, __ in stamps}
+            for lpn in refs:
+                self.fwd.update(lpn, new_ppn)
+                if lpn in stamped:
+                    self._share_backed.pop(lpn, None)
+            self.stats.copyback_pages += 1
+            self._m_copybacks.inc()
+
+    @property
+    def grown_bad_blocks(self) -> Set[int]:
+        """Blocks retired for media failures (never erased or reused)."""
+        return set(self._grown_bad)
+
+    @property
+    def spare_pool_level(self) -> int:
+        return len(self._spare_blocks)
+
+    def media_report(self) -> Dict[str, int]:
+        """The ``media.*`` degradation counters as one snapshot."""
+        return {
+            "read_retries": self.stats.read_retries,
+            "read_relocations": self.stats.read_relocations,
+            "uncorrectable_reads": self.stats.uncorrectable_reads,
+            "program_fails": self.stats.program_fails,
+            "erase_fails": self.stats.erase_fails,
+            "grown_bad_blocks": len(self._grown_bad),
+            "corrupt_map_pages": self.stats.corrupt_map_pages,
+            "spare_pool": len(self._spare_blocks),
+        }
 
     # ---------------------------------------------------------------- X-FTL
 
@@ -233,8 +466,7 @@ class PageMappingFtl:
                 f"transaction exceeds the atomic commit capacity of "
                 f"{self._records_per_page} pages")
         self._ensure_free_space()
-        ppn = self._alloc_page(for_gc=False)
-        self.nand.program(ppn, data, spare=())
+        ppn = self._program_data(data, (), for_gc=False)
         old_shadow_ppn = shadow.get(lpn)
         if old_shadow_ppn is not None:
             # Restaged within the txn: the earlier shadow copy dies.
@@ -288,7 +520,7 @@ class PageMappingFtl:
             raise FtlError(f"unknown transaction: {txn_id}")
         ppn = shadow.get(lpn)
         if ppn is not None:
-            return self.nand.read(ppn)
+            return self._read_page(ppn)
         return self.read(lpn)
 
     # --------------------------------------------------------- atomic write
@@ -325,9 +557,8 @@ class PageMappingFtl:
         try:
             for lpn, data in items:
                 self._ensure_free_space()
-                ppn = self._alloc_page(for_gc=False)
                 self.faults.checkpoint("ftl.awrite_program")
-                self.nand.program(ppn, data, spare=())
+                ppn = self._program_data(data, (), for_gc=False)
                 old = self.fwd.update(lpn, ppn)
                 self.rev.set_primary(ppn, lpn)
                 self._valid_count[self.geometry.block_of(ppn)] += 1
@@ -449,11 +680,10 @@ class PageMappingFtl:
         if entry is None:
             raise FtlError("share table reported full but holds no extras")
         ppn, lpn = entry
-        data = self.nand.read(ppn)
+        data = self._read_page(ppn)
         self._ensure_free_space()
         seq = self._next_seq()
-        new_ppn = self._alloc_page(for_gc=False)
-        self.nand.program(new_ppn, data, spare=((lpn, seq),))
+        new_ppn = self._program_data(data, ((lpn, seq),), for_gc=False)
         self.fwd.update(lpn, new_ppn)
         self.rev.set_primary(new_ppn, lpn)
         self._valid_count[self.geometry.block_of(new_ppn)] += 1
@@ -535,6 +765,7 @@ class PageMappingFtl:
         free = set(self._free_blocks)
         return [b for b in self._data_blocks
                 if b not in active and b not in free
+                and b not in self._grown_bad
                 and self.nand.programmed_pages_in_block(b) > 0]
 
     def _collect_victim(self) -> bool:
@@ -584,9 +815,33 @@ class PageMappingFtl:
             self._in_gc = True
             try:
                 self._evacuate(block)
+            except UncorrectableReadError:
+                # A victim page died mid-evacuation: stop, retire the
+                # block without erasing it.  Pages already moved are fine;
+                # the dead page's mapping stays pinned here so host reads
+                # surface the typed error, never wrong data.
+                self._in_gc = False
+                self._retire_block(block)
+                span.set(retired=True,
+                         copyback_pages=self.stats.copyback_pages
+                         - copybacks_before)
+                self._m_free_blocks.set(len(self._free_blocks))
+                return
             finally:
                 self._in_gc = False
-            self.nand.erase(block)
+            try:
+                self.nand.erase(block)
+            except EraseFailError:
+                # The block has grown bad; every live page is already out
+                # (evacuation succeeded), so retirement is bookkeeping.
+                self.stats.erase_fails += 1
+                self._m_erase_fails.inc()
+                self._retire_block(block)
+                span.set(retired=True,
+                         copyback_pages=self.stats.copyback_pages
+                         - copybacks_before)
+                self._m_free_blocks.set(len(self._free_blocks))
+                return
             self.stats.block_erases += 1
             self._m_erases.inc()
             if is_gc_event:
@@ -618,13 +873,12 @@ class PageMappingFtl:
                 self.stats.spill_lookups += 1
                 self._m_spill_lookups.inc()
             refs = sorted(self.rev.refs(ppn))
-            data = self.nand.read(ppn)
-            new_ppn = self._alloc_page(for_gc=True)
+            data = self._read_page(ppn)
             # Pages of an in-flight atomic write stay unstamped so a crash
             # before their commit record keeps them invisible to recovery.
             stamps = tuple((lpn, self._next_seq()) for lpn in refs
                            if lpn not in self._pending_atomic)
-            self.nand.program(new_ppn, data, spare=stamps)
+            new_ppn = self._program_data(data, stamps, for_gc=True)
             self.rev.move_page(ppn, new_ppn, refs[0])
             self._valid_count[victim] -= 1
             self._valid_count[geometry.block_of(new_ppn)] += 1
@@ -642,10 +896,10 @@ class PageMappingFtl:
         """GC move of an uncommitted X-FTL shadow page: the copy stays
         unstamped (crash must keep it invisible) and the transaction's
         table follows the move."""
-        txn_id, lpn = self._shadow_owner.pop(ppn)
-        data = self.nand.read(ppn)
-        new_ppn = self._alloc_page(for_gc=True)
-        self.nand.program(new_ppn, data, spare=())
+        txn_id, lpn = self._shadow_owner[ppn]
+        data = self._read_page(ppn)
+        new_ppn = self._program_data(data, (), for_gc=True)
+        self._shadow_owner.pop(ppn)
         self._txn_shadow[txn_id][lpn] = new_ppn
         self._shadow_owner[new_ppn] = (txn_id, lpn)
         self._valid_count[self.geometry.block_of(ppn)] -= 1
@@ -656,9 +910,15 @@ class PageMappingFtl:
     # ------------------------------------------------------------ snapshot
 
     def _snapshot_records(self) -> List[DeltaRecord]:
-        """Live log-backed assertions for map-log checkpointing."""
-        records = [DeltaRecord(KIND_SNAP, lpn, None, ppn, seq)
-                   for lpn, (ppn, seq) in self._share_backed.items()]
+        """Live log-backed assertions for map-log checkpointing.
+
+        ``badblk`` records for grown-bad data blocks ride in every
+        snapshot — retirement must survive the log compaction that erases
+        the original record."""
+        records = [DeltaRecord(KIND_BADBLK, block, None, None, seq)
+                   for block, seq in sorted(self._grown_bad.items())]
+        records.extend(DeltaRecord(KIND_SNAP, lpn, None, ppn, seq)
+                       for lpn, (ppn, seq) in self._share_backed.items())
         records.extend(DeltaRecord(KIND_SNAP, lpn, None, None, seq)
                        for lpn, seq in self._trim_tombstones.items())
         records.sort(key=lambda record: record.seq)
@@ -697,7 +957,22 @@ class PageMappingFtl:
                     raise FtlError(f"malformed spare at PPN {ppn}: {spare!r}")
                 for lpn, seq in spare:
                     assert_mapping(lpn, seq, ppn, "oob")
-        for record in MapLog.scan(self.nand, self.geometry, self._map_blocks):
+        records, bad_pages = MapLog.scan(self.nand, self.geometry,
+                                         self._map_blocks,
+                                         self.config.read_retries)
+        if bad_pages:
+            # Corrupt or unreadable log pages are skipped, not replayed;
+            # the OOB scan above already covers stamped mappings, so the
+            # loss degrades to the stamps' view of the affected LPNs.
+            self.stats.corrupt_map_pages += bad_pages
+            self._m_corrupt_map.inc(bad_pages)
+        for record in records:
+            if record.kind == KIND_BADBLK:
+                # lpn carries the retired block number, not a mapping.
+                current = state.grown_bad.get(record.lpn, -1)
+                state.grown_bad[record.lpn] = max(current, record.seq)
+                state.max_seq = max(state.max_seq, record.seq)
+                continue
             source = record.kind
             assert_mapping(record.lpn, record.seq, record.new_ppn, source)
         return state
@@ -731,14 +1006,34 @@ class PageMappingFtl:
         self.rev.rebuild(rev_entries)
         for ppn, lpns in by_ppn.items():
             self._valid_count[self.geometry.block_of(ppn)] += 1
+        # Re-establish bad-block state from the persisted badblk records:
+        # retired data blocks never rejoin the free pool or the actives,
+        # retired map blocks leave the log rotation before appends resume.
+        for block, seq in sorted(state.grown_bad.items()):
+            if block in self._map_blocks:
+                self.maplog.retire_map_block(block)
+            else:
+                self._grown_bad[block] = seq
+        self.stats.grown_bad_blocks = len(self._grown_bad)
         self._free_blocks = [
             block for block in self._data_blocks
-            if self.nand.programmed_pages_in_block(block) == 0]
+            if block not in self._grown_bad
+            and self.nand.programmed_pages_in_block(block) == 0]
         partial = [block for block in self._data_blocks
-                   if 0 < self.nand.programmed_pages_in_block(block)
+                   if block not in self._grown_bad
+                   and 0 < self.nand.programmed_pages_in_block(block)
                    < self.geometry.pages_per_block]
         self._active_host = partial[0] if partial else None
         self._active_gc = partial[1] if len(partial) > 1 else None
+        # Rebuild the spare pool: one spare is consumed per grown-bad
+        # block, so reserve whatever entitlement remains.
+        self._spare_blocks = []
+        spare_target = max(0, self.config.spare_block_count
+                           - len(self._grown_bad))
+        while len(self._spare_blocks) < spare_target and self._free_blocks:
+            self._spare_blocks.append(self._free_blocks.pop())
+        self._m_spare_pool.set(len(self._spare_blocks))
+        self._m_free_blocks.set(len(self._free_blocks))
         self._seq = state.max_seq + 1
 
     # --------------------------------------------------------------- debug

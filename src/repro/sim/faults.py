@@ -1,4 +1,4 @@
-"""Power-failure injection.
+"""Power-failure and media-fault injection.
 
 The paper's atomicity argument (Section 4.2.2, Figure 4) is about what
 survives a power cut at each step of a SHARE operation or a page write.  To
@@ -17,6 +17,17 @@ guessing which LPNs were in flight.  Leaving the ``with`` block cleanly
 first fires a ``<kind>.ack`` checkpoint (modelling power failing after
 the media work but before completion reaches the caller), then marks the
 operation acknowledged.
+
+Alongside the power fuses, the plan carries a :class:`MediaFaultSet`
+(:attr:`FaultPlan.media`) of armable **media faults**: uncorrectable or
+correctable-after-retry read errors (:class:`ReadFault`), program
+failures (:class:`ProgramFault`), erase failures (:class:`EraseFault`),
+retention/read-disturb decay keyed to erase counts (:class:`ReadDecay`),
+and silent bit corruption (:class:`CorruptRead`).  The NAND array
+consults the set on every read/program/erase; a disarmed set costs one
+attribute check per operation.  Unlike power fuses, media faults do not
+end the run — they are raised as typed :class:`MediaError` subclasses
+the FTL is expected to survive.
 """
 
 from __future__ import annotations
@@ -24,7 +35,12 @@ from __future__ import annotations
 from bisect import insort
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import PowerFailure
+from repro.errors import (
+    EraseFailError,
+    PowerFailure,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 
 
 class PowerFailAfter:
@@ -109,6 +125,262 @@ class _OpScope:
         return False
 
 
+#: Sentinel wrapped around a page payload by :class:`CorruptRead`: the read
+#: "succeeds" at the chip level but returns garbage.  Checksummed layers
+#: (the mapping log, engine page checksums) are expected to detect it.
+CORRUPT_PAYLOAD = "media-corrupt"
+
+
+class MediaFault:
+    """Base class for armable media faults.
+
+    Each fault targets either a *specific location* (``ppn``/``block``) or
+    the *nth operation* of its kind counted from arming (``nth``, 1-based,
+    global across every device sharing the plan).  Occurrence targeting is
+    what lets the media-fault explorer sweep "every read/program/erase
+    site" of a deterministic workload without knowing physical addresses
+    up front: once the nth operation arrives, the fault binds to whatever
+    location it landed on.
+    """
+
+    op = "?"
+
+    def __init__(self, nth: Optional[int] = None,
+                 location: Optional[int] = None) -> None:
+        if (nth is None) == (location is None):
+            raise ValueError("arm a media fault with exactly one of nth= "
+                             "or a target location")
+        if nth is not None and nth < 1:
+            raise ValueError(f"nth must be >= 1: {nth}")
+        self.nth = nth
+        self.location = location   # bound ppn (read/program) or block (erase)
+        self.fired = False         # has the fault triggered at least once?
+
+    def matches(self, count: int, location: int) -> bool:
+        """Does this fault trigger for op number ``count`` at ``location``?"""
+        if self.location is not None:
+            return location == self.location
+        if self.fired:
+            return False
+        return count == self.nth
+
+    def __repr__(self) -> str:
+        target = (f"nth={self.nth}" if self.location is None
+                  else f"at={self.location}")
+        return f"{type(self).__name__}({target}, fired={self.fired})"
+
+
+class ReadFault(MediaFault):
+    """Read failure at a page.
+
+    ``retries_to_clear=None`` models a dead page: every read raises
+    :class:`UncorrectableReadError` for as long as the fault stays armed
+    (sticky — once an ``nth``-targeted fault fires, it binds to the PPN it
+    hit).  ``retries_to_clear=k`` models a correctable error: the first
+    ``k`` read attempts fail, attempt ``k+1`` succeeds and the fault
+    clears — exactly the shape firmware read-retry is built for.
+    """
+
+    op = "read"
+
+    def __init__(self, nth: Optional[int] = None, ppn: Optional[int] = None,
+                 retries_to_clear: Optional[int] = None) -> None:
+        super().__init__(nth, ppn)
+        if retries_to_clear is not None and retries_to_clear < 1:
+            raise ValueError(
+                f"retries_to_clear must be >= 1 or None: {retries_to_clear}")
+        self.retries_to_clear = retries_to_clear
+        self._failed_attempts = 0
+
+
+class CorruptRead(MediaFault):
+    """Silent bit corruption: the read *succeeds* but returns garbage.
+
+    The NAND returns ``(CORRUPT_PAYLOAD, ppn)`` instead of the stored
+    payload.  Sticky once fired — a damaged page stays damaged.  This is
+    the fault the mapping log's record checksums exist to catch.
+    """
+
+    op = "read"
+
+    def __init__(self, nth: Optional[int] = None,
+                 ppn: Optional[int] = None) -> None:
+        super().__init__(nth, ppn)
+
+
+class ProgramFault(MediaFault):
+    """One program operation fails; the target page is left unusable.
+
+    One-shot: real program failures condemn the page (and, for the FTL,
+    the block), but a re-program to a fresh page succeeds.
+    """
+
+    op = "program"
+
+    def __init__(self, nth: Optional[int] = None,
+                 ppn: Optional[int] = None) -> None:
+        super().__init__(nth, ppn)
+
+
+class EraseFault(MediaFault):
+    """An erase fails and the block grows bad: sticky — every further
+    erase of the block fails too, so tests can prove the FTL really
+    retired it instead of retrying forever."""
+
+    op = "erase"
+
+    def __init__(self, nth: Optional[int] = None,
+                 block: Optional[int] = None) -> None:
+        super().__init__(nth, block)
+
+
+class ReadDecay:
+    """Retention / read-disturb decay keyed to wear.
+
+    While armed, reading any page whose block has an erase count of at
+    least ``erase_threshold`` fails ``retries_to_clear`` consecutive
+    attempts before succeeding (per page, deterministic).  This models
+    worn blocks needing read-retry long before they die outright.
+    """
+
+    op = "read"
+
+    def __init__(self, erase_threshold: int,
+                 retries_to_clear: int = 1) -> None:
+        if erase_threshold < 1:
+            raise ValueError(f"erase_threshold must be >= 1: {erase_threshold}")
+        if retries_to_clear < 1:
+            raise ValueError(f"retries_to_clear must be >= 1: {retries_to_clear}")
+        self.erase_threshold = erase_threshold
+        self.retries_to_clear = retries_to_clear
+        self._attempts: Dict[int, int] = {}
+        self.fired = False
+
+    def __repr__(self) -> str:
+        return (f"ReadDecay(erase_threshold={self.erase_threshold}, "
+                f"retries_to_clear={self.retries_to_clear})")
+
+
+class MediaFaultSet:
+    """The armed media faults of one :class:`FaultPlan`.
+
+    The NAND array calls :meth:`on_read` / :meth:`on_program` /
+    :meth:`on_erase` only while :attr:`active` is true, so the disarmed
+    common case costs a single attribute check per chip operation.  The
+    set counts operations per kind (from the moment counting is enabled
+    by arming or :meth:`enable_counting`) so sweeps can enumerate every
+    operation of a deterministic run and target each one in turn.
+    """
+
+    def __init__(self) -> None:
+        self._faults: List[MediaFault] = []
+        self._decay: Optional[ReadDecay] = None
+        self._counting = False
+        self.op_counts: Dict[str, int] = {"read": 0, "program": 0,
+                                          "erase": 0}
+
+    @property
+    def active(self) -> bool:
+        return bool(self._faults) or self._decay is not None or self._counting
+
+    def arm(self, fault) -> None:
+        """Arm a media fault (or a :class:`ReadDecay` model)."""
+        if isinstance(fault, ReadDecay):
+            if self._decay is not None:
+                raise ValueError("a ReadDecay model is already armed "
+                                 "(disarm first to replace it)")
+            self._decay = fault
+            return
+        if not isinstance(fault, MediaFault):
+            raise TypeError(f"not a media fault: {fault!r}")
+        self._faults.append(fault)
+
+    def disarm(self) -> None:
+        """Drop every armed media fault and decay model."""
+        self._faults = []
+        self._decay = None
+
+    def enable_counting(self) -> None:
+        """Count chip operations even with no fault armed (enumeration)."""
+        self._counting = True
+
+    def armed(self) -> List:
+        out: List = list(self._faults)
+        if self._decay is not None:
+            out.append(self._decay)
+        return out
+
+    def fired_faults(self) -> List:
+        return [fault for fault in self.armed() if fault.fired]
+
+    # ----------------------------------------------------------- chip hooks
+
+    def on_read(self, ppn: int, erase_count: int) -> bool:
+        """Called once per read attempt.  Raises
+        :class:`UncorrectableReadError` when the attempt fails; returns
+        True when the read must return a corrupted payload instead."""
+        count = self.op_counts["read"] + 1
+        self.op_counts["read"] = count
+        corrupt = False
+        for fault in self._faults:
+            if fault.op != "read" or not fault.matches(count, ppn):
+                continue
+            fault.fired = True
+            if fault.location is None:
+                fault.location = ppn   # nth-fault binds to the page it hit
+            if isinstance(fault, CorruptRead):
+                corrupt = True
+                continue
+            assert isinstance(fault, ReadFault)
+            if fault.retries_to_clear is not None:
+                if fault._failed_attempts >= fault.retries_to_clear:
+                    self._faults.remove(fault)   # cleared by retry
+                    continue
+                fault._failed_attempts += 1
+            raise UncorrectableReadError(
+                f"injected uncorrectable read at PPN {ppn} "
+                f"(attempt {getattr(fault, '_failed_attempts', 0) or 'n'})")
+        decay = self._decay
+        if decay is not None and erase_count >= decay.erase_threshold:
+            attempts = decay._attempts.get(ppn, 0)
+            if attempts < decay.retries_to_clear:
+                decay._attempts[ppn] = attempts + 1
+                decay.fired = True
+                raise UncorrectableReadError(
+                    f"retention decay at PPN {ppn} "
+                    f"(block erase count {erase_count} >= "
+                    f"{decay.erase_threshold}, attempt {attempts + 1})")
+            decay._attempts[ppn] = 0
+        return corrupt
+
+    def on_program(self, ppn: int) -> None:
+        """Called once per program.  Raises :class:`ProgramFailError` when
+        an armed fault matches (one-shot)."""
+        count = self.op_counts["program"] + 1
+        self.op_counts["program"] = count
+        for fault in self._faults:
+            if fault.op != "program" or not fault.matches(count, ppn):
+                continue
+            fault.fired = True
+            self._faults.remove(fault)   # one-shot
+            raise ProgramFailError(
+                f"injected program failure at PPN {ppn}")
+
+    def on_erase(self, block: int) -> None:
+        """Called once per erase.  Raises :class:`EraseFailError` when an
+        armed fault matches (sticky on the block once fired)."""
+        count = self.op_counts["erase"] + 1
+        self.op_counts["erase"] = count
+        for fault in self._faults:
+            if fault.op != "erase" or not fault.matches(count, block):
+                continue
+            fault.fired = True
+            if fault.location is None:
+                fault.location = block   # sticky: the block stays bad
+            raise EraseFailError(
+                f"injected erase failure at block {block}")
+
+
 class FaultPlan:
     """Collects armed faults and fires them at matching checkpoints.
 
@@ -134,6 +406,9 @@ class FaultPlan:
         self._current_op: Optional[OpRecord] = None
         self._unacked_op: Optional[OpRecord] = None
         self._last_acked: Optional[OpRecord] = None
+        # Armed media faults; the NAND array consults this on every chip
+        # operation (one attribute check when nothing is armed).
+        self.media = MediaFaultSet()
 
     def arm(self, fault: PowerFailAfter) -> None:
         """Arm a power failure at ``fault.point``.
@@ -159,6 +434,14 @@ class FaultPlan:
     def armed_count(self, point: str) -> int:
         """How many fuses are currently armed at ``point``."""
         return len(self._armed.get(point, ()))
+
+    def arm_media(self, fault) -> None:
+        """Arm a media fault (see :class:`MediaFaultSet`)."""
+        self.media.arm(fault)
+
+    def disarm_media(self) -> None:
+        """Drop every armed media fault."""
+        self.media.disarm()
 
     def enable_trace(self) -> None:
         self._trace_enabled = True

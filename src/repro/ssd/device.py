@@ -73,7 +73,7 @@ class Ssd:
         self.name = name
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.telemetry.bind_clock(clock)
-        self.nand = NandArray(self.config.geometry)
+        self.nand = NandArray(self.config.geometry, faults=faults)
         self.ftl = PageMappingFtl(self.nand, self.config.ftl, faults,
                                   telemetry=self.telemetry)
         self.timing = self.config.timing
@@ -345,6 +345,16 @@ class Ssd:
                 timestamp_us=self.clock.now_us, kind=kind, lpn=lpn,
                 count=count, latency_us=latency, gc_events=gc_events,
                 copyback_pages=copybacks))
+
+    def media_report(self) -> dict:
+        """The FTL's ``media.*`` degradation counters plus the raw chip
+        failure counts — how hard the medium fought and how the firmware
+        coped."""
+        report = self.ftl.media_report()
+        report["nand_failed_reads"] = self.nand.failed_reads
+        report["nand_failed_programs"] = self.nand.failed_programs
+        report["nand_failed_erases"] = self.nand.failed_erases
+        return report
 
     # ------------------------------------------------------------ recovery
 

@@ -5,16 +5,26 @@ Usage::
     python -m repro.tools.crashexplore --workload linkbench-small
     python -m repro.tools.crashexplore --workload ftl-basic \\
         --out report.jsonl --max-points 150
+    python -m repro.tools.crashexplore --workload linkbench-small \\
+        --media-faults
     python -m repro.tools.crashexplore --list
 
-One run enumerates every fault point the chosen workload reaches, then
-re-runs it once per occurrence with a power failure injected exactly
-there, recovers from the persisted media, and checks the full invariant
-set (see ``docs/crash-consistency.md``).  Each verdict is appended to the
-JSONL report as a ``{"type": "crashcheck", ...}`` record — the same sink
-format the telemetry subsystem uses — followed by one
-``crashcheck-summary`` record.  Exit status is 1 when any invariant was
-violated.
+The default sweep enumerates every power-failure point the chosen
+workload reaches, then re-runs it once per occurrence with a power
+failure injected exactly there, recovers from the persisted media, and
+checks the full invariant set (see ``docs/crash-consistency.md``).
+
+``--media-faults`` selects the second sweep dimension instead: every
+read / program / erase operation the workload issues is targeted in turn
+with a media fault — transient read errors healed by read-retry, program
+failures forcing block retirement, erase failures, sticky dead pages,
+and sampled power+read-fault combinations (see
+``docs/fault-injection.md``).  ``--media-modes`` narrows the mode list.
+
+Each verdict is appended to the JSONL report as a ``{"type":
+"crashcheck", ...}`` or ``{"type": "mediacheck", ...}`` record — the
+same sink format the telemetry subsystem uses — followed by one summary
+record.  Exit status is 1 when any invariant was violated.
 """
 
 from __future__ import annotations
@@ -24,38 +34,16 @@ import sys
 from typing import Optional, Sequence
 
 from repro.crashcheck.explorer import enumerate_occurrences, explore
+from repro.crashcheck.mediafaults import (ALL_MODES, GENERIC_MODES,
+                                          MODE_UNCORRECTABLE,
+                                          enumerate_media_ops,
+                                          enumerate_media_occurrences,
+                                          explore_media)
 from repro.crashcheck.workloads import WORKLOADS
 from repro.obs.sinks import JsonlSink
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.tools.crashexplore",
-        description="Systematic power-failure sweep over a workload's "
-                    "fault points.")
-    parser.add_argument("--workload", default="linkbench-small",
-                        choices=sorted(WORKLOADS),
-                        help="workload harness to sweep "
-                             "(default: linkbench-small)")
-    parser.add_argument("--out", default="crashexplore-report.jsonl",
-                        help="JSONL report path "
-                             "(default: crashexplore-report.jsonl)")
-    parser.add_argument("--max-points", type=int, default=None,
-                        metavar="N",
-                        help="explore only the first N enumerated "
-                             "occurrences (budget cap for CI smoke runs)")
-    parser.add_argument("--list", action="store_true",
-                        help="list available workloads and exit")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-violation output")
-    args = parser.parse_args(argv)
-
-    if args.list:
-        for name in sorted(WORKLOADS):
-            print(name)
-        return 0
-
-    factory = WORKLOADS[args.workload]
+def _power_sweep(args, factory, sink) -> int:
     occurrences = enumerate_occurrences(factory)
     distinct = sorted({occ.point for occ in occurrences})
     print(f"[crashexplore] workload {args.workload}: "
@@ -64,14 +52,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.max_points is not None:
         print(f"[crashexplore] budget cap: exploring first "
               f"{min(args.max_points, len(occurrences))} occurrences")
-
-    sink = JsonlSink(args.out)
-    try:
-        report = explore(factory, args.workload, occurrences=occurrences,
-                         max_points=args.max_points, sink=sink)
-    finally:
-        sink.close()
-
+    report = explore(factory, args.workload, occurrences=occurrences,
+                     max_points=args.max_points, sink=sink)
     summary = report.summary()
     print(f"[crashexplore] explored {summary['explored']} sites: "
           f"{summary['crashed']} crashed, "
@@ -86,6 +68,101 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     print("[crashexplore] all invariants held at every explored point")
     return 0
+
+
+def _media_sweep(args, factory, sink) -> int:
+    if args.media_modes:
+        modes = tuple(args.media_modes.split(","))
+        unknown = [mode for mode in modes if mode not in ALL_MODES]
+        if unknown:
+            print(f"[crashexplore] unknown media mode(s): "
+                  f"{', '.join(unknown)} (choose from "
+                  f"{', '.join(ALL_MODES)})", file=sys.stderr)
+            return 2
+    elif args.workload == "ftl-basic":
+        modes = ALL_MODES   # the raw harness supports the dead-page mode
+    else:
+        modes = GENERIC_MODES
+    if MODE_UNCORRECTABLE in modes and args.workload != "ftl-basic":
+        print(f"[crashexplore] mode {MODE_UNCORRECTABLE!r} needs the "
+              f"ftl-basic workload (its oracle tolerates typed read "
+              f"errors)", file=sys.stderr)
+        return 2
+    op_counts = enumerate_media_ops(factory)
+    occurrences = enumerate_media_occurrences(factory, modes,
+                                              op_counts=op_counts)
+    print(f"[crashexplore] workload {args.workload}: "
+          f"{op_counts['read']} reads, {op_counts['program']} programs, "
+          f"{op_counts['erase']} erases -> {len(occurrences)} media "
+          f"injections across modes {', '.join(modes)}")
+    if args.max_points is not None and len(occurrences) > args.max_points:
+        print(f"[crashexplore] budget cap: sampling {args.max_points} "
+              f"injections evenly across the sweep")
+    report = explore_media(factory, args.workload, modes=modes,
+                           occurrences=occurrences,
+                           max_points=args.max_points, sink=sink)
+    summary = report.summary()
+    print(f"[crashexplore] explored {summary['explored']} injections: "
+          f"{summary['fired']} fired, {summary['aborted']} typed aborts, "
+          f"{summary['crashed']} crashed, "
+          f"{summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL {result.mode} "
+                          f"{result.op} #{result.nth}: {violation}",
+                          file=sys.stderr)
+        return 1
+    print("[crashexplore] all invariants held at every explored injection")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.crashexplore",
+        description="Systematic power-failure and media-fault sweeps "
+                    "over a workload's fault points.")
+    parser.add_argument("--workload", default="linkbench-small",
+                        choices=sorted(WORKLOADS),
+                        help="workload harness to sweep "
+                             "(default: linkbench-small)")
+    parser.add_argument("--out", default="crashexplore-report.jsonl",
+                        help="JSONL report path "
+                             "(default: crashexplore-report.jsonl)")
+    parser.add_argument("--max-points", type=int, default=None,
+                        metavar="N",
+                        help="explore only N occurrences (budget cap for "
+                             "CI smoke runs; the media sweep samples "
+                             "evenly, the power sweep takes the first N)")
+    parser.add_argument("--media-faults", action="store_true",
+                        help="sweep media faults (read/program/erase "
+                             "failures) instead of power failures")
+    parser.add_argument("--media-modes", default=None, metavar="M1,M2",
+                        help="comma-separated media modes "
+                             f"({', '.join(ALL_MODES)}; default: all "
+                             f"generic modes, plus 'uncorrectable' on "
+                             f"ftl-basic)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-violation output")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+
+    factory = WORKLOADS[args.workload]
+    sink = JsonlSink(args.out)
+    try:
+        if args.media_faults:
+            return _media_sweep(args, factory, sink)
+        return _power_sweep(args, factory, sink)
+    finally:
+        sink.close()
 
 
 if __name__ == "__main__":

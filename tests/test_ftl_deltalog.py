@@ -51,8 +51,9 @@ class TestMapLog:
     def test_append_and_scan(self, env):
         nand, geo, blocks, log = env
         log.append_atomic([record(1, 1), record(2, 2)])
-        records = MapLog.scan(nand, geo, blocks)
+        records, bad_pages = MapLog.scan(nand, geo, blocks)
         assert [r.lpn for r in records] == [1, 2]
+        assert bad_pages == 0
         assert log.page_writes == 1
 
     def test_empty_batch_rejected(self, env):
@@ -69,7 +70,7 @@ class TestMapLog:
         nand, geo, blocks, log = env
         log.append([record(i, i + 1) for i in range(10)])
         assert log.page_writes == 3  # 4 + 4 + 2
-        assert len(MapLog.scan(nand, geo, blocks)) == 10
+        assert len(MapLog.scan(nand, geo, blocks)[0]) == 10
 
     def test_checkpoint_triggers_when_full(self, env):
         nand, geo, blocks, log = env
@@ -79,7 +80,7 @@ class TestMapLog:
         for i in range(total_pages + 3):
             log.append_atomic([record(i, i + 1)])
         assert log.checkpoints >= 1
-        scanned = MapLog.scan(nand, geo, blocks)
+        scanned, __ = MapLog.scan(nand, geo, blocks)
         # The snapshot record must be present after compaction.
         assert any(r.lpn == 99 and r.kind == KIND_SNAP for r in scanned)
 
@@ -96,7 +97,7 @@ class TestMapLog:
         other = MapLog(nand, geo, blocks, records_per_page=4)
         other.bind_to_end_of_log()
         other.append_atomic([record(2, 2)])
-        assert len(MapLog.scan(nand, geo, blocks)) == 2
+        assert len(MapLog.scan(nand, geo, blocks)[0]) == 2
 
     def test_scan_rejects_foreign_pages(self, env):
         nand, geo, blocks, __ = env
