@@ -1,0 +1,65 @@
+"""Extension: what does losing SHARE cost at runtime?
+
+The resilience layer (``repro.host.resilience``) lets every engine keep
+running when the SHARE command fails for good — the circuit breaker
+opens and each flush degrades to the classic two-phase path.  This
+benchmark prices that degradation on the Figure-5 LinkBench cell:
+
+* SHARE healthy — the paper's fast path, zero fallbacks;
+* SHARE with the breaker latched open — every flush served by the
+  doublewrite-style fallback (staged copy + second home write);
+* DWB-On — the classic baseline the fallback is supposed to match.
+
+Shape asserted: healthy SHARE clearly beats the degraded run, and the
+degraded run lands inside the DWB-On envelope — falling back costs the
+classic price, not more.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_linkbench_cell
+from repro.bench.harness import SCALES
+from repro.innodb.engine import FlushMode
+
+PAGE_SIZE = 4096
+BUFFER_MIB = 50
+
+
+def test_breaker_forced_fallback_costs_classic_price(benchmark, scale):
+    params = SCALES[scale]
+
+    def run_cells():
+        share = run_linkbench_cell(FlushMode.SHARE, PAGE_SIZE, BUFFER_MIB,
+                                   params)
+        degraded = run_linkbench_cell(FlushMode.SHARE, PAGE_SIZE,
+                                      BUFFER_MIB, params,
+                                      force_fallback=True)
+        dwb_on = run_linkbench_cell(FlushMode.DWB_ON, PAGE_SIZE,
+                                    BUFFER_MIB, params)
+        return share, degraded, dwb_on
+
+    share, degraded, dwb_on = run_once(benchmark, run_cells)
+    ratio_vs_dwb = (degraded["throughput_tps"]
+                    / dwb_on["throughput_tps"])
+    print(f"\nSHARE healthy {share['throughput_tps']:.1f} tx/s, "
+          f"breaker-open fallback {degraded['throughput_tps']:.1f} tx/s "
+          f"({degraded['resilience_fallbacks']} fallbacks), "
+          f"DWB-On {dwb_on['throughput_tps']:.1f} tx/s "
+          f"(fallback/DWB-On ratio {ratio_vs_dwb:.3f})")
+
+    # The degraded path really ran — every flush was a fallback — and
+    # the healthy path never needed it.
+    assert share["resilience_fallbacks"] == 0
+    assert degraded["resilience_fallbacks"] > 0
+    assert degraded["share_pairs"] == 0, (
+        "an open breaker must keep SHARE commands off the device")
+
+    # Healthy SHARE keeps the paper's clear win over its own fallback.
+    assert share["throughput_tps"] > degraded["throughput_tps"] * 1.4, (
+        "healthy SHARE should clearly beat the breaker-forced fallback")
+
+    # Degradation costs the classic two-phase price, not more: the
+    # fallback run stays inside the DWB-On envelope.
+    assert 0.9 < ratio_vs_dwb < 1.1, (
+        f"breaker-forced fallback should match DWB-On within ~10%: "
+        f"ratio {ratio_vs_dwb:.3f}")

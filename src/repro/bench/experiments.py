@@ -61,18 +61,25 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
                        paper_buffer_mib: int, params: ScaleParams,
                        collect_latencies: bool = False,
                        concurrency: int = LINKBENCH_CLIENTS,
-                       telemetry=None) -> Dict:
+                       telemetry=None,
+                       force_fallback: bool = False) -> Dict:
     """One (mode, page size, buffer size) cell of the MySQL experiments.
 
     With ``telemetry`` the whole stack is instrumented: spans and metric
     snapshots go to the telemetry's sink, warm-up is excluded via
     pause/resume, and the measured run's per-operation latencies land in
-    ``linkbench.op.<op>.latency_ms`` histograms."""
+    ``linkbench.op.<op>.latency_ms`` histograms.
+
+    ``force_fallback`` latches the SHARE circuit breaker open before the
+    run, so every flush is served by the classic two-phase fallback —
+    the degraded-mode cost the resilience benchmarks measure."""
     leaf_capacity = max(8, 32 * (page_size // 4096))
     db_pages = _estimate_db_pages(params.linkbench_nodes, leaf_capacity)
     buffer_pages = buffer_pages_for(paper_buffer_mib, db_pages, page_size)
     stack = build_innodb_stack(mode, page_size, buffer_pages, db_pages,
                                telemetry=telemetry)
+    if force_fallback:
+        stack.engine.dwb.resilience.breaker.force_open()
     tel = stack.data_ssd.telemetry
     driver = LinkBenchDriver(
         stack.engine, stack.clock,
@@ -109,6 +116,7 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
         "share_pairs": stats.share_pairs,
         "write_amplification": stats.write_amplification,
         "max_erase": stack.data_ssd.nand.max_erase_count,
+        "resilience_fallbacks": stack.engine.dwb.resilience.stats.fallbacks,
     }
     if collect_latencies:
         cell["latency_table"] = result.latencies.table()

@@ -26,7 +26,7 @@ from typing import List, Tuple
 
 from repro.couchstore.engine import CommitMode, CouchStore
 from repro.couchstore.layout import doc_key, header_record
-from repro.host.ioctl import share_file_ranges
+from repro.errors import ResilienceError
 from repro.sim.clock import SimClock
 
 
@@ -115,7 +115,8 @@ def _compact_copy(store: CouchStore, clock: SimClock, suffix: str
     tmp_path = store.path + suffix
     new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
                            _update_seq=store.update_seq,
-                           _doc_count=store.doc_count, _stale_blocks=0)
+                           _doc_count=store.doc_count, _stale_blocks=0,
+                           _resilience=store.resilience)
     faults.checkpoint("couch.compact_begin")
     new_file = new_store.file
     entries: List[Tuple] = []
@@ -150,7 +151,8 @@ def _compact_share(store: CouchStore, clock: SimClock, suffix: str
     tmp_path = store.path + suffix
     new_store = CouchStore(store.fs, tmp_path, store.mode, store.config,
                            _update_seq=store.update_seq,
-                           _doc_count=store.doc_count, _stale_blocks=0)
+                           _doc_count=store.doc_count, _stale_blocks=0,
+                           _resilience=store.resilience)
     faults.checkpoint("couch.compact_begin")
     new_file = new_store.file
     pointers = store.doc_pointers()
@@ -180,9 +182,22 @@ def _compact_share(store: CouchStore, clock: SimClock, suffix: str
     share_commands = 0
     if ranges:
         # The destination file blocks come from new_file; sources from the
-        # old file.  share_file_ranges resolves both through the ioctl.
+        # old file, both resolved to LPNs by _share_across.
         faults.checkpoint("couch.compact_share")
-        share_commands = _share_across(new_file, store, ranges)
+        try:
+            share_commands = store.resilience.call(
+                "couch.compact_share",
+                lambda: _share_across(new_file, store, ranges))
+        except ResilienceError:
+            # SHARE unavailable: abandon the zero-copy attempt and run the
+            # original copy compaction.  The partial new file holds only
+            # fallocated (never-written) blocks, so deleting it is the
+            # same cleanup a crash would need — and the crash checkpoints
+            # around it prove that window safe too.
+            faults.checkpoint("couch.compact_fallback")
+            store.resilience.record_fallback()
+            store.fs.unlink(tmp_path)
+            return _compact_copy(store, clock, suffix)
     # Step 3: rebuild the index over the new locations.  ``pointers`` came
     # from the tree in key order, so ``entries`` is already sorted.
     faults.checkpoint("couch.compact_index")

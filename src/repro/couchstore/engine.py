@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import EngineError
+from repro.errors import EngineError, ResilienceError
 from repro.couchstore.layout import (
     doc_body,
     doc_record,
@@ -35,7 +35,7 @@ from repro.couchstore.layout import (
 from repro.couchstore.tree import AppendTree
 from repro.host.file import File
 from repro.host.filesystem import HostFs
-from repro.host.ioctl import share_file_ranges
+from repro.host.resilience import ShareGuard
 
 
 class CommitMode(Enum):
@@ -94,7 +94,8 @@ class CouchStore:
                  _update_seq: int = 0,
                  _doc_count: int = 0,
                  _stale_blocks: int = 0,
-                 _append_cursor: Optional[int] = None) -> None:
+                 _append_cursor: Optional[int] = None,
+                 _resilience: Optional[ShareGuard] = None) -> None:
         self.fs = fs
         self.path = path
         self.mode = mode
@@ -116,6 +117,9 @@ class CouchStore:
         # compaction paths checkpoint so crash-consistency sweeps can cut
         # power at every engine-level step.
         self.faults = fs.ssd.faults
+        # The resilience guard survives compaction (the new store inherits
+        # it) so breaker state and fallback counts span the store's life.
+        self.resilience = _resilience or ShareGuard(fs.ssd, engine="couch")
         metrics = self.telemetry.metrics.scope("couch")
         self._m_commits = metrics.counter("commits")
         self._m_share_pairs = metrics.counter("share_pairs")
@@ -126,7 +130,9 @@ class CouchStore:
         # Pending (uncommitted) state.
         self._pending_docs: Dict[Any, Optional[int]] = {}
         self._pending_tree: Dict[Any, Optional[Tuple[int, int]]] = {}
-        self._pending_shares: Dict[int, int] = {}
+        # old doc block -> (new copy block, key).  The key rides along so
+        # a failed SHARE can fall back to an index update for the entry.
+        self._pending_shares: Dict[int, Tuple[int, Any]] = {}
         self._pending_stale = 0
 
     # -------------------------------------------------------------- reads
@@ -190,7 +196,7 @@ class CouchStore:
                 # Two updates of one key in a batch: the earlier staged
                 # copy is stranded.
                 self._pending_stale += self.config.doc_blocks
-            self._pending_shares[old_block] = new_block
+            self._pending_shares[old_block] = (new_block, key)
             # The staged copy itself becomes stale once remapped.
             self._pending_stale += self.config.doc_blocks
         else:
@@ -233,21 +239,39 @@ class CouchStore:
 
     def commit(self) -> None:
         """Durability point for everything since the previous commit."""
-        tree_changed = bool(self._pending_tree)
         with self.telemetry.tracer.span(
                 "couch.commit", mode=self.mode.value,
-                tree_changed=tree_changed,
+                tree_changed=bool(self._pending_tree),
                 share_pairs=len(self._pending_shares)):
             self.faults.checkpoint("couch.commit_begin")
             if self._pending_shares:
                 ranges = [(dst, src, self.config.doc_blocks)
-                          for dst, src in sorted(self._pending_shares.items())]
-                commands = share_file_ranges(self.file, self.file, ranges)
-                self.stats.share_commands += commands
-                self.stats.share_pairs += len(ranges) * self.config.doc_blocks
-                self._m_share_pairs.inc(len(ranges) * self.config.doc_blocks)
-                self.faults.checkpoint("couch.after_share")
-            if tree_changed:
+                          for dst, (src, __)
+                          in sorted(self._pending_shares.items())]
+                try:
+                    commands = self.resilience.share_file_ranges(
+                        self.file, self.file, ranges)
+                except ResilienceError:
+                    # SHARE unavailable: serve the batch the ORIGINAL way —
+                    # each staged copy becomes the document and the index
+                    # is updated to point at it.  The new copies are
+                    # already durable appends, so this is just more tree
+                    # churn; the old documents go stale instead of the
+                    # staged copies (same count, accounted below).
+                    self.faults.checkpoint("couch.share_fallback")
+                    self.resilience.record_fallback()
+                    for __, (new_block, key) in sorted(
+                            self._pending_shares.items()):
+                        self._pending_tree[key] = (new_block,
+                                                   self.config.doc_blocks)
+                else:
+                    self.stats.share_commands += commands
+                    self.stats.share_pairs += (len(ranges)
+                                               * self.config.doc_blocks)
+                    self._m_share_pairs.inc(len(ranges)
+                                            * self.config.doc_blocks)
+                    self.faults.checkpoint("couch.after_share")
+            if self._pending_tree:
                 self.tree.apply_batch(dict(self._pending_tree))
                 self.faults.checkpoint("couch.before_header")
                 self._write_header()

@@ -1,0 +1,336 @@
+"""The chaos explorer: command faults at every SHARE site, plus power.
+
+The power explorer (:mod:`repro.crashcheck.explorer`) sweeps *when* the
+device dies and the media explorer (:mod:`repro.crashcheck.mediafaults`)
+sweeps *how the chips fail*; this module sweeps the third axis — *how
+the host→device command boundary fails* — and proves the resilience
+layer (:mod:`repro.host.resilience`) actually carries the engines
+through.  Same two-phase deterministic shape:
+
+1. **Enumeration** — build the harness, enable command counting on the
+   plan, run once with nothing armed.  That yields the number of SHARE
+   commands the run issues (setup excluded, matching where injection
+   arms).
+2. **Injection** — for each SHARE command of each requested mode, build
+   a *fresh* harness on a fresh plan, arm exactly one command fault
+   targeted at that command, run, recover, and verify the full
+   invariant set *plus* the guard-stats evidence that the degraded
+   machinery ran.
+
+Modes:
+
+* ``share-timeout`` — a one-shot :class:`CommandTimeout` at every SHARE
+  command, alternating between submission-rejected and the ambiguous
+  applied-but-completion-lost shape (``after_apply``).  Retry must heal
+  it: the run completes, zero loss, and the guards report retries.
+* ``share-busy`` — a :class:`DeviceBusy` burst (two rejections, then
+  clears) at every SHARE command.  Backoff-and-retry must ride it out.
+* ``share-outage`` — a sticky :class:`ShareOutage` from every SHARE
+  command onward, alternating unsupported/hung flavours.  Retrying
+  never helps; every engine must complete its workload through its
+  classic two-phase fallback, and the guards must report fallbacks.
+* ``chaos+power`` — a sticky outage from the *first* SHARE command plus
+  a power failure at a checkpoint of the resulting degraded run.  Every
+  occurrence of a fallback-boundary checkpoint is included, the rest of
+  the budget strides evenly over the remaining points.  This is the
+  ``no_lost_fallback`` invariant: dying inside (or around) a fallback
+  must lose nothing acknowledged.
+
+Harnesses must expose ``guards()`` (see
+:mod:`repro.crashcheck.workloads`): the sweep reads each guard's local
+:class:`~repro.host.resilience.GuardStats`, which stay correct even
+under ``NULL_TELEMETRY``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.crashcheck.explorer import sample_evenly
+from repro.crashcheck.invariants import check_media
+from repro.errors import DeviceError, PowerFailure
+from repro.sim.faults import (CommandTimeout, DeviceBusy, FaultPlan,
+                              PowerFailAfter, ShareOutage)
+
+MODE_SHARE_TIMEOUT = "share-timeout"
+MODE_SHARE_BUSY = "share-busy"
+MODE_SHARE_OUTAGE = "share-outage"
+MODE_CHAOS_POWER = "chaos+power"
+
+#: Every chaos mode, in the order a full sweep executes them.
+ALL_CHAOS_MODES = (MODE_SHARE_TIMEOUT, MODE_SHARE_BUSY, MODE_SHARE_OUTAGE,
+                   MODE_CHAOS_POWER)
+
+#: How many power points the combined mode explores beyond the
+#: always-included fallback-boundary occurrences.
+CHAOS_POWER_SAMPLES = 24
+
+#: How many busy rejections the share-busy mode injects per site (must
+#: stay under the default retry budget so the run can complete).
+BUSY_REJECTIONS = 2
+
+
+class ChaosOccurrence(NamedTuple):
+    """One injection: a command fault targeting the nth SHARE command."""
+
+    mode: str
+    nth: int                         # 1-based, counted from arming
+    flavor: Optional[str] = None     # timeout phase / outage error kind
+    power_point: Optional[str] = None   # chaos+power mode only
+    power_nth: int = 0
+
+
+class ChaosResult(NamedTuple):
+    """Verdict for one injected command fault."""
+
+    mode: str
+    nth: int
+    flavor: Optional[str]
+    power_point: Optional[str]
+    power_nth: int
+    fired: bool                      # did the armed fault actually trigger?
+    crashed: bool                    # power failure (chaos+power mode)
+    aborted: Optional[str]           # typed error class that ended run()
+    retries: int                     # guard retries over the whole run
+    fallbacks: int                   # guard fallbacks over the whole run
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "chaoscheck",
+            "workload": workload,
+            "mode": self.mode,
+            "nth": self.nth,
+            "flavor": self.flavor,
+            "power_point": self.power_point,
+            "power_nth": self.power_nth,
+            "fired": self.fired,
+            "crashed": self.crashed,
+            "aborted": self.aborted,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+class ChaosReport(NamedTuple):
+    """Aggregate of one chaos sweep."""
+
+    workload: str
+    modes: Tuple[str, ...]
+    share_commands: int
+    occurrences: Tuple[ChaosOccurrence, ...]
+    results: Tuple[ChaosResult, ...]
+
+    @property
+    def failures(self) -> List[ChaosResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "chaoscheck-summary",
+            "workload": self.workload,
+            "modes": list(self.modes),
+            "share_commands": self.share_commands,
+            "occurrences": len(self.occurrences),
+            "explored": len(self.results),
+            "fired": sum(1 for res in self.results if res.fired),
+            "crashed": sum(1 for res in self.results if res.crashed),
+            "aborted": sum(1 for res in self.results if res.aborted),
+            "retries": sum(res.retries for res in self.results),
+            "fallbacks": sum(res.fallbacks for res in self.results),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def enumerate_share_commands(factory: Callable[[FaultPlan], object]) -> int:
+    """Phase 1: one counted, fault-free run.  Returns the number of
+    SHARE commands the workload issues after setup."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.commands.enable_counting()
+    harness.run()
+    return faults.commands.op_counts["share"]
+
+
+def _fault_for(occurrence: ChaosOccurrence):
+    if occurrence.mode == MODE_SHARE_TIMEOUT:
+        return CommandTimeout("share", nth=occurrence.nth,
+                              after_apply=occurrence.flavor == "complete")
+    if occurrence.mode == MODE_SHARE_BUSY:
+        return DeviceBusy("share", nth=occurrence.nth,
+                          clears_after=BUSY_REJECTIONS)
+    if occurrence.mode == MODE_SHARE_OUTAGE:
+        return ShareOutage(nth=occurrence.nth, error=occurrence.flavor)
+    if occurrence.mode == MODE_CHAOS_POWER:
+        # The outage starts at the first SHARE so the whole degraded run
+        # (every fallback) is on the table for the paired power failure.
+        return ShareOutage(nth=1, error="unsupported")
+    raise ValueError(f"unknown chaos sweep mode: {occurrence.mode!r}")
+
+
+def _degraded_power_occurrences(factory: Callable[[FaultPlan], object],
+                                samples: int) -> List[ChaosOccurrence]:
+    """Enumerate the checkpoints of the *degraded* run (sticky outage
+    from the first SHARE command) and pick the power-injection sites:
+    every occurrence of a fallback-boundary point, plus an even stride
+    over the rest of the trace up to ``samples`` extra sites."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.arm_command(ShareOutage(nth=1, error="unsupported"))
+    faults.enable_trace()
+    harness.run()
+    counts: Dict[str, int] = {}
+    boundary: List[Tuple[str, int]] = []
+    rest: List[Tuple[str, int]] = []
+    for point in faults.trace:
+        counts[point] = counts.get(point, 0) + 1
+        bucket = boundary if "fallback" in point else rest
+        bucket.append((point, counts[point]))
+    chosen = list(boundary)
+    if samples > 0 and rest:
+        chosen += sample_evenly(rest, samples)
+    return [ChaosOccurrence(MODE_CHAOS_POWER, 1, "unsupported", point, nth)
+            for point, nth in chosen]
+
+
+def enumerate_chaos_occurrences(
+        factory: Callable[[FaultPlan], object],
+        modes: Tuple[str, ...] = ALL_CHAOS_MODES,
+        share_commands: Optional[int] = None,
+        power_samples: int = CHAOS_POWER_SAMPLES) -> List[ChaosOccurrence]:
+    """Build the full injection list for the requested modes."""
+    if share_commands is None:
+        share_commands = enumerate_share_commands(factory)
+    occurrences: List[ChaosOccurrence] = []
+    for mode in modes:
+        if mode == MODE_SHARE_TIMEOUT:
+            # Alternate the phase so half the sites exercise the
+            # ambiguous applied-but-completion-lost retry.
+            occurrences += [
+                ChaosOccurrence(mode, nth,
+                                "complete" if nth % 2 == 0 else "submit")
+                for nth in range(1, share_commands + 1)]
+        elif mode == MODE_SHARE_BUSY:
+            occurrences += [ChaosOccurrence(mode, nth)
+                            for nth in range(1, share_commands + 1)]
+        elif mode == MODE_SHARE_OUTAGE:
+            occurrences += [
+                ChaosOccurrence(mode, nth,
+                                "timeout" if nth % 2 == 0 else "unsupported")
+                for nth in range(1, share_commands + 1)]
+        elif mode == MODE_CHAOS_POWER:
+            occurrences += _degraded_power_occurrences(factory,
+                                                       power_samples)
+        else:
+            raise ValueError(f"unknown chaos sweep mode: {mode!r}")
+    return occurrences
+
+
+def explore_chaos_occurrence(factory: Callable[[FaultPlan], object],
+                             occurrence: ChaosOccurrence) -> ChaosResult:
+    """Phase 2 for one site: inject one command fault, recover, verify."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    if not hasattr(harness, "guards"):
+        raise TypeError(
+            f"harness {type(harness).__name__} exposes no guards(); the "
+            f"chaos sweep needs the resilience layer to verify")
+    faults.arm_command(_fault_for(occurrence))
+    if occurrence.power_point is not None:
+        faults.arm(PowerFailAfter(occurrence.power_point,
+                                  occurrence.power_nth))
+    crashed = False
+    aborted: Optional[str] = None
+    try:
+        harness.run()
+    except PowerFailure:
+        crashed = True
+    except DeviceError as exc:
+        aborted = type(exc).__name__
+    # One-shot faults remove themselves when they trigger, so an emptied
+    # fault set also means the injection fired.
+    fired = (bool(faults.commands.fired_faults())
+             or not faults.commands.armed())
+    guards = harness.guards()
+    retries = sum(guard.stats.retries for guard in guards)
+    fallbacks = sum(guard.stats.fallbacks for guard in guards)
+    faults.disarm()           # power fuses never fire during recovery
+    faults.disarm_commands()  # ... and recovery sees a healthy device
+    devices = harness.recover()
+    violations: List[str] = []
+    for device in devices:
+        violations += check_media(device.name, device.ssd, device.max_refs)
+    engine_violations = harness.check_engine()
+    if occurrence.power_point is not None and "fallback" in occurrence.power_point:
+        # Dying at the fallback boundary must lose nothing acknowledged.
+        engine_violations = [f"no_lost_fallback: {violation}"
+                             for violation in engine_violations]
+    violations += engine_violations
+    if occurrence.mode != MODE_CHAOS_POWER:
+        # Command faults never reach the media: a typed abort here means
+        # the resilience layer failed to absorb or degrade around it.
+        if aborted is not None:
+            violations.append(
+                f"{occurrence.mode}: run aborted with {aborted} — the "
+                f"resilience layer must absorb command faults")
+        if fired and occurrence.mode in (MODE_SHARE_TIMEOUT,
+                                         MODE_SHARE_BUSY) and not retries:
+            violations.append(
+                f"{occurrence.mode}: fault fired but no guard reported a "
+                f"retry — the transient was not healed by the retry path")
+        if fired and occurrence.mode == MODE_SHARE_OUTAGE and not fallbacks:
+            violations.append(
+                f"{occurrence.mode}: sticky outage fired but no guard "
+                f"reported a fallback — who served the workload?")
+    return ChaosResult(occurrence.mode, occurrence.nth, occurrence.flavor,
+                       occurrence.power_point, occurrence.power_nth,
+                       fired, crashed, aborted, retries, fallbacks,
+                       tuple(violations))
+
+
+def explore_chaos(factory: Callable[[FaultPlan], object], workload: str,
+                  modes: Tuple[str, ...] = ALL_CHAOS_MODES,
+                  occurrences: Optional[List[ChaosOccurrence]] = None,
+                  max_points: Optional[int] = None,
+                  sink=None,
+                  progress: Optional[Callable[[int, int, ChaosResult], None]]
+                  = None) -> ChaosReport:
+    """The full chaos sweep: enumerate (unless given), then inject.
+
+    ``max_points`` caps the sweep for CI smoke runs by striding evenly
+    across the occurrence list (not truncating it), so every mode keeps
+    coverage under a budget.  ``sink`` is any telemetry sink
+    (``emit(dict)``).
+    """
+    share_commands = enumerate_share_commands(factory)
+    if occurrences is None:
+        occurrences = enumerate_chaos_occurrences(
+            factory, modes, share_commands=share_commands)
+    explored = occurrences
+    if max_points is not None:
+        explored = sample_evenly(occurrences, max_points)
+    results: List[ChaosResult] = []
+    for index, occurrence in enumerate(explored):
+        result = explore_chaos_occurrence(factory, occurrence)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(explored), result)
+    report = ChaosReport(workload, tuple(modes), share_commands,
+                         tuple(occurrences), tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report

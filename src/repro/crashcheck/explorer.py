@@ -27,6 +27,23 @@ from repro.errors import PowerFailure
 from repro.sim.faults import FaultPlan, PowerFailAfter
 
 
+def sample_evenly(items: List, limit: int) -> List:
+    """At most ``limit`` items, spread evenly across ``items``.
+
+    A naive ``items[::len(items) // limit][:limit]`` degenerates to head
+    truncation whenever ``limit <= len(items) < 2 * limit`` (integer
+    stride 1), silently dropping the tail — and with it whole sweep
+    modes.  Index selection ``i * n // limit`` keeps the spread exact
+    for any ratio.
+    """
+    total = len(items)
+    if limit <= 0:
+        return []
+    if total <= limit:
+        return list(items)
+    return [items[i * total // limit] for i in range(limit)]
+
+
 class Occurrence(NamedTuple):
     """One injection site: the nth firing of a named fault point."""
 

@@ -41,7 +41,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
-from repro.crashcheck.explorer import Occurrence, enumerate_occurrences
+from repro.crashcheck.explorer import (Occurrence, enumerate_occurrences,
+                                       sample_evenly)
 from repro.crashcheck.invariants import check_media
 from repro.errors import DeviceError, MediaError, PowerFailure
 from repro.sim.faults import (EraseFault, FaultPlan, PowerFailAfter,
@@ -205,8 +206,7 @@ def _power_read_occurrences(factory: Callable[[FaultPlan], object],
     power = enumerate_occurrences(factory)
     if not power:
         return []
-    stride = max(1, len(power) // samples)
-    chosen = power[::stride][:samples]
+    chosen = sample_evenly(power, samples)
     return [
         MediaOccurrence(MODE_POWER_READ, "read",
                         (index * _READ_STRIDE) % reads + 1,
@@ -301,9 +301,8 @@ def explore_media(factory: Callable[[FaultPlan], object], workload: str,
         occurrences = enumerate_media_occurrences(factory, modes,
                                                   op_counts=op_counts)
     explored = occurrences
-    if max_points is not None and len(occurrences) > max_points:
-        stride = max(1, len(occurrences) // max_points)
-        explored = occurrences[::stride][:max_points]
+    if max_points is not None:
+        explored = sample_evenly(occurrences, max_points)
     results: List[MediaResult] = []
     for index, occurrence in enumerate(explored):
         result = explore_media_occurrence(factory, occurrence)

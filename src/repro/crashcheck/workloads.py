@@ -21,6 +21,11 @@ The harness protocol the explorer relies on:
   invariant checks.  Must not raise; engine recovery failures are
   reported through ``check_engine``.
 * ``check_engine()`` — engine-level invariant violations as strings.
+* ``guards()`` (optional) — the :class:`~repro.host.resilience.ShareGuard`
+  instances the harness's engines route SHARE through.  Harnesses that
+  expose it can be swept by the chaos explorer
+  (:mod:`repro.crashcheck.chaosfaults`), which reads the guards' local
+  stats to prove retries and fallbacks actually ran.
 """
 
 from __future__ import annotations
@@ -297,6 +302,11 @@ class CouchHarness:
             if step == 3:
                 self.store, __ = compact(self.store, self.clock)
 
+    def guards(self):
+        # Compaction hands the same guard to the compacted store, so this
+        # stays correct across the mid-run compact().
+        return [self.store.resilience]
+
     def recover(self) -> List[DeviceState]:
         self.ssd.power_cycle()
         try:
@@ -432,6 +442,9 @@ class LinkbenchHarness:
             if step % 2 == 1:
                 self.engine.checkpoint()
 
+    def guards(self):
+        return [self.engine.dwb.resilience, self.store.resilience]
+
     def recover(self) -> List[DeviceState]:
         try:
             self.rec_engine, self.rec_report = innodb_recover(
@@ -537,6 +550,9 @@ class SqliteHarness:
             self.durable = dict(model)
             self.inflight = None
 
+    def guards(self):
+        return [self.db.pager.resilience]
+
     def recover(self) -> List[DeviceState]:
         self.ssd.power_cycle()
         try:
@@ -600,6 +616,9 @@ class DataJournalHarness:
             self.inflight = None
             if step in (4, 9):
                 self.journal.checkpoint()
+
+    def guards(self):
+        return [self.journal.resilience]
 
     def recover(self) -> List[DeviceState]:
         self.ssd.power_cycle()

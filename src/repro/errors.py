@@ -43,7 +43,13 @@ __all__ = [
     "OutOfSpaceError",
     "UnmappedPageError",
     "ShareError",
+    "DeviceBusyError",
+    "CommandTimeoutError",
+    "CommandUnsupportedError",
     "PowerFailure",
+    "ResilienceError",
+    "CircuitOpenError",
+    "RetriesExhaustedError",
     "FileSystemError",
     "FileNotFound",
     "FileExists",
@@ -142,6 +148,32 @@ class ShareError(FtlError):
     source, or reverse-map capacity exhaustion that cannot be reconciled)."""
 
 
+class DeviceBusyError(DeviceError):
+    """The device rejected a command with transient backpressure.
+
+    Models queue-full / firmware-busy NVMe status: the command was never
+    executed and it is always safe (and expected) to retry after a
+    backoff.  Injected by :class:`repro.sim.faults.DeviceBusy`."""
+
+
+class CommandTimeoutError(DeviceError):
+    """A command exceeded its completion deadline at the host boundary.
+
+    The host cannot tell whether the device applied the command before
+    the timeout, so retries must be idempotent (SHARE re-mapping a dst
+    LPN onto the same src physical page is).  Injected by
+    :class:`repro.sim.faults.CommandTimeout`."""
+
+
+class CommandUnsupportedError(DeviceError):
+    """The device rejected a command as unsupported or the handling
+    firmware unit is hung.
+
+    Sticky by nature: retrying does not help, so the host resilience
+    layer fails fast and engines degrade to their classic two-phase
+    paths.  Injected by :class:`repro.sim.faults.ShareOutage`."""
+
+
 class PowerFailure(ReproError):
     """Injected power failure.
 
@@ -149,6 +181,35 @@ class PowerFailure(ReproError):
     test harness catches it, discards all volatile state, and restarts the
     stack from the persisted media image.
     """
+
+
+class ResilienceError(ReproError):
+    """Base class for failures surfaced by the host resilience layer.
+
+    Raised by :class:`repro.host.resilience.ShareGuard` when a guarded
+    device command could not be completed within policy — engines catch
+    this one type to trigger their two-phase fallback paths.  The
+    underlying :class:`DeviceError` (if any) is chained as
+    ``__cause__``."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open: the command was not attempted.
+
+    Fast-fail path — after repeated SHARE failures the breaker stops
+    hammering a sick device and engines go straight to fallback until
+    the recovery timeout elapses and a probe succeeds."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """A guarded command kept failing past the retry budget or deadline,
+    or failed with a non-retryable :class:`DeviceError`."""
+
+    def __init__(self, message: str, attempts: int = 1,
+                 elapsed_us: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_us = elapsed_us
 
 
 class FileSystemError(ReproError):

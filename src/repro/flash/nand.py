@@ -36,7 +36,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
-from repro.errors import ProgramError, ReadError, UncorrectableReadError
+from repro.errors import (EraseFailError, ProgramError, ProgramFailError,
+                          ReadError, UncorrectableReadError)
 from repro.flash.geometry import FlashGeometry
 from repro.sim.faults import CORRUPT_PAYLOAD, NO_FAULTS, FaultPlan
 
@@ -106,7 +107,7 @@ class NandArray:
         if media.active:
             try:
                 media.on_program(ppn)
-            except Exception:
+            except ProgramFailError:
                 page.state = PageState.PROGRAMMED
                 page.data = None
                 page.spare = None
@@ -167,7 +168,7 @@ class NandArray:
         if media.active:
             try:
                 media.on_erase(block)
-            except Exception:
+            except EraseFailError:
                 self.failed_erases += 1
                 raise
         start = self.geometry.first_ppn(block)

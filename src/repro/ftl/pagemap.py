@@ -152,6 +152,7 @@ class PageMappingFtl:
         self._m_wear_moves = metrics.counter("ftl.wear.level_moves")
         self._m_share_spills = metrics.counter("ftl.share.spills")
         self._m_share_log_spills = metrics.counter("ftl.share.log_spills")
+        self._m_share_spill_hwm = metrics.gauge("ftl.share.spill_hwm")
         self._m_free_blocks = metrics.gauge("ftl.free_blocks")
         self._m_read_retries = metrics.counter("media.read_retries")
         self._m_relocations = metrics.counter("media.read_relocations")
@@ -661,6 +662,7 @@ class PageMappingFtl:
                 # log this very batch persists; only GC pays a lookup.
                 self.stats.share_log_spills += 1
                 self._m_share_log_spills.inc()
+                self._m_share_spill_hwm.set(self.rev.spilled_peak)
             self.fwd.update(dst_lpn, src_ppn)
             if old_ppn is not None and old_ppn != src_ppn:
                 self._drop_ref(old_ppn, dst_lpn)
@@ -880,6 +882,7 @@ class PageMappingFtl:
                            if lpn not in self._pending_atomic)
             new_ppn = self._program_data(data, stamps, for_gc=True)
             self.rev.move_page(ppn, new_ppn, refs[0])
+            self._m_share_spill_hwm.set(self.rev.spilled_peak)
             self._valid_count[victim] -= 1
             self._valid_count[geometry.block_of(new_ppn)] += 1
             stamped = {lpn for lpn, __ in stamps}

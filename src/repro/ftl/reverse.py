@@ -52,6 +52,12 @@ class ReverseMap:
         # that resolving them costs a flash read instead of a DRAM lookup.
         self._spilled: Dict[int, Set[int]] = {}
         self._spilled_count = 0
+        self._spilled_peak = 0
+
+    def _note_spill(self) -> None:
+        self._spilled_count += 1
+        if self._spilled_count > self._spilled_peak:
+            self._spilled_peak = self._spilled_count
 
     # ---------------------------------------------------------------- refs
 
@@ -68,6 +74,14 @@ class ReverseMap:
     def spilled_entries(self) -> int:
         """Extra references currently resolvable only from the flash log."""
         return self._spilled_count
+
+    @property
+    def spilled_peak(self) -> int:
+        """High-water mark of :attr:`spilled_entries` over the map's life
+        (not reset by drops; :meth:`rebuild` restarts it for the new
+        incarnation) — how far past its DRAM budget the share table ever
+        went."""
+        return self._spilled_peak
 
     @property
     def is_full(self) -> bool:
@@ -111,7 +125,7 @@ class ReverseMap:
             self._extras[(ppn, lpn)] = None
             return True
         self._spilled.setdefault(ppn, set()).add(lpn)
-        self._spilled_count += 1
+        self._note_spill()
         return False
 
     def is_spilled(self, ppn: int, lpn: int) -> bool:
@@ -190,7 +204,7 @@ class ReverseMap:
                     self._extras[(new_ppn, lpn)] = None
                 else:
                     self._spilled.setdefault(new_ppn, set()).add(lpn)
-                    self._spilled_count += 1
+                    self._note_spill()
         return refs
 
     def _forget_page(self, ppn: int) -> None:
@@ -210,6 +224,7 @@ class ReverseMap:
         self._extras.clear()
         self._spilled.clear()
         self._spilled_count = 0
+        self._spilled_peak = 0
         for ppn, lpn, is_primary in entries:
             refs = self._refs.setdefault(ppn, set())
             refs.add(lpn)
@@ -219,4 +234,4 @@ class ReverseMap:
                 self._extras[(ppn, lpn)] = None
             else:
                 self._spilled.setdefault(ppn, set()).add(lpn)
-                self._spilled_count += 1
+                self._note_spill()

@@ -23,10 +23,10 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import FileSystemError
+from repro.errors import FileSystemError, ResilienceError
 from repro.host.file import File
 from repro.host.filesystem import HostFs
-from repro.host.ioctl import share_file_ranges
+from repro.host.resilience import ShareGuard
 
 
 class CheckpointMode(Enum):
@@ -52,13 +52,16 @@ class DataJournalingFs:
     """data=journal semantics over a HostFs."""
 
     def __init__(self, fs: HostFs, mode: CheckpointMode,
-                 journal_blocks: int = 256) -> None:
+                 journal_blocks: int = 256,
+                 resilience: Optional[ShareGuard] = None) -> None:
         if journal_blocks < 8:
             raise ValueError(
                 f"data journal needs >= 8 blocks: {journal_blocks}")
         self.fs = fs
         self.mode = mode
         self.faults = fs.ssd.faults
+        self.resilience = resilience or ShareGuard(fs.ssd,
+                                                   engine="datajournal")
         self.journal = fs.create("/.datajournal")
         self.journal.fallocate(journal_blocks)
         self.journal_blocks = journal_blocks
@@ -171,14 +174,33 @@ class DataJournalingFs:
         self.fs.ssd.flush()
 
     def _checkpoint_share(self) -> None:
-        """The JFTL/SHARE way: remap home blocks onto journal copies."""
+        """The JFTL/SHARE way: remap home blocks onto journal copies.
+
+        A file whose SHARE batch fails past the retry budget is
+        checkpointed the CLASSIC way instead (copy journal image home).
+        The journal images stay durable until the epoch bump at the end
+        of :meth:`checkpoint`, so a crash anywhere inside the fallback
+        replays the same commits — nothing is lost either way."""
         by_file: Dict[int, Tuple[File, List[Tuple[int, int, int]]]] = {}
         for file, block, journal_block in self._unckpt.values():
             entry = by_file.setdefault(id(file), (file, []))
             entry[1].append((block, journal_block, 1))
+        degraded = False
         for file, ranges in by_file.values():
-            share_file_ranges(file, self.journal, ranges)
-            self.stats.checkpoint_share_pairs += len(ranges)
+            try:
+                self.resilience.share_file_ranges(file, self.journal, ranges)
+            except ResilienceError:
+                self.faults.checkpoint("datajournal.share_fallback")
+                self.resilience.record_fallback()
+                for block, journal_block, __ in ranges:
+                    image = self.journal.pread_block(journal_block)
+                    file.pwrite_block(block, image)
+                    self.stats.checkpoint_writes += 1
+                degraded = True
+            else:
+                self.stats.checkpoint_share_pairs += len(ranges)
+        if degraded:
+            self.fs.ssd.flush()
 
     # ----------------------------------------------------------- recovery
 

@@ -1,0 +1,356 @@
+"""Host-side resilience for vendor-unique device commands.
+
+The paper assumes SHARE always succeeds; a production host cannot.  This
+module is the layer between the engines and :mod:`repro.host.ioctl` that
+makes the SHARE path survivable: a :class:`RetryPolicy` (bounded
+attempts, exponential backoff with deterministic jitter, per-command
+deadline — all in virtual time), a :class:`CircuitBreaker`
+(closed→open→half-open, tripping on consecutive failures so a sick
+device is not hammered), and a :class:`ShareGuard` facade the engines
+call instead of the raw ioctl helpers.
+
+Error contract:
+
+* ``DeviceBusyError`` / ``CommandTimeoutError`` are **retryable**: the
+  guard backs off (advancing the sim clock) and reissues.  Retrying
+  SHARE is idempotent — remapping a dst LPN onto the same src physical
+  page twice is a no-op — so the ambiguous applied-but-timed-out case
+  is safe.
+* Any other ``DeviceError`` (``CommandUnsupportedError``, media faults
+  the firmware could not mask, FTL state errors) is **non-retryable**:
+  the guard records the failure against the breaker and raises
+  :class:`RetriesExhaustedError` immediately.
+* When the breaker is open the guard raises :class:`CircuitOpenError`
+  without touching the device.
+
+Engines catch the single base type :class:`ResilienceError` and degrade
+to their classic two-phase path (doublewrite, copy-compaction, rollback
+journal, journal-copy checkpoint).  :class:`PowerFailure` is never
+caught here — a crash is a crash.
+
+Telemetry: shared counters ``resilience.retries`` /
+``resilience.command_failures`` / ``resilience.breaker_trips`` /
+``resilience.breaker_fast_fails`` / ``resilience.deadline_exceeded``,
+plus per-engine ``resilience.fallbacks.<engine>`` counters and
+``resilience.breaker_state.<engine>`` gauges (0=closed, 1=half-open,
+2=open).  Because crash harnesses run with ``NULL_TELEMETRY``, the
+guard also keeps a local :class:`GuardStats` the sweeps read directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import (CircuitOpenError, CommandTimeoutError,
+                          DeviceBusyError, DeviceError, PowerFailure,
+                          ResilienceError, RetriesExhaustedError)
+from repro.host import ioctl as _ioctl
+from repro.host.file import File
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ShareGuard",
+    "GuardStats",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "RETRYABLE_ERRORS",
+]
+
+#: Errors worth a backoff-and-retry; everything else fails fast.
+RETRYABLE_ERRORS = (DeviceBusyError, CommandTimeoutError)
+
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half-open"
+BREAKER_OPEN = "open"
+
+#: Gauge encoding of breaker states (monotone in severity).
+_STATE_GAUGE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, jitter, and a deadline.
+
+    All durations are virtual microseconds.  Jitter is drawn from a
+    seeded private stream (:func:`repro.sim.rng.make_rng`), so a retry
+    schedule is exactly reproducible for a given seed.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: int = 200
+    backoff_multiplier: float = 2.0
+    max_backoff_us: int = 20_000
+    jitter_fraction: float = 0.25
+    deadline_us: Optional[int] = 2_000_000
+    seed: int = 0x51C
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_backoff_us < 0:
+            raise ValueError(
+                f"base_backoff_us must be >= 0: {self.base_backoff_us}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1]: {self.jitter_fraction}")
+        if self.deadline_us is not None and self.deadline_us < 1:
+            raise ValueError(
+                f"deadline_us must be >= 1 or None: {self.deadline_us}")
+
+    def backoff_us(self, attempt: int, rng) -> int:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(self.base_backoff_us
+                   * self.backoff_multiplier ** (attempt - 1),
+                   float(self.max_backoff_us))
+        return int(base + base * self.jitter_fraction * rng.random())
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on the virtual clock.
+
+    ``failure_threshold`` consecutive failures trip CLOSED→OPEN; while
+    OPEN, :meth:`allow` refuses until ``recovery_timeout_us`` of virtual
+    time has passed, then the breaker half-opens and admits
+    ``half_open_probes`` probe commands.  A probe success closes the
+    breaker; a probe failure re-opens it (restarting the timeout).
+    :meth:`force_open` latches the breaker open regardless of time —
+    benchmarks use it to measure the pure-fallback path.
+    """
+
+    def __init__(self, clock, failure_threshold: int = 3,
+                 recovery_timeout_us: int = 500_000,
+                 half_open_probes: int = 1,
+                 on_transition: Optional[Callable[[str], None]] = None
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}")
+        if recovery_timeout_us < 1:
+            raise ValueError(
+                f"recovery_timeout_us must be >= 1: {recovery_timeout_us}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1: {half_open_probes}")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_us = recovery_timeout_us
+        self.half_open_probes = half_open_probes
+        self.on_transition = on_transition
+        self.state = BREAKER_CLOSED
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._opened_at: Optional[int] = None
+        self._probes_left = 0
+        self._latched = False
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if state == BREAKER_OPEN:
+            self.trips += 1
+            self._opened_at = self.clock.now_us
+        if self.on_transition is not None:
+            self.on_transition(state)
+
+    def allow(self) -> bool:
+        """May a command be attempted right now?  Half-opens an OPEN
+        breaker once the recovery timeout has elapsed (consuming a probe
+        slot per admitted command)."""
+        if self._latched:
+            return False
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if (self.clock.elapsed_since(self._opened_at)
+                    < self.recovery_timeout_us):
+                return False
+            self._transition(BREAKER_HALF_OPEN)
+            self._probes_left = self.half_open_probes
+        if self._probes_left <= 0:
+            return False
+        self._probes_left -= 1
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != BREAKER_CLOSED:
+            self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self._transition(BREAKER_OPEN)
+            return
+        self._consecutive_failures += 1
+        if (self.state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._transition(BREAKER_OPEN)
+
+    def force_open(self) -> None:
+        """Latch the breaker open (no time-based recovery) — used to
+        force the pure-fallback path in benchmarks and tests."""
+        self._latched = True
+        self._transition(BREAKER_OPEN)
+
+    def reset(self) -> None:
+        """Unlatch and close the breaker."""
+        self._latched = False
+        self._consecutive_failures = 0
+        self._transition(BREAKER_CLOSED)
+
+
+@dataclass
+class GuardStats:
+    """Local counters one :class:`ShareGuard` accumulates (readable even
+    when telemetry is the NULL singleton, as in crash harnesses)."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+    fast_fails: int = 0
+    deadline_exceeded: int = 0
+    fallbacks: int = 0
+    backoff_us: int = field(default=0)
+
+
+class ShareGuard:
+    """Resilient facade over the SHARE/atomic-write ioctl helpers.
+
+    One guard per engine instance: it owns the retry RNG stream and a
+    :class:`CircuitBreaker`, wraps any callable via :meth:`call`, and
+    offers drop-in replacements for the three ioctl entry points.  On
+    unrecoverable failure it raises a :class:`ResilienceError` subclass;
+    the engine catches that one type, calls :meth:`record_fallback`, and
+    serves the operation through its classic two-phase path.
+    """
+
+    def __init__(self, ssd, engine: str = "host",
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.ssd = ssd
+        self.clock = ssd.clock
+        self.engine = engine
+        self.policy = policy or RetryPolicy()
+        self._rng = make_rng(self.policy.seed)
+        self.stats = GuardStats()
+        metrics = ssd.telemetry.metrics.scope("resilience")
+        self._m_retries = metrics.counter("retries")
+        self._m_failures = metrics.counter("command_failures")
+        self._m_trips = metrics.counter("breaker_trips")
+        self._m_fast_fails = metrics.counter("breaker_fast_fails")
+        self._m_deadline = metrics.counter("deadline_exceeded")
+        self._m_fallbacks = metrics.counter(f"fallbacks.{engine}")
+        self._m_state = metrics.gauge(f"breaker_state.{engine}")
+        if breaker is None:
+            breaker = CircuitBreaker(ssd.clock)
+        self.breaker = breaker
+        previous = breaker.on_transition
+        def _observe(state: str, _prev=previous) -> None:
+            self._m_state.set(_STATE_GAUGE[state])
+            if state == BREAKER_OPEN:
+                self._m_trips.inc()
+            if _prev is not None:
+                _prev(state)
+        breaker.on_transition = _observe
+        self._m_state.set(_STATE_GAUGE[breaker.state])
+
+    # ------------------------------------------------------------- core
+
+    def call(self, label: str, fn: Callable[[], object]):
+        """Run ``fn`` under the retry policy and breaker.
+
+        Returns ``fn``'s result.  Raises :class:`CircuitOpenError` when
+        the breaker refuses the attempt, :class:`RetriesExhaustedError`
+        when the command keeps failing (retryable errors past the
+        attempt budget or deadline, or any non-retryable device error).
+        """
+        self.stats.calls += 1
+        if not self.breaker.allow():
+            self.stats.fast_fails += 1
+            self._m_fast_fails.inc()
+            raise CircuitOpenError(
+                f"{label}: circuit breaker is {self.breaker.state} "
+                f"for engine {self.engine!r}")
+        policy = self.policy
+        start_us = self.clock.now_us
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats.attempts += 1
+            try:
+                result = fn()
+            except PowerFailure:
+                raise
+            except RETRYABLE_ERRORS as exc:
+                self.stats.failures += 1
+                self._m_failures.inc()
+                self.breaker.record_failure()
+                if not self.breaker.allow():
+                    raise RetriesExhaustedError(
+                        f"{label}: breaker opened after {attempt} "
+                        f"attempt(s): {exc}", attempts=attempt,
+                        elapsed_us=self.clock.elapsed_since(start_us)
+                    ) from exc
+                if attempt >= policy.max_attempts:
+                    raise RetriesExhaustedError(
+                        f"{label}: {attempt} attempts failed, last: {exc}",
+                        attempts=attempt,
+                        elapsed_us=self.clock.elapsed_since(start_us)
+                    ) from exc
+                backoff = policy.backoff_us(attempt, self._rng)
+                elapsed = self.clock.elapsed_since(start_us)
+                if (policy.deadline_us is not None
+                        and elapsed + backoff > policy.deadline_us):
+                    self.stats.deadline_exceeded += 1
+                    self._m_deadline.inc()
+                    raise RetriesExhaustedError(
+                        f"{label}: deadline {policy.deadline_us}us exceeded "
+                        f"after {attempt} attempt(s): {exc}",
+                        attempts=attempt, elapsed_us=elapsed) from exc
+                self.stats.retries += 1
+                self.stats.backoff_us += backoff
+                self._m_retries.inc()
+                self.clock.advance(backoff)
+            except DeviceError as exc:
+                self.stats.failures += 1
+                self._m_failures.inc()
+                self.breaker.record_failure()
+                raise RetriesExhaustedError(
+                    f"{label}: non-retryable device error: {exc}",
+                    attempts=attempt,
+                    elapsed_us=self.clock.elapsed_since(start_us)) from exc
+            else:
+                self.breaker.record_success()
+                return result
+
+    def record_fallback(self) -> None:
+        """Count one degradation to the engine's classic two-phase path."""
+        self.stats.fallbacks += 1
+        self._m_fallbacks.inc()
+
+    # ------------------------------------------------ ioctl replacements
+
+    def share_ioctl(self, dst_file: File, dst_block: int, src_file: File,
+                    src_block: int, length: int = 1) -> int:
+        return self.call("share_ioctl",
+                         lambda: _ioctl.share_ioctl(dst_file, dst_block,
+                                                    src_file, src_block,
+                                                    length))
+
+    def share_file_ranges(self, dst_file: File, src_file: File,
+                          ranges: Sequence[Tuple[int, int, int]]) -> int:
+        return self.call("share_file_ranges",
+                         lambda: _ioctl.share_file_ranges(dst_file, src_file,
+                                                          ranges))
+
+    def atomic_write_ioctl(self, file: File, items: Sequence) -> int:
+        return self.call("atomic_write_ioctl",
+                         lambda: _ioctl.atomic_write_ioctl(file, items))

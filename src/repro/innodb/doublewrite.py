@@ -16,11 +16,11 @@ the tablespace atomically per page.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.errors import EngineError, PowerFailure
+from repro.errors import EngineError, PowerFailure, ResilienceError
 from repro.host.file import File
-from repro.host.ioctl import share_file_ranges
+from repro.host.resilience import ShareGuard
 from repro.innodb.page import Page, torn_copy
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
@@ -35,13 +35,16 @@ class DoublewriteBuffer:
 
     def __init__(self, tablespace: File, first_block: int,
                  size_pages: int = 128,
-                 faults: FaultPlan = NO_FAULTS) -> None:
+                 faults: FaultPlan = NO_FAULTS,
+                 resilience: Optional[ShareGuard] = None) -> None:
         if size_pages < 1:
             raise ValueError(f"doublewrite area needs >= 1 page: {size_pages}")
         self.tablespace = tablespace
         self.first_block = first_block
         self.size_pages = size_pages
         self.faults = faults
+        self.resilience = resilience or ShareGuard(tablespace.fs.ssd,
+                                                   engine="innodb")
         self._cursor = 0
         self.batches_staged = 0
         self.telemetry = tablespace.fs.telemetry
@@ -96,12 +99,29 @@ class DoublewriteBuffer:
 
     def flush_share(self, pages: List[Page]) -> None:
         """SHARE mode: journal to DWB, then remap home LPNs onto the
-        staged copies — the second write never happens (Section 4.3)."""
+        staged copies — the second write never happens (Section 4.3).
+
+        When the SHARE command fails past the resilience layer's retry
+        budget (or the breaker is open), the batch degrades to the
+        classic second home-write.  That is crash-safe with no extra
+        machinery: the staged copies are already durable in the
+        doublewrite area, and recovery always scans it, so a home write
+        torn by a crash mid-fallback is repaired from its staged copy."""
         staged = self._stage(pages)
         ranges = [(page.page_id, staged_block, 1)
                   for page, staged_block in zip(pages, staged)]
         self.faults.checkpoint("innodb.share_remap")
-        share_file_ranges(self.tablespace, self.tablespace, ranges)
+        try:
+            self.resilience.share_file_ranges(self.tablespace,
+                                              self.tablespace, ranges)
+        except ResilienceError:
+            self.faults.checkpoint("innodb.share_fallback")
+            self.resilience.record_fallback()
+            for page in pages:
+                self.faults.checkpoint("innodb.home_write")
+                self._home_write_with_torn_window(page)
+            self.tablespace.fsync()
+            return
         self._m_share_batches.inc()
 
     # ------------------------------------------------------------ internals

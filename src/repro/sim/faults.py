@@ -28,6 +28,19 @@ consults the set on every read/program/erase; a disarmed set costs one
 attribute check per operation.  Unlike power fuses, media faults do not
 end the run — they are raised as typed :class:`MediaError` subclasses
 the FTL is expected to survive.
+
+One layer up from the media, the plan also carries a
+:class:`CommandFaultSet` (:attr:`FaultPlan.commands`) of armable
+**command faults** at the host→device boundary: latency spikes
+(:class:`LatencySpike`), deadline-exceeded timeouts
+(:class:`CommandTimeout`), transient device-busy backpressure
+(:class:`DeviceBusy`), and a sticky SHARE-unsupported/hung outage
+(:class:`ShareOutage`).  The SSD facade consults the set at command
+submission and completion; faults are targetable by nth occurrence of
+a command kind or by LPN range, like media faults.  These model the
+failures a production host sees without the medium being at fault —
+the host resilience layer (:mod:`repro.host.resilience`) is what is
+expected to survive them.
 """
 
 from __future__ import annotations
@@ -36,6 +49,9 @@ from bisect import insort
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
+    CommandTimeoutError,
+    CommandUnsupportedError,
+    DeviceBusyError,
     EraseFailError,
     PowerFailure,
     ProgramFailError,
@@ -381,6 +397,218 @@ class MediaFaultSet:
                 f"injected erase failure at block {block}")
 
 
+#: Command kinds the device facade reports to the command-fault set.
+COMMAND_KINDS = ("read", "write", "awrite", "trim", "flush", "share")
+
+
+class CommandFault:
+    """Base class for armable host-command faults.
+
+    Each fault targets either the *nth command* of its kind counted from
+    arming (1-based, global across every device sharing the plan) or any
+    command of its kind touching an LPN in ``lpn_range`` (a half-open
+    ``(start, end)`` interval).  ``sticky`` faults keep firing from their
+    first match onward — the shape of a hung firmware unit — while
+    non-sticky faults are one-shot.
+    """
+
+    def __init__(self, kind: str, nth: Optional[int] = None,
+                 lpn_range: Optional[Tuple[int, int]] = None,
+                 sticky: bool = False) -> None:
+        if kind not in COMMAND_KINDS:
+            raise ValueError(f"unknown command kind {kind!r} "
+                             f"(choose from {', '.join(COMMAND_KINDS)})")
+        if (nth is None) == (lpn_range is None):
+            raise ValueError("arm a command fault with exactly one of "
+                             "nth= or lpn_range=")
+        if nth is not None and nth < 1:
+            raise ValueError(f"nth must be >= 1: {nth}")
+        if lpn_range is not None and lpn_range[0] >= lpn_range[1]:
+            raise ValueError(f"empty lpn_range: {lpn_range!r}")
+        self.kind = kind
+        self.nth = nth
+        self.lpn_range = lpn_range
+        self.sticky = sticky
+        self.fired = False
+
+    #: Which command phase the fault acts on: "submit" faults reject the
+    #: command before the device does any work; "complete" faults let the
+    #: work happen and lose the completion on the way back to the host.
+    phase = "submit"
+
+    def matches(self, count: int, lpns: Sequence[int]) -> bool:
+        if self.lpn_range is not None:
+            start, end = self.lpn_range
+            hit = any(start <= lpn < end for lpn in lpns)
+            return hit and (self.sticky or not self.fired)
+        if self.sticky:
+            return count >= self.nth
+        return not self.fired and count == self.nth
+
+    def __repr__(self) -> str:
+        target = (f"nth={self.nth}" if self.lpn_range is None
+                  else f"lpns={self.lpn_range!r}")
+        return (f"{type(self).__name__}({self.kind!r}, {target}, "
+                f"sticky={self.sticky}, fired={self.fired})")
+
+
+class LatencySpike(CommandFault):
+    """The command succeeds but takes ``delay_us`` longer than normal —
+    backpressure, internal GC, thermal throttling.  The device facade
+    charges the delay to its virtual clock."""
+
+    def __init__(self, kind: str, nth: Optional[int] = None,
+                 lpn_range: Optional[Tuple[int, int]] = None,
+                 delay_us: int = 10_000, sticky: bool = False) -> None:
+        super().__init__(kind, nth, lpn_range, sticky)
+        if delay_us < 1:
+            raise ValueError(f"delay_us must be >= 1: {delay_us}")
+        self.delay_us = delay_us
+
+
+class CommandTimeout(CommandFault):
+    """The command exceeds its deadline and the host sees
+    :class:`CommandTimeoutError`.
+
+    With ``after_apply=False`` (default) the command is rejected at
+    submission — the device never executed it.  With ``after_apply=True``
+    the device *does* execute the command and only the completion is
+    lost: the ambiguous case real timeouts create, safe to retry only
+    because SHARE is idempotent."""
+
+    def __init__(self, kind: str, nth: Optional[int] = None,
+                 lpn_range: Optional[Tuple[int, int]] = None,
+                 sticky: bool = False, after_apply: bool = False) -> None:
+        super().__init__(kind, nth, lpn_range, sticky)
+        self.after_apply = after_apply
+
+    @property
+    def phase(self) -> str:
+        return "complete" if self.after_apply else "submit"
+
+
+class DeviceBusy(CommandFault):
+    """Transient backpressure: the next ``clears_after`` matching
+    commands are rejected with :class:`DeviceBusyError`, then the fault
+    clears — the shape retry-with-backoff is built for.  Once the nth
+    command of the kind arrives, every following command of that kind is
+    rejected until the budget is spent (a busy device stays busy for the
+    retry, too)."""
+
+    def __init__(self, kind: str, nth: Optional[int] = None,
+                 lpn_range: Optional[Tuple[int, int]] = None,
+                 clears_after: int = 1) -> None:
+        super().__init__(kind, nth, lpn_range, sticky=True)
+        if clears_after < 1:
+            raise ValueError(f"clears_after must be >= 1: {clears_after}")
+        self.clears_after = clears_after
+        self._rejected = 0
+
+
+class ShareOutage(CommandFault):
+    """Sticky SHARE outage: from the nth SHARE command onward, every
+    SHARE is rejected with :class:`CommandUnsupportedError` (or
+    :class:`CommandTimeoutError` with ``error="timeout"`` — a hung
+    firmware unit).  Retrying never helps; engines must degrade to
+    their classic two-phase paths."""
+
+    def __init__(self, nth: int = 1, error: str = "unsupported") -> None:
+        super().__init__("share", nth=nth, sticky=True)
+        if error not in ("unsupported", "timeout"):
+            raise ValueError(f"error must be 'unsupported' or 'timeout': "
+                             f"{error!r}")
+        self.error = error
+
+
+class CommandFaultSet:
+    """The armed command faults of one :class:`FaultPlan`.
+
+    The SSD facade calls :meth:`on_command` at the submission and
+    completion of every host-visible command, but only while
+    :attr:`active` is true — the disarmed common case costs one
+    attribute check per command.  Commands are counted per kind (from
+    arming or :meth:`enable_counting`) so sweeps can enumerate every
+    SHARE site of a deterministic run and target each one in turn.
+    """
+
+    def __init__(self) -> None:
+        self._faults: List[CommandFault] = []
+        self._counting = False
+        self.op_counts: Dict[str, int] = {kind: 0 for kind in COMMAND_KINDS}
+
+    @property
+    def active(self) -> bool:
+        return bool(self._faults) or self._counting
+
+    def arm(self, fault: CommandFault) -> None:
+        if not isinstance(fault, CommandFault):
+            raise TypeError(f"not a command fault: {fault!r}")
+        self._faults.append(fault)
+
+    def disarm(self) -> None:
+        self._faults = []
+
+    def enable_counting(self) -> None:
+        """Count commands even with no fault armed (enumeration runs)."""
+        self._counting = True
+
+    def armed(self) -> List[CommandFault]:
+        return list(self._faults)
+
+    def fired_faults(self) -> List[CommandFault]:
+        return [fault for fault in self._faults if fault.fired]
+
+    # --------------------------------------------------------- device hook
+
+    def on_command(self, kind: str, lpns: Sequence[int],
+                   phase: str = "submit") -> int:
+        """Called by the device facade at each command phase.
+
+        Counts the command (submission phase only), raises the typed
+        error of the first matching error fault, and returns the total
+        extra latency (µs) of matching latency spikes."""
+        if phase == "submit":
+            count = self.op_counts[kind] + 1
+            self.op_counts[kind] = count
+        else:
+            count = self.op_counts[kind]
+        delay_us = 0
+        for fault in list(self._faults):
+            if fault.kind != kind or fault.phase != phase:
+                continue
+            if not fault.matches(count, lpns):
+                continue
+            fault.fired = True
+            if isinstance(fault, LatencySpike):
+                delay_us += fault.delay_us
+                if not fault.sticky:
+                    self._faults.remove(fault)
+                continue
+            if isinstance(fault, DeviceBusy):
+                if fault._rejected >= fault.clears_after:
+                    self._faults.remove(fault)   # backpressure drained
+                    continue
+                fault._rejected += 1
+                raise DeviceBusyError(
+                    f"injected device-busy on {kind} command #{count} "
+                    f"(rejection {fault._rejected}/{fault.clears_after})")
+            if isinstance(fault, ShareOutage):
+                if fault.error == "timeout":
+                    raise CommandTimeoutError(
+                        f"injected SHARE hang on command #{count} "
+                        f"(sticky from #{fault.nth})")
+                raise CommandUnsupportedError(
+                    f"injected SHARE outage on command #{count} "
+                    f"(sticky from #{fault.nth})")
+            assert isinstance(fault, CommandTimeout)
+            if not fault.sticky:
+                self._faults.remove(fault)
+            raise CommandTimeoutError(
+                f"injected {kind} timeout on command #{count} at "
+                f"{phase} ({'applied' if phase == 'complete' else 'not applied'})")
+        return delay_us
+
+
 class FaultPlan:
     """Collects armed faults and fires them at matching checkpoints.
 
@@ -409,6 +637,9 @@ class FaultPlan:
         # Armed media faults; the NAND array consults this on every chip
         # operation (one attribute check when nothing is armed).
         self.media = MediaFaultSet()
+        # Armed command faults; the SSD facade consults this on every
+        # host-visible command (same one-attribute-check fast path).
+        self.commands = CommandFaultSet()
 
     def arm(self, fault: PowerFailAfter) -> None:
         """Arm a power failure at ``fault.point``.
@@ -442,6 +673,14 @@ class FaultPlan:
     def disarm_media(self) -> None:
         """Drop every armed media fault."""
         self.media.disarm()
+
+    def arm_command(self, fault: CommandFault) -> None:
+        """Arm a command fault (see :class:`CommandFaultSet`)."""
+        self.commands.arm(fault)
+
+    def disarm_commands(self) -> None:
+        """Drop every armed command fault."""
+        self.commands.disarm()
 
     def enable_trace(self) -> None:
         self._trace_enabled = True

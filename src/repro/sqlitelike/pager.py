@@ -19,10 +19,10 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
-from repro.errors import EngineError, PowerFailure
+from repro.errors import EngineError, PowerFailure, ResilienceError
 from repro.host.file import File
 from repro.host.filesystem import HostFs
-from repro.host.ioctl import share_file_ranges
+from repro.host.resilience import ShareGuard
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
 JOURNAL_SUFFIX = "-journal"
@@ -69,6 +69,7 @@ class Pager:
                  page_count: int, scratch_pages: int = 64,
                  wal_checkpoint_frames: int = 256,
                  faults: FaultPlan = NO_FAULTS,
+                 resilience: Optional[ShareGuard] = None,
                  _existing: bool = False) -> None:
         if page_count < 1:
             raise ValueError(f"page_count must be >= 1: {page_count}")
@@ -81,6 +82,7 @@ class Pager:
         self.scratch_pages = scratch_pages
         self.wal_checkpoint_frames = wal_checkpoint_frames
         self.faults = faults
+        self.resilience = resilience or ShareGuard(fs.ssd, engine="sqlite")
         self.stats = PagerStats()
         self.db_file = fs.open(path) if _existing else fs.create(path)
         total = page_count + (scratch_pages if mode is JournalMode.SHARE else 0)
@@ -96,6 +98,13 @@ class Pager:
             journal_path = path + JOURNAL_SUFFIX
             self.journal_file = (fs.open(journal_path) if fs.exists(journal_path)
                                  else fs.create(journal_path))
+        elif mode is JournalMode.SHARE:
+            # A journal only exists if a past commit degraded to rollback
+            # mode (SHARE unavailable); it must be reopened so recovery
+            # can see a live header from a crashed fallback commit.
+            journal_path = path + JOURNAL_SUFFIX
+            if fs.exists(journal_path):
+                self.journal_file = fs.open(journal_path)
         elif mode is JournalMode.WAL:
             wal_path = path + WAL_SUFFIX
             self.wal_file = (fs.open(wal_path) if fs.exists(wal_path)
@@ -173,12 +182,18 @@ class Pager:
     def _commit_rollback(self, dirty: Dict[int, Any]) -> None:
         journal = self.journal_file
         before = [(pgno, self._read_committed(pgno)) for pgno in sorted(dirty)]
-        records = [(_JHDR_LIVE, len(before))]
-        records.extend(("jimg", pgno, image) for pgno, image in before)
-        journal.fallocate(len(records))
-        journal.pwrite_blocks(0, records)
+        images = [("jimg", pgno, image) for pgno, image in before]
+        journal.fallocate(1 + len(images))
+        # Images first, live header last: the header is the journal's
+        # commit point.  Were it written first, a crash between header
+        # and images would leave a live header over a previous commit's
+        # stale before-images — and recovery would roll back acknowledged
+        # data.
+        journal.pwrite_blocks(1, images)
         journal.fsync()
-        self.stats.journal_page_writes += len(records)
+        journal.pwrite_block(0, (_JHDR_LIVE, len(images)))
+        journal.fsync()
+        self.stats.journal_page_writes += len(images) + 1
         self.faults.checkpoint("sqlite.after_journal")
         for pgno in sorted(dirty):
             self._in_place_write(pgno, dirty[pgno])
@@ -269,9 +284,30 @@ class Pager:
         self.faults.checkpoint("sqlite.after_share_stage")
         ranges = [(pgno, scratch_base + index, 1)
                   for index, pgno in enumerate(pgnos)]
-        share_file_ranges(self.db_file, self.db_file, ranges)
+        try:
+            self.resilience.share_file_ranges(self.db_file, self.db_file,
+                                              ranges)
+        except ResilienceError:
+            # SHARE unavailable: finish this commit in rollback-journal
+            # mode.  The journal file is created on first use and kept;
+            # opening the pager in SHARE mode replays a live journal, so
+            # a crash mid-fallback recovers exactly like ROLLBACK mode.
+            # The staged scratch copies are stranded either way.
+            self.faults.checkpoint("sqlite.share_fallback")
+            self.resilience.record_fallback()
+            self._ensure_journal()
+            self._commit_rollback(dirty)
+            self._scratch_cursor += len(pgnos)
+            return
         self.stats.share_pairs += len(pgnos)
         self._scratch_cursor += len(pgnos)
+
+    def _ensure_journal(self) -> None:
+        if self.journal_file is None:
+            journal_path = self.path + JOURNAL_SUFFIX
+            self.journal_file = (self.fs.open(journal_path)
+                                 if self.fs.exists(journal_path)
+                                 else self.fs.create(journal_path))
 
     # ------------------------------------------------------------ recovery
 
@@ -286,13 +322,18 @@ class Pager:
             pager._recover_rollback()
         elif mode is JournalMode.WAL:
             pager._recover_wal()
-        # SHARE and XFTL need no host-side recovery: the device's atomic
-        # mapping commit was the transaction's commit point.
+        elif mode is JournalMode.SHARE:
+            # SHARE itself needs no host-side recovery (the device's
+            # atomic mapping commit was the commit point), but a commit
+            # that degraded to the rollback journal might have died
+            # mid-write — replay its journal like ROLLBACK mode would.
+            pager._recover_rollback()
+        # XFTL needs no host-side recovery at all.
         return pager
 
     def _recover_rollback(self) -> None:
         journal = self.journal_file
-        if journal.block_count == 0:
+        if journal is None or journal.block_count == 0:
             return
         lpn = journal.block_lpn(0)
         if not self.fs.ssd.ftl.is_mapped(lpn):
@@ -301,6 +342,13 @@ class Pager:
         if not (isinstance(header, tuple) and header[0] == _JHDR_LIVE):
             return
         count = header[1]
+        # A live header is only published after its images are durable,
+        # so every image block must be mapped; an unmapped one means the
+        # journal predates that protocol (or the media lost pages) and
+        # must not be replayed.
+        if any(not self.fs.ssd.ftl.is_mapped(journal.block_lpn(block))
+               for block in range(1, 1 + count)):
+            return
         restored = 0
         for block in range(1, 1 + count):
             record = journal.pread_block(block)

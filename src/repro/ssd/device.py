@@ -122,8 +122,26 @@ class Ssd:
 
     # ------------------------------------------------------------ commands
 
+    def _gate(self, kind: str, lpns: Sequence[int],
+              phase: str = "submit") -> None:
+        """Command-fault gate at the host→device boundary.
+
+        Consulted at submission (before any media work) and completion
+        (after the work, modelling a lost completion).  Latency-spike
+        delays are charged to the clock; error faults raise typed
+        :class:`DeviceError` subclasses the host resilience layer
+        handles.  Disarmed cost: one attribute check."""
+        commands = self.faults.commands
+        if not commands.active:
+            return
+        delay_us = commands.on_command(kind, lpns, phase)
+        if delay_us:
+            self.stats.busy_us += delay_us
+            self.clock.advance(delay_us)
+
     def read(self, lpn: int) -> Any:
         """Read one page (through the controller DRAM cache if enabled)."""
+        self._gate("read", (lpn,))
         with self.telemetry.tracer.span("device.read"):
             before = self._work_snapshot()
             cached = self.cache.lookup(lpn)
@@ -140,6 +158,7 @@ class Ssd:
 
     def write(self, lpn: int, data: Any) -> None:
         """Write one page (out-of-place inside the device)."""
+        self._gate("write", (lpn,))
         with self.faults.operation("device.write", (lpn,)), \
                 self.telemetry.tracer.span("device.write"):
             before = self._work_snapshot()
@@ -154,6 +173,7 @@ class Ssd:
         overhead, per-page programs)."""
         if not pages:
             raise DeviceError("write_multi with no pages")
+        self._gate("write", tuple(range(lpn, lpn + len(pages))))
         with self.faults.operation("device.write_multi",
                                    tuple(range(lpn, lpn + len(pages)))), \
                 self.telemetry.tracer.span("device.write"):
@@ -171,8 +191,9 @@ class Ssd:
         Park et al. / FusionIO-style).  All pages land or none do."""
         if not items:
             raise DeviceError("write_atomic with no pages")
-        with self.faults.operation("device.awrite",
-                                   tuple(lpn for lpn, __ in items)), \
+        lpns = tuple(lpn for lpn, __ in items)
+        self._gate("awrite", lpns)
+        with self.faults.operation("device.awrite", lpns), \
                 self.telemetry.tracer.span("device.write", atomic=True):
             before = self._work_snapshot()
             self.ftl.write_atomic(items)
@@ -184,6 +205,7 @@ class Ssd:
             self._finish("write", items[0][0], len(items), before,
                          len(items)
                          * self.timing.program_latency(self.page_size))
+            self._gate("awrite", lpns, "complete")
 
     # X-FTL transactional interface (Section 6.2 baseline) --------------
 
@@ -221,6 +243,7 @@ class Ssd:
 
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate a logical range."""
+        self._gate("trim", tuple(range(lpn, lpn + max(count, 1))))
         with self.faults.operation("device.trim",
                                    tuple(range(lpn, lpn + max(count, 1)))), \
                 self.telemetry.tracer.span("device.trim"):
@@ -247,6 +270,7 @@ class Ssd:
         """Barrier: persist pending mapping changes.  Data-page writes are
         durable at command completion already (no volatile write cache is
         modelled), matching the paper's O_DIRECT setup."""
+        self._gate("flush", ())
         with self.faults.operation("device.flush"), \
                 self.telemetry.tracer.span("device.flush"):
             before = self._work_snapshot()
@@ -258,8 +282,9 @@ class Ssd:
         """Vendor-unique SHARE command (ranged form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        with self.faults.operation("device.share",
-                                   tuple(range(dst_lpn, dst_lpn + length))), \
+        lpns = tuple(range(dst_lpn, dst_lpn + length))
+        self._gate("share", lpns)
+        with self.faults.operation("device.share", lpns), \
                 self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share(dst_lpn, src_lpn, length)
@@ -268,13 +293,15 @@ class Ssd:
             self.stats.share_pairs += length
             self._finish("share", dst_lpn, length, before,
                          length * self.timing.map_update_us)
+            self._gate("share", lpns, "complete")
 
     def share_batch(self, pairs: Sequence[SharePair]) -> None:
         """Vendor-unique SHARE command (batched pair form)."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
-        with self.faults.operation("device.share",
-                                   tuple(pair.dst_lpn for pair in pairs)), \
+        lpns = tuple(pair.dst_lpn for pair in pairs)
+        self._gate("share", lpns)
+        with self.faults.operation("device.share", lpns), \
                 self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share_batch(pairs)
@@ -284,6 +311,7 @@ class Ssd:
             self.stats.share_pairs += len(pairs)
             self._finish("share", pairs[0].dst_lpn, len(pairs), before,
                          len(pairs) * self.timing.map_update_us)
+            self._gate("share", lpns, "complete")
 
     # ----------------------------------------------------------- internals
 

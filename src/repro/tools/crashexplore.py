@@ -7,6 +7,8 @@ Usage::
         --out report.jsonl --max-points 150
     python -m repro.tools.crashexplore --workload linkbench-small \\
         --media-faults
+    python -m repro.tools.crashexplore --workload linkbench-small \\
+        --chaos
     python -m repro.tools.crashexplore --list
 
 The default sweep enumerates every power-failure point the chosen
@@ -21,10 +23,21 @@ failures forcing block retirement, erase failures, sticky dead pages,
 and sampled power+read-fault combinations (see
 ``docs/fault-injection.md``).  ``--media-modes`` narrows the mode list.
 
+``--chaos`` selects the third sweep dimension: every SHARE command the
+workload issues is targeted in turn with a host-boundary command fault
+— timeouts healed by retry, device-busy backpressure, sticky SHARE
+outages every engine must survive through its classic two-phase
+fallback, and outage+power-failure combinations checking the
+``no_lost_fallback`` invariant at the fallback boundary (see
+``docs/resilience.md``).  ``--chaos-modes`` narrows the mode list.
+Only workloads whose harnesses route SHARE through the resilience
+layer can be swept.
+
 Each verdict is appended to the JSONL report as a ``{"type":
-"crashcheck", ...}`` or ``{"type": "mediacheck", ...}`` record — the
-same sink format the telemetry subsystem uses — followed by one summary
-record.  Exit status is 1 when any invariant was violated.
+"crashcheck", ...}``, ``{"type": "mediacheck", ...}`` or ``{"type":
+"chaoscheck", ...}`` record — the same sink format the telemetry
+subsystem uses — followed by one summary record.  Exit status is 1
+when any invariant was violated.
 """
 
 from __future__ import annotations
@@ -33,6 +46,10 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.crashcheck.chaosfaults import (ALL_CHAOS_MODES,
+                                          enumerate_chaos_occurrences,
+                                          enumerate_share_commands,
+                                          explore_chaos)
 from repro.crashcheck.explorer import enumerate_occurrences, explore
 from repro.crashcheck.mediafaults import (ALL_MODES, GENERIC_MODES,
                                           MODE_UNCORRECTABLE,
@@ -119,6 +136,50 @@ def _media_sweep(args, factory, sink) -> int:
     return 0
 
 
+def _chaos_sweep(args, factory, sink) -> int:
+    if not hasattr(factory, "guards"):
+        print(f"[crashexplore] workload {args.workload!r} does not route "
+              f"SHARE through the resilience layer (no guards()); the "
+              f"chaos sweep has nothing to verify there", file=sys.stderr)
+        return 2
+    modes = ALL_CHAOS_MODES
+    if args.chaos_modes:
+        modes = tuple(args.chaos_modes.split(","))
+        unknown = [mode for mode in modes if mode not in ALL_CHAOS_MODES]
+        if unknown:
+            print(f"[crashexplore] unknown chaos mode(s): "
+                  f"{', '.join(unknown)} (choose from "
+                  f"{', '.join(ALL_CHAOS_MODES)})", file=sys.stderr)
+            return 2
+    share_commands = enumerate_share_commands(factory)
+    occurrences = enumerate_chaos_occurrences(
+        factory, modes, share_commands=share_commands)
+    print(f"[crashexplore] workload {args.workload}: "
+          f"{share_commands} SHARE commands -> {len(occurrences)} chaos "
+          f"injections across modes {', '.join(modes)}")
+    if args.max_points is not None and len(occurrences) > args.max_points:
+        print(f"[crashexplore] budget cap: sampling {args.max_points} "
+              f"injections evenly across the sweep")
+    report = explore_chaos(factory, args.workload, modes=modes,
+                           occurrences=occurrences,
+                           max_points=args.max_points, sink=sink)
+    summary = report.summary()
+    print(f"[crashexplore] explored {summary['explored']} injections: "
+          f"{summary['fired']} fired, {summary['crashed']} crashed, "
+          f"{summary['retries']} retries, {summary['fallbacks']} "
+          f"fallbacks, {summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL {result.mode} "
+                          f"#{result.nth}: {violation}", file=sys.stderr)
+        return 1
+    print("[crashexplore] all invariants held at every explored injection")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.crashexplore",
@@ -144,6 +205,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              f"({', '.join(ALL_MODES)}; default: all "
                              f"generic modes, plus 'uncorrectable' on "
                              f"ftl-basic)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="sweep host-boundary command faults (SHARE "
+                             "timeouts, busy bursts, sticky outages, "
+                             "outage+power) instead of power failures")
+    parser.add_argument("--chaos-modes", default=None, metavar="M1,M2",
+                        help="comma-separated chaos modes "
+                             f"({', '.join(ALL_CHAOS_MODES)}; "
+                             f"default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available workloads and exit")
     parser.add_argument("--quiet", action="store_true",
@@ -155,11 +224,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
 
+    if args.media_faults and args.chaos:
+        print("[crashexplore] --media-faults and --chaos are separate "
+              "sweep dimensions; pick one per run", file=sys.stderr)
+        return 2
     factory = WORKLOADS[args.workload]
     sink = JsonlSink(args.out)
     try:
         if args.media_faults:
             return _media_sweep(args, factory, sink)
+        if args.chaos:
+            return _chaos_sweep(args, factory, sink)
         return _power_sweep(args, factory, sink)
     finally:
         sink.close()

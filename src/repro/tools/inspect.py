@@ -77,6 +77,7 @@ def gather_report(ssd: Ssd) -> Dict[str, object]:
         "share_table_used": ftl.rev.extra_entries,
         "share_table_capacity": ftl.rev.capacity,
         "share_table_spilled": ftl.rev.spilled_entries,
+        "share_table_spill_peak": ftl.rev.spilled_peak,
         "log_backed_mappings": len(ftl._share_backed),
         "trim_tombstones": len(ftl._trim_tombstones),
         "map_page_writes": ftl.map_page_writes,

@@ -116,3 +116,92 @@ def test_rebuild(rev):
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         ReverseMap(0)
+
+
+class TestSpillChurn:
+    """Overflow behaviour under sustained add/drop churn past capacity."""
+
+    def test_overflow_spills_and_stays_resolvable(self, rev):
+        rev.set_primary(10, 0)
+        fits = [rev.add_extra(10, lpn) for lpn in range(1, 7)]
+        assert fits == [True] * 4 + [False] * 2
+        assert rev.extra_entries == 4
+        assert rev.spilled_entries == 2
+        assert rev.spilled_refs_of(10) == {5, 6}
+        # Spilled references still count as references: the page stays
+        # valid and refs() reports them.
+        assert rev.refs(10) == set(range(7))
+        assert rev.is_spilled(10, 5) and not rev.is_spilled(10, 1)
+
+    def test_fifo_order_survives_interleaved_churn(self, rev):
+        for ppn in range(10, 16):
+            rev.set_primary(ppn, ppn * 100)
+        for ppn in range(10, 14):
+            rev.add_extra(ppn, ppn)           # fills the table: 10..13
+        rev.add_extra(14, 14)                 # spills
+        assert rev.oldest_extra() == (10, 10)
+        rev.drop_ref(11, 11)                  # free a middle entry
+        rev.add_extra(15, 15)                 # takes the freed slot
+        # FIFO order is insertion order of the surviving DRAM entries,
+        # not PPN order: 10, 12, 13, then the late arrival 15.
+        order = []
+        while rev.oldest_extra() is not None:
+            ppn, lpn = rev.oldest_extra()
+            order.append((ppn, lpn))
+            rev.drop_ref(ppn, lpn)
+        assert order == [(10, 10), (12, 12), (13, 13), (15, 15)]
+
+    def test_drop_spilled_ref_releases_overflow(self, rev):
+        rev.set_primary(10, 0)
+        for lpn in range(1, 6):
+            rev.add_extra(10, lpn)
+        assert rev.spilled_entries == 1
+        assert not rev.drop_ref(10, 5)
+        assert rev.spilled_entries == 0
+        assert rev.spilled_refs_of(10) == set()
+        assert rev.refs(10) == {0, 1, 2, 3, 4}
+
+    def test_peak_is_monotone_high_water_mark(self, rev):
+        rev.set_primary(10, 0)
+        for lpn in range(1, 8):               # 4 fit, 3 spill
+            rev.add_extra(10, lpn)
+        assert rev.spilled_entries == 3
+        assert rev.spilled_peak == 3
+        rev.drop_ref(10, 7)
+        rev.drop_ref(10, 6)
+        # Draining the overflow does not lower the high-water mark.
+        assert rev.spilled_entries == 1
+        assert rev.spilled_peak == 3
+        rev.add_extra(10, 8)                  # back up to 2 — below peak
+        assert rev.spilled_entries == 2
+        assert rev.spilled_peak == 3
+        rev.add_extra(10, 9)
+        rev.add_extra(10, 11)                 # 4 — new peak
+        assert rev.spilled_peak == 4
+
+    def test_move_page_overflow_counts_toward_peak(self, rev):
+        rev.set_primary(10, 0)
+        for lpn in range(1, 5):
+            rev.add_extra(10, lpn)            # table now full
+        rev.set_primary(20, 50)
+        rev.add_extra(20, 51)                 # spills (peak 1)
+        assert rev.spilled_peak == 1
+        # GC moves the spilled page; the table is still full of PPN 10's
+        # entries, so the moved extra lands in overflow at its new home.
+        refs = rev.move_page(20, 21, new_primary=50)
+        assert refs == [50, 51]
+        assert rev.is_spilled(21, 51)
+        assert rev.spilled_entries == 1
+        assert rev.spilled_peak == 1
+
+    def test_rebuild_resets_peak_for_new_incarnation(self, rev):
+        rev.set_primary(10, 0)
+        for lpn in range(1, 7):
+            rev.add_extra(10, lpn)
+        assert rev.spilled_peak == 2
+        rev.rebuild([(10, 1, True), (10, 2, False)])
+        assert rev.spilled_entries == 0
+        assert rev.spilled_peak == 0
+        entries = [(20, 0, True)] + [(20, lpn, False) for lpn in range(1, 6)]
+        rev.rebuild(entries)
+        assert rev.spilled_peak == 1

@@ -1,0 +1,384 @@
+"""Tests for the host-side SHARE resilience layer: retry policy,
+circuit breaker, the guard's error contract, and — the part the paper
+never had to worry about — every engine completing its workload with a
+permanently failed SHARE command, served entirely by its classic
+two-phase fallback."""
+
+import pytest
+
+from repro.couchstore.compaction import compact
+from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
+from repro.errors import (CircuitOpenError, CommandUnsupportedError,
+                          DeviceBusyError, PowerFailure, ResilienceError,
+                          RetriesExhaustedError)
+from repro.host.datajournal import CheckpointMode, DataJournalingFs
+from repro.host.filesystem import FsConfig, HostFs
+from repro.host.resilience import (BREAKER_CLOSED, BREAKER_HALF_OPEN,
+                                   BREAKER_OPEN, CircuitBreaker,
+                                   RetryPolicy, ShareGuard)
+from repro.innodb.engine import FlushMode, InnoDBConfig, InnoDBEngine
+from repro.sim.clock import SimClock
+from repro.sim.faults import (DeviceBusy, FaultPlan, PowerFailAfter,
+                              ShareOutage)
+from repro.sim.rng import make_rng
+from repro.sqlitelike import JournalMode, SqliteLikeDb
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+
+# ------------------------------------------------------------ RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_us=0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff_us=100, backoff_multiplier=2.0,
+                             max_backoff_us=350, jitter_fraction=0.0)
+        rng = make_rng(1)
+        assert policy.backoff_us(1, rng) == 100
+        assert policy.backoff_us(2, rng) == 200
+        assert policy.backoff_us(3, rng) == 350   # capped
+        assert policy.backoff_us(9, rng) == 350
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter_fraction=0.5)
+        a = [policy.backoff_us(n, make_rng(7)) for n in range(1, 5)]
+        b = [policy.backoff_us(n, make_rng(7)) for n in range(1, 5)]
+        assert a == b
+
+    def test_jitter_stays_bounded(self):
+        policy = RetryPolicy(base_backoff_us=1000, jitter_fraction=0.25,
+                             backoff_multiplier=1.0)
+        rng = make_rng(3)
+        for __ in range(50):
+            assert 1000 <= policy.backoff_us(1, rng) <= 1250
+
+
+# --------------------------------------------------------- CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = SimClock()
+        return clock, CircuitBreaker(clock, **kwargs)
+
+    def test_trips_after_threshold(self):
+        __, breaker = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        __, breaker = self.make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_recovers(self):
+        clock, breaker = self.make(failure_threshold=1,
+                                   recovery_timeout_us=1000,
+                                   half_open_probes=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1000)
+        assert breaker.allow()                  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.allow()              # probe budget spent
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock, breaker = self.make(failure_threshold=1,
+                                   recovery_timeout_us=1000)
+        breaker.record_failure()
+        clock.advance(1000)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()              # timeout restarted
+
+    def test_force_open_latches_through_time(self):
+        clock, breaker = self.make()
+        breaker.force_open()
+        clock.advance(10 ** 9)
+        assert not breaker.allow()
+        breaker.reset()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_transition_callback_fires(self):
+        seen = []
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 on_transition=seen.append)
+        breaker.record_failure()
+        breaker.reset()
+        assert seen == [BREAKER_OPEN, BREAKER_CLOSED]
+
+    def test_validation(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, recovery_timeout_us=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, half_open_probes=0)
+
+
+# ------------------------------------------------------------- ShareGuard
+
+
+def make_guard(clock=None, **kwargs):
+    clock = clock or SimClock()
+    ssd = Ssd(clock, small_ssd_config())
+    return ShareGuard(ssd, engine="test", **kwargs)
+
+
+class Flaky:
+    """Callable failing ``failures`` times before succeeding."""
+
+    def __init__(self, failures, exc=DeviceBusyError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"injected failure {self.calls}")
+        return "ok"
+
+
+class TestShareGuard:
+    def test_retries_transient_and_succeeds(self):
+        clock = SimClock()
+        guard = make_guard(clock)
+        fn = Flaky(2)
+        assert guard.call("t", fn) == "ok"
+        assert fn.calls == 3
+        assert guard.stats.retries == 2
+        assert guard.stats.attempts == 3
+        assert clock.now_us > 0              # backoff advanced the clock
+        assert guard.breaker.state == BREAKER_CLOSED
+
+    def test_attempt_budget_exhausts(self):
+        guard = make_guard(policy=RetryPolicy(max_attempts=3),
+                           breaker=CircuitBreaker(SimClock(),
+                                                  failure_threshold=99))
+        fn = Flaky(99)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            guard.call("t", fn)
+        assert fn.calls == 3
+        assert excinfo.value.attempts == 3
+
+    def test_breaker_opening_ends_the_retry_loop(self):
+        guard = make_guard()   # threshold 3 < default 4 attempts
+        with pytest.raises(RetriesExhaustedError):
+            guard.call("t", Flaky(99))
+        assert guard.breaker.state == BREAKER_OPEN
+        with pytest.raises(CircuitOpenError):
+            guard.call("t", Flaky(0))
+        assert guard.stats.fast_fails == 1
+
+    def test_non_retryable_fails_immediately(self):
+        guard = make_guard()
+        fn = Flaky(99, exc=CommandUnsupportedError)
+        with pytest.raises(RetriesExhaustedError):
+            guard.call("t", fn)
+        assert fn.calls == 1
+        assert guard.stats.retries == 0
+
+    def test_deadline_bounds_total_time(self):
+        guard = make_guard(
+            policy=RetryPolicy(max_attempts=100, base_backoff_us=1000,
+                               jitter_fraction=0.0, deadline_us=2500),
+            breaker=CircuitBreaker(SimClock(), failure_threshold=10 ** 6))
+        with pytest.raises(RetriesExhaustedError):
+            guard.call("t", Flaky(10 ** 6))
+        assert guard.stats.deadline_exceeded == 1
+
+    def test_power_failure_is_never_swallowed(self):
+        guard = make_guard()
+
+        def die():
+            raise PowerFailure("crash")
+
+        with pytest.raises(PowerFailure):
+            guard.call("t", die)
+        # No failure recorded: a crash is not a device failure.
+        assert guard.stats.failures == 0
+
+    def test_record_fallback_counts(self):
+        guard = make_guard()
+        guard.record_fallback()
+        guard.record_fallback()
+        assert guard.stats.fallbacks == 2
+
+
+# ----------------------------------------- engines on a SHARE-dead device
+#
+# Each engine runs a real workload with a sticky SHARE outage from the
+# first command, must finish with the correct final state, and must show
+# on its guard that the fallback path (not luck) served it.
+
+
+def test_innodb_completes_on_share_outage():
+    faults = FaultPlan()
+    faults.arm_command(ShareOutage(nth=1))
+    clock = SimClock()
+    data = Ssd(clock, small_ssd_config(), faults=faults)
+    log = Ssd(clock, small_ssd_config(), faults=faults)
+    engine = InnoDBEngine(FlushMode.SHARE, data, log,
+                          InnoDBConfig(buffer_pool_pages=24,
+                                       flush_batch_pages=8),
+                          faults=faults)
+    engine.create_table("t")
+    for i in range(300):
+        with engine.transaction() as txn:
+            txn.put("t", i % 60, ("row", i))
+    engine.checkpoint()
+    for key in range(60):
+        newest = max(i for i in range(300) if i % 60 == key)
+        assert engine.table("t").get(key) == ("row", newest)
+    guard = engine.dwb.resilience
+    assert guard.stats.fallbacks > 0
+    assert guard.stats.failures > 0
+    assert data.stats.share_pairs == 0      # no SHARE ever landed
+
+
+def test_couch_commit_and_compaction_complete_on_share_outage(clock):
+    faults = FaultPlan()
+    faults.arm_command(ShareOutage(nth=1, error="timeout"))
+    ssd = Ssd(clock, small_ssd_config(), faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    store = CouchStore(fs, "/db", CommitMode.SHARE,
+                       CouchConfig(leaf_capacity=4, internal_fanout=8,
+                                   prealloc_blocks=64))
+    for round_number in range(3):
+        for key in range(40):
+            store.set(key, (f"v{round_number}", key))
+        store.commit()
+    new_store, result = compact(store, clock)
+    assert result.mode == "copy"            # SHARE compaction degraded
+    for key in range(40):
+        assert new_store.get(key) == ("v2", key)
+    guard = new_store.resilience
+    assert guard is store.resilience        # guard survives compaction
+    assert guard.stats.fallbacks > 0
+    assert ssd.stats.share_pairs == 0
+
+
+def test_sqlite_completes_on_share_outage():
+    faults = FaultPlan()
+    faults.arm_command(ShareOutage(nth=1))
+    clock = SimClock()
+    ssd = Ssd(clock, small_ssd_config(), faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    db = SqliteLikeDb(fs, "/app.db", JournalMode.SHARE, page_count=600,
+                      faults=faults)
+    for i in range(120):
+        db.put(i % 30, ("row", i))
+    for key in range(30):
+        newest = max(i for i in range(120) if i % 30 == key)
+        assert db.get(key) == ("row", newest)
+    guard = db.pager.resilience
+    assert guard.stats.fallbacks > 0
+    assert db.pager.stats.share_pairs == 0
+    assert db.pager.stats.journal_page_writes > 0   # rollback mode ran
+
+
+def test_sqlite_crash_mid_fallback_recovers():
+    """Power dies inside a degraded (rollback-journal) commit; reopening
+    in SHARE mode must replay the journal like ROLLBACK mode would."""
+    faults = FaultPlan()
+    faults.arm_command(ShareOutage(nth=1))
+    clock = SimClock()
+    ssd = Ssd(clock, small_ssd_config(), faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    db = SqliteLikeDb(fs, "/app.db", JournalMode.SHARE, page_count=600,
+                      faults=faults)
+    db.put(1, "committed")
+    # Die between the journal write and the home writes of the next
+    # degraded commit: the journal is live, the home pages are dirty.
+    faults.arm(PowerFailAfter("sqlite.after_journal"))
+    with pytest.raises(PowerFailure):
+        db.put(1, "doomed")
+    ssd.power_cycle()
+    faults.disarm()
+    faults.disarm_commands()
+    reopened = SqliteLikeDb.open(fs, "/app.db", JournalMode.SHARE,
+                                 page_count=600)
+    assert reopened.get(1) == "committed"
+    reopened.put(1, "after")
+    assert reopened.get(1) == "after"
+
+
+def test_datajournal_completes_on_share_outage(clock):
+    faults = FaultPlan()
+    faults.arm_command(ShareOutage(nth=1))
+    ssd = Ssd(clock, small_ssd_config(), faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    journal = DataJournalingFs(fs, CheckpointMode.SHARE, journal_blocks=16)
+    file = fs.create("/data")
+    file.fallocate(48)
+    for step in range(8):
+        journal.begin()
+        journal.journaled_write(file, step % 12, ("blk", step))
+        journal.commit()
+    journal.checkpoint()
+    for block in range(12):
+        steps = [s for s in range(8) if s % 12 == block]
+        if steps:
+            assert journal.read(file, block) == ("blk", max(steps))
+            assert file.pread_block(block) == ("blk", max(steps))
+    guard = journal.resilience
+    assert guard.stats.fallbacks > 0
+    assert journal.stats.checkpoint_share_pairs == 0
+    assert journal.stats.checkpoint_writes > 0      # classic copies ran
+
+
+def test_transient_busy_heals_without_fallback(clock):
+    """A busy burst under the retry budget must be absorbed: no
+    fallback, SHARE still lands."""
+    faults = FaultPlan()
+    faults.arm_command(DeviceBusy("share", nth=1, clears_after=2))
+    ssd = Ssd(clock, small_ssd_config(), faults=faults)
+    fs = HostFs(ssd, FsConfig(journal_blocks=8))
+    db = SqliteLikeDb(fs, "/app.db", JournalMode.SHARE, page_count=600,
+                      faults=faults)
+    for i in range(40):
+        db.put(i % 10, ("row", i))
+    guard = db.pager.resilience
+    assert guard.stats.retries >= 2
+    assert guard.stats.fallbacks == 0
+    assert db.pager.stats.share_pairs > 0
+
+
+def test_engines_can_share_one_breaker(clock):
+    """Two guards on one breaker: a trip seen by one engine fast-fails
+    the other (the per-device blast-radius model)."""
+    ssd = Ssd(clock, small_ssd_config())
+    breaker = CircuitBreaker(clock, failure_threshold=1)
+    guard_a = ShareGuard(ssd, engine="a", breaker=breaker)
+    guard_b = ShareGuard(ssd, engine="b", breaker=breaker)
+    with pytest.raises(ResilienceError):
+        guard_a.call("t", Flaky(99, exc=CommandUnsupportedError))
+    with pytest.raises(CircuitOpenError):
+        guard_b.call("t", Flaky(0))
