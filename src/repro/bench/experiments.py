@@ -62,7 +62,9 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
                        collect_latencies: bool = False,
                        concurrency: int = LINKBENCH_CLIENTS,
                        telemetry=None,
-                       force_fallback: bool = False) -> Dict:
+                       force_fallback: bool = False,
+                       queue_depth: int = 1,
+                       channel_count: Optional[int] = None) -> Dict:
     """One (mode, page size, buffer size) cell of the MySQL experiments.
 
     With ``telemetry`` the whole stack is instrumented: spans and metric
@@ -77,7 +79,9 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
     db_pages = _estimate_db_pages(params.linkbench_nodes, leaf_capacity)
     buffer_pages = buffer_pages_for(paper_buffer_mib, db_pages, page_size)
     stack = build_innodb_stack(mode, page_size, buffer_pages, db_pages,
-                               telemetry=telemetry)
+                               telemetry=telemetry,
+                               queue_depth=queue_depth,
+                               channel_count=channel_count)
     if force_fallback:
         stack.engine.dwb.resilience.breaker.force_open()
     tel = stack.data_ssd.telemetry
@@ -117,6 +121,9 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
         "write_amplification": stats.write_amplification,
         "max_erase": stack.data_ssd.nand.max_erase_count,
         "resilience_fallbacks": stack.engine.dwb.resilience.stats.fallbacks,
+        "queue_depth": queue_depth,
+        "channel_count": stack.data_ssd.channels.channel_count,
+        "data_queue_report": stack.data_ssd.queue_report(),
     }
     if collect_latencies:
         cell["latency_table"] = result.latencies.table()
@@ -126,7 +133,9 @@ def run_linkbench_cell(mode: FlushMode, page_size: int,
 def linkbench_telemetry(scale: Scale = Scale.QUICK,
                         mode: FlushMode = FlushMode.SHARE,
                         jsonl_path: str = "results/linkbench_telemetry.jsonl",
-                        snapshot_interval_us: int = 1_000_000) -> Dict:
+                        snapshot_interval_us: int = 1_000_000,
+                        queue_depth: int = 1,
+                        channel_count: Optional[int] = None) -> Dict:
     """One fully instrumented LinkBench cell: runs (mode, 4 KiB, 50 MB)
     with a JSONL sink and returns the cell dict plus the artifact path.
 
@@ -144,7 +153,9 @@ def linkbench_telemetry(scale: Scale = Scale.QUICK,
     try:
         cell = run_linkbench_cell(mode, 4096, 50, SCALES[scale],
                                   collect_latencies=True,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry,
+                                  queue_depth=queue_depth,
+                                  channel_count=channel_count)
     finally:
         telemetry.close()
     cell["jsonl_path"] = jsonl_path

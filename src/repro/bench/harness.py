@@ -18,6 +18,7 @@ overnight runs.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -30,7 +31,9 @@ from repro.host.filesystem import FsConfig, HostFs
 from repro.innodb.engine import FlushMode, InnoDBConfig, InnoDBEngine
 from repro.postgres.engine import PostgresConfig, PostgresEngine
 from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
 from repro.ssd.device import Ssd, SsdConfig
+from repro.ssd.ncq import NativeCommandQueue
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -119,7 +122,10 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
                        share_table_entries: int = 250,
                        age_device: bool = True,
                        trace_capacity: int = 0,
-                       telemetry=None) -> InnoDbStack:
+                       telemetry=None,
+                       queue_depth: int = 1,
+                       channel_count: Optional[int] = None,
+                       plane_ways: int = 1) -> InnoDbStack:
     """Assemble data device + log device + engine for one experiment cell.
 
     ``leaf_capacity`` scales with the page size by default: bigger pages
@@ -128,15 +134,29 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
     pre-run so garbage collection is active in steady state.  Passing a
     :class:`repro.obs.Telemetry` instruments both devices (metric prefixes
     ``device.data`` and ``device.log``) and every layer above them.
+
+    ``queue_depth``/``channel_count``/``plane_ways`` configure the
+    event-driven execution core.  The defaults reproduce the serial
+    model bit-for-bit.  At ``queue_depth=1`` both devices share one
+    native command queue — the host issues synchronously, one command
+    outstanding across the whole stack, exactly the old model; at
+    higher depths each device gets its own queue and commands from
+    different clients pipeline.
     """
     clock = SimClock()
+    events = EventScheduler(clock)
+    shared_ncq = NativeCommandQueue(1) if queue_depth == 1 else None
     geometry = innodb_device_geometry(page_size, db_pages_estimate)
+    if channel_count is not None:
+        geometry = dataclasses.replace(geometry,
+                                       channel_count=channel_count)
     data_ssd = Ssd(clock, SsdConfig(
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
                       map_block_count=_map_blocks_for(geometry.block_count)),
-        trace_capacity=trace_capacity),
-        telemetry=telemetry, name="data")
+        trace_capacity=trace_capacity,
+        queue_depth=queue_depth, plane_ways=plane_ways),
+        telemetry=telemetry, name="data", events=events, ncq=shared_ncq)
     if age_device:
         # Light sequential pre-fill of the region the database will NOT
         # overwrite is pointless cold weight; the paper-faithful aging is
@@ -147,11 +167,15 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
     log_geometry = FlashGeometry(page_size=page_size, pages_per_block=128,
                                  block_count=max(
                                      32, geometry.block_count // 2),
-                                 overprovision_ratio=0.08)
+                                 overprovision_ratio=0.08,
+                                 channel_count=geometry.channel_count)
     log_ssd = Ssd(clock, SsdConfig(geometry=log_geometry,
                                    timing=SATA_SSD_TIMING,
-                                   share_enabled=False),
-                  telemetry=telemetry, name="log")
+                                   share_enabled=False,
+                                   queue_depth=queue_depth,
+                                   plane_ways=plane_ways),
+                  telemetry=telemetry, name="log", events=events,
+                  ncq=shared_ncq)
     if leaf_capacity is None:
         leaf_capacity = max(8, 32 * (page_size // 4096))
     config = InnoDBConfig(
@@ -195,13 +219,18 @@ def build_couch_stack(mode: CommitMode, record_count: int,
                       config: Optional[CouchConfig] = None,
                       share_table_entries: int = 250,
                       age_device: bool = False,
-                      telemetry=None) -> CouchStack:
+                      telemetry=None,
+                      queue_depth: int = 1,
+                      channel_count: Optional[int] = None,
+                      plane_ways: int = 1) -> CouchStack:
     """Assemble the device + filesystem + couchstore for one cell.
 
     The device is sized for the record set plus the append churn of the
     run so compaction pressure (stale ratio) builds as in the paper.
     ``telemetry`` instruments the device (prefix ``device.data``) and the
-    store above it."""
+    store above it.  ``queue_depth``/``channel_count``/``plane_ways``
+    configure the event-driven core; the defaults reproduce the serial
+    model bit-for-bit."""
     clock = SimClock()
     churn = operations_estimate * 6
     needed_logical = record_count * 2 + churn + 4096
@@ -209,10 +238,14 @@ def build_couch_stack(mode: CommitMode, record_count: int,
                              block_count=max(
                                  64, -(-needed_logical // int(128 * 0.92))),
                              overprovision_ratio=0.08)
+    if channel_count is not None:
+        geometry = dataclasses.replace(geometry,
+                                       channel_count=channel_count)
     ssd = Ssd(clock, SsdConfig(
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
-                      map_block_count=_map_blocks_for(geometry.block_count))),
+                      map_block_count=_map_blocks_for(geometry.block_count)),
+        queue_depth=queue_depth, plane_ways=plane_ways),
         telemetry=telemetry, name="data")
     if age_device:
         ssd.age(fill_fraction=0.5, rewrite_fraction=0.3)

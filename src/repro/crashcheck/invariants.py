@@ -98,7 +98,10 @@ def media_accounting(name: str, ssd) -> List[str]:
         violations.append(
             f"{name}: media-accounting: grown-bad block {block} is held "
             f"as a spare")
-    for role, active in (("host", ftl._active_host), ("gc", ftl._active_gc)):
+    actives = [("gc", ftl._active_gc)]
+    actives.extend((f"host(ch{channel})", block)
+                   for channel, block in sorted(ftl._active_host.items()))
+    for role, active in actives:
         if active is not None and active in grown:
             violations.append(
                 f"{name}: media-accounting: grown-bad block {active} is "

@@ -89,16 +89,19 @@ def _small_ssd(faults: FaultPlan, clock: SimClock,
                block_count: int = 48, pages_per_block: int = 16,
                overprovision: float = 0.2, map_blocks: int = 4,
                share_entries: int = 64, gc_low_water: int = 3,
-               gc_high_water: int = 6, spare_blocks: int = 0) -> Ssd:
+               gc_high_water: int = 6, spare_blocks: int = 0,
+               queue_depth: int = 1, channel_count: int = 1) -> Ssd:
     geometry = FlashGeometry(page_size=4096, pages_per_block=pages_per_block,
                              block_count=block_count,
-                             overprovision_ratio=overprovision)
+                             overprovision_ratio=overprovision,
+                             channel_count=channel_count)
     config = SsdConfig(geometry=geometry, timing=FAST_TIMING,
                        ftl=FtlConfig(map_block_count=map_blocks,
                                      share_table_entries=share_entries,
                                      gc_low_water=gc_low_water,
                                      gc_high_water=gc_high_water,
-                                     spare_block_count=spare_blocks))
+                                     spare_block_count=spare_blocks),
+                       queue_depth=queue_depth)
     return Ssd(clock, config, faults=faults)
 
 
@@ -251,6 +254,164 @@ class FtlBasicHarness:
                     violations.append(
                         f"ftl: LPN {lpn} reads {ftl.read(lpn)!r}, expected "
                         f"{expected!r} or {pending!r}")
+        return violations
+
+
+# --------------------------------------------------------------- ftl-queued
+
+
+class QueuedFtlHarness:
+    """Raw device commands issued by concurrent closed-loop clients
+    through a deep command queue over two channels.
+
+    This is the ack-boundary contract under *concurrency*: commands from
+    different clients overlap inside the device, completion events (and
+    the deferred ``*.ack`` checkpoints the journal records) fire in
+    device-completion order, and a crash may strand several in-flight
+    commands at once.  The oracle therefore reasons per-LPN over the
+    full unacked *set* — :meth:`FaultPlan.unacked_ops` — instead of the
+    single interrupted operation the serial harnesses assume.
+
+    Each client owns a disjoint LPN range, so the submission order of
+    one LPN's writes is one session's order and the last-writer is
+    well defined even while commands interleave.
+    """
+
+    name = "ftl-queued"
+
+    #: clients, and the LPN span each one owns
+    CLIENTS = 3
+    SPAN = 16
+
+    def __init__(self, faults: FaultPlan) -> None:
+        self.faults = faults
+        self.clock = SimClock()
+        self.ssd = _small_ssd(faults, self.clock, block_count=20,
+                              overprovision=0.2, share_entries=16,
+                              spare_blocks=2, queue_depth=4,
+                              channel_count=2)
+        # Per-LPN submission history: every value ever submitted, in
+        # session (= per-LPN completion) order.
+        self.history: Dict[int, List[object]] = {}
+        self.crashed = False
+        self.aborted = False
+        # LPNs currently in a share pair — never reused as a source or
+        # destination, so the 2-reference media bound stays a promise
+        # this workload keeps (as in ftl-basic).
+        self._share_members: set = set()
+
+    def run(self) -> None:
+        from repro.ssd.ncq import DeviceSession, issuing
+        rng = random.Random(0x0E0)
+        ssd = self.ssd
+        sessions = [DeviceSession(client, self.clock.now_us)
+                    for client in range(self.CLIENTS)]
+        try:
+            for step in range(180):
+                client = step % self.CLIENTS
+                session = sessions[client]
+                base = client * self.SPAN
+                roll = rng.random()
+                with issuing(session, ssd):
+                    if roll < 0.62:
+                        lpn = base + rng.randrange(self.SPAN)
+                        value = ("q", step, lpn)
+                        # History records the *submission* (before the
+                        # command runs): a crash mid-command leaves this
+                        # value as the LPN's trailing unacked entry.
+                        self.history.setdefault(lpn, []).append(value)
+                        self._share_members.discard(lpn)
+                        ssd.write(lpn, value)
+                    elif roll < 0.82:
+                        # Share within the client's own range (so the
+                        # copied value is this session's latest) and
+                        # never from or onto an existing pair member.
+                        owned = [l for l in sorted(self.history)
+                                 if base <= l < base + self.SPAN
+                                 and l not in self._share_members]
+                        if not owned:
+                            continue
+                        src = rng.choice(owned)
+                        dst = base + rng.randrange(self.SPAN)
+                        if dst == src or dst in self._share_members:
+                            continue
+                        self.history.setdefault(dst, []).append(
+                            self.history[src][-1])
+                        self._share_members.update((src, dst))
+                        try:
+                            ssd.share(dst, src, 1)
+                        except ShareError:
+                            self.history[dst].pop()
+                            self._share_members.difference_update(
+                                (src, dst))
+                            continue
+                    elif roll < 0.94:
+                        owned = [l for l in sorted(self.history)
+                                 if base <= l < base + self.SPAN]
+                        if not owned:
+                            continue
+                        ssd.read(rng.choice(owned))
+                    else:
+                        ssd.flush()
+                ssd.poll(session.now_us)
+            ssd.drain()
+        except PowerFailure:
+            self.crashed = True
+            raise
+        except DeviceError:
+            self.aborted = True
+            raise
+
+    def recover(self) -> List[DeviceState]:
+        self.ssd.power_cycle()
+        return [DeviceState("ftl-queued", self.ssd, 2)]
+
+    def check_engine(self) -> List[str]:
+        violations: List[str] = []
+        ftl = self.ssd.ftl
+        unacked = self.faults.unacked_ops()
+        if not self.crashed and not self.aborted and unacked:
+            violations.append(
+                f"ftl-queued: no crash, yet {len(unacked)} operations are "
+                f"recorded unacked: {unacked!r}")
+        # How many of each LPN's trailing submissions never acked.  A
+        # write journals its one LPN; a share journals its destination.
+        unacked_count: Dict[int, int] = {}
+        for record in unacked:
+            for lpn in record.lpns:
+                unacked_count[lpn] = unacked_count.get(lpn, 0) + 1
+        for lpn, values in sorted(self.history.items()):
+            pending = min(unacked_count.get(lpn, 0), len(values))
+            if pending == 0:
+                # Every submission acked: the strict contract applies.
+                expected = values[-1]
+                if not ftl.is_mapped(lpn):
+                    violations.append(
+                        f"ftl-queued: acked LPN {lpn} lost "
+                        f"(expected {expected!r})")
+                elif ftl.read(lpn) != expected:
+                    violations.append(
+                        f"ftl-queued: acked LPN {lpn} reads "
+                        f"{ftl.read(lpn)!r}, expected {expected!r}")
+                continue
+            # The trailing ``pending`` submissions are ambiguous; the
+            # value before them is the last one known acked.
+            allowed = {repr(v) for v in values[-pending:]}
+            acked_prefix = values[:-pending]
+            if acked_prefix:
+                allowed.add(repr(acked_prefix[-1]))
+                if not ftl.is_mapped(lpn):
+                    violations.append(
+                        f"ftl-queued: LPN {lpn} lost under interrupted "
+                        f"rewrite (had acked value "
+                        f"{acked_prefix[-1]!r})")
+                    continue
+            elif not ftl.is_mapped(lpn):
+                continue   # first-ever write interrupted: unmapped is fine
+            if repr(ftl.read(lpn)) not in allowed:
+                violations.append(
+                    f"ftl-queued: LPN {lpn} reads {ftl.read(lpn)!r}, "
+                    f"expected one of {sorted(allowed)}")
         return violations
 
 
@@ -711,6 +872,7 @@ class PostgresHarness:
 
 WORKLOADS = {
     harness.name: harness
-    for harness in (FtlBasicHarness, CouchHarness, LinkbenchHarness,
-                    SqliteHarness, DataJournalHarness, PostgresHarness)
+    for harness in (FtlBasicHarness, QueuedFtlHarness, CouchHarness,
+                    LinkbenchHarness, SqliteHarness, DataJournalHarness,
+                    PostgresHarness)
 }

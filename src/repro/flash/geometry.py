@@ -34,12 +34,18 @@ class FlashGeometry:
         Fraction of raw capacity hidden from the host; the paper's OpenSSD
         aging pre-run drives GC behaviour that only exists because the
         exposed logical space is smaller than the raw space.
+    channel_count:
+        Independent NAND channels.  Blocks are striped across channels
+        (``block % channel_count``), so programs/reads/erases on blocks
+        of different channels can overlap in time.  1 (the default)
+        reproduces the fully serial device model exactly.
     """
 
     page_size: int = 4 * KIB
     pages_per_block: int = 128
     block_count: int = 1024
     overprovision_ratio: float = 0.08
+    channel_count: int = 1
 
     def __post_init__(self) -> None:
         if self.page_size <= 0 or self.page_size % 512:
@@ -51,6 +57,9 @@ class FlashGeometry:
         if not 0.0 < self.overprovision_ratio < 0.5:
             raise ValueError(
                 f"overprovision_ratio must be in (0, 0.5): {self.overprovision_ratio}")
+        if not 1 <= self.channel_count <= self.block_count:
+            raise ValueError(
+                f"channel_count must be in [1, block_count]: {self.channel_count}")
 
     @property
     def total_pages(self) -> int:
@@ -85,6 +94,16 @@ class FlashGeometry:
         self.check_block(block)
         return block * self.pages_per_block
 
+    def channel_of(self, block: int) -> int:
+        """NAND channel serving ``block`` (blocks stripe round-robin)."""
+        self.check_block(block)
+        return block % self.channel_count
+
+    def channel_of_ppn(self, ppn: int) -> int:
+        """NAND channel serving physical page ``ppn``."""
+        self.check_ppn(ppn)
+        return (ppn // self.pages_per_block) % self.channel_count
+
     def check_ppn(self, ppn: int) -> None:
         if not 0 <= ppn < self.total_pages:
             raise ValueError(f"PPN out of range [0, {self.total_pages}): {ppn}")
@@ -94,7 +113,8 @@ class FlashGeometry:
             raise ValueError(f"block out of range [0, {self.block_count}): {block}")
 
     @classmethod
-    def small(cls, page_size: int = 4 * KIB) -> "FlashGeometry":
+    def small(cls, page_size: int = 4 * KIB,
+              channel_count: int = 1) -> "FlashGeometry":
         """A tiny array for unit tests (64 blocks x 32 pages)."""
         return cls(page_size=page_size, pages_per_block=32, block_count=64,
-                   overprovision_ratio=0.125)
+                   overprovision_ratio=0.125, channel_count=channel_count)

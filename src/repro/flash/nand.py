@@ -77,10 +77,16 @@ class NandArray:
         self.total_programs = 0
         self.total_reads = 0
         self.total_erases = 0
+        # Chip operations per channel (programs + reads + erases): the
+        # raw demand the channel-striped allocator is trying to balance.
+        self.channel_ops: List[int] = [0] * geometry.channel_count
         # Media-failure accounting (injected faults that actually fired).
         self.failed_reads = 0
         self.failed_programs = 0
         self.failed_erases = 0
+
+    def _count_channel_op(self, block: int) -> None:
+        self.channel_ops[block % self.geometry.channel_count] += 1
 
     # ------------------------------------------------------------------ ops
 
@@ -114,6 +120,7 @@ class NandArray:
                 page.failed = True
                 self._next_program_offset[block] = offset + 1
                 self.total_programs += 1
+                self._count_channel_op(block)
                 self.failed_programs += 1
                 raise
         page.state = PageState.PROGRAMMED
@@ -122,6 +129,7 @@ class NandArray:
         page.failed = False
         self._next_program_offset[block] = offset + 1
         self.total_programs += 1
+        self._count_channel_op(block)
 
     def read(self, ppn: int) -> Any:
         """Read the data payload of a programmed page."""
@@ -130,6 +138,7 @@ class NandArray:
         if page.state is not PageState.PROGRAMMED:
             raise ReadError(f"PPN {ppn} is erased; nothing to read")
         self.total_reads += 1
+        self._count_channel_op(self.geometry.block_of(ppn))
         if page.failed:
             self.failed_reads += 1
             raise UncorrectableReadError(
@@ -181,6 +190,7 @@ class NandArray:
         self._next_program_offset[block] = 0
         self.erase_counts[block] += 1
         self.total_erases += 1
+        self._count_channel_op(block)
 
     # -------------------------------------------------------------- queries
 

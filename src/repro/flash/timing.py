@@ -11,6 +11,7 @@ latency *shapes* comparable to the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)
@@ -65,3 +66,73 @@ SATA_SSD_TIMING = FlashTiming(read_us=60.0, program_us=90.0,
 FAST_TIMING = FlashTiming(read_us=1.0, program_us=10.0, erase_us=30.0,
                           transfer_us_per_kib=0.5, copyback_us=11.0,
                           command_overhead_us=1.0, map_update_us=0.01)
+
+
+class ChannelSet:
+    """Per-channel (and per-plane-way) busy resources.
+
+    Each channel owns ``ways`` interleave units (plane pairs on real
+    chips); an operation acquires the earliest-free way of its channel
+    and occupies it for its duration.  Different channels — and
+    different ways of one channel — overlap freely; operations on the
+    same way serialise.  All times are integer microseconds so the
+    event-driven device reproduces the serial model's per-command
+    rounding exactly at one channel.
+
+    ``busy_us`` accumulates occupied time per channel since the last
+    :meth:`reset_accounting`, which is what the per-channel utilisation
+    gauges report.
+    """
+
+    __slots__ = ("channel_count", "ways", "_free_us", "busy_us")
+
+    def __init__(self, channel_count: int = 1, ways: int = 1) -> None:
+        if channel_count < 1:
+            raise ValueError(f"need at least one channel: {channel_count}")
+        if ways < 1:
+            raise ValueError(f"need at least one way per channel: {ways}")
+        self.channel_count = channel_count
+        self.ways = ways
+        self._free_us: List[int] = [0] * (channel_count * ways)
+        self.busy_us: List[int] = [0] * channel_count
+
+    def acquire(self, channel: int, earliest_us: int,
+                duration_us: int) -> Tuple[int, int]:
+        """Occupy ``channel`` for ``duration_us`` starting no earlier
+        than ``earliest_us``; returns ``(start_us, end_us)``."""
+        if not 0 <= channel < self.channel_count:
+            raise ValueError(
+                f"channel out of range [0, {self.channel_count}): {channel}")
+        base = channel * self.ways
+        unit = min(range(base, base + self.ways),
+                   key=lambda u: self._free_us[u])
+        start = max(int(earliest_us), self._free_us[unit])
+        end = start + int(duration_us)
+        self._free_us[unit] = end
+        self.busy_us[channel] += int(duration_us)
+        return start, end
+
+    def free_at(self, channel: int) -> int:
+        """Earliest time ``channel`` has an idle way."""
+        base = channel * self.ways
+        return min(self._free_us[base:base + self.ways])
+
+    def horizon_us(self) -> int:
+        """Latest busy-until across all channels."""
+        return max(self._free_us)
+
+    def utilization(self, elapsed_us: int) -> List[float]:
+        """Per-channel busy fraction over ``elapsed_us``."""
+        if elapsed_us <= 0:
+            return [0.0] * self.channel_count
+        return [min(1.0, busy / elapsed_us) for busy in self.busy_us]
+
+    def reset_accounting(self) -> None:
+        """Zero the utilisation accumulators (measurement boundary);
+        busy-until horizons are kept — in-flight work stays in flight."""
+        self.busy_us = [0] * self.channel_count
+
+    def reset(self) -> None:
+        """Forget all state (power cycle)."""
+        self._free_us = [0] * (self.channel_count * self.ways)
+        self.busy_us = [0] * self.channel_count

@@ -146,6 +146,9 @@ class MapLog:
         self._faults = faults
         self._cursor = 0          # index into self._blocks
         self._page_writes = 0
+        # Channels of mapping-page programs since the last take_work()
+        # drain — the FTL merges these into its charged-work ledger.
+        self._work: List[int] = []
         self._checkpoints = 0
         self._snapshot_provider: Optional[Callable[[], List[DeltaRecord]]] = None
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -206,6 +209,18 @@ class MapLog:
     def checkpoints(self) -> int:
         return self._checkpoints
 
+    def take_work(self) -> List[int]:
+        """Drain the channels of mapping pages programmed since the
+        last drain."""
+        work = self._work
+        self._work = []
+        return work
+
+    def _note_work(self, ppn: int) -> None:
+        self._work.append(
+            (ppn // self._geometry.pages_per_block)
+            % self._geometry.channel_count)
+
     # -------------------------------------------------------------- append
 
     def append_atomic(self, records: Sequence[DeltaRecord]) -> None:
@@ -237,6 +252,7 @@ class MapLog:
                 continue
             break
         self._page_writes += 1
+        self._note_work(ppn)
         self._m_page_writes.inc()
         self._m_records.record(len(records))
         self._faults.checkpoint("maplog.after_commit")
@@ -331,6 +347,7 @@ class MapLog:
             except ProgramFailError:
                 continue   # the failed page consumed its slot; use the next
             self._page_writes += 1
+            self._note_work(ppn)
             cursor += page_capacity
         self._cursor = min(block_index, len(self._blocks) - 1)
         self._checkpoints += 1

@@ -175,8 +175,19 @@ class PageMappingFtl:
         self._grown_bad: Dict[int, int] = {}
         self._m_spare_pool.set(len(self._spare_blocks))
         self._m_free_blocks.set(len(self._free_blocks))
-        self._active_host: Optional[int] = None
+        # Channel-striped host allocation: one active block per channel,
+        # filled round-robin so sequential writes spread across channels.
+        # At channel_count == 1 this degenerates to the single active
+        # block + FIFO free-list behaviour of the serial model.
+        self._active_host: Dict[int, Optional[int]] = {
+            ch: None for ch in range(geometry.channel_count)}
+        self._host_cursor = 0
         self._active_gc: Optional[int] = None
+        # Charged-work ledger: (kind, channel) entries appended at the
+        # exact sites where the latency-formula counters increment, so
+        # the device can place each command's internal work on the right
+        # channel.  Drained by the device per command via take_work().
+        self._work: List[Tuple[str, int]] = []
         self._seq = 1
         self._share_backed: Dict[int, Tuple[int, int]] = {}
         self._trim_tombstones: Dict[int, int] = {}
@@ -213,6 +224,26 @@ class PageMappingFtl:
     def map_page_writes(self) -> int:
         return self.maplog.page_writes
 
+    # --------------------------------------------------- charged-work ledger
+
+    def _note_work(self, kind: str, ppn: int) -> None:
+        self._work.append(
+            (kind, (ppn // self.geometry.pages_per_block)
+             % self.geometry.channel_count))
+
+    def take_work(self) -> List[Tuple[str, int]]:
+        """Drain the ``(kind, channel)`` ledger of charged work since the
+        last drain (including the map log's page programs).  The device
+        calls this once per command to attribute the command's internal
+        work to channels; totals are always derived from the stats
+        counters, so a drained ledger only ever affects *placement*."""
+        work = self._work
+        self._work = []
+        map_channels = self.maplog.take_work()
+        if map_channels:
+            work.extend(("map_write", ch) for ch in map_channels)
+        return work
+
     def _check_lpn_range(self, lpn: int, count: int = 1) -> None:
         if count < 1:
             raise ValueError(f"count must be >= 1: {count}")
@@ -234,6 +265,7 @@ class PageMappingFtl:
         if ppn is None:
             raise UnmappedPageError(f"LPN {lpn} is unmapped")
         self.stats.host_page_reads += 1
+        self._note_work("host_read", ppn)
         return self._read_page(ppn, scrub_ok=True)
 
     def is_mapped(self, lpn: int) -> bool:
@@ -248,6 +280,7 @@ class PageMappingFtl:
             seq = self._next_seq()
             self.faults.checkpoint("ftl.before_program")
             ppn = self._program_data(data, ((lpn, seq),), for_gc=False)
+            self._note_work("host_program", ppn)
             self.faults.checkpoint("ftl.after_program")
             self._remap_after_program(lpn, ppn)
             self.stats.host_page_writes += 1
@@ -359,8 +392,9 @@ class PageMappingFtl:
         in-flight write at recovery and resurrect stale data."""
         if block in self._grown_bad:
             return
-        if block == self._active_host:
-            self._active_host = None
+        for channel, active in self._active_host.items():
+            if active == block:
+                self._active_host[channel] = None
         if block == self._active_gc:
             self._active_gc = None
         if block in self._free_blocks:
@@ -419,6 +453,7 @@ class PageMappingFtl:
                 if lpn in stamped:
                     self._share_backed.pop(lpn, None)
             self.stats.copyback_pages += 1
+            self._note_work("copyback", new_ppn)
             self._m_copybacks.inc()
 
     @property
@@ -468,6 +503,7 @@ class PageMappingFtl:
                 f"{self._records_per_page} pages")
         self._ensure_free_space()
         ppn = self._program_data(data, (), for_gc=False)
+        self._note_work("host_program", ppn)
         old_shadow_ppn = shadow.get(lpn)
         if old_shadow_ppn is not None:
             # Restaged within the txn: the earlier shadow copy dies.
@@ -560,6 +596,7 @@ class PageMappingFtl:
                 self._ensure_free_space()
                 self.faults.checkpoint("ftl.awrite_program")
                 ppn = self._program_data(data, (), for_gc=False)
+                self._note_work("host_program", ppn)
                 old = self.fwd.update(lpn, ppn)
                 self.rev.set_primary(ppn, lpn)
                 self._valid_count[self.geometry.block_of(ppn)] += 1
@@ -692,6 +729,7 @@ class PageMappingFtl:
         self._drop_ref(ppn, lpn)
         self._share_backed.pop(lpn, None)
         self.stats.share_spills += 1
+        self._note_work("spill", new_ppn)
         self._m_share_spills.inc()
 
     # ------------------------------------------------------------- allocate
@@ -702,22 +740,47 @@ class PageMappingFtl:
         return seq
 
     def _alloc_page(self, for_gc: bool) -> int:
-        """Next free page of the host or GC active block."""
+        """Next free page of the GC active block, or of the next
+        channel's host active block (channel-striped round-robin).
+
+        Host allocation rotates one page at a time over the channels so
+        sequential writes spread across all of them; a channel whose
+        active block is full takes the first free block *of that
+        channel*.  When a channel has no free block left the rotation
+        skips it — allocation only fails when every channel is dry.  At
+        ``channel_count == 1`` this is exactly the serial model's single
+        active block with FIFO free-list replacement."""
         geometry = self.geometry
-        active = self._active_gc if for_gc else self._active_host
-        if active is not None:
-            used = self.nand.programmed_pages_in_block(active)
-            if used < geometry.pages_per_block:
-                return geometry.first_ppn(active) + used
-        if not self._free_blocks:
-            raise OutOfSpaceError("no free blocks available for allocation")
-        block = self._free_blocks.pop(0)
-        self._m_free_blocks.set(len(self._free_blocks))
         if for_gc:
+            active = self._active_gc
+            if active is not None:
+                used = self.nand.programmed_pages_in_block(active)
+                if used < geometry.pages_per_block:
+                    return geometry.first_ppn(active) + used
+            if not self._free_blocks:
+                raise OutOfSpaceError("no free blocks available for allocation")
+            block = self._free_blocks.pop(0)
+            self._m_free_blocks.set(len(self._free_blocks))
             self._active_gc = block
-        else:
-            self._active_host = block
-        return geometry.first_ppn(block)
+            return geometry.first_ppn(block)
+        channels = geometry.channel_count
+        for __ in range(channels):
+            channel = self._host_cursor
+            self._host_cursor = (self._host_cursor + 1) % channels
+            active = self._active_host.get(channel)
+            if active is not None:
+                used = self.nand.programmed_pages_in_block(active)
+                if used < geometry.pages_per_block:
+                    return geometry.first_ppn(active) + used
+            block = next((b for b in self._free_blocks
+                          if b % channels == channel), None)
+            if block is None:
+                continue
+            self._free_blocks.remove(block)
+            self._m_free_blocks.set(len(self._free_blocks))
+            self._active_host[channel] = block
+            return geometry.first_ppn(block)
+        raise OutOfSpaceError("no free blocks available for allocation")
 
     def _ensure_free_space(self) -> None:
         """Greedy GC trigger: collect victims while the free pool is at or
@@ -763,7 +826,8 @@ class PageMappingFtl:
         return reclaimed
 
     def _gc_candidates(self) -> List[int]:
-        active = {self._active_host, self._active_gc}
+        active = set(self._active_host.values())
+        active.add(self._active_gc)
         free = set(self._free_blocks)
         return [b for b in self._data_blocks
                 if b not in active and b not in free
@@ -845,13 +909,15 @@ class PageMappingFtl:
                 self._m_free_blocks.set(len(self._free_blocks))
                 return
             self.stats.block_erases += 1
+            self._note_work("erase", self.geometry.first_ppn(block))
             self._m_erases.inc()
             if is_gc_event:
                 self.stats.gc_events += 1
                 self._m_gc_events.inc()
             self._valid_count[block] = 0
-            if block == self._active_host:
-                self._active_host = None
+            for channel, active in self._active_host.items():
+                if active == block:
+                    self._active_host[channel] = None
             if block == self._active_gc:
                 self._active_gc = None
             self._free_blocks.append(block)
@@ -873,6 +939,7 @@ class PageMappingFtl:
                 # Firmware must re-read the mapping log to learn the
                 # overflowed reverse mappings of this page.
                 self.stats.spill_lookups += 1
+                self._note_work("spill_lookup", ppn)
                 self._m_spill_lookups.inc()
             refs = sorted(self.rev.refs(ppn))
             data = self._read_page(ppn)
@@ -893,6 +960,7 @@ class PageMappingFtl:
                     # recoverable from OOB again; drop the log backing.
                     self._share_backed.pop(lpn, None)
             self.stats.copyback_pages += 1
+            self._note_work("copyback", new_ppn)
             self._m_copybacks.inc()
 
     def _move_shadow_page(self, ppn: int) -> None:
@@ -908,6 +976,7 @@ class PageMappingFtl:
         self._valid_count[self.geometry.block_of(ppn)] -= 1
         self._valid_count[self.geometry.block_of(new_ppn)] += 1
         self.stats.copyback_pages += 1
+        self._note_work("copyback", new_ppn)
         self._m_copybacks.inc()
 
     # ------------------------------------------------------------ snapshot
@@ -1026,8 +1095,21 @@ class PageMappingFtl:
                    if block not in self._grown_bad
                    and 0 < self.nand.programmed_pages_in_block(block)
                    < self.geometry.pages_per_block]
-        self._active_host = partial[0] if partial else None
-        self._active_gc = partial[1] if len(partial) > 1 else None
+        # Reinstate partially-programmed blocks as actives: each joins
+        # its channel's host slot when that slot is empty, the first
+        # leftover becomes the GC active (at one channel this is exactly
+        # the serial model's partial[0]/partial[1] assignment).  Further
+        # partial blocks stay parked until GC reclaims them.
+        channels = self.geometry.channel_count
+        self._active_host = {ch: None for ch in range(channels)}
+        self._host_cursor = 0
+        self._active_gc = None
+        for block in partial:
+            channel = block % channels
+            if self._active_host[channel] is None:
+                self._active_host[channel] = block
+            elif self._active_gc is None:
+                self._active_gc = block
         # Rebuild the spare pool: one spare is consumed per grown-bad
         # block, so reserve whatever entitlement remains.
         self._spare_blocks = []

@@ -82,6 +82,7 @@ class InnoDBEngine:
         self.config = config or InnoDBConfig()
         self.faults = faults
         self.data_ssd = data_ssd
+        self.log_ssd = log_ssd
         self.telemetry = data_ssd.telemetry
         metrics = self.telemetry.metrics.scope("innodb")
         self._m_transactions = metrics.counter("transactions")
@@ -105,6 +106,11 @@ class InnoDBEngine:
         self._in_transaction = False
         self.transactions = 0
         self.flush_batches = 0
+
+    def devices(self):
+        """Every device this engine issues commands to, for workload
+        drivers that attach submission sessions around an operation."""
+        return (self.data_ssd, self.log_ssd)
 
     # ----------------------------------------------------------- page I/O
 

@@ -23,12 +23,13 @@ class SimClock:
     simulated stack (host CPU model, SSD, log device).
     """
 
-    __slots__ = ("_now_us",)
+    __slots__ = ("_now_us", "_reset_hooks")
 
     def __init__(self, start_us: int = 0) -> None:
         if start_us < 0:
             raise ValueError(f"clock cannot start at negative time: {start_us}")
         self._now_us = int(start_us)
+        self._reset_hooks = []
 
     @property
     def now_us(self) -> int:
@@ -56,14 +57,40 @@ class SimClock:
         self._now_us += int(round(delta_us))
         return self._now_us
 
+    def advance_to(self, time_us: int) -> int:
+        """Move time forward to ``time_us`` if it lies in the future.
+
+        Used by the event scheduler when delivering a completion whose
+        timestamp may already have been overtaken (out-of-order
+        completions under multi-channel parallelism): the clock clamps
+        instead of moving backwards.  Returns the (possibly unchanged)
+        current time.
+        """
+        time_us = int(time_us)
+        if time_us > self._now_us:
+            self._now_us = time_us
+        return self._now_us
+
     def elapsed_since(self, start_us: int) -> int:
         """Microseconds elapsed since a previously sampled timestamp."""
         return self._now_us - start_us
+
+    def on_reset(self, hook) -> None:
+        """Register a callback invoked whenever the clock is rewound.
+
+        Components that cache absolute timestamps (the event-driven
+        device holds queue completion times and channel busy horizons)
+        register here so a harness ``reset()`` between experiment runs
+        cannot leave them anchored in a future that no longer exists.
+        """
+        self._reset_hooks.append(hook)
 
     def reset(self) -> None:
         """Rewind to time zero.  Only the benchmark harness should use this,
         between independent experiment runs."""
         self._now_us = 0
+        for hook in self._reset_hooks:
+            hook()
 
     def __repr__(self) -> str:
         return f"SimClock(now_us={self._now_us})"

@@ -1,0 +1,160 @@
+"""Deterministic event scheduler that owns :class:`SimClock` advancement.
+
+Before the event-driven refactor every component advanced the shared
+clock directly (``clock.advance(latency)``), which forces strictly
+serial execution: nothing can overlap because the caller *is* the
+timeline.  The scheduler inverts that: components register future
+events (command completions, background work) and the clock only moves
+when an event fires.  Two properties are load-bearing:
+
+* **Determinism** — events are ordered by ``(time_us, seq)`` where
+  ``seq`` is the registration order.  Two events at the same timestamp
+  always fire in the order they were scheduled, never in heap-internal
+  or hash order, so identical runs produce identical firing sequences.
+* **Monotonicity** — firing an event advances the clock to the event's
+  timestamp via :meth:`SimClock.advance_to`, which clamps rather than
+  rewinds: an event registered in the past (a completion computed for a
+  lagging closed-loop client) fires immediately without moving time
+  backwards.
+
+Cancellation is lazy (tombstone flag, skipped on pop), so
+``power_cycle`` can drop a device's in-flight completions in O(1) per
+event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+class Event:
+    """One scheduled callback.  Compare/sort by ``(time_us, seq)``."""
+
+    __slots__ = ("time_us", "seq", "fn", "label", "cancelled")
+
+    def __init__(self, time_us: int, seq: int, fn: Callable[[], None],
+                 label: str) -> None:
+        self.time_us = time_us
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_us, self.seq) < (other.time_us, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"Event(t={self.time_us}, seq={self.seq}, "
+                f"label={self.label!r}, {state})")
+
+
+class EventScheduler:
+    """Deterministic discrete-event loop over a shared :class:`SimClock`.
+
+    A single scheduler is shared by every device on a clock (the
+    benchmark stacks register the data and log SSD on one scheduler), so
+    completions across devices fire in global completion order — the
+    property the fault journal's ack boundary relies on.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._cancelled = 0
+        self.fired = 0
+
+    # ------------------------------------------------------------ schedule
+
+    def at(self, time_us: int, fn: Callable[[], None],
+           label: str = "") -> Event:
+        """Schedule ``fn`` to fire at absolute virtual time ``time_us``.
+
+        A timestamp at or before the current time is allowed: the event
+        fires on the next run without advancing the clock."""
+        time_us = int(time_us)
+        if time_us < 0:
+            raise ValueError(f"cannot schedule before time zero: {time_us}")
+        self._seq += 1
+        event = Event(time_us, self._seq, fn, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay_us: float, fn: Callable[[], None],
+              label: str = "") -> Event:
+        """Schedule ``fn`` to fire ``delay_us`` from now (rounded like
+        :meth:`SimClock.advance`)."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay: {delay_us}")
+        return self.at(self.clock.now_us + int(round(delay_us)), fn, label)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event.  Returns False when it already fired
+        or was already cancelled."""
+        if event.cancelled or event.fn is None:
+            return False
+        event.cancelled = True
+        event.fn = None   # break reference cycles through closures
+        self._cancelled += 1
+        return True
+
+    # ----------------------------------------------------------- introspect
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled and neither fired nor cancelled."""
+        return len(self._heap) - self._cancelled
+
+    def next_time_us(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when idle."""
+        self._drop_cancelled()
+        return self._heap[0].time_us if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+
+    # ---------------------------------------------------------------- run
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event (advancing the clock to it).  Returns the
+        event, or None when nothing is pending."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time_us)
+        self.fired += 1
+        fn, event.fn = event.fn, None
+        fn()
+        return event
+
+    def run_until(self, time_us: int) -> int:
+        """Fire every event with timestamp <= ``time_us`` in
+        deterministic order.  Returns the number fired.  The clock ends
+        at the last fired event (not at ``time_us``): the scheduler only
+        materialises time where something happened."""
+        fired = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].time_us > time_us:
+                return fired
+            self.step()
+            fired += 1
+
+    def run_until_idle(self, limit: int = 1_000_000) -> int:
+        """Fire everything pending (events may schedule further events).
+        ``limit`` guards against runaway self-rescheduling loops."""
+        fired = 0
+        while self.step() is not None:
+            fired += 1
+            if fired >= limit:
+                raise RuntimeError(
+                    f"event loop did not go idle within {limit} events")
+        return fired

@@ -100,13 +100,14 @@ class OpRecord:
 class _OpScope:
     """Context manager for one :meth:`FaultPlan.operation` scope."""
 
-    __slots__ = ("plan", "kind", "record")
+    __slots__ = ("plan", "kind", "record", "deferred")
 
     def __init__(self, plan: "FaultPlan", kind: str,
-                 record: Optional[OpRecord]) -> None:
+                 record: Optional[OpRecord], deferred: bool = False) -> None:
         self.plan = plan
         self.kind = kind
         self.record = record
+        self.deferred = deferred
 
     def __enter__(self) -> Optional[OpRecord]:
         return self.record
@@ -118,24 +119,27 @@ class _OpScope:
         if record is not None:
             plan._current_op = None
         if exc_type is None:
+            if self.deferred:
+                # Queued device: the media work is submitted but the ack
+                # only reaches the caller at the *completion* event.  The
+                # op stays pending until complete_operation() fires the
+                # ack checkpoint in completion order.
+                plan._pending_acks.append((self.kind, record))
+                return False
             # Power may fail after the media work but before completion
             # reaches the caller: the op's effect can be durable even
             # though it never acknowledged.
             try:
                 plan.checkpoint(self.kind + ".ack")
             except PowerFailure:
-                if record is not None and plan._unacked_op is None:
-                    record.status = "unacked"
-                    plan._unacked_op = record
+                plan._mark_unacked(record)
                 raise
             if record is not None:
                 record.status = "acked"
                 plan._last_acked = record
             return False
         if issubclass(exc_type, PowerFailure):
-            if record is not None and plan._unacked_op is None:
-                record.status = "unacked"
-                plan._unacked_op = record
+            plan._mark_unacked(record)
         elif record is not None:
             record.status = "failed"
         return False
@@ -632,8 +636,13 @@ class FaultPlan:
         self._op_depth = 0
         self._op_seq = 0
         self._current_op: Optional[OpRecord] = None
-        self._unacked_op: Optional[OpRecord] = None
+        self._unacked_ops: List[OpRecord] = []
         self._last_acked: Optional[OpRecord] = None
+        # Deferred-ack queue: (kind, record) pairs whose media work was
+        # submitted but whose completion has not fired yet.  The queued
+        # device pops each entry via complete_operation(), so the list
+        # is bounded by the device queue depth.
+        self._pending_acks: List[Tuple[str, Optional[OpRecord]]] = []
         # Armed media faults; the NAND array consults this on every chip
         # operation (one attribute check when nothing is armed).
         self.media = MediaFaultSet()
@@ -713,38 +722,106 @@ class FaultPlan:
 
     # ------------------------------------------------- ack-boundary journal
 
-    def operation(self, kind: str, lpns: Sequence[int] = ()) -> _OpScope:
+    def operation(self, kind: str, lpns: Sequence[int] = (),
+                  deferred: bool = False) -> _OpScope:
         """Bracket one host-visible durable operation.
 
         Usage: ``with faults.operation("ftl.write", (lpn,)): ...``.  On a
         clean exit the scope fires the ``<kind>.ack`` checkpoint, then
         marks the operation acknowledged.  If a :class:`PowerFailure`
-        escapes the scope, the record becomes :meth:`unacked_op` — the
-        one operation whose durability is legitimately ambiguous.  Nested
+        escapes the scope, the record joins :meth:`unacked_ops` — the
+        operations whose durability is legitimately ambiguous.  Nested
         scopes (a device command calling into the FTL) are transparent:
         only the outermost scope journals, though a nested clean exit
-        still fires its own ``.ack`` checkpoint for point coverage."""
+        still fires its own ``.ack`` checkpoint for point coverage.
+
+        With ``deferred=True`` (the queued device) a clean exit does
+        *not* fire the ack checkpoint; the operation stays pending until
+        :meth:`complete_operation` is called at its completion event, so
+        the ack boundary is journalled in completion order rather than
+        submission order."""
         if self._op_depth:
             self._op_depth += 1
-            return _OpScope(self, kind, None)
+            return _OpScope(self, kind, None, deferred)
         self._op_depth = 1
         self._op_seq += 1
         record = OpRecord(self._op_seq, kind, tuple(lpns))
         self._current_op = record
-        return _OpScope(self, kind, record)
+        return _OpScope(self, kind, record, deferred)
+
+    def complete_operation(self, kind: str,
+                           record: Optional[OpRecord]) -> None:
+        """Deliver the completion of a deferred operation scope: fires
+        the ``<kind>.ack`` checkpoint, then marks the record acked.
+        Called by the device at the op's *completion* event, so acks are
+        journalled in the order the device completes work."""
+        for index, (pending_kind, pending_record) in enumerate(
+                self._pending_acks):
+            if pending_kind == kind and pending_record is record:
+                del self._pending_acks[index]
+                break
+        try:
+            self.checkpoint(kind + ".ack")
+        except PowerFailure:
+            self._mark_unacked(record)
+            raise
+        if record is not None:
+            record.status = "acked"
+            self._last_acked = record
+
+    def abandon_operation(self, kind: str,
+                          record: Optional[OpRecord]) -> None:
+        """Drop a deferred operation whose completion will never fire
+        (power cycle with commands in flight): the op was submitted but
+        never acknowledged, so it is ambiguous."""
+        for index, (pending_kind, pending_record) in enumerate(
+                self._pending_acks):
+            if pending_kind == kind and pending_record is record:
+                del self._pending_acks[index]
+                break
+        self._mark_unacked(record)
+
+    def fail_operation(self, kind: str,
+                       record: Optional[OpRecord]) -> None:
+        """A deferred operation's completion surfaced an ordinary error
+        to the host: pop it and mark it failed (a failed operation
+        promises nothing, so it is not ambiguous)."""
+        for index, (pending_kind, pending_record) in enumerate(
+                self._pending_acks):
+            if pending_kind == kind and pending_record is record:
+                del self._pending_acks[index]
+                break
+        if record is not None:
+            record.status = "failed"
+
+    def _mark_unacked(self, record: Optional[OpRecord]) -> None:
+        if record is not None and record not in self._unacked_ops:
+            record.status = "unacked"
+            self._unacked_ops.append(record)
+
+    def unacked_ops(self) -> List[OpRecord]:
+        """Every operation whose durability is ambiguous: interrupted by
+        a power failure, or submitted to the device queue but never
+        completed (its deferred ack is still pending)."""
+        out = list(self._unacked_ops)
+        out.extend(record for _, record in self._pending_acks
+                   if record is not None and record not in out)
+        return out
 
     def unacked_op(self) -> Optional[OpRecord]:
-        """The operation interrupted by the (first) injected power
-        failure, or None when every operation either acked or failed."""
-        return self._unacked_op
+        """The first ambiguous operation, or None when every operation
+        either acked or failed (compat shim over :meth:`unacked_ops`)."""
+        ops = self.unacked_ops()
+        return ops[0] if ops else None
 
     def last_acked_op(self) -> Optional[OpRecord]:
         return self._last_acked
 
     def clear_unacked(self) -> None:
-        """Forget the recorded unacked operation (e.g. between two
+        """Forget the recorded unacked operations (e.g. between two
         independently injected crashes on one plan)."""
-        self._unacked_op = None
+        self._unacked_ops = []
+        self._pending_acks = []
 
 
 #: Shared no-op plan used by components when the caller does not inject one.

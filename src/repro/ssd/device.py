@@ -2,10 +2,26 @@
 
 ``Ssd`` is what the host stack talks to: a page-addressed block device with
 ``read``/``write``/``trim``/``flush`` plus the paper's vendor-unique
-``share`` command.  It wraps a :class:`PageMappingFtl`, charges every
-command's latency (including GC work the command triggered) to the shared
-:class:`SimClock`, and maintains the :class:`DeviceStats` counters Figure 6
-reports.
+``share`` command.  It wraps a :class:`PageMappingFtl`, prices every
+command's latency (including GC work the command triggered), and maintains
+the :class:`DeviceStats` counters Figure 6 reports.
+
+Timing is event-driven.  Each command is *submitted*: it is admitted
+through a bounded :class:`NativeCommandQueue`, spends a DRAM/firmware
+phase, occupies the NAND channels its pages live on (per-channel busy
+resources, so work on different channels overlaps), and *completes* at a
+scheduled :class:`~repro.sim.events.EventScheduler` event which delivers
+telemetry, the I/O trace record, completion-phase command faults and the
+deferred ack-boundary journal entry — in global completion order across
+every device sharing the scheduler.
+
+With no session attached (the default), each command method submits and
+immediately waits for its own completion, which at ``queue_depth=1`` and
+one channel reproduces the old caller-advances-the-clock model
+bit-for-bit.  Attaching a :class:`DeviceSession` turns the same methods
+into non-blocking submissions whose arrival time is the session cursor —
+that is how N closed-loop benchmark clients drive one device
+concurrently.
 
 A second, plain :class:`Ssd` without SHARE enabled stands in for the
 Samsung PM853T log device of the experimental setup.
@@ -14,18 +30,20 @@ Samsung PM853T log device of the experimental setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DeviceError, ShareError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
-from repro.flash.timing import MLC_TIMING, FlashTiming
+from repro.flash.timing import MLC_TIMING, ChannelSet, FlashTiming
 from repro.ftl.config import FtlConfig
 from repro.ftl.pagemap import PageMappingFtl
 from repro.ftl.share_ext import SharePair
 from repro.obs import NULL_TELEMETRY
 from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
 from repro.sim.faults import NO_FAULTS, FaultPlan
+from repro.ssd.ncq import CommandTicket, DeviceSession, NativeCommandQueue
 from repro.ssd.stats import DeviceStats
 from repro.ssd.trace import IoTrace, TraceEvent
 
@@ -38,6 +56,13 @@ class SsdConfig:
     DRAM that Section 4.2.1 says the reverse-mapping share table is
     traded against ("we trade a portion of cache space for the reverse
     mapping").  0 disables it.
+
+    ``queue_depth`` bounds the native command queue: how many commands
+    may be outstanding between admission and completion.  1 (the
+    default) serialises commands exactly like the old synchronous
+    model.  ``plane_ways`` is the number of interleave units per NAND
+    channel (plane pairs); operations on different ways of one channel
+    overlap.
     """
 
     geometry: FlashGeometry = FlashGeometry()
@@ -47,6 +72,8 @@ class SsdConfig:
     trace_capacity: int = 0
     trace_keep: str = "oldest"
     dram_cache_pages: int = 0
+    queue_depth: int = 1
+    plane_ways: int = 1
 
 
 @dataclass
@@ -66,7 +93,9 @@ class Ssd:
 
     def __init__(self, clock: SimClock, config: Optional[SsdConfig] = None,
                  faults: FaultPlan = NO_FAULTS, telemetry=None,
-                 name: str = "ssd") -> None:
+                 name: str = "ssd",
+                 events: Optional[EventScheduler] = None,
+                 ncq: Optional[NativeCommandQueue] = None) -> None:
         self.config = config or SsdConfig()
         self.clock = clock
         self.faults = faults
@@ -82,6 +111,21 @@ class Ssd:
                              keep=self.config.trace_keep)
         from repro.ssd.cache import DramReadCache
         self.cache = DramReadCache(self.config.dram_cache_pages)
+        # Event-driven execution core.  Devices of one stack (data + log
+        # SSD) share a scheduler so completions fire in global order.
+        self.events = events if events is not None else EventScheduler(clock)
+        self.channels = ChannelSet(self.config.geometry.channel_count,
+                                   ways=self.config.plane_ways)
+        # A stack may pass one shared NCQ to several devices: at depth 1
+        # that models a host doing synchronous I/O (one outstanding
+        # command across the whole stack), which is what the serial
+        # model's equivalence requires.
+        self.ncq = ncq if ncq is not None \
+            else NativeCommandQueue(self.config.queue_depth)
+        self._session: Optional[DeviceSession] = None
+        self._inflight: List[CommandTicket] = []
+        self._measure_start_us = clock.now_us
+        clock.on_reset(self._on_clock_reset)
         # Telemetry handles, resolved once (no-op singletons when the
         # telemetry is NULL_TELEMETRY, so the hot path stays free).
         metrics = self.telemetry.metrics.scope(f"device.{name}")
@@ -97,6 +141,13 @@ class Ssd:
                            for kind in ("read", "write", "trim", "share",
                                         "flush")}
         self._m_busy_us = metrics.counter("busy_us")
+        self._m_queue_wait = metrics.histogram("queue.wait_us")
+        self._m_queue_depth = metrics.gauge("queue.depth")
+        channel_count = self.config.geometry.channel_count
+        self._m_chan_busy = [metrics.counter(f"chan.{ch}.busy_us")
+                             for ch in range(channel_count)]
+        self._m_chan_util = [metrics.gauge(f"chan.{ch}.util")
+                             for ch in range(channel_count)]
 
     # ---------------------------------------------------------- properties
 
@@ -120,6 +171,49 @@ class Ssd:
     def supports_share(self) -> bool:
         return self.config.share_enabled
 
+    # ----------------------------------------------------- submission API
+
+    def attach_session(self, session: DeviceSession) -> None:
+        """Issue the following commands from ``session``: they arrive at
+        the session cursor and return without waiting for completion."""
+        if self._session is not None and self._session is not session:
+            raise DeviceError(
+                f"device {self.name!r} already has a session attached")
+        self._session = session
+
+    def detach_session(self) -> None:
+        """Return to synchronous (submit-and-wait) issue."""
+        self._session = None
+
+    _SUBMITTABLE = ("read", "write", "write_multi", "write_atomic", "trim",
+                    "flush", "share", "share_batch", "idle_gc")
+
+    def submit(self, kind: str, *args, **kwargs):
+        """Submit one command by kind.  With a session attached this
+        queues the command and returns immediately; without one it
+        degenerates to the synchronous call."""
+        if kind not in self._SUBMITTABLE:
+            raise DeviceError(f"unknown command kind {kind!r} "
+                              f"(choose from {', '.join(self._SUBMITTABLE)})")
+        return getattr(self, kind)(*args, **kwargs)
+
+    def poll(self, now_us: Optional[int] = None) -> int:
+        """Fire every completion due at or before ``now_us`` (default:
+        the session cursor, else the clock); returns how many commands
+        are still in flight."""
+        if now_us is None:
+            now_us = (self._session.now_us if self._session is not None
+                      else self.clock.now_us)
+        self.events.run_until(now_us)
+        return len(self._inflight)
+
+    def drain(self) -> None:
+        """Complete every in-flight command, advancing the clock to the
+        device's completion horizon."""
+        while self._inflight:
+            horizon = max(ticket.completion_us for ticket in self._inflight)
+            self.events.run_until(horizon)
+
     # ------------------------------------------------------------ commands
 
     def _gate(self, kind: str, lpns: Sequence[int],
@@ -128,7 +222,8 @@ class Ssd:
 
         Consulted at submission (before any media work) and completion
         (after the work, modelling a lost completion).  Latency-spike
-        delays are charged to the clock; error faults raise typed
+        delays are charged to the issuing session's cursor (or the
+        clock, when synchronous); error faults raise typed
         :class:`DeviceError` subclasses the host resilience layer
         handles.  Disarmed cost: one attribute check."""
         commands = self.faults.commands
@@ -137,7 +232,10 @@ class Ssd:
         delay_us = commands.on_command(kind, lpns, phase)
         if delay_us:
             self.stats.busy_us += delay_us
-            self.clock.advance(delay_us)
+            if self._session is not None:
+                self._session.now_us += delay_us
+            else:
+                self.clock.advance(delay_us)
 
     def read(self, lpn: int) -> Any:
         """Read one page (through the controller DRAM cache if enabled)."""
@@ -147,26 +245,33 @@ class Ssd:
             cached = self.cache.lookup(lpn)
             if cached is not None:
                 self.stats.host_read_pages += 1
-                self._finish("read", lpn, 1, before, 0.0)  # DRAM-speed hit
-                return cached[0]
-            data = self.ftl.read(lpn)
-            self.cache.insert(lpn, data)
-            self.stats.host_read_pages += 1
-            self._finish("read", lpn, 1, before,
-                         self.timing.read_latency(self.page_size))
-            return data
+                data = cached[0]
+                ticket = self._issue("read", lpn, 1, before,
+                                     0.0)   # DRAM-speed hit
+            else:
+                data = self.ftl.read(lpn)
+                self.cache.insert(lpn, data)
+                self.stats.host_read_pages += 1
+                ticket = self._issue("read", lpn, 1, before,
+                                     self.timing.read_latency(self.page_size))
+        self._wait(ticket)
+        return data
 
     def write(self, lpn: int, data: Any) -> None:
         """Write one page (out-of-place inside the device)."""
         self._gate("write", (lpn,))
-        with self.faults.operation("device.write", (lpn,)), \
+        with self.faults.operation("device.write", (lpn,),
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.write"):
             before = self._work_snapshot()
             self.ftl.write(lpn, data)
             self.cache.insert(lpn, data)
             self.stats.host_write_pages += 1
-            self._finish("write", lpn, 1, before,
-                         self.timing.program_latency(self.page_size))
+            ticket = self._issue(
+                "write", lpn, 1, before,
+                self.timing.program_latency(self.page_size),
+                op_kind="device.write", op_record=op)
+        self._wait(ticket)
 
     def write_multi(self, lpn: int, pages: Sequence[Any]) -> None:
         """Write consecutive pages in one host command (one command
@@ -175,16 +280,19 @@ class Ssd:
             raise DeviceError("write_multi with no pages")
         self._gate("write", tuple(range(lpn, lpn + len(pages))))
         with self.faults.operation("device.write_multi",
-                                   tuple(range(lpn, lpn + len(pages)))), \
+                                   tuple(range(lpn, lpn + len(pages))),
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.write"):
             before = self._work_snapshot()
             for index, page in enumerate(pages):
                 self.ftl.write(lpn + index, page)
                 self.cache.insert(lpn + index, page)
             self.stats.host_write_pages += len(pages)
-            self._finish("write", lpn, len(pages), before,
-                         len(pages)
-                         * self.timing.program_latency(self.page_size))
+            ticket = self._issue(
+                "write", lpn, len(pages), before,
+                len(pages) * self.timing.program_latency(self.page_size),
+                op_kind="device.write_multi", op_record=op)
+        self._wait(ticket)
 
     def write_atomic(self, items: Sequence) -> None:
         """Atomic multi-page write (the Section 6.1 baseline command:
@@ -193,7 +301,8 @@ class Ssd:
             raise DeviceError("write_atomic with no pages")
         lpns = tuple(lpn for lpn, __ in items)
         self._gate("awrite", lpns)
-        with self.faults.operation("device.awrite", lpns), \
+        with self.faults.operation("device.awrite", lpns,
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.write", atomic=True):
             before = self._work_snapshot()
             self.ftl.write_atomic(items)
@@ -202,10 +311,12 @@ class Ssd:
             self.stats.host_write_pages += len(items)
             self.stats.extra["atomic_write_commands"] = (
                 self.stats.extra.get("atomic_write_commands", 0) + 1)
-            self._finish("write", items[0][0], len(items), before,
-                         len(items)
-                         * self.timing.program_latency(self.page_size))
-            self._gate("awrite", lpns, "complete")
+            ticket = self._issue(
+                "write", items[0][0], len(items), before,
+                len(items) * self.timing.program_latency(self.page_size),
+                op_kind="device.awrite", op_record=op,
+                gate_kind="awrite", gate_lpns=lpns)
+        self._wait(ticket)
 
     # X-FTL transactional interface (Section 6.2 baseline) --------------
 
@@ -219,81 +330,100 @@ class Ssd:
             before = self._work_snapshot()
             self.ftl.write_txn(txn_id, lpn, data)
             self.stats.host_write_pages += 1
-            self._finish("write", lpn, 1, before,
-                         self.timing.program_latency(self.page_size))
+            ticket = self._issue(
+                "write", lpn, 1, before,
+                self.timing.program_latency(self.page_size))
+        self._wait(ticket)
 
     def commit_txn(self, txn_id: int) -> None:
         """Atomically publish a transaction's staged pages."""
         with self.faults.operation(
-                "device.xcommit", tuple(self.ftl._txn_shadow.get(txn_id, ()))), \
+                "device.xcommit", tuple(self.ftl._txn_shadow.get(txn_id, ())),
+                deferred=True) as op, \
                 self.telemetry.tracer.span("device.flush", txn=txn_id):
             before = self._work_snapshot()
             staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
             self.ftl.commit_txn(txn_id)
             for lpn in staged_lpns:
                 self.cache.invalidate(lpn)
-            self._finish("flush", 0, 0, before, 0.0)
+            ticket = self._issue("flush", 0, 0, before, 0.0,
+                                 op_kind="device.xcommit", op_record=op)
+        self._wait(ticket)
 
     def abort_txn(self, txn_id: int) -> None:
         """Discard a transaction's staged pages."""
         with self.telemetry.tracer.span("device.trim", txn=txn_id):
             before = self._work_snapshot()
             self.ftl.abort_txn(txn_id)
-            self._finish("trim", 0, 0, before, 0.0)
+            ticket = self._issue("trim", 0, 0, before, 0.0)
+        self._wait(ticket)
 
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate a logical range."""
         self._gate("trim", tuple(range(lpn, lpn + max(count, 1))))
         with self.faults.operation("device.trim",
-                                   tuple(range(lpn, lpn + max(count, 1)))), \
+                                   tuple(range(lpn, lpn + max(count, 1))),
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.trim"):
             before = self._work_snapshot()
             self.ftl.trim(lpn, count)
             self.cache.invalidate(lpn, count)
             self.stats.trim_commands += 1
-            self._finish("trim", lpn, count, before,
-                         count * self.timing.map_update_us)
+            ticket = self._issue("trim", lpn, count, before,
+                                 count * self.timing.map_update_us,
+                                 op_kind="device.trim", op_record=op)
+        self._wait(ticket)
 
     def idle_gc(self, max_blocks: int = 1,
                 min_invalid_fraction: float = 0.5) -> int:
         """Host-initiated background GC (run during think time).  The
-        reclaim work is charged to the clock like any other command, but
-        it happens when no foreground request is waiting — trading idle
-        time for smaller foreground stalls."""
+        reclaim work is charged like any other command, but it happens
+        when no foreground request is waiting — trading idle time for
+        smaller foreground stalls."""
         with self.telemetry.tracer.span("device.idle_gc"):
             before = self._work_snapshot()
             reclaimed = self.ftl.idle_gc(max_blocks, min_invalid_fraction)
-            self._finish("trim", 0, reclaimed, before, 0.0)
-            return reclaimed
+            ticket = self._issue("trim", 0, reclaimed, before, 0.0)
+        self._wait(ticket)
+        return reclaimed
 
     def flush(self) -> None:
         """Barrier: persist pending mapping changes.  Data-page writes are
         durable at command completion already (no volatile write cache is
         modelled), matching the paper's O_DIRECT setup."""
         self._gate("flush", ())
-        with self.faults.operation("device.flush"), \
+        with self.faults.operation("device.flush", deferred=True) as op, \
                 self.telemetry.tracer.span("device.flush"):
             before = self._work_snapshot()
             self.ftl.flush()
             self.stats.flush_commands += 1
-            self._finish("flush", 0, 0, before, 0.0)
+            ticket = self._issue("flush", 0, 0, before, 0.0,
+                                 op_kind="device.flush", op_record=op)
+        self._wait(ticket)
 
     def share(self, dst_lpn: int, src_lpn: int, length: int = 1) -> None:
-        """Vendor-unique SHARE command (ranged form)."""
+        """Vendor-unique SHARE command (ranged form).
+
+        SHARE is a mapping-only command: it occupies no NAND channel,
+        only the firmware/DRAM phase — the heart of the paper's claim
+        that remapping replaces page writes."""
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
         lpns = tuple(range(dst_lpn, dst_lpn + length))
         self._gate("share", lpns)
-        with self.faults.operation("device.share", lpns), \
+        with self.faults.operation("device.share", lpns,
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share(dst_lpn, src_lpn, length)
             self.cache.invalidate(dst_lpn, length)
             self.stats.share_commands += 1
             self.stats.share_pairs += length
-            self._finish("share", dst_lpn, length, before,
-                         length * self.timing.map_update_us)
-            self._gate("share", lpns, "complete")
+            ticket = self._issue("share", dst_lpn, length, before,
+                                 length * self.timing.map_update_us,
+                                 op_kind="device.share", op_record=op,
+                                 gate_kind="share", gate_lpns=lpns)
+        self._wait(ticket)
 
     def share_batch(self, pairs: Sequence[SharePair]) -> None:
         """Vendor-unique SHARE command (batched pair form)."""
@@ -301,7 +431,8 @@ class Ssd:
             raise ShareError("device does not support the SHARE command")
         lpns = tuple(pair.dst_lpn for pair in pairs)
         self._gate("share", lpns)
-        with self.faults.operation("device.share", lpns), \
+        with self.faults.operation("device.share", lpns,
+                                   deferred=True) as op, \
                 self.telemetry.tracer.span("device.share"):
             before = self._work_snapshot()
             self.ftl.share_batch(pairs)
@@ -309,13 +440,19 @@ class Ssd:
                 self.cache.invalidate(pair.dst_lpn)
             self.stats.share_commands += 1
             self.stats.share_pairs += len(pairs)
-            self._finish("share", pairs[0].dst_lpn, len(pairs), before,
-                         len(pairs) * self.timing.map_update_us)
-            self._gate("share", lpns, "complete")
+            ticket = self._issue(
+                "share", pairs[0].dst_lpn, len(pairs), before,
+                len(pairs) * self.timing.map_update_us,
+                op_kind="device.share", op_record=op,
+                gate_kind="share", gate_lpns=lpns)
+        self._wait(ticket)
 
     # ----------------------------------------------------------- internals
 
     def _work_snapshot(self) -> _WorkSnapshot:
+        # Discard ledger entries from direct FTL use between commands
+        # (aging, recovery) so they are not billed to this command.
+        self.ftl.take_work()
         ftl_stats = self.ftl.stats
         return _WorkSnapshot(
             copybacks=ftl_stats.copyback_pages,
@@ -328,10 +465,71 @@ class Ssd:
             wear_moves=ftl_stats.wear_level_moves,
         )
 
-    def _finish(self, kind: str, lpn: int, count: int,
-                before: _WorkSnapshot, base_latency_us: float) -> None:
-        """Charge latency for the command plus the internal work (GC
-        copybacks, erases, mapping-page programs, spills) it triggered."""
+    def _work_cost_us(self, kind: str) -> float:
+        """Media time of one work-ledger entry (used for *placement* of
+        busy time onto channels; the authoritative command total is the
+        analytic formula in :meth:`_issue`)."""
+        timing = self.timing
+        if kind == "host_read":
+            return timing.read_latency(self.page_size)
+        if kind == "host_program":
+            return timing.program_latency(self.page_size)
+        if kind == "copyback":
+            return timing.copyback_us
+        if kind == "erase":
+            return timing.erase_us
+        if kind == "map_write":
+            return timing.program_us
+        if kind == "spill":
+            return timing.read_us + timing.program_us
+        if kind == "spill_lookup":
+            return timing.read_us
+        return 0.0
+
+    def _price_media(self, latency_us: float,
+                     work: Sequence[Tuple[str, int]]) -> Tuple[int, Dict[int, int]]:
+        """Split one command's total latency into a front DRAM/firmware
+        part and integer per-channel media occupancies.
+
+        Conservation rule: the pieces always sum to
+        ``int(round(latency_us))`` — the same rounding the serial model
+        applied per command — so the work ledger only decides *where*
+        busy time lands, never how much there is.  At one channel the
+        split is exact and the completion time equals the serial model's.
+        """
+        total_int = int(round(latency_us))
+        per_channel: Dict[int, float] = {}
+        for kind, channel in work:
+            cost = self._work_cost_us(kind)
+            if cost > 0.0:
+                per_channel[channel] = per_channel.get(channel, 0.0) + cost
+        pieces = {channel: int(round(us))
+                  for channel, us in per_channel.items()}
+        pieces = {channel: dur for channel, dur in pieces.items() if dur > 0}
+        dram_us = total_int - sum(pieces.values())
+        if dram_us < 0:
+            # Per-channel rounding overshot the authoritative total
+            # (only possible with 2+ channels): shave the largest piece.
+            largest = max(pieces, key=lambda channel: pieces[channel])
+            pieces[largest] = max(0, pieces[largest] + dram_us)
+            if pieces[largest] == 0:
+                del pieces[largest]
+            dram_us = total_int - sum(pieces.values())
+            if dram_us < 0:
+                # Pathological: collapse to a pure firmware phase.
+                pieces = {}
+                dram_us = total_int
+        return dram_us, pieces
+
+    def _issue(self, kind: str, lpn: int, count: int,
+               before: _WorkSnapshot, base_latency_us: float,
+               op_kind: Optional[str] = None, op_record: Any = None,
+               gate_kind: Optional[str] = None,
+               gate_lpns: Optional[Tuple[int, ...]] = None) -> CommandTicket:
+        """Price the command (base latency plus the internal work — GC
+        copybacks, erases, mapping-page programs, spills — it
+        triggered), admit it through the NCQ, occupy its channels, and
+        schedule its completion event."""
         ftl_stats = self.ftl.stats
         copybacks = ftl_stats.copyback_pages - before.copybacks
         erases = ftl_stats.block_erases - before.erases
@@ -357,22 +555,91 @@ class Ssd:
         self.stats.wear_level_moves += \
             ftl_stats.wear_level_moves - before.wear_moves
         self.stats.busy_us += latency
-        self.clock.advance(latency)
+
+        # Timing: admission through the bounded queue, a DRAM/firmware
+        # phase, then per-channel media occupancy.
+        work = self.ftl.take_work()
+        dram_us, pieces = self._price_media(latency, work)
+        service_us = dram_us + sum(pieces.values())
+        session = self._session
+        arrival = (session.now_us if session is not None
+                   else self.clock.now_us)
+        admit = self.ncq.admit(arrival)
+        dram_end = admit + dram_us
+        completion = dram_end
+        for channel, duration in pieces.items():
+            __, end = self.channels.acquire(channel, dram_end, duration)
+            self._m_chan_busy[channel].inc(duration)
+            if end > completion:
+                completion = end
+        self.ncq.commit(completion)
+
+        ticket = CommandTicket(
+            kind, lpn, count, latency, service_us, arrival, completion,
+            gc_events=gc_events, copyback_pages=copybacks,
+            op_kind=op_kind, op_record=op_record,
+            gate_kind=gate_kind, gate_lpns=gate_lpns)
+        ticket.event = self.events.at(
+            completion, lambda: self._on_complete(ticket),
+            label=f"{self.name}.{kind}")
+        self._inflight.append(ticket)
+
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.tracer.current.set(
                 kind=kind, lpn=lpn, count=count, latency_us=latency,
                 gc_events=gc_events, copyback_pages=copybacks)
-            self._m_commands[kind].inc()
-            self._m_pages[kind].inc(count)
-            self._m_latency[kind].record(latency)
-            self._m_busy_us.inc(latency)
-            telemetry.maybe_snapshot(self.clock.now_us)
+            self._m_queue_depth.set(self.ncq.inflight)
+
+        if session is not None:
+            session.now_us = completion
+        return ticket
+
+    def _wait(self, ticket: CommandTicket) -> None:
+        """Synchronous issue (no session attached): fire every
+        completion up to the command's own, advancing the clock.  Runs
+        *after* the command's fault-operation scope has exited, so the
+        deferred ack is registered before it is delivered."""
+        if self._session is None:
+            self.events.run_until(ticket.completion_us)
+
+    def _on_complete(self, ticket: CommandTicket) -> None:
+        """Completion event: deliver telemetry, the trace record, the
+        completion-phase fault gate and the deferred ack — in the order
+        the device finishes work, not the order the host submitted it."""
+        try:
+            self._inflight.remove(ticket)
+        except ValueError:
+            pass
+        now = self.clock.now_us
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            self._m_commands[ticket.kind].inc()
+            self._m_pages[ticket.kind].inc(ticket.count)
+            self._m_latency[ticket.kind].record(ticket.latency_us)
+            self._m_busy_us.inc(ticket.latency_us)
+            self._m_queue_wait.record(ticket.wait_us)
+            elapsed = now - self._measure_start_us
+            for channel, util in enumerate(
+                    self.channels.utilization(elapsed)):
+                self._m_chan_util[channel].set(util)
+            telemetry.maybe_snapshot(now)
         if self.trace is not None and self.trace.capacity:
             self.trace.record(TraceEvent(
-                timestamp_us=self.clock.now_us, kind=kind, lpn=lpn,
-                count=count, latency_us=latency, gc_events=gc_events,
-                copyback_pages=copybacks))
+                timestamp_us=now, kind=ticket.kind, lpn=ticket.lpn,
+                count=ticket.count, latency_us=ticket.latency_us,
+                gc_events=ticket.gc_events,
+                copyback_pages=ticket.copyback_pages))
+        if ticket.gate_kind is not None:
+            try:
+                self._gate(ticket.gate_kind, ticket.gate_lpns, "complete")
+            except DeviceError:
+                if ticket.op_kind is not None:
+                    self.faults.fail_operation(ticket.op_kind,
+                                               ticket.op_record)
+                raise
+        if ticket.op_kind is not None:
+            self.faults.complete_operation(ticket.op_kind, ticket.op_record)
 
     def media_report(self) -> dict:
         """The FTL's ``media.*`` degradation counters plus the raw chip
@@ -384,14 +651,51 @@ class Ssd:
         report["nand_failed_erases"] = self.nand.failed_erases
         return report
 
+    def queue_report(self) -> dict:
+        """Queue and channel state for reports: per-channel busy time and
+        utilisation over the measured interval, plus depth/inflight."""
+        elapsed = self.clock.now_us - self._measure_start_us
+        return {
+            "queue_depth": self.ncq.depth,
+            "inflight": len(self._inflight),
+            "channel_count": self.channels.channel_count,
+            "channel_busy_us": list(self.channels.busy_us),
+            "channel_utilization": self.channels.utilization(elapsed),
+        }
+
+    def _on_clock_reset(self) -> None:
+        """The harness rewound the clock between experiment runs: every
+        absolute timestamp the device caches (queue completion times,
+        channel busy horizons, pending completion events) belongs to a
+        timeline that no longer exists.  Drop them all."""
+        for ticket in self._inflight:
+            if ticket.event is not None:
+                self.events.cancel(ticket.event)
+        self._inflight = []
+        self.ncq.reset()
+        self.channels.reset()
+        self._measure_start_us = 0
+
     # ------------------------------------------------------------ recovery
 
     def power_cycle(self) -> None:
-        """Simulate power loss + reboot: drop all volatile state and run
-        the FTL recovery scan over the surviving media."""
+        """Simulate power loss + reboot: cancel every in-flight
+        completion (those commands never acknowledge — their records
+        become unacked in the fault journal), drop all volatile state
+        and run the FTL recovery scan over the surviving media."""
+        for ticket in self._inflight:
+            if ticket.event is not None:
+                self.events.cancel(ticket.event)
+            if ticket.op_kind is not None:
+                self.faults.abandon_operation(ticket.op_kind,
+                                              ticket.op_record)
+        self._inflight = []
+        self.ncq.reset()
+        self.channels.reset()
         self.ftl = PageMappingFtl.recover(self.nand, self.config.ftl,
                                           self.faults,
                                           telemetry=self.telemetry)
+        self.ftl.take_work()   # recovery-scan work is not billed
         self.cache.clear()
 
     # --------------------------------------------------------------- aging
@@ -423,9 +727,13 @@ class Ssd:
     def reset_measurement(self) -> None:
         """Zero the host-visible counters (keep media state) so the
         measured interval starts clean, as after the paper's warm-up."""
+        self.drain()
         self.stats = DeviceStats(page_size=self.page_size)
         ftl_stats = self.ftl.stats
         for name in list(ftl_stats.__dict__):
             setattr(ftl_stats, name, 0)
+        self.ftl.take_work()   # drop unbilled ledger entries (aging I/O)
+        self.channels.reset_accounting()
+        self._measure_start_us = self.clock.now_us
         self.trace.clear()
         self.telemetry.reset_measurement()

@@ -14,7 +14,10 @@ Sections:
   histogram in the final snapshot,
 * ``spans``      — per-span-name count / total / mean virtual duration,
 * ``gc``         — GC attribution: each ``ftl.gc`` span walked up its
-  parent chain to the host-level operation that triggered it.
+  parent chain to the host-level operation that triggered it,
+* ``queue``      — the event-driven device's queueing picture: per-device
+  queue-wait percentiles (time a command sat admitted-but-behind-others
+  versus being serviced) and per-channel busy time / utilisation.
 
 The artifact is whatever a :class:`repro.obs.JsonlSink` captured — metric
 snapshots (``type: "metrics"``) and finished spans (``type: "span"``).
@@ -157,7 +160,53 @@ def render_gc_attribution(records: Sequence[Dict]) -> str:
                         title="GC attribution (root operation -> GC runs)")
 
 
-SECTIONS = ("activities", "latency", "spans", "gc")
+def queue_summary(metrics: Dict) -> Tuple[List[List], List[List]]:
+    """Queue-wait percentile rows and per-channel utilisation rows from
+    a metrics snapshot.
+
+    Returns ``(wait_rows, channel_rows)`` where wait rows are
+    ``[device, count, mean, p50, p75, p99, max]`` (microseconds) and
+    channel rows are ``[device, channel, busy_us, utilisation]``.
+    """
+    wait_rows: List[List] = []
+    channel_rows: List[List] = []
+    for name in sorted(metrics):
+        if name.startswith("device.") and name.endswith(".queue.wait_us"):
+            value = metrics[name]
+            if isinstance(value, dict) and value.get("count"):
+                device = name.split(".")[1]
+                wait_rows.append([device, value["count"], value["mean"],
+                                  value["p50"], value["p75"], value["p99"],
+                                  value["max"]])
+        if name.startswith("device.") and ".chan." in name \
+                and name.endswith(".busy_us"):
+            parts = name.split(".")
+            device, channel = parts[1], int(parts[3])
+            util = metrics.get(
+                f"device.{device}.chan.{channel}.util", 0.0)
+            channel_rows.append([device, channel, metrics[name], util])
+    channel_rows.sort()
+    return wait_rows, channel_rows
+
+
+def render_queueing(metrics: Dict) -> str:
+    wait_rows, channel_rows = queue_summary(metrics)
+    parts = []
+    if wait_rows:
+        parts.append(format_table(
+            ["device", "count", "mean", "P50", "P75", "P99", "max"],
+            wait_rows, title="Queue wait (us, admitted -> service start)"))
+    if channel_rows:
+        parts.append(format_table(
+            ["device", "channel", "busy_us", "utilisation"],
+            channel_rows, title="Channel occupancy"))
+    if not parts:
+        return ("no queueing telemetry in artifact "
+                "(single-channel QD1 runs stay on the serial fast path)")
+    return "\n\n".join(parts)
+
+
+SECTIONS = ("activities", "latency", "spans", "gc", "queue")
 
 
 def render(records: Sequence[Dict], section: str = "all") -> str:
@@ -171,6 +220,8 @@ def render(records: Sequence[Dict], section: str = "all") -> str:
         parts.append(span_summary(records))
     if section in ("all", "gc"):
         parts.append(render_gc_attribution(records))
+    if section in ("all", "queue"):
+        parts.append(render_queueing(metrics))
     return "\n\n".join(parts)
 
 

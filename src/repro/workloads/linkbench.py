@@ -132,30 +132,50 @@ class LinkBenchDriver:
     def run(self, transactions: int, concurrency: int = 1) -> LinkBenchResult:
         """Execute ``transactions`` operations, timing each one.
 
-        With ``concurrency`` > 1 (the paper used 16 client threads), each
-        operation's *service* time is measured serially on the virtual
-        clock and then replayed through a closed-loop FIFO queue of that
-        many clients, so recorded latencies include the wait behind other
-        clients' operations — the effect that makes SHARE's faster writes
-        shorten read tails (Section 5.3.1, Table 1).  Throughput is
-        unchanged: the device is the bottleneck either way.
+        With ``concurrency`` > 1 (the paper used 16 client threads), the
+        stream is issued by that many closed-loop clients through the
+        devices' real command queues: each client carries a
+        :class:`~repro.ssd.ncq.DeviceSession` whose cursor is the time
+        its next operation starts, so recorded latencies include the
+        wait behind other clients' commands — the effect that makes
+        SHARE's faster writes shorten read tails (Section 5.3.1,
+        Table 1).  At the default device configuration (queue depth 1,
+        one channel, a queue shared across the stack) admission fully
+        serialises commands, and the recorded responses equal the old
+        analytic :class:`~repro.sim.queueing.ClosedLoopQueue` replay
+        exactly — ``tests/test_sim_queueing.py`` holds the two models
+        to each other.  Deeper queues and more channels let commands
+        overlap, which only this path can express.
         """
-        from repro.sim.queueing import ClosedLoopQueue
+        from repro.ssd.ncq import DeviceSession, issuing
         recorder = LatencyRecorder()
         op_counts: Dict[str, int] = {}
-        queue = ClosedLoopQueue(concurrency) if concurrency > 1 else None
         start_us = self.clock.now_us
-        for index in range(transactions):
-            op = self._rng.choices(self._ops, weights=self._weights, k=1)[0]
-            op_start = self.clock.now_us
-            self._execute(op, index)
-            service_us = self.clock.now_us - op_start
-            if queue is not None:
-                completion = queue.submit(service_us)
-                recorder.record(op, completion.response_us / 1000.0)
-            else:
-                recorder.record(op, service_us / 1000.0)
-            op_counts[op] = op_counts.get(op, 0) + 1
+        if concurrency > 1:
+            devices = self.engine.devices()
+            sessions = [DeviceSession(client, start_us)
+                        for client in range(concurrency)]
+            for index in range(transactions):
+                op = self._rng.choices(self._ops, weights=self._weights,
+                                       k=1)[0]
+                session = sessions[index % concurrency]
+                arrival = session.now_us
+                with issuing(session, *devices):
+                    self._execute(op, index)
+                recorder.record(op, (session.now_us - arrival) / 1000.0)
+                op_counts[op] = op_counts.get(op, 0) + 1
+                for device in devices:
+                    device.poll(session.now_us)
+            for device in devices:
+                device.drain()
+        else:
+            for index in range(transactions):
+                op = self._rng.choices(self._ops, weights=self._weights,
+                                       k=1)[0]
+                op_start = self.clock.now_us
+                self._execute(op, index)
+                recorder.record(op, (self.clock.now_us - op_start) / 1000.0)
+                op_counts[op] = op_counts.get(op, 0) + 1
         elapsed = (self.clock.now_us - start_us) / 1e6
         return LinkBenchResult(transactions=transactions,
                                elapsed_seconds=elapsed,

@@ -140,7 +140,8 @@ class YcsbDriver:
 
     def run(self, workload: YcsbWorkload, operations: int,
             batch_size: int, auto_compact: bool = False,
-            record_timeline: bool = False) -> YcsbResult:
+            record_timeline: bool = False,
+            concurrency: int = 1) -> YcsbResult:
         """Execute the workload; one "operation" is one YCSB op (a
         read-modify-write counts as one op, as YCSB reports it).
 
@@ -150,29 +151,59 @@ class YcsbDriver:
         compaction stalls write transactions (Section 3.3's motivation
         for finishing compaction fast).  ``record_timeline`` captures
         per-op completion times for throughput-over-time analysis.
+
+        With ``concurrency`` > 1, that many closed-loop clients issue
+        operations through the device's real command queue (each client
+        carries a :class:`~repro.ssd.ncq.DeviceSession`), so recorded
+        latencies include queueing behind other clients.  Commits and
+        compactions are shared barriers: the device drains and they run
+        synchronously, stalling every client — matching the store's
+        single-writer commit model.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
+        from repro.ssd.ncq import DeviceSession, issuing
         reads = writes = 0
         latency = Histogram()
         start_us = self.clock.now_us
         pending = 0
         timeline = [] if record_timeline else None
         compactions = []
+        device = self.store.fs.ssd   # survives mid-run compaction
+        sessions = ([DeviceSession(client, start_us)
+                     for client in range(concurrency)]
+                    if concurrency > 1 else None)
         for index in range(operations):
-            op_start = self.clock.now_us
-            reads_delta, writes_delta = self._one_op(workload)
+            if sessions is not None:
+                session = sessions[index % concurrency]
+                # A shared barrier may have advanced the clock past this
+                # client's cursor; it cannot issue into the past.
+                if session.now_us < self.clock.now_us:
+                    session.now_us = self.clock.now_us
+                op_start = session.now_us
+                with issuing(session, device):
+                    reads_delta, writes_delta = self._one_op(workload)
+                op_end = session.now_us
+                device.poll(session.now_us)
+            else:
+                op_start = self.clock.now_us
+                reads_delta, writes_delta = self._one_op(workload)
+                op_end = self.clock.now_us
             reads += reads_delta
             writes += writes_delta
             pending += writes_delta
             if pending >= batch_size:
+                if sessions is not None:
+                    device.drain()
                 self.store.commit()
                 pending = 0
                 if auto_compact and self.store.needs_compaction():
                     compactions.append(self._compact_inline())
-            latency.record((self.clock.now_us - op_start) / 1000.0)
+            latency.record((op_end - op_start) / 1000.0)
             if timeline is not None:
-                timeline.append(self.clock.now_us)
+                timeline.append(op_end)
+        if sessions is not None:
+            device.drain()
         if pending:
             self.store.commit()
         elapsed = (self.clock.now_us - start_us) / 1e6

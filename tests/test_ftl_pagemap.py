@@ -294,3 +294,74 @@ class TestGarbageCollection:
             ftl.write(i % hot, i)
         summary = ftl.nand.wear_summary()
         assert summary["max"] >= 1
+
+
+class TestChannelStriping:
+    """Host allocation spreads across channels (block % channel_count)."""
+
+    def make_striped(self, channels, block_count=64):
+        geo = FlashGeometry(page_size=4096, pages_per_block=32,
+                            block_count=block_count,
+                            overprovision_ratio=0.125,
+                            channel_count=channels)
+        nand = NandArray(geo)
+        return PageMappingFtl(nand, FtlConfig(map_block_count=4))
+
+    def channel_of(self, ftl, lpn):
+        ppn = ftl.fwd.lookup(lpn)
+        geo = ftl.geometry
+        return (ppn // geo.pages_per_block) % geo.channel_count
+
+    def test_sequential_writes_rotate_over_channels(self):
+        channels = 4
+        ftl = self.make_striped(channels)
+        for lpn in range(channels * 8):
+            ftl.write(lpn, ("v", lpn))
+        seen = [self.channel_of(ftl, lpn) for lpn in range(channels * 8)]
+        # One page at a time, round-robin: consecutive writes land on
+        # consecutive channels.
+        for index in range(1, len(seen)):
+            assert seen[index] == (seen[index - 1] + 1) % channels
+        assert set(seen) == set(range(channels))
+
+    def test_every_channel_gets_its_own_active_block(self):
+        channels = 4
+        ftl = self.make_striped(channels)
+        for lpn in range(channels):
+            ftl.write(lpn, ("v", lpn))
+        actives = {ch: block for ch, block in ftl._active_host.items()
+                   if block is not None}
+        assert len(actives) == channels
+        for channel, block in actives.items():
+            assert block % channels == channel
+
+    def test_single_channel_degenerates_to_serial_allocation(self):
+        striped = self.make_striped(1)
+        plain = make_ftl()
+        for lpn in range(40):
+            striped.write(lpn, ("v", lpn))
+            plain.write(lpn, ("v", lpn))
+        assert ([striped.fwd.lookup(lpn) for lpn in range(40)]
+                == [plain.fwd.lookup(lpn) for lpn in range(40)])
+
+    def test_striped_device_survives_gc_and_invariants(self):
+        channels = 2
+        ftl = self.make_striped(channels, block_count=32)
+        span = 200
+        for step in range(5 * span):
+            ftl.write(step % span, ("v", step))
+        ftl.check_invariants()
+        assert ftl.stats.gc_events > 0
+        channels_used = {self.channel_of(ftl, lpn) for lpn in range(span)}
+        assert channels_used == set(range(channels))
+
+    def test_work_ledger_tags_channels(self):
+        channels = 4
+        ftl = self.make_striped(channels)
+        for lpn in range(channels * 2):
+            ftl.write(lpn, ("v", lpn))
+        work = ftl.take_work()
+        host = [entry for entry in work if entry[0] == "host_program"]
+        assert len(host) == channels * 2
+        assert {channel for __, channel in host} == set(range(channels))
+        assert ftl.take_work() == []   # drained

@@ -147,3 +147,38 @@ class TestMain:
             "".join(json.dumps(record) + "\n" for record in SYNTHETIC))
         assert main([str(path), "--section", "gc"]) == 0
         assert "Latency" not in capsys.readouterr().out
+
+
+class TestQueueSection:
+    METRICS = [metrics_record(1_000, {
+        "device.data.queue.wait_us": {
+            "count": 40, "total": 4000.0, "mean": 100.0,
+            "p25": 10.0, "p50": 60.0, "p75": 150.0, "p99": 800.0,
+            "max": 1200.0},
+        "device.data.chan.0.busy_us": 5000,
+        "device.data.chan.0.util": 0.71,
+        "device.data.chan.1.busy_us": 4500,
+        "device.data.chan.1.util": 0.64,
+    })]
+
+    def test_queue_section_renders_waits_and_channels(self):
+        from repro.tools.report import queue_summary, render_queueing
+        metrics = last_metrics(self.METRICS)
+        wait_rows, channel_rows = queue_summary(metrics)
+        assert wait_rows == [["data", 40, 100.0, 60.0, 150.0, 800.0,
+                              1200.0]]
+        assert channel_rows == [["data", 0, 5000, 0.71],
+                                ["data", 1, 4500, 0.64]]
+        text = render_queueing(metrics)
+        assert "Queue wait" in text
+        assert "Channel occupancy" in text
+
+    def test_queue_section_in_full_render(self):
+        text = render(self.METRICS, "queue")
+        assert "Channel occupancy" in text
+        assert "I/O activities" not in text
+
+    def test_serial_artifact_explains_absence(self):
+        from repro.tools.report import render_queueing
+        assert "no queueing telemetry" in render_queueing(
+            {"device.data.host_write_pages": 5})

@@ -68,3 +68,117 @@ def test_validation():
         ClosedLoopQueue(0)
     with pytest.raises(ValueError):
         ClosedLoopQueue(2).submit(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Oracle equivalence: the analytic closed-loop queue is kept as an
+# independent model of the event-driven device.  At one channel, queue
+# depth 1 and FIFO admission the device must reproduce the oracle's
+# response times *exactly* on the same service stream — the proof that
+# the event-driven refactor is a strict generalization of the serial
+# model, not a reimplementation that happens to be close.
+# ---------------------------------------------------------------------------
+
+
+def _build_device():
+    from repro.flash.geometry import FlashGeometry
+    from repro.flash.timing import FAST_TIMING
+    from repro.ftl.config import FtlConfig
+    from repro.sim.clock import SimClock
+    from repro.ssd.device import Ssd, SsdConfig
+
+    clock = SimClock()
+    ssd = Ssd(clock, SsdConfig(
+        geometry=FlashGeometry(page_size=4096, pages_per_block=16,
+                               block_count=48),
+        timing=FAST_TIMING, ftl=FtlConfig(map_block_count=4)))
+    return clock, ssd
+
+
+def _op_stream(count=240, seed=11):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for step in range(count):
+        roll = rng.random()
+        if roll < 0.75:
+            ops.append(("write", rng.randrange(64), ("v", step)))
+        elif roll < 0.9:
+            ops.append(("read", rng.randrange(64), None))
+        else:
+            ops.append(("flush", 0, None))
+    return ops
+
+
+def _run_op(ssd, op):
+    kind, lpn, value = op
+    if kind == "write":
+        ssd.write(lpn, value)
+    elif kind == "read":
+        try:
+            ssd.read(lpn)
+        except Exception:
+            ssd.write(lpn, ("seed", lpn))   # unmapped: write instead
+    else:
+        ssd.flush()
+
+
+def test_event_device_qd1_reproduces_closed_loop_oracle():
+    clients = 4
+    ops = _op_stream()
+
+    # Serial measurement feeding the analytic oracle.
+    clock, ssd = _build_device()
+    queue = ClosedLoopQueue(clients)
+    oracle = []
+    for op in ops:
+        start = clock.now_us
+        _run_op(ssd, op)
+        oracle.append(queue.submit(clock.now_us - start))
+
+    # The same stream through real sessions on an identical device.
+    from repro.ssd.ncq import DeviceSession, issuing
+
+    clock2, ssd2 = _build_device()
+    sessions = [DeviceSession(client, 0) for client in range(clients)]
+    responses = []
+    for index, op in enumerate(ops):
+        session = sessions[index % clients]
+        arrival = session.now_us
+        with issuing(session, ssd2):
+            _run_op(ssd2, op)
+        responses.append(session.now_us - arrival)
+        ssd2.poll(session.now_us)
+    ssd2.drain()
+
+    assert responses == [completion.response_us for completion in oracle]
+    assert clock2.now_us == queue.makespan_us
+    assert clock2.now_us == clock.now_us
+
+
+def test_oracle_equivalence_holds_for_any_client_count():
+    for clients in (1, 2, 3, 8, 16):
+        ops = _op_stream(count=120, seed=100 + clients)
+        clock, ssd = _build_device()
+        queue = ClosedLoopQueue(clients)
+        oracle = []
+        for op in ops:
+            start = clock.now_us
+            _run_op(ssd, op)
+            oracle.append(queue.submit(clock.now_us - start))
+
+        from repro.ssd.ncq import DeviceSession, issuing
+
+        clock2, ssd2 = _build_device()
+        sessions = [DeviceSession(client, 0) for client in range(clients)]
+        responses = []
+        for index, op in enumerate(ops):
+            session = sessions[index % clients]
+            arrival = session.now_us
+            with issuing(session, ssd2):
+                _run_op(ssd2, op)
+            responses.append(session.now_us - arrival)
+            ssd2.poll(session.now_us)
+        ssd2.drain()
+        assert responses == [c.response_us for c in oracle], clients

@@ -186,3 +186,70 @@ class TestScales:
             params = SCALES[scale]
             assert params.linkbench_nodes > 0
             assert params.ycsb_records > 0
+
+
+class TestConcurrentClients:
+    """Closed-loop clients through the real device queue."""
+
+    def test_linkbench_concurrency_matches_serial_throughput_at_qd1(self):
+        # At the default device configuration (QD1, one channel, a
+        # shared queue) N clients serialise exactly like one: same
+        # makespan, same throughput — only recorded latencies grow by
+        # the queueing wait.
+        def run(concurrency, seed=7):
+            stack = build_innodb_stack(FlushMode.SHARE, 4096, 64, 2000,
+                                       age_device=False)
+            driver = LinkBenchDriver(
+                stack.engine, stack.clock,
+                LinkBenchConfig(node_count=300, seed=seed))
+            driver.load()
+            return driver.run(400, concurrency=concurrency)
+
+        serial = run(1)
+        queued = run(8)
+        assert queued.elapsed_seconds == serial.elapsed_seconds
+        assert queued.throughput_tps == serial.throughput_tps
+        mean_serial = sum(
+            s["mean"] for s in serial.latencies.table().values())
+        mean_queued = sum(
+            s["mean"] for s in queued.latencies.table().values())
+        assert mean_queued > mean_serial
+
+    def test_linkbench_deep_queue_multi_channel_shrinks_makespan(self):
+        def run(queue_depth, channel_count):
+            stack = build_innodb_stack(FlushMode.SHARE, 4096, 64, 2000,
+                                       age_device=False,
+                                       queue_depth=queue_depth,
+                                       channel_count=channel_count)
+            driver = LinkBenchDriver(
+                stack.engine, stack.clock,
+                LinkBenchConfig(node_count=300))
+            driver.load()
+            return driver.run(400, concurrency=8)
+
+        assert (run(8, 4).elapsed_seconds
+                < run(1, 1).elapsed_seconds)
+
+    def test_ycsb_concurrency_runs_and_preserves_counts(self):
+        stack = build_couch_stack(CommitMode.SHARE, 400, 2000,
+                                  queue_depth=8, channel_count=2)
+        driver = YcsbDriver(stack.store, stack.clock,
+                            YcsbConfig(record_count=400))
+        driver.load()
+        result = driver.run(YcsbWorkload.A, 600, batch_size=8,
+                            concurrency=8)
+        assert result.reads + result.writes == 600
+        assert result.operations == 600
+        assert result.elapsed_seconds > 0
+        assert stack.ssd.poll() == 0   # everything drained
+
+    def test_ycsb_serial_path_unchanged_by_concurrency_param(self):
+        def run(**kwargs):
+            stack = build_couch_stack(CommitMode.SHARE, 300, 1500)
+            driver = YcsbDriver(stack.store, stack.clock,
+                                YcsbConfig(record_count=300))
+            driver.load()
+            return driver.run(YcsbWorkload.F, 300, batch_size=8, **kwargs)
+
+        assert (run().elapsed_seconds
+                == run(concurrency=1).elapsed_seconds)
