@@ -122,10 +122,12 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
                        share_table_entries: int = 250,
                        age_device: bool = True,
                        trace_capacity: int = 0,
+                       trace_keep: str = "oldest",
                        telemetry=None,
                        queue_depth: int = 1,
                        channel_count: Optional[int] = None,
-                       plane_ways: int = 1) -> InnoDbStack:
+                       plane_ways: int = 1,
+                       interval_capacity: int = 0) -> InnoDbStack:
     """Assemble data device + log device + engine for one experiment cell.
 
     ``leaf_capacity`` scales with the page size by default: bigger pages
@@ -142,9 +144,15 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
     outstanding across the whole stack, exactly the old model; at
     higher depths each device gets its own queue and commands from
     different clients pipeline.
+
+    ``interval_capacity`` enables per-channel busy-interval capture on
+    the data device (for the Chrome-trace exporter).  When the telemetry
+    carries a :class:`~repro.obs.profiling.PhaseProfiler` the shared
+    event scheduler charges its dispatch loop to it too.
     """
     clock = SimClock()
-    events = EventScheduler(clock)
+    events = EventScheduler(
+        clock, profiler=getattr(telemetry, "profiler", None))
     shared_ncq = NativeCommandQueue(1) if queue_depth == 1 else None
     geometry = innodb_device_geometry(page_size, db_pages_estimate)
     if channel_count is not None:
@@ -154,8 +162,9 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
                       map_block_count=_map_blocks_for(geometry.block_count)),
-        trace_capacity=trace_capacity,
-        queue_depth=queue_depth, plane_ways=plane_ways),
+        trace_capacity=trace_capacity, trace_keep=trace_keep,
+        queue_depth=queue_depth, plane_ways=plane_ways,
+        interval_capacity=interval_capacity),
         telemetry=telemetry, name="data", events=events, ncq=shared_ncq)
     if age_device:
         # Light sequential pre-fill of the region the database will NOT
@@ -222,7 +231,9 @@ def build_couch_stack(mode: CommitMode, record_count: int,
                       telemetry=None,
                       queue_depth: int = 1,
                       channel_count: Optional[int] = None,
-                      plane_ways: int = 1) -> CouchStack:
+                      plane_ways: int = 1,
+                      trace_capacity: int = 0,
+                      interval_capacity: int = 0) -> CouchStack:
     """Assemble the device + filesystem + couchstore for one cell.
 
     The device is sized for the record set plus the append churn of the
@@ -245,7 +256,9 @@ def build_couch_stack(mode: CommitMode, record_count: int,
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
                       map_block_count=_map_blocks_for(geometry.block_count)),
-        queue_depth=queue_depth, plane_ways=plane_ways),
+        queue_depth=queue_depth, plane_ways=plane_ways,
+        trace_capacity=trace_capacity,
+        interval_capacity=interval_capacity),
         telemetry=telemetry, name="data")
     if age_device:
         ssd.age(fill_fraction=0.5, rewrite_fraction=0.3)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
@@ -47,7 +48,7 @@ from repro.errors import (
 )
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
-from repro.obs import NULL_TELEMETRY
+from repro.obs import NULL_TELEMETRY, hot_timer
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
 #: Spare-area tag marking a mapping page (vs a data page).
@@ -156,6 +157,8 @@ class MapLog:
         self._m_page_writes = metrics.counter("ftl.maplog.page_writes")
         self._m_checkpoints = metrics.counter("ftl.maplog.checkpoints")
         self._m_records = metrics.histogram("ftl.maplog.records_per_commit")
+        self._pt_apply = hot_timer(getattr(self.telemetry, "profiler", None),
+                                   "ftl.deltalog")
 
     # --------------------------------------------------------------- setup
 
@@ -241,6 +244,8 @@ class MapLog:
                 f"page capacity of {self._records_per_page} — the batch "
                 "would not commit atomically (Section 4.2.2)")
         self._faults.checkpoint("maplog.before_commit")
+        pt_apply = self._pt_apply
+        t0 = perf_counter_ns() if pt_apply is not None else 0
         payload = _seal(tuple(records))
         for attempt in range(_PROGRAM_ATTEMPTS):
             ppn = self._next_map_ppn()
@@ -255,6 +260,8 @@ class MapLog:
         self._note_work(ppn)
         self._m_page_writes.inc()
         self._m_records.record(len(records))
+        if pt_apply is not None:
+            pt_apply.add(perf_counter_ns() - t0)
         self._faults.checkpoint("maplog.after_commit")
 
     def append(self, records: Sequence[DeltaRecord]) -> None:

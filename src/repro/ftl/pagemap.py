@@ -36,6 +36,7 @@ Media faults degrade the device gracefully instead of killing it:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
@@ -68,7 +69,7 @@ from repro.ftl.share_ext import (
     observe_batch,
     validate_batch,
 )
-from repro.obs import NULL_TELEMETRY
+from repro.obs import NULL_TELEMETRY, hot_timer
 from repro.sim.faults import NO_FAULTS, FaultPlan
 
 
@@ -162,6 +163,14 @@ class PageMappingFtl:
         self._m_grown_bad = metrics.counter("media.grown_bad_blocks")
         self._m_corrupt_map = metrics.counter("media.corrupt_map_pages")
         self._m_spare_pool = metrics.gauge("media.spare_pool")
+        # Sampled-mode gate and wall-clock phase timers (None unless a
+        # profiler is attached — one load + branch on the hot path).
+        self._sampler = getattr(self.telemetry, "sampler", None)
+        profiler = getattr(self.telemetry, "profiler", None)
+        self._pt_l2p = hot_timer(profiler, "ftl.l2p")
+        self._pt_gc = (profiler.timer("ftl.gc")
+                       if profiler is not None
+                       and getattr(profiler, "enabled", False) else None)
         self._valid_count: Dict[int, int] = {b: 0 for b in self._data_blocks}
         self._free_blocks: List[int] = list(self._data_blocks)
         # Bad-block management: spare blocks held back from the free pool
@@ -261,7 +270,13 @@ class PageMappingFtl:
         unreadable even after firmware read-retry — the typed error is the
         contract: the host never receives wrong data silently."""
         self._check_lpn_range(lpn)
-        ppn = self.fwd.lookup(lpn)
+        pt_l2p = self._pt_l2p
+        if pt_l2p is not None:
+            t0 = perf_counter_ns()
+            ppn = self.fwd.lookup(lpn)
+            pt_l2p.add(perf_counter_ns() - t0)
+        else:
+            ppn = self.fwd.lookup(lpn)
         if ppn is None:
             raise UnmappedPageError(f"LPN {lpn} is unmapped")
         self.stats.host_page_reads += 1
@@ -286,6 +301,8 @@ class PageMappingFtl:
             self.stats.host_page_writes += 1
 
     def _remap_after_program(self, lpn: int, ppn: int) -> None:
+        pt_l2p = self._pt_l2p
+        t0 = perf_counter_ns() if pt_l2p is not None else 0
         old = self.fwd.update(lpn, ppn)
         self.rev.set_primary(ppn, lpn)
         self._valid_count[self.geometry.block_of(ppn)] += 1
@@ -293,6 +310,8 @@ class PageMappingFtl:
             self._drop_ref(old, lpn)
         self._share_backed.pop(lpn, None)
         self._trim_tombstones.pop(lpn, None)
+        if pt_l2p is not None:
+            pt_l2p.add(perf_counter_ns() - t0)
 
     def _drop_ref(self, ppn: int, lpn: int) -> None:
         if self.rev.drop_ref(ppn, lpn):
@@ -710,7 +729,9 @@ class PageMappingFtl:
         self.stats.share_commands += 1
         self.stats.share_pairs += len(pairs)
         if self.telemetry.enabled:
-            observe_batch(self.telemetry.metrics, pairs)
+            sampler = self._sampler
+            if sampler is None or sampler.hit():
+                observe_batch(self.telemetry.metrics, pairs)
 
     def _reconcile_oldest_share(self) -> None:
         """Share table full: materialise a private copy for the oldest
@@ -873,7 +894,18 @@ class PageMappingFtl:
         """Evacuate valid pages, erase, and return ``block`` to the free
         pool.  The whole pass runs inside an ``ftl.gc`` span, so the
         copyback/erase work is attributed to whichever host command (and
-        engine operation above it) triggered the collection."""
+        engine operation above it) triggered the collection.  With a
+        profiler attached the pass is also charged to the ``ftl.gc``
+        wall-clock phase (re-entrant: a reclaim cascading into another
+        reclaim is timed once)."""
+        pt_gc = self._pt_gc
+        if pt_gc is None:
+            self._do_reclaim_block(block, is_gc_event)
+            return
+        with pt_gc:
+            self._do_reclaim_block(block, is_gc_event)
+
+    def _do_reclaim_block(self, block: int, is_gc_event: bool) -> None:
         copybacks_before = self.stats.copyback_pages
         with self.telemetry.tracer.span(
                 "ftl.gc", block=block,

@@ -20,6 +20,19 @@ See ``docs/observability.md`` for the metric catalog, span hierarchy,
 and JSONL schema.
 """
 
+from repro.obs.chrometrace import (
+    chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.profiling import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseTimer,
+    hot_timer,
+    run_with_cprofile,
+)
 from repro.obs.registry import (
     DEFAULT_MAX_SAMPLES,
     BoundedHistogram,
@@ -38,29 +51,53 @@ from repro.obs.sinks import (
     TeeSink,
     read_jsonl,
 )
-from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.telemetry import (
+    DEFAULT_SAMPLE_EVERY,
+    NEVER_SAMPLER,
+    NULL_TELEMETRY,
+    OBS_MODES,
+    Sampler,
+    Telemetry,
+    obs_mode,
+    obs_sample_every,
+)
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "BoundedHistogram",
     "CounterMetric",
     "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_SAMPLE_EVERY",
     "GaugeMetric",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "MetricsScope",
+    "NEVER_SAMPLER",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_SINK",
     "NULL_SPAN",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullProfiler",
     "NullRegistry",
     "NullSink",
     "NullTracer",
+    "OBS_MODES",
+    "PhaseProfiler",
+    "PhaseTimer",
+    "Sampler",
     "Span",
     "TeeSink",
     "Telemetry",
     "Tracer",
+    "chrome_trace",
+    "export_chrome_trace",
+    "hot_timer",
+    "obs_mode",
+    "obs_sample_every",
     "read_jsonl",
+    "run_with_cprofile",
+    "validate_chrome_trace",
 ]

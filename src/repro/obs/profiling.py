@@ -1,0 +1,266 @@
+"""Wall-clock phase profiler for the simulator's hot paths.
+
+Everything else in ``repro.obs`` measures *virtual* time — the simulated
+device's microseconds.  This module measures the opposite axis: how many
+*real* nanoseconds the pure-python simulator spends inside each hot
+phase, which is what bounds large sweeps now that the event-driven core
+(PR 5) made modeled time cheap.  The instrumented phases are the ones
+ROADMAP item 2 names:
+
+==================== =====================================================
+phase                where it is charged
+==================== =====================================================
+``sim.dispatch``     :meth:`repro.sim.events.EventScheduler.step` firing
+                     one event callback
+``ncq.admit``        :meth:`repro.ssd.device.Ssd._issue` — queue
+                     admission, media pricing, channel acquisition and
+                     completion-event scheduling
+``device.complete``  the whole completion callback (includes the two
+                     below)
+``obs.emit``         telemetry + trace delivery inside the completion
+``ftl.l2p``          forward-map lookups/updates on the FTL read/write
+                     path
+``ftl.gc``           one whole reclaim pass (evacuate + erase)
+``ftl.deltalog``     sealing/appending mapping-delta pages
+==================== =====================================================
+
+Phases may nest (``obs.emit`` runs inside ``device.complete``), so the
+per-phase wall seconds are attributions, not a partition — the report
+gives each phase's share of the *total* wall time, not of a sum.
+
+Design for the hot path: a :class:`PhaseTimer` is resolved once at
+component construction; per event the cost is one ``perf_counter_ns``
+pair and two integer adds.  Components cache ``None`` instead of a timer
+when profiling is disabled, so an unprofiled run pays a single attribute
+load and branch per hook.  :data:`NULL_PROFILER` is the disabled
+singleton the :class:`~repro.obs.telemetry.Telemetry` facade defaults
+to.
+
+``python -m repro.tools.benchspeed --cprofile out.pstats`` layers a full
+:mod:`cProfile` capture (via :func:`run_with_cprofile`) on top when the
+per-phase numbers are not enough.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Any, Callable, Dict, Optional
+
+#: Canonical phase names, in report order.
+HOT_PHASES = ("sim.dispatch", "ncq.admit", "device.complete", "obs.emit",
+              "ftl.l2p", "ftl.gc", "ftl.deltalog")
+
+
+class PhaseTimer:
+    """Accumulator for one phase: total nanoseconds and event count.
+
+    Two usage styles:
+
+    * hot path — ``t0 = perf_counter_ns(); ...; timer.add(perf_counter_ns() - t0)``
+      (no allocation, no context-manager dispatch);
+    * cold path — ``with timer: ...`` (re-entrant: only the outermost
+      entry accumulates, so a GC pass that triggers a nested pass is
+      counted once).
+    """
+
+    __slots__ = ("name", "ns", "count", "_depth", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ns = 0
+        self.count = 0
+        self._depth = 0
+        self._t0 = 0
+
+    def add(self, elapsed_ns: int) -> None:
+        """Charge one timed interval (hot-path API)."""
+        self.ns += elapsed_ns
+        self.count += 1
+
+    @property
+    def seconds(self) -> float:
+        return self.ns / 1e9
+
+    def __enter__(self) -> "PhaseTimer":
+        self._depth += 1
+        if self._depth == 1:
+            self._t0 = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self.add(perf_counter_ns() - self._t0)
+
+    def reset(self) -> None:
+        self.ns = 0
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return (f"PhaseTimer({self.name!r}, {self.seconds:.6f}s, "
+                f"count={self.count})")
+
+
+class PhaseProfiler:
+    """Registry of :class:`PhaseTimer` accumulators by phase name.
+
+    Create one, hand it to :class:`~repro.obs.telemetry.Telemetry`
+    (``Telemetry(profiler=PhaseProfiler())``), build the stack — every
+    instrumented layer resolves its timers from
+    ``telemetry.profiler`` at construction.  After the run,
+    :meth:`report` renders the wall-clock accounting.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, PhaseTimer] = {}
+
+    def timer(self, name: str) -> PhaseTimer:
+        """Create-or-return the accumulator for ``name``."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = PhaseTimer(name)
+            self._timers[name] = timer
+        return timer
+
+    def phase(self, name: str) -> PhaseTimer:
+        """Context-manager convenience for cold paths:
+        ``with profiler.phase("ftl.gc"): ...``."""
+        return self.timer(name)
+
+    def timers(self) -> Dict[str, PhaseTimer]:
+        return dict(self._timers)
+
+    def total_seconds(self) -> float:
+        """Sum of all phase seconds.  Phases nest, so this can exceed
+        the real elapsed wall time — use it for sanity checks only."""
+        return sum(t.seconds for t in self._timers.values())
+
+    def report(self, total_wall_s: Optional[float] = None
+               ) -> Dict[str, Any]:
+        """JSON-serialisable accounting: per-phase wall seconds, event
+        counts, mean microseconds per event, and events/sec — plus each
+        phase's share of ``total_wall_s`` when the caller measured the
+        run's envelope."""
+        phases: Dict[str, Dict[str, float]] = {}
+        ordered = [n for n in HOT_PHASES if n in self._timers]
+        ordered += [n for n in sorted(self._timers) if n not in HOT_PHASES]
+        for name in ordered:
+            timer = self._timers[name]
+            seconds = timer.seconds
+            entry: Dict[str, float] = {
+                "wall_s": seconds,
+                "count": timer.count,
+                "mean_us": (seconds * 1e6 / timer.count
+                            if timer.count else 0.0),
+                "events_per_s": (timer.count / seconds
+                                 if seconds > 0 else 0.0),
+            }
+            if total_wall_s and total_wall_s > 0:
+                entry["share_of_total"] = seconds / total_wall_s
+            phases[name] = entry
+        out: Dict[str, Any] = {"phases": phases}
+        if total_wall_s is not None:
+            out["total_wall_s"] = total_wall_s
+        return out
+
+    def format(self, total_wall_s: Optional[float] = None) -> str:
+        """Human-readable table of :meth:`report`."""
+        report = self.report(total_wall_s)
+        lines = ["phase                    wall_s      count   mean_us  share"]
+        for name, row in report["phases"].items():
+            share = row.get("share_of_total")
+            share_text = f"{share * 100:5.1f}%" if share is not None else "    —"
+            lines.append(f"{name:<22} {row['wall_s']:8.4f} {row['count']:>10,}"
+                         f" {row['mean_us']:>9.2f}  {share_text}")
+        if total_wall_s is not None:
+            lines.append(f"{'(total run)':<22} {total_wall_s:8.4f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()
+
+
+class _NullTimer:
+    """Shared no-op accumulator (context-manager compatible)."""
+
+    __slots__ = ()
+    name = ""
+    ns = 0
+    count = 0
+    seconds = 0.0
+
+    def add(self, elapsed_ns: int) -> None:
+        pass
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TIMER = _NullTimer()
+
+
+class NullProfiler:
+    """Disabled profiler: ``enabled`` is False (components cache ``None``
+    instead of hot-path timers) and every lookup returns the shared
+    no-op timer (cold-path ``with`` blocks stay valid)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def timer(self, name: str) -> _NullTimer:
+        return NULL_TIMER
+
+    def phase(self, name: str) -> _NullTimer:
+        return NULL_TIMER
+
+    def timers(self) -> Dict[str, PhaseTimer]:
+        return {}
+
+    def total_seconds(self) -> float:
+        return 0.0
+
+    def report(self, total_wall_s: Optional[float] = None) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"phases": {}}
+        if total_wall_s is not None:
+            out["total_wall_s"] = total_wall_s
+        return out
+
+    def format(self, total_wall_s: Optional[float] = None) -> str:
+        return "profiling disabled"
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()
+
+
+def hot_timer(profiler: Any, name: str) -> Optional[PhaseTimer]:
+    """Resolve a hot-path timer handle: a real :class:`PhaseTimer` when
+    ``profiler`` is enabled, else ``None`` — the convention hot loops
+    use (``if pt is not None: ...``) so disabled profiling costs one
+    branch."""
+    if profiler is not None and getattr(profiler, "enabled", False):
+        return profiler.timer(name)
+    return None
+
+
+def run_with_cprofile(fn: Callable[[], Any], pstats_path: str):
+    """Run ``fn`` under :mod:`cProfile` and dump the stats to
+    ``pstats_path`` (loadable with ``python -m pstats``).  Returns
+    ``fn``'s result."""
+    import cProfile
+    profile = cProfile.Profile()
+    try:
+        return profile.runcall(fn)
+    finally:
+        profile.dump_stats(pstats_path)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from repro.sim.stats import percentile
+from repro.sim.stats import distribution_summary, percentile
 
 #: Reservoir size bounding a histogram's memory (see BoundedHistogram).
 DEFAULT_MAX_SAMPLES = 4096
@@ -148,14 +148,12 @@ class BoundedHistogram:
         """Table-1-shaped summary (count/mean/p25/p50/p75/p99/max)."""
         if not self._seen:
             return {"count": 0}
-        ordered = sorted(self._samples)
         out: Dict[str, float] = {
             "count": self._seen,
             "total": self._total,
             "mean": self.mean,
         }
-        for p in (25, 50, 75, 99):
-            out[f"p{p}"] = percentile(ordered, p)
+        out.update(distribution_summary(sorted(self._samples)))
         out["max"] = self._max
         return out
 

@@ -22,26 +22,141 @@ or two trivially-inlined method calls when telemetry is off.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Optional
 
+from repro.obs.profiling import NULL_PROFILER
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sinks import NULL_SINK, NullSink
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 
+#: Valid values of the REPRO_OBS environment variable / ``mode`` argument.
+OBS_MODES = ("off", "sampled", "full")
+
+#: Default 1-in-N rate for sampled mode (REPRO_OBS_SAMPLE overrides).
+DEFAULT_SAMPLE_EVERY = 64
+
+
+def obs_mode(default: str = "full") -> str:
+    """Resolve the telemetry mode from ``REPRO_OBS`` (off|sampled|full)."""
+    mode = os.environ.get("REPRO_OBS", default).strip().lower() or default
+    if mode not in OBS_MODES:
+        raise ValueError(
+            f"REPRO_OBS must be one of {OBS_MODES}, got {mode!r}")
+    return mode
+
+
+def obs_sample_every(default: int = DEFAULT_SAMPLE_EVERY) -> int:
+    """Resolve the sampled-mode 1-in-N rate from ``REPRO_OBS_SAMPLE``."""
+    raw = os.environ.get("REPRO_OBS_SAMPLE", "").strip()
+    every = int(raw) if raw else default
+    if every < 1:
+        raise ValueError(f"REPRO_OBS_SAMPLE must be >= 1: {every}")
+    return every
+
+
+class Sampler:
+    """Deterministic 1-in-N gate for hot-path recordings.
+
+    ``hit()`` is True on the first call and then every ``every``-th call
+    — counting, not randomness, so sampled runs are exactly reproducible.
+    With ``every == 1`` it is always True (full mode).
+    """
+
+    __slots__ = ("every", "_countdown")
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"sampler period must be >= 1: {every}")
+        self.every = every
+        self._countdown = 1  # first event always hits
+
+    def hit(self) -> bool:
+        self._countdown -= 1
+        if self._countdown:
+            return False
+        self._countdown = self.every
+        return True
+
+    def reset(self) -> None:
+        self._countdown = 1
+
+
+class _NeverSampler:
+    """Shared always-miss gate used when telemetry is off entirely."""
+
+    __slots__ = ()
+    every = 0
+
+    def hit(self) -> bool:
+        return False
+
+    def reset(self) -> None:
+        pass
+
+
+NEVER_SAMPLER = _NeverSampler()
+
 
 class Telemetry:
-    """Live telemetry: metrics + tracing + sink + periodic snapshots."""
+    """Live telemetry: metrics + tracing + sink + periodic snapshots.
+
+    ``mode`` selects the observability cost tier (default: the
+    ``REPRO_OBS`` environment variable, falling back to ``"full"``):
+
+    * ``"full"`` — every event recorded, every span traced (the
+      behaviour of earlier PRs, bit-identical).
+    * ``"sampled"`` — per-op histogram/gauge recordings pass a 1-in-N
+      :class:`Sampler` gate and only 1-in-N root spans (with their whole
+      subtree) are traced; counters stay exact.  N defaults to
+      ``REPRO_OBS_SAMPLE`` (64).
+    * ``"off"`` — the registry is swapped for the shared null registry
+      and the tracer is disabled, so even components that don't guard
+      their metric handles record nothing; :meth:`resume` stays off.
+
+    ``profiler`` optionally attaches a
+    :class:`~repro.obs.profiling.PhaseProfiler`; instrumented layers
+    resolve wall-clock timers from ``telemetry.profiler`` at
+    construction time.
+    """
 
     def __init__(self, sink: Optional[Any] = None,
-                 snapshot_interval_us: int = 0) -> None:
+                 snapshot_interval_us: int = 0,
+                 mode: Optional[str] = None,
+                 sample_every: Optional[int] = None,
+                 profiler: Optional[Any] = None) -> None:
         if snapshot_interval_us < 0:
             raise ValueError(
                 f"snapshot interval must be >= 0: {snapshot_interval_us}")
+        if mode is None:
+            mode = obs_mode()
+        if mode not in OBS_MODES:
+            raise ValueError(f"mode must be one of {OBS_MODES}, got {mode!r}")
+        self.mode = mode
         self.sink = sink if sink is not None else NullSink()
-        self.metrics = MetricsRegistry()
-        self.tracer = Tracer(self.sink)
-        self.enabled = True
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        if mode == "sampled":
+            if sample_every is None:
+                sample_every = obs_sample_every()
+            self.sample_every = sample_every
+            self.sampler: Any = Sampler(sample_every)
+            self.metrics: Any = MetricsRegistry()
+            self.tracer: Any = Tracer(self.sink, sample_every=sample_every)
+            self.enabled = True
+        elif mode == "off":
+            self.sample_every = 0
+            self.sampler = NEVER_SAMPLER
+            self.metrics = NULL_REGISTRY
+            self.tracer = Tracer(self.sink)
+            self.tracer.enabled = False
+            self.enabled = False
+        else:  # full
+            self.sample_every = 1
+            self.sampler = Sampler(1)
+            self.metrics = MetricsRegistry()
+            self.tracer = Tracer(self.sink)
+            self.enabled = True
         self.snapshot_interval_us = snapshot_interval_us
         self._last_snapshot_us = 0
         self._clock: Optional[SimClock] = None
@@ -62,6 +177,8 @@ class Telemetry:
         self.tracer.enabled = False
 
     def resume(self) -> None:
+        if self.mode == "off":
+            return
         self.enabled = True
         self.tracer.enabled = True
 
@@ -107,9 +224,13 @@ class _NullTelemetry:
 
     __slots__ = ()
     enabled = False
+    mode = "off"
     metrics = NULL_REGISTRY
     tracer = NULL_TRACER
     sink = NULL_SINK
+    sampler = NEVER_SAMPLER
+    sample_every = 0
+    profiler = NULL_PROFILER
     snapshot_interval_us = 0
 
     def bind_clock(self, clock: SimClock) -> None:

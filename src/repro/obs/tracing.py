@@ -101,6 +101,33 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _SuppressedRoot:
+    """Marker for a sampled-out *root* span.
+
+    While it is open the tracer hands NULL_SPAN to every child, so a
+    skipped operation skips its whole subtree — the emitted trace never
+    contains orphaned children whose parent was dropped.  Closing it
+    (``__exit__``) re-arms the tracer for the next root."""
+
+    __slots__ = ("_tracer",)
+    name = ""
+    span_id = 0
+    parent_id = None
+    trace_id = 0
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def set(self, **attrs: Any) -> "_SuppressedRoot":
+        return self
+
+    def __enter__(self) -> "_SuppressedRoot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._suppressing = False
+
+
 class Tracer:
     """Factory and stack for nested spans.
 
@@ -109,14 +136,28 @@ class Tracer:
     clock exists).  Disabling the tracer (``enabled = False``) makes
     :meth:`span` return the shared null span, so paused telemetry skips
     record construction entirely.
+
+    ``sample_every`` (1 = keep everything) implements sampled telemetry
+    mode at *root-span* granularity: 1-in-N roots are traced in full, the
+    other N-1 are suppressed together with their entire subtree.  Keeping
+    whole trees (rather than sampling spans independently) preserves
+    parent chains in the output, which the Chrome-trace exporter and the
+    report's span tables both rely on.
     """
 
-    def __init__(self, sink: Any, clock: Optional[SimClock] = None) -> None:
+    def __init__(self, sink: Any, clock: Optional[SimClock] = None,
+                 sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every}")
         self._sink = sink
         self._clock = clock
         self._stack: List[Span] = []
         self._next_id = 1
         self.enabled = True
+        self.sample_every = sample_every
+        self._root_seq = 0
+        self._suppressing = False
+        self._suppressed_root = _SuppressedRoot(self)
 
     def bind_clock(self, clock: SimClock) -> None:
         self._clock = clock
@@ -132,8 +173,13 @@ class Tracer:
 
     def span(self, name: str, **attrs: Any) -> Any:
         """Open a child of the current span (or a new root)."""
-        if not self.enabled:
+        if not self.enabled or self._suppressing:
             return NULL_SPAN
+        if not self._stack and self.sample_every > 1:
+            self._root_seq += 1
+            if (self._root_seq - 1) % self.sample_every:
+                self._suppressing = True
+                return self._suppressed_root
         span_id = self._next_id
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None

@@ -25,7 +25,8 @@ event.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from time import perf_counter_ns
+from typing import Any, Callable, List, Optional
 
 from repro.sim.clock import SimClock
 
@@ -59,14 +60,23 @@ class EventScheduler:
     benchmark stacks register the data and log SSD on one scheduler), so
     completions across devices fire in global completion order — the
     property the fault journal's ack boundary relies on.
+
+    ``profiler`` is duck-typed (anything with ``enabled`` and
+    ``timer(name)``, i.e. a :class:`repro.obs.profiling.PhaseProfiler`)
+    rather than imported, keeping :mod:`repro.sim` free of an obs
+    dependency.  When enabled, every fired callback is charged to the
+    ``sim.dispatch`` wall-clock phase.
     """
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock, profiler: Optional[Any] = None) -> None:
         self.clock = clock
         self._heap: List[Event] = []
         self._seq = 0
         self._cancelled = 0
         self.fired = 0
+        self._pt_dispatch = (profiler.timer("sim.dispatch")
+                             if profiler is not None
+                             and getattr(profiler, "enabled", False) else None)
 
     # ------------------------------------------------------------ schedule
 
@@ -132,7 +142,13 @@ class EventScheduler:
         self.clock.advance_to(event.time_us)
         self.fired += 1
         fn, event.fn = event.fn, None
-        fn()
+        pt = self._pt_dispatch
+        if pt is not None:
+            t0 = perf_counter_ns()
+            fn()
+            pt.add(perf_counter_ns() - t0)
+        else:
+            fn()
         return event
 
     def run_until(self, time_us: int) -> int:

@@ -36,6 +36,19 @@ def percentile(sorted_values: Sequence[float], pct: float) -> float:
     return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
 
 
+def distribution_summary(sorted_values: Sequence[float],
+                         percentiles: Sequence[float] = (25, 50, 75, 99)
+                         ) -> Dict[str, float]:
+    """``{"p<N>": value}`` rows for each requested percentile.
+
+    The single shared quantile path: both :class:`Histogram` (exact
+    samples) and :class:`repro.obs.registry.BoundedHistogram` (reservoir)
+    build their summaries through this function, so profiler and report
+    numbers cannot diverge on the percentile math itself.
+    """
+    return {f"p{int(p)}": percentile(sorted_values, p) for p in percentiles}
+
+
 class Counter:
     """A named bag of integer counters with dict-like convenience."""
 
@@ -122,9 +135,10 @@ class Histogram:
     def summary(self, percentiles: Sequence[float] = (25, 50, 75, 99)) -> Dict[str, float]:
         """Return the Table-1 shaped summary: mean, requested percentiles,
         and max."""
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
         out: Dict[str, float] = {"mean": self.mean}
-        for p in percentiles:
-            out[f"p{int(p)}"] = self.pct(p)
+        out.update(distribution_summary(self._sorted, percentiles))
         out["max"] = self.max
         return out
 

@@ -30,6 +30,7 @@ Samsung PM853T log device of the experimental setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DeviceError, ShareError
@@ -39,13 +40,13 @@ from repro.flash.timing import MLC_TIMING, ChannelSet, FlashTiming
 from repro.ftl.config import FtlConfig
 from repro.ftl.pagemap import PageMappingFtl
 from repro.ftl.share_ext import SharePair
-from repro.obs import NULL_TELEMETRY
+from repro.obs import NULL_TELEMETRY, hot_timer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventScheduler
 from repro.sim.faults import NO_FAULTS, FaultPlan
 from repro.ssd.ncq import CommandTicket, DeviceSession, NativeCommandQueue
 from repro.ssd.stats import DeviceStats
-from repro.ssd.trace import IoTrace, TraceEvent
+from repro.ssd.trace import IntervalTrace, IoTrace
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,10 @@ class SsdConfig:
     model.  ``plane_ways`` is the number of interleave units per NAND
     channel (plane pairs); operations on different ways of one channel
     overlap.
+
+    ``interval_capacity`` bounds the per-channel busy-interval ring
+    (:class:`~repro.ssd.trace.IntervalTrace`) the Chrome-trace exporter
+    draws channel lanes from.  0 (default) disables capture.
     """
 
     geometry: FlashGeometry = FlashGeometry()
@@ -74,6 +79,7 @@ class SsdConfig:
     dram_cache_pages: int = 0
     queue_depth: int = 1
     plane_ways: int = 1
+    interval_capacity: int = 0
 
 
 @dataclass
@@ -109,11 +115,13 @@ class Ssd:
         self.stats = DeviceStats(page_size=self.config.geometry.page_size)
         self.trace = IoTrace(self.config.trace_capacity,
                              keep=self.config.trace_keep)
+        self.intervals = IntervalTrace(self.config.interval_capacity)
         from repro.ssd.cache import DramReadCache
         self.cache = DramReadCache(self.config.dram_cache_pages)
         # Event-driven execution core.  Devices of one stack (data + log
         # SSD) share a scheduler so completions fire in global order.
-        self.events = events if events is not None else EventScheduler(clock)
+        self.events = events if events is not None else EventScheduler(
+            clock, profiler=getattr(self.telemetry, "profiler", None))
         self.channels = ChannelSet(self.config.geometry.channel_count,
                                    ways=self.config.plane_ways)
         # A stack may pass one shared NCQ to several devices: at depth 1
@@ -148,6 +156,15 @@ class Ssd:
                              for ch in range(channel_count)]
         self._m_chan_util = [metrics.gauge(f"chan.{ch}.util")
                              for ch in range(channel_count)]
+        # Sampled-mode gate for per-completion histogram/gauge recording
+        # (always-hit in full mode, never-hit when telemetry is off).
+        self._sampler = getattr(self.telemetry, "sampler", None)
+        # Wall-clock phase timers (None when no profiler is attached, so
+        # the hot path pays one load + branch).
+        profiler = getattr(self.telemetry, "profiler", None)
+        self._pt_issue = hot_timer(profiler, "ncq.admit")
+        self._pt_complete = hot_timer(profiler, "device.complete")
+        self._pt_emit = hot_timer(profiler, "obs.emit")
 
     # ---------------------------------------------------------- properties
 
@@ -558,6 +575,8 @@ class Ssd:
 
         # Timing: admission through the bounded queue, a DRAM/firmware
         # phase, then per-channel media occupancy.
+        pt_issue = self._pt_issue
+        t0 = perf_counter_ns() if pt_issue is not None else 0
         work = self.ftl.take_work()
         dram_us, pieces = self._price_media(latency, work)
         service_us = dram_us + sum(pieces.values())
@@ -567,12 +586,17 @@ class Ssd:
         admit = self.ncq.admit(arrival)
         dram_end = admit + dram_us
         completion = dram_end
+        intervals = self.intervals
         for channel, duration in pieces.items():
-            __, end = self.channels.acquire(channel, dram_end, duration)
+            start, end = self.channels.acquire(channel, dram_end, duration)
             self._m_chan_busy[channel].inc(duration)
+            if intervals.capacity:
+                intervals.record(channel, start, end)
             if end > completion:
                 completion = end
         self.ncq.commit(completion)
+        if pt_issue is not None:
+            pt_issue.add(perf_counter_ns() - t0)
 
         ticket = CommandTicket(
             kind, lpn, count, latency, service_us, arrival, completion,
@@ -606,30 +630,45 @@ class Ssd:
     def _on_complete(self, ticket: CommandTicket) -> None:
         """Completion event: deliver telemetry, the trace record, the
         completion-phase fault gate and the deferred ack — in the order
-        the device finishes work, not the order the host submitted it."""
+        the device finishes work, not the order the host submitted it.
+
+        Delivery cost is tiered by telemetry mode: counters are always
+        exact, but histogram/gauge recording (and the per-channel
+        utilisation sweep) pass the 1-in-N sampler gate, which is where
+        sampled mode saves its per-op wall-clock time."""
+        pt_complete = self._pt_complete
+        t0 = perf_counter_ns() if pt_complete is not None else 0
         try:
             self._inflight.remove(ticket)
         except ValueError:
             pass
         now = self.clock.now_us
         telemetry = self.telemetry
+        pt_emit = self._pt_emit
+        t1 = perf_counter_ns() if pt_emit is not None else 0
         if telemetry.enabled:
             self._m_commands[ticket.kind].inc()
             self._m_pages[ticket.kind].inc(ticket.count)
-            self._m_latency[ticket.kind].record(ticket.latency_us)
             self._m_busy_us.inc(ticket.latency_us)
-            self._m_queue_wait.record(ticket.wait_us)
-            elapsed = now - self._measure_start_us
-            for channel, util in enumerate(
-                    self.channels.utilization(elapsed)):
-                self._m_chan_util[channel].set(util)
+            sampler = self._sampler
+            if sampler is None or sampler.hit():
+                self._m_latency[ticket.kind].record(ticket.latency_us)
+                self._m_queue_wait.record(ticket.wait_us)
+                elapsed = now - self._measure_start_us
+                for channel, util in enumerate(
+                        self.channels.utilization(elapsed)):
+                    self._m_chan_util[channel].set(util)
             telemetry.maybe_snapshot(now)
-        if self.trace is not None and self.trace.capacity:
-            self.trace.record(TraceEvent(
-                timestamp_us=now, kind=ticket.kind, lpn=ticket.lpn,
-                count=ticket.count, latency_us=ticket.latency_us,
-                gc_events=ticket.gc_events,
-                copyback_pages=ticket.copyback_pages))
+        trace = self.trace
+        if trace is not None and trace.capacity:
+            trace.record_fields(
+                now, ticket.kind, ticket.lpn, ticket.count,
+                ticket.latency_us, ticket.gc_events, ticket.copyback_pages,
+                ticket.arrival_us, ticket.wait_us)
+        if pt_emit is not None:
+            pt_emit.add(perf_counter_ns() - t1)
+        if pt_complete is not None:
+            pt_complete.add(perf_counter_ns() - t0)
         if ticket.gate_kind is not None:
             try:
                 self._gate(ticket.gate_kind, ticket.gate_lpns, "complete")
@@ -736,4 +775,5 @@ class Ssd:
         self.channels.reset_accounting()
         self._measure_start_us = self.clock.now_us
         self.trace.clear()
+        self.intervals.clear()
         self.telemetry.reset_measurement()

@@ -19,9 +19,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from time import perf_counter
+from typing import Any, Dict, List, Optional
 
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import MLC_TIMING
@@ -34,7 +36,13 @@ PATTERNS = ("seqwrite", "randwrite", "randread", "share", "mixed")
 
 @dataclass
 class MicrobenchResult:
-    """One run's numbers."""
+    """One run's numbers.
+
+    ``elapsed_seconds``/``iops`` are *virtual* (modeled device time);
+    ``wall_seconds``/``sim_ops_per_s`` measure the simulator itself —
+    the wall-clock cost of producing those virtual seconds, which is
+    what the ``BENCH_*.json`` regression gate tracks.
+    """
 
     pattern: str
     operations: int
@@ -44,13 +52,37 @@ class MicrobenchResult:
     waf: float
     gc_events: int
     copyback_pages: int
+    wall_seconds: float = 0.0
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        """Simulator speed: operations simulated per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.operations / self.wall_seconds
+
+    def to_bench_record(self) -> Dict[str, Any]:
+        """The ``BENCH_*.json`` micro-entry schema (see
+        ``repro.tools.benchspeed``)."""
+        return {
+            "name": f"micro.{self.pattern}",
+            "operations": self.operations,
+            "wall_s": self.wall_seconds,
+            "sim_ops_per_s": self.sim_ops_per_s,
+            "virtual_s": self.elapsed_seconds,
+            "iops_virtual": self.iops,
+            "waf": self.waf,
+            "gc_events": self.gc_events,
+        }
 
     def format(self) -> str:
         return (f"{self.pattern}: {self.operations} ops in "
                 f"{self.elapsed_seconds:.3f}s virtual -> "
                 f"{self.iops:,.0f} IOPS, {self.bandwidth_mib_s:.1f} MiB/s, "
                 f"WAF {self.waf:.2f}, GC {self.gc_events} events / "
-                f"{self.copyback_pages} copybacks")
+                f"{self.copyback_pages} copybacks "
+                f"[{self.wall_seconds:.3f}s wall, "
+                f"{self.sim_ops_per_s:,.0f} ops/s simulated]")
 
 
 def run_microbench(pattern: str, ops: int = 10_000,
@@ -78,6 +110,7 @@ def run_microbench(pattern: str, ops: int = 10_000,
         ssd.ftl.write(lpn, ("precond", lpn))
     ssd.reset_measurement()
     clock.reset()
+    wall_start = perf_counter()
     if pattern == "seqwrite":
         for i in range(ops):
             ssd.write(i % span, ("w", i))
@@ -98,6 +131,7 @@ def run_microbench(pattern: str, ops: int = 10_000,
                 ssd.read(rng.randrange(span))
             else:
                 ssd.write(rng.randrange(span), ("w", i))
+    wall_seconds = perf_counter() - wall_start
     elapsed = clock.now_seconds
     stats = ssd.stats
     moved_pages = stats.host_write_pages + stats.host_read_pages \
@@ -110,7 +144,8 @@ def run_microbench(pattern: str, ops: int = 10_000,
         bandwidth_mib_s=bandwidth,
         waf=stats.write_amplification,
         gc_events=stats.gc_events,
-        copyback_pages=stats.copyback_pages)
+        copyback_pages=stats.copyback_pages,
+        wall_seconds=wall_seconds)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -121,13 +156,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--utilization", type=float, default=0.6)
     parser.add_argument("--blocks", type=int, default=256)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the results as BENCH-schema JSON "
+                             "records (one list under 'micro')")
     args = parser.parse_args(argv)
     patterns = PATTERNS if args.pattern == "all" else (args.pattern,)
+    results = []
     for pattern in patterns:
         result = run_microbench(pattern, ops=args.ops,
                                 utilization=args.utilization,
                                 seed=args.seed, block_count=args.blocks)
+        results.append(result)
         print(result.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"micro": [r.to_bench_record() for r in results]},
+                      fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

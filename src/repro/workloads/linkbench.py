@@ -129,8 +129,15 @@ class LinkBenchDriver:
 
     # ----------------------------------------------------------------- run
 
-    def run(self, transactions: int, concurrency: int = 1) -> LinkBenchResult:
+    def run(self, transactions: int, concurrency: int = 1,
+            sampler=None) -> LinkBenchResult:
         """Execute ``transactions`` operations, timing each one.
+
+        ``sampler`` (an :class:`repro.obs.Sampler`, optional) gates the
+        per-operation latency recording for low-overhead runs: with a
+        1-in-N sampler only every Nth latency lands in the recorder,
+        while ``op_counts`` and the throughput numbers stay exact.
+        ``None`` (the default) records every operation, as before.
 
         With ``concurrency`` > 1 (the paper used 16 client threads), the
         stream is issued by that many closed-loop clients through the
@@ -162,7 +169,8 @@ class LinkBenchDriver:
                 arrival = session.now_us
                 with issuing(session, *devices):
                     self._execute(op, index)
-                recorder.record(op, (session.now_us - arrival) / 1000.0)
+                if sampler is None or sampler.hit():
+                    recorder.record(op, (session.now_us - arrival) / 1000.0)
                 op_counts[op] = op_counts.get(op, 0) + 1
                 for device in devices:
                     device.poll(session.now_us)
@@ -174,7 +182,9 @@ class LinkBenchDriver:
                                        k=1)[0]
                 op_start = self.clock.now_us
                 self._execute(op, index)
-                recorder.record(op, (self.clock.now_us - op_start) / 1000.0)
+                if sampler is None or sampler.hit():
+                    recorder.record(op,
+                                    (self.clock.now_us - op_start) / 1000.0)
                 op_counts[op] = op_counts.get(op, 0) + 1
         elapsed = (self.clock.now_us - start_us) / 1e6
         return LinkBenchResult(transactions=transactions,

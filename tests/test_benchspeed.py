@@ -1,0 +1,140 @@
+"""benchspeed regression gate: baseline discovery, comparison logic,
+scale resolution, and the record schema (no workloads run here — the
+matrix itself is exercised by CI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import Scale
+from repro.tools.benchspeed import (_bench_record, bench_scale,
+                                    compare_to_baseline, find_baseline)
+
+
+def document(scale="tiny", total=1.0, benchmarks=()):
+    return {"scale": scale, "total_wall_s": total,
+            "benchmarks": list(benchmarks)}
+
+
+class TestBenchRecord:
+    def test_schema_and_rates(self):
+        record = _bench_record("linkbench.share.off", operations=1000,
+                              wall_s=0.5, virtual_tps=42.0,
+                              events_fired=5000)
+        assert record["name"] == "linkbench.share.off"
+        assert record["sim_ops_per_s"] == pytest.approx(2000.0)
+        assert record["events_per_s"] == pytest.approx(10000.0)
+        assert record["virtual_tps"] == 42.0
+
+    def test_zero_wall_does_not_divide(self):
+        record = _bench_record("x", 10, 0.0, 1.0, 10)
+        assert record["sim_ops_per_s"] == 0.0
+        assert record["events_per_s"] == 0.0
+
+
+class TestFindBaseline:
+    def test_picks_highest_pr_number(self, tmp_path):
+        for name in ("BENCH_pr4.json", "BENCH_pr6.json", "BENCH_pr5.json"):
+            (tmp_path / name).write_text("{}")
+        out = str(tmp_path / "BENCH_ci.json")
+        assert find_baseline(out) == str(tmp_path / "BENCH_pr6.json")
+
+    def test_never_gates_against_own_output(self, tmp_path):
+        (tmp_path / "BENCH_pr5.json").write_text("{}")
+        (tmp_path / "BENCH_pr6.json").write_text("{}")
+        out = str(tmp_path / "BENCH_pr6.json")
+        assert find_baseline(out) == str(tmp_path / "BENCH_pr5.json")
+
+    def test_ignores_non_matching_names(self, tmp_path):
+        (tmp_path / "BENCH_tmp.json").write_text("{}")
+        (tmp_path / "notes.json").write_text("{}")
+        assert find_baseline(str(tmp_path / "BENCH_ci.json")) is None
+
+    def test_missing_directory(self, tmp_path):
+        assert find_baseline(str(tmp_path / "nope" / "out.json")) is None
+
+
+class TestCompare:
+    def test_no_baseline_passes_with_note(self):
+        ok, notes = compare_to_baseline(document(), None, 0.2)
+        assert ok
+        assert any("no baseline" in n for n in notes)
+
+    def test_scale_mismatch_skips_comparison(self):
+        ok, notes = compare_to_baseline(document(scale="tiny", total=99.0),
+                                        document(scale="full", total=1.0),
+                                        0.2)
+        assert ok
+        assert any("scale" in n for n in notes)
+
+    def test_within_threshold_passes(self):
+        ok, notes = compare_to_baseline(document(total=1.15),
+                                        document(total=1.0), 0.2)
+        assert ok
+        assert any("1.15" in n for n in notes)
+
+    def test_regression_beyond_threshold_fails(self):
+        ok, notes = compare_to_baseline(document(total=1.3),
+                                        document(total=1.0), 0.2)
+        assert not ok
+        assert any("REGRESSION" in n for n in notes)
+
+    def test_improvement_passes(self):
+        ok, __ = compare_to_baseline(document(total=0.5),
+                                     document(total=1.0), 0.2)
+        assert ok
+
+    def test_per_benchmark_notes(self):
+        current = document(benchmarks=[
+            {"name": "ycsb.a.off", "wall_s": 0.4}])
+        baseline = document(benchmarks=[
+            {"name": "ycsb.a.off", "wall_s": 0.2}])
+        __, notes = compare_to_baseline(current, baseline, 0.2)
+        assert any("ycsb.a.off" in n and "2.00x" in n for n in notes)
+
+    def test_baseline_without_total_skips(self):
+        baseline = {"scale": "tiny", "benchmarks": []}
+        ok, notes = compare_to_baseline(document(), baseline, 0.2)
+        assert ok
+        assert any("skipped" in n for n in notes)
+
+
+class TestScaleResolution:
+    def test_default_tiny(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() is Scale.TINY
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "QUICK")
+        assert bench_scale() is Scale.QUICK
+
+    def test_bad_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestCommittedArtifact:
+    def test_bench_pr6_artifact_is_valid(self):
+        """The committed BENCH_pr6.json is the next PR's baseline — keep
+        it carrying the fields the gate and the acceptance criteria
+        read."""
+        path = os.path.join(os.path.dirname(__file__), "..", "results",
+                            "BENCH_pr6.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["scale"] in ("tiny", "quick", "full")
+        assert doc["total_wall_s"] > 0
+        assert doc["peak_rss_mib"] > 0
+        names = {b["name"] for b in doc["benchmarks"]}
+        assert "linkbench.share.off" in names
+        for bench in doc["benchmarks"]:
+            assert bench["wall_s"] > 0
+            assert bench["sim_ops_per_s"] > 0
+        tel = doc["telemetry"]
+        assert tel["wall_off_s"] > 0
+        assert "overhead_full_pct" in tel and "overhead_sampled_pct" in tel
+        # Sampled mode must cost measurably less than full telemetry.
+        assert tel["sampled_vs_full_overhead_ratio"] < 1.0
+        assert doc["profile"]["phases"]

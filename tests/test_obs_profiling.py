@@ -1,0 +1,139 @@
+"""Wall-clock phase profiler: timer accounting, re-entrancy, the
+report/format shapes, the null objects, and the cProfile helper."""
+
+import os
+import pstats
+
+import pytest
+
+from repro.obs import (NULL_PROFILER, NullProfiler, PhaseProfiler,
+                       PhaseTimer, hot_timer, run_with_cprofile)
+from repro.obs.profiling import HOT_PHASES, NULL_TIMER
+
+
+class TestPhaseTimer:
+    def test_add_accumulates(self):
+        timer = PhaseTimer("x")
+        timer.add(1_000)
+        timer.add(2_000)
+        assert timer.count == 2
+        assert timer.ns == 3_000
+        assert timer.seconds == pytest.approx(3e-6)
+
+    def test_context_manager_counts_once(self):
+        timer = PhaseTimer("x")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.ns >= 0
+
+    def test_reentrant_charges_outermost_only(self):
+        timer = PhaseTimer("x")
+        with timer:
+            with timer:
+                pass
+        assert timer.count == 1
+
+    def test_reset(self):
+        timer = PhaseTimer("x")
+        timer.add(5)
+        timer.reset()
+        assert timer.count == 0 and timer.ns == 0
+
+
+class TestPhaseProfiler:
+    def test_timer_is_cached_per_name(self):
+        profiler = PhaseProfiler()
+        assert profiler.timer("a") is profiler.timer("a")
+        assert profiler.timer("a") is not profiler.timer("b")
+
+    def test_report_shares_and_order(self):
+        profiler = PhaseProfiler()
+        profiler.timer("ftl.gc").add(2_000_000)       # 2 ms
+        profiler.timer("sim.dispatch").add(1_000_000)  # 1 ms
+        profiler.timer("zzz.custom").add(500_000)
+        report = profiler.report(total_wall_s=0.01)
+        phases = report["phases"]
+        # HOT_PHASES order first, extras appended sorted.
+        assert list(phases) == ["sim.dispatch", "ftl.gc", "zzz.custom"]
+        gc = phases["ftl.gc"]
+        assert gc["wall_s"] == pytest.approx(0.002)
+        assert gc["count"] == 1
+        assert gc["share_of_total"] == pytest.approx(0.2)
+        assert report["total_wall_s"] == 0.01
+
+    def test_report_without_total_omits_share(self):
+        profiler = PhaseProfiler()
+        profiler.timer("a").add(10)
+        report = profiler.report()
+        assert "share_of_total" not in report["phases"]["a"]
+        assert "total_wall_s" not in report
+
+    def test_events_per_s(self):
+        profiler = PhaseProfiler()
+        timer = profiler.timer("a")
+        for __ in range(4):
+            timer.add(250_000)  # 4 events in 1 ms total
+        entry = profiler.report()["phases"]["a"]
+        assert entry["events_per_s"] == pytest.approx(4_000)
+        assert entry["mean_us"] == pytest.approx(250.0)
+
+    def test_format_is_a_table(self):
+        profiler = PhaseProfiler()
+        profiler.timer("sim.dispatch").add(1_000)
+        text = profiler.format(total_wall_s=0.5)
+        assert "sim.dispatch" in text
+        assert "phase" in text
+
+    def test_total_seconds_and_reset(self):
+        profiler = PhaseProfiler()
+        profiler.timer("a").add(1_000_000)
+        profiler.timer("b").add(1_000_000)
+        assert profiler.total_seconds() == pytest.approx(0.002)
+        profiler.reset()
+        assert profiler.total_seconds() == 0.0
+        # Handles stay valid after reset.
+        assert profiler.timer("a").count == 0
+
+    def test_hot_phase_names_are_stable(self):
+        assert "sim.dispatch" in HOT_PHASES
+        assert "ncq.admit" in HOT_PHASES
+        assert "ftl.l2p" in HOT_PHASES
+
+
+class TestNullObjects:
+    def test_null_profiler_is_disabled(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        assert NULL_PROFILER.timer("anything") is NULL_TIMER
+        with NULL_PROFILER.timer("x"):
+            pass
+        assert NULL_PROFILER.report() == {"phases": {}}
+
+    def test_hot_timer_returns_none_when_disabled(self):
+        assert hot_timer(None, "a") is None
+        assert hot_timer(NULL_PROFILER, "a") is None
+        profiler = PhaseProfiler()
+        assert hot_timer(profiler, "a") is profiler.timer("a")
+        profiler.enabled = False
+        assert hot_timer(profiler, "b") is None
+
+
+class TestCprofile:
+    def test_run_with_cprofile_writes_pstats(self, tmp_path):
+        path = str(tmp_path / "out.pstats")
+        result = run_with_cprofile(lambda: sum(range(1000)), path)
+        assert result == sum(range(1000))
+        assert os.path.exists(path)
+        stats = pstats.Stats(path)
+        assert stats.total_calls > 0
+
+    def test_dump_happens_even_on_error(self, tmp_path):
+        path = str(tmp_path / "err.pstats")
+
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_with_cprofile(boom, path)
+        assert os.path.exists(path)

@@ -118,3 +118,50 @@ class TestLatencyRecorder:
         recorder.record("b", 1.0)
         recorder.record("a", 1.0)
         assert recorder.op_names() == ["a", "b"]
+
+
+class TestDistributionSummary:
+    """The shared quantile helper both summary paths route through."""
+
+    def test_default_percentile_keys(self):
+        from repro.sim.stats import distribution_summary
+        summary = distribution_summary(sorted([5.0, 1.0, 3.0, 2.0, 4.0]))
+        assert set(summary) == {"p25", "p50", "p75", "p99"}
+        assert summary["p50"] == 3.0
+
+    def test_custom_percentiles(self):
+        from repro.sim.stats import distribution_summary
+        summary = distribution_summary([1.0, 2.0], percentiles=(50, 90))
+        assert set(summary) == {"p50", "p90"}
+
+    def test_matches_percentile_function(self):
+        from repro.sim.stats import distribution_summary
+        values = sorted(float((i * 37) % 101) for i in range(60))
+        summary = distribution_summary(values)
+        for p in (25, 50, 75, 99):
+            assert summary[f"p{p}"] == percentile(values, p)
+
+    def test_histogram_summary_routes_through_it(self):
+        hist = Histogram()
+        for v in (4.0, 8.0, 15.0, 16.0, 23.0, 42.0):
+            hist.record(v)
+        summary = hist.summary()
+        assert summary["p50"] == percentile(sorted([4.0, 8.0, 15.0, 16.0,
+                                                    23.0, 42.0]), 50)
+
+    def test_bounded_histogram_agrees_below_reservoir_cap(self):
+        """repro.obs's reservoir histogram and the exact histogram must
+        produce identical quantiles while no samples have been evicted —
+        both now delegate to the same helper."""
+        from repro.obs.registry import BoundedHistogram
+        exact = Histogram()
+        bounded = BoundedHistogram("x")
+        values = [float((i * 17) % 97) for i in range(200)]
+        for v in values:
+            exact.record(v)
+            bounded.record(v)
+        exact_summary = exact.summary()
+        bounded_summary = bounded.summary()
+        for key in ("p25", "p50", "p75", "p99", "max", "mean"):
+            assert bounded_summary[key] == exact_summary[key]
+        assert bounded_summary["count"] == len(exact) == 200
