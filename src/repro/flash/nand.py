@@ -71,6 +71,12 @@ class NandArray:
                  faults: FaultPlan = NO_FAULTS) -> None:
         self.geometry = geometry
         self.faults = faults
+        # Geometry constants cached as plain attributes: program/read run
+        # once per simulated chip operation, and the attribute+method hop
+        # through ``geometry`` is measurable at that rate.
+        self._total_pages = geometry.total_pages
+        self._pages_per_block = geometry.pages_per_block
+        self._channel_count = geometry.channel_count
         self._pages: List[_Page] = [_Page() for _ in range(geometry.total_pages)]
         self._next_program_offset: List[int] = [0] * geometry.block_count
         self.erase_counts: List[int] = [0] * geometry.block_count
@@ -98,12 +104,13 @@ class NandArray:
         rule is preserved for the rest of the block) but holds no data —
         any read of it raises :class:`UncorrectableReadError`, and the
         OOB scan skips it."""
-        self.geometry.check_ppn(ppn)
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)   # raises with the range message
         page = self._pages[ppn]
         if page.state is not PageState.ERASED:
             raise ProgramError(f"PPN {ppn} already programmed; erase block first")
-        block = self.geometry.block_of(ppn)
-        offset = self.geometry.page_in_block(ppn)
+        block = ppn // self._pages_per_block
+        offset = ppn - block * self._pages_per_block
         expected = self._next_program_offset[block]
         if offset != expected:
             raise ProgramError(
@@ -120,7 +127,7 @@ class NandArray:
                 page.failed = True
                 self._next_program_offset[block] = offset + 1
                 self.total_programs += 1
-                self._count_channel_op(block)
+                self.channel_ops[block % self._channel_count] += 1
                 self.failed_programs += 1
                 raise
         page.state = PageState.PROGRAMMED
@@ -129,16 +136,18 @@ class NandArray:
         page.failed = False
         self._next_program_offset[block] = offset + 1
         self.total_programs += 1
-        self._count_channel_op(block)
+        self.channel_ops[block % self._channel_count] += 1
 
     def read(self, ppn: int) -> Any:
         """Read the data payload of a programmed page."""
-        self.geometry.check_ppn(ppn)
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)   # raises with the range message
         page = self._pages[ppn]
         if page.state is not PageState.PROGRAMMED:
             raise ReadError(f"PPN {ppn} is erased; nothing to read")
         self.total_reads += 1
-        self._count_channel_op(self.geometry.block_of(ppn))
+        self.channel_ops[(ppn // self._pages_per_block)
+                         % self._channel_count] += 1
         if page.failed:
             self.failed_reads += 1
             raise UncorrectableReadError(

@@ -103,13 +103,23 @@ class ChannelSet:
         if not 0 <= channel < self.channel_count:
             raise ValueError(
                 f"channel out of range [0, {self.channel_count}): {channel}")
-        base = channel * self.ways
-        unit = min(range(base, base + self.ways),
-                   key=lambda u: self._free_us[u])
-        start = max(int(earliest_us), self._free_us[unit])
-        end = start + int(duration_us)
-        self._free_us[unit] = end
-        self.busy_us[channel] += int(duration_us)
+        free_us = self._free_us
+        if self.ways == 1:
+            # One way per channel (every stack the harness builds): the
+            # unit *is* the channel — skip the min() scan.
+            unit = channel
+        else:
+            base = channel * self.ways
+            unit = min(range(base, base + self.ways),
+                       key=lambda u: free_us[u])
+        start = free_us[unit]
+        earliest_us = int(earliest_us)
+        if earliest_us > start:
+            start = earliest_us
+        duration_us = int(duration_us)
+        end = start + duration_us
+        free_us[unit] = end
+        self.busy_us[channel] += duration_us
         return start, end
 
     def free_at(self, channel: int) -> int:

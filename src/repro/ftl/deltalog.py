@@ -214,9 +214,14 @@ class MapLog:
 
     def take_work(self) -> List[int]:
         """Drain the channels of mapping pages programmed since the
-        last drain."""
+        last drain.
+
+        When the ledger is empty the *live* (empty) list is returned
+        without allocating a replacement — most commands program no
+        mapping pages, and the caller only reads the result."""
         work = self._work
-        self._work = []
+        if work:
+            self._work = []
         return work
 
     def _note_work(self, ppn: int) -> None:

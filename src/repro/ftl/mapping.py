@@ -4,6 +4,18 @@ A plain array of PPNs indexed by LPN, matching the page-mapping scheme of
 the OpenSSD firmware ("the entire forward mapping table is kept in DRAM",
 Section 4.2.1).  The table is volatile — it is rebuilt during recovery from
 the spare-area stamps and the mapping delta log.
+
+Hot-path contract: ``table`` is the raw list, public on purpose.  The
+pagemap's per-page loops (share_batch remap pairs, GC evacuation,
+post-program remap) pre-validate their LPN ranges once and then index
+``fwd.table[lpn]`` directly — a method call plus a second bounds check
+per page is the difference between the L2P being "in DRAM" and being
+the simulator's bottleneck.  Direct writers must maintain the
+``UNMAPPED`` sentinel discipline and use :meth:`update`/:meth:`clear`
+whenever the mapped count could change.  (A ``array('q')`` backing was
+measured and rejected: C-long boxing on every read made the hot loops
+slower than the plain list, and the footprint win is irrelevant at
+simulated scale.)
 """
 
 from __future__ import annotations
@@ -16,15 +28,17 @@ UNMAPPED = -1
 class ForwardMap:
     """LPN -> PPN table with O(1) lookup and update."""
 
+    __slots__ = ("table", "_mapped_count")
+
     def __init__(self, logical_pages: int) -> None:
         if logical_pages <= 0:
             raise ValueError(f"logical_pages must be positive: {logical_pages}")
-        self._table: List[int] = [UNMAPPED] * logical_pages
+        self.table: List[int] = [UNMAPPED] * logical_pages
         self._mapped_count = 0
 
     @property
     def logical_pages(self) -> int:
-        return len(self._table)
+        return len(self.table)
 
     @property
     def mapped_count(self) -> int:
@@ -32,43 +46,53 @@ class ForwardMap:
         return self._mapped_count
 
     def check_lpn(self, lpn: int) -> None:
-        if not 0 <= lpn < len(self._table):
+        if not 0 <= lpn < len(self.table):
             raise ValueError(
-                f"LPN out of range [0, {len(self._table)}): {lpn}")
+                f"LPN out of range [0, {len(self.table)}): {lpn}")
 
     def lookup(self, lpn: int) -> Optional[int]:
         """Current PPN of ``lpn``, or None when unmapped."""
-        self.check_lpn(lpn)
-        ppn = self._table[lpn]
+        if not 0 <= lpn < len(self.table):
+            raise ValueError(
+                f"LPN out of range [0, {len(self.table)}): {lpn}")
+        ppn = self.table[lpn]
         return None if ppn == UNMAPPED else ppn
 
     def is_mapped(self, lpn: int) -> bool:
-        self.check_lpn(lpn)
-        return self._table[lpn] != UNMAPPED
+        if not 0 <= lpn < len(self.table):
+            raise ValueError(
+                f"LPN out of range [0, {len(self.table)}): {lpn}")
+        return self.table[lpn] != UNMAPPED
 
     def update(self, lpn: int, ppn: int) -> Optional[int]:
         """Point ``lpn`` at ``ppn``; returns the previous PPN (or None)."""
-        self.check_lpn(lpn)
+        if not 0 <= lpn < len(self.table):
+            raise ValueError(
+                f"LPN out of range [0, {len(self.table)}): {lpn}")
         if ppn < 0:
             raise ValueError(f"PPN must be non-negative: {ppn}")
-        old = self._table[lpn]
+        old = self.table[lpn]
         if old == UNMAPPED:
             self._mapped_count += 1
-        self._table[lpn] = ppn
-        return None if old == UNMAPPED else old
+            self.table[lpn] = ppn
+            return None
+        self.table[lpn] = ppn
+        return old
 
     def clear(self, lpn: int) -> Optional[int]:
         """Drop the mapping of ``lpn`` (TRIM); returns the previous PPN."""
-        self.check_lpn(lpn)
-        old = self._table[lpn]
+        if not 0 <= lpn < len(self.table):
+            raise ValueError(
+                f"LPN out of range [0, {len(self.table)}): {lpn}")
+        old = self.table[lpn]
         if old != UNMAPPED:
             self._mapped_count -= 1
-            self._table[lpn] = UNMAPPED
+            self.table[lpn] = UNMAPPED
             return old
         return None
 
     def mapped_lpns(self):
         """Iterate (lpn, ppn) over every live mapping — recovery/debug use."""
-        for lpn, ppn in enumerate(self._table):
+        for lpn, ppn in enumerate(self.table):
             if ppn != UNMAPPED:
                 yield lpn, ppn

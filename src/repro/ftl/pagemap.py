@@ -61,7 +61,7 @@ from repro.ftl.deltalog import (
     DeltaRecord,
     MapLog,
 )
-from repro.ftl.mapping import ForwardMap
+from repro.ftl.mapping import UNMAPPED, ForwardMap
 from repro.ftl.reverse import ReverseMap
 from repro.ftl.share_ext import (
     SharePair,
@@ -245,11 +245,19 @@ class PageMappingFtl:
         last drain (including the map log's page programs).  The device
         calls this once per command to attribute the command's internal
         work to channels; totals are always derived from the stats
-        counters, so a drained ledger only ever affects *placement*."""
+        counters, so a drained ledger only ever affects *placement*.
+
+        When both ledgers are empty (the common no-internal-work
+        command) the *live* empty list is returned without allocating a
+        replacement; callers only read the result."""
         work = self._work
-        self._work = []
+        if work:
+            self._work = []
         map_channels = self.maplog.take_work()
         if map_channels:
+            if not work:
+                # Never extend the live (still-installed) empty ledger.
+                work = []
             work.extend(("map_write", ch) for ch in map_channels)
         return work
 
@@ -270,14 +278,15 @@ class PageMappingFtl:
         unreadable even after firmware read-retry — the typed error is the
         contract: the host never receives wrong data silently."""
         self._check_lpn_range(lpn)
+        # Range checked above: index the raw L2P table directly.
         pt_l2p = self._pt_l2p
         if pt_l2p is not None:
             t0 = perf_counter_ns()
-            ppn = self.fwd.lookup(lpn)
+            ppn = self.fwd.table[lpn]
             pt_l2p.add(perf_counter_ns() - t0)
         else:
-            ppn = self.fwd.lookup(lpn)
-        if ppn is None:
+            ppn = self.fwd.table[lpn]
+        if ppn == UNMAPPED:
             raise UnmappedPageError(f"LPN {lpn} is unmapped")
         self.stats.host_page_reads += 1
         self._note_work("host_read", ppn)
@@ -467,8 +476,9 @@ class PageMappingFtl:
             self._valid_count[block] -= 1
             self._valid_count[geometry.block_of(new_ppn)] += 1
             stamped = {lpn for lpn, __ in stamps}
+            fwd_update = self.fwd.update
             for lpn in refs:
-                self.fwd.update(lpn, new_ppn)
+                fwd_update(lpn, new_ppn)
                 if lpn in stamped:
                     self._share_backed.pop(lpn, None)
             self.stats.copyback_pages += 1
@@ -693,13 +703,21 @@ class PageMappingFtl:
 
     def _share_batch(self, pairs: Sequence[SharePair]) -> None:
         validate_batch(pairs, self._logical_pages, self.max_share_batch)
+        # validate_batch bounds-checked every LPN: resolve both sides of
+        # each pair against the raw L2P table (this loop is the paper's
+        # "mapping-only" cost and the simulator's SHARE hot path).
+        fwd = self.fwd
+        table = fwd.table
         resolved: List[Tuple[int, Optional[int], int]] = []
         for pair in pairs:
-            src_ppn = self.fwd.lookup(pair.src_lpn)
-            if src_ppn is None:
+            src_ppn = table[pair.src_lpn]
+            if src_ppn == UNMAPPED:
                 raise ShareError(
                     f"source LPN {pair.src_lpn} is unmapped; nothing to share")
-            resolved.append((pair.dst_lpn, self.fwd.lookup(pair.dst_lpn), src_ppn))
+            old_ppn = table[pair.dst_lpn]
+            resolved.append((pair.dst_lpn,
+                             None if old_ppn == UNMAPPED else old_ppn,
+                             src_ppn))
         if self.config.share_overflow_policy == "copy":
             # Reserve DRAM share-table capacity up front; reconciliation
             # materialises a private copy (a real page program) per entry.
@@ -710,20 +728,26 @@ class PageMappingFtl:
         # only this command's deltas.
         self._flush_pending_trims()
         deltas: List[DeltaRecord] = []
+        rev = self.rev
+        share_backed = self._share_backed
+        trim_tombstones = self._trim_tombstones
         for dst_lpn, old_ppn, src_ppn in resolved:
             seq = self._next_seq()
-            fit_in_dram = self.rev.add_extra(src_ppn, dst_lpn)
+            fit_in_dram = rev.add_extra(src_ppn, dst_lpn)
             if not fit_in_dram:
                 # 'log' policy: the entry is resolvable from the mapping
                 # log this very batch persists; only GC pays a lookup.
                 self.stats.share_log_spills += 1
+                # Zero-cost ledger note: lets the device derive the
+                # per-command spill delta from the work ledger alone.
+                self._work.append(("log_spill", 0))
                 self._m_share_log_spills.inc()
-                self._m_share_spill_hwm.set(self.rev.spilled_peak)
-            self.fwd.update(dst_lpn, src_ppn)
+                self._m_share_spill_hwm.set(rev.spilled_peak)
+            fwd.update(dst_lpn, src_ppn)
             if old_ppn is not None and old_ppn != src_ppn:
                 self._drop_ref(old_ppn, dst_lpn)
-            self._share_backed[dst_lpn] = (src_ppn, seq)
-            self._trim_tombstones.pop(dst_lpn, None)
+            share_backed[dst_lpn] = (src_ppn, seq)
+            trim_tombstones.pop(dst_lpn, None)
             deltas.append(DeltaRecord(KIND_SHARE, dst_lpn, old_ppn, src_ppn, seq))
         self.maplog.append_atomic(deltas)
         self.stats.share_commands += 1
@@ -876,6 +900,7 @@ class PageMappingFtl:
             if spread >= self.config.wear_delta_threshold:
                 self._reclaim_block(coldest, is_gc_event=False)
                 self.stats.wear_level_moves += 1
+                self._work.append(("wear_move", 0))   # zero-cost note
                 self._m_wear_moves.inc()
                 candidates = self._gc_candidates()
                 if not candidates:
@@ -945,6 +970,7 @@ class PageMappingFtl:
             self._m_erases.inc()
             if is_gc_event:
                 self.stats.gc_events += 1
+                self._work.append(("gc_event", 0))   # zero-cost note
                 self._m_gc_events.inc()
             self._valid_count[block] = 0
             for channel, active in self._active_host.items():
@@ -985,8 +1011,9 @@ class PageMappingFtl:
             self._valid_count[victim] -= 1
             self._valid_count[geometry.block_of(new_ppn)] += 1
             stamped = {lpn for lpn, __ in stamps}
+            fwd_update = self.fwd.update
             for lpn in refs:
-                self.fwd.update(lpn, new_ppn)
+                fwd_update(lpn, new_ppn)
                 if lpn in stamped:
                     # The copy's spare stamps the LPN, so the mapping is
                     # recoverable from OOB again; drop the log backing.

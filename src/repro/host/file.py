@@ -74,8 +74,11 @@ class File:
     def pwrite_block(self, index: int, data: Any) -> None:
         """Write one existing block in place (from the file's view; the
         device still writes out of place internally)."""
-        with self.fs.telemetry.tracer.span("host.pwrite", path=self.path,
-                                           blocks=1):
+        tracer = self.fs.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("host.pwrite", path=self.path, blocks=1):
+                self.fs.ssd.write(self.block_lpn(index), data)
+        else:
             self.fs.ssd.write(self.block_lpn(index), data)
 
     def pwrite_blocks(self, index: int, pages: Sequence[Any]) -> None:
@@ -85,15 +88,23 @@ class File:
         if not pages:
             return
         lpns = [self.block_lpn(index + i) for i in range(len(pages))]
-        with self.fs.telemetry.tracer.span("host.pwrite", path=self.path,
-                                           blocks=len(pages)):
-            run_start = 0
-            for i in range(1, len(lpns) + 1):
-                contiguous = i < len(lpns) and lpns[i] == lpns[i - 1] + 1
-                if not contiguous:
-                    self.fs.ssd.write_multi(lpns[run_start],
-                                            list(pages[run_start:i]))
-                    run_start = i
+        tracer = self.fs.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("host.pwrite", path=self.path,
+                             blocks=len(pages)):
+                self._pwrite_runs(lpns, pages)
+        else:
+            self._pwrite_runs(lpns, pages)
+
+    def _pwrite_runs(self, lpns: List[int], pages: Sequence[Any]) -> None:
+        """One ``write_multi`` per contiguous LPN run."""
+        run_start = 0
+        for i in range(1, len(lpns) + 1):
+            contiguous = i < len(lpns) and lpns[i] == lpns[i - 1] + 1
+            if not contiguous:
+                self.fs.ssd.write_multi(lpns[run_start],
+                                        list(pages[run_start:i]))
+                run_start = i
 
     def pread_block(self, index: int) -> Any:
         """Read one block."""

@@ -69,36 +69,45 @@ class BTree:
 
     def _node(self, page_id: int) -> tuple:
         page = self._fetch(page_id)
-        if page.is_torn():
+        if not page.checksum_ok:
             raise EngineError(f"torn page {page_id} read through B+tree")
         return page.payload
 
     def _store(self, page_id: int, payload: tuple) -> None:
         self._write(Page(page_id, self._next_lsn(), payload))
 
-    def _descend(self, key: Any) -> Tuple[int, List[int]]:
-        """Leaf page id holding ``key``'s position, plus the internal path
-        (root first)."""
+    def _descend(self, key: Any) -> Tuple[int, tuple, List[int]]:
+        """Leaf holding ``key``'s position: its page id, its (already
+        fetched) payload, and the internal path (root first).
+
+        Every node access in the tree funnels through here, so the walk
+        is written flat: the fetched leaf payload is returned rather
+        than refetched by the caller — at steady state that drops one
+        pool hit (dict probe + LRU move) per get/put/delete."""
+        fetch = self._fetch
+        bisect_right = bisect.bisect_right
         path: List[int] = []
         page_id = self.root_page_id
-        node = self._node(page_id)
-        while node[0] == INTERNAL:
+        while True:
+            page = fetch(page_id)
+            if not page.checksum_ok:
+                raise EngineError(
+                    f"torn page {page_id} read through B+tree")
+            node = page.payload
+            if node[0] != INTERNAL:
+                return page_id, node, path
             path.append(page_id)
-            __, keys, children = node
-            index = bisect.bisect_right(keys, key)
-            page_id = children[index]
-            node = self._node(page_id)
-        return page_id, path
+            page_id = node[2][bisect_right(node[1], key)]
 
     # -------------------------------------------------------------- lookup
 
     def get(self, key: Any) -> Optional[Any]:
         """Row stored under ``key``, or None."""
-        leaf_id, __ = self._descend(key)
-        __, keys, rows, __ = self._node(leaf_id)
+        __, node, __ = self._descend(key)
+        keys = node[1]
         index = bisect.bisect_left(keys, key)
         if index < len(keys) and keys[index] == key:
-            return rows[index]
+            return node[2][index]
         return None
 
     def contains(self, key: Any) -> bool:
@@ -107,10 +116,10 @@ class BTree:
     def range(self, low: Any, high: Any, limit: Optional[int] = None
               ) -> Iterator[Tuple[Any, Any]]:
         """Yield (key, row) for low <= key <= high in key order."""
-        leaf_id, __ = self._descend(low)
+        leaf_id, node, __ = self._descend(low)
         yielded = 0
-        while leaf_id is not None:
-            __, keys, rows, next_leaf = self._node(leaf_id)
+        while True:
+            __, keys, rows, next_leaf = node
             start = bisect.bisect_left(keys, low)
             for index in range(start, len(keys)):
                 if keys[index] > high:
@@ -119,29 +128,40 @@ class BTree:
                 yielded += 1
                 if limit is not None and yielded >= limit:
                     return
+            if next_leaf is None:
+                return
             leaf_id = next_leaf
+            node = self._node(leaf_id)
 
     # -------------------------------------------------------------- insert
 
     def put(self, key: Any, row: Any) -> bool:
         """Insert or overwrite; returns True when the key was new."""
-        leaf_id, path = self._descend(key)
-        __, keys, rows, next_leaf = self._node(leaf_id)
+        was_new, __ = self.upsert(key, row)
+        return was_new
+
+    def upsert(self, key: Any, row: Any) -> Tuple[bool, Optional[Any]]:
+        """Insert or overwrite in one descent; returns ``(was_new,
+        previous_row)``.  The transaction layer uses the previous row as
+        its undo record, replacing a separate :meth:`get` per write."""
+        leaf_id, node, path = self._descend(key)
+        __, keys, rows, next_leaf = node
         keys = list(keys)
         rows = list(rows)
         index = bisect.bisect_left(keys, key)
         if index < len(keys) and keys[index] == key:
+            old_row = rows[index]
             rows[index] = row
             self._store(leaf_id, _leaf_payload(keys, rows, next_leaf))
-            return False
+            return False, old_row
         keys.insert(index, key)
         rows.insert(index, row)
         self.entry_count += 1
         if len(keys) <= self.leaf_capacity:
             self._store(leaf_id, _leaf_payload(keys, rows, next_leaf))
-            return True
+            return True, None
         self._split_leaf(leaf_id, keys, rows, next_leaf, path)
-        return True
+        return True, None
 
     def _split_leaf(self, leaf_id: int, keys: List[Any], rows: List[Any],
                     next_leaf: Optional[int], path: List[int]) -> None:
@@ -182,18 +202,26 @@ class BTree:
 
     def delete(self, key: Any) -> bool:
         """Remove ``key``; returns True when it existed (lazy, no merge)."""
-        leaf_id, __ = self._descend(key)
-        __, keys, rows, next_leaf = self._node(leaf_id)
+        __, existed = self.pop(key)
+        return existed
+
+    def pop(self, key: Any) -> Tuple[Optional[Any], bool]:
+        """Remove ``key`` in one descent; returns ``(removed_row,
+        existed)`` — the row feeds the transaction layer's undo record.
+        The existed flag disambiguates a stored ``None`` row."""
+        leaf_id, node, __ = self._descend(key)
+        __, keys, rows, next_leaf = node
         index = bisect.bisect_left(keys, key)
         if index >= len(keys) or keys[index] != key:
-            return False
+            return None, False
+        old_row = rows[index]
         keys = list(keys)
         rows = list(rows)
         del keys[index]
         del rows[index]
         self.entry_count -= 1
         self._store(leaf_id, _leaf_payload(keys, rows, next_leaf))
-        return True
+        return old_row, True
 
     # --------------------------------------------------------------- debug
 

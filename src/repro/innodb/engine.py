@@ -16,10 +16,9 @@ than in checkpoint bursts.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import EngineError
 from repro.host.filesystem import FsConfig, HostFs
@@ -102,6 +101,10 @@ class InnoDBEngine:
             flush_callback=self._flush_batch,
             flush_batch_pages=self.config.flush_batch_pages)
         self._next_page_id = 1 + self.config.dwb_pages
+        # Adaptive-flush trigger in pages, resolved once (the check runs
+        # every commit).
+        self._flush_trigger = (self.config.buffer_pool_pages
+                               * self.config.dirty_flush_threshold)
         self.tables: Dict[str, BTree] = {}
         self._in_transaction = False
         self.transactions = 0
@@ -176,8 +179,7 @@ class InnoDBEngine:
 
     # ------------------------------------------------------- transactions
 
-    @contextmanager
-    def transaction(self) -> Iterator["Transaction"]:
+    def transaction(self) -> "_TransactionScope":
         """One transaction: logical ops are applied to the trees and
         logged; commit group-commits the redo log, then adaptive flushing
         may push one dirty batch.
@@ -186,29 +188,33 @@ class InnoDBEngine:
         records collected per operation are applied in reverse (InnoDB's
         rollback), and the buffered redo records are discarded before
         they ever reach the log device.
+
+        Returns a plain class-based context manager (the benchmark loop
+        enters one per operation; ``@contextmanager`` generator overhead
+        is measurable at that rate).
         """
-        if self._in_transaction:
-            raise EngineError("nested transactions are not supported")
-        self._in_transaction = True
-        txn = Transaction(self)
-        try:
-            yield txn
-        except BaseException:
-            txn._rollback()
-            self._in_transaction = False
-            raise
-        self._in_transaction = False
-        with self.telemetry.tracer.span("innodb.txn_commit"):
-            self.redo.commit()
-            self.faults.checkpoint("innodb.txn_durable")
-            self.transactions += 1
-            self._m_transactions.inc()
-            self._adaptive_flush()
+        return _TransactionScope(self)
+
+    def _commit_transaction(self) -> None:
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("innodb.txn_commit"):
+                self.redo.commit()
+                self.faults.checkpoint("innodb.txn_durable")
+                self.transactions += 1
+                self._m_transactions.inc()
+                self._adaptive_flush()
+            return
+        self.redo.commit()
+        self.faults.checkpoint("innodb.txn_durable")
+        self.transactions += 1
+        self._m_transactions.inc()   # no-op singleton when telemetry is off
+        self._adaptive_flush()
 
     def _adaptive_flush(self) -> None:
-        threshold = self.config.dirty_flush_threshold
-        if self.pool.dirty_count > self.pool.capacity_pages * threshold:
-            self.pool.flush_some(self.config.flush_batch_pages)
+        pool = self.pool
+        if pool.dirty_count > self._flush_trigger:
+            pool.flush_some(self.config.flush_batch_pages)
 
     # ---------------------------------------------------------- lifecycle
 
@@ -263,15 +269,17 @@ class Transaction:
 
     def put(self, table: str, key: Any, row: Any) -> bool:
         tree = self._engine.table(table)
-        self._undo.append((table, key, tree.get(key)))
         self._engine.redo.append(("put", table, key, row))
-        return tree.put(key, row)
+        was_new, old_row = tree.upsert(key, row)
+        self._undo.append((table, key, old_row))
+        return was_new
 
     def delete(self, table: str, key: Any) -> bool:
         tree = self._engine.table(table)
-        self._undo.append((table, key, tree.get(key)))
         self._engine.redo.append(("delete", table, key))
-        return tree.delete(key)
+        old_row, existed = tree.pop(key)
+        self._undo.append((table, key, old_row))
+        return existed
 
     # Abort -----------------------------------------------------------------
 
@@ -286,3 +294,28 @@ class Transaction:
                 tree.put(key, old_row)
         self._undo.clear()
         del self._engine.redo._pending[self._redo_mark:]
+
+
+class _TransactionScope:
+    """Context manager for one :meth:`InnoDBEngine.transaction` scope."""
+
+    __slots__ = ("_engine", "_txn")
+
+    def __init__(self, engine: "InnoDBEngine") -> None:
+        if engine._in_transaction:
+            raise EngineError("nested transactions are not supported")
+        engine._in_transaction = True
+        self._engine = engine
+        self._txn = Transaction(engine)
+
+    def __enter__(self) -> "Transaction":
+        return self._txn
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        engine = self._engine
+        if exc_type is not None:
+            self._txn._rollback()
+            engine._in_transaction = False
+            return
+        engine._in_transaction = False
+        engine._commit_transaction()

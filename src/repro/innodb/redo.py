@@ -58,11 +58,20 @@ class RedoLog:
 
         Returns the highest durable LSN.
         """
-        while self._pending:
-            chunk = self._pending[:self.records_per_page]
-            del self._pending[:self.records_per_page]
-            self.device.write(self._cursor_lpn, tuple(chunk))
-            self._cursor_lpn = (self._cursor_lpn + 1) % self.region_pages
+        pending = self._pending
+        if len(pending) <= self.records_per_page:
+            # Common case (one group commit fits one log page): a single
+            # write, no slice/del churn.
+            if pending:
+                self.device.write(self._cursor_lpn, tuple(pending))
+                pending.clear()
+                self._cursor_lpn = (self._cursor_lpn + 1) % self.region_pages
+        else:
+            while pending:
+                chunk = pending[:self.records_per_page]
+                del pending[:self.records_per_page]
+                self.device.write(self._cursor_lpn, tuple(chunk))
+                self._cursor_lpn = (self._cursor_lpn + 1) % self.region_pages
         self.device.flush()
         self._committed_through = self._next_lsn - 1
         self.commits += 1

@@ -48,11 +48,24 @@ def obs_mode(default: str = "full") -> str:
 
 
 def obs_sample_every(default: int = DEFAULT_SAMPLE_EVERY) -> int:
-    """Resolve the sampled-mode 1-in-N rate from ``REPRO_OBS_SAMPLE``."""
+    """Resolve the sampled-mode 1-in-N rate from ``REPRO_OBS_SAMPLE``.
+
+    A malformed value fails fast with an error naming the variable and
+    what it accepts, instead of an anonymous ``int()`` traceback from
+    deep inside telemetry setup."""
     raw = os.environ.get("REPRO_OBS_SAMPLE", "").strip()
-    every = int(raw) if raw else default
+    if not raw:
+        return default
+    try:
+        every = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_OBS_SAMPLE must be an integer >= 1 (the 1-in-N "
+            f"sampling rate for REPRO_OBS=sampled), got {raw!r}") from None
     if every < 1:
-        raise ValueError(f"REPRO_OBS_SAMPLE must be >= 1: {every}")
+        raise ValueError(
+            f"REPRO_OBS_SAMPLE must be an integer >= 1 (the 1-in-N "
+            f"sampling rate for REPRO_OBS=sampled), got {every}")
     return every
 
 

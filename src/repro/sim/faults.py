@@ -643,6 +643,11 @@ class FaultPlan:
         # device pops each entry via complete_operation(), so the list
         # is bounded by the device queue depth.
         self._pending_acks: List[Tuple[str, Optional[OpRecord]]] = []
+        # Nested operation scopes carry no record and never mutate
+        # themselves, so one frozen instance per (kind, deferred) serves
+        # every nested entry — the FTL-inside-device nesting happens on
+        # every command, and the per-call allocation is measurable.
+        self._nested_scopes: Dict[Tuple[str, bool], _OpScope] = {}
         # Armed media faults; the NAND array consults this on every chip
         # operation (one attribute check when nothing is armed).
         self.media = MediaFaultSet()
@@ -709,11 +714,15 @@ class FaultPlan:
         reached; the fired fuse is consumed (fires only once), any other
         fuses at the point stay armed.
         """
-        count = self._hits.get(point, 0) + 1
-        self._hits[point] = count
+        hits = self._hits
+        count = hits.get(point, 0) + 1
+        hits[point] = count
         if self._trace_enabled:
             self._trace.append(point)
-        fuses = self._armed.get(point)
+        armed = self._armed
+        if not armed:
+            return
+        fuses = armed.get(point)
         if fuses and count == fuses[0]:
             fuses.pop(0)
             if not fuses:
@@ -742,7 +751,12 @@ class FaultPlan:
         submission order."""
         if self._op_depth:
             self._op_depth += 1
-            return _OpScope(self, kind, None, deferred)
+            key = (kind, deferred)
+            scope = self._nested_scopes.get(key)
+            if scope is None:
+                scope = _OpScope(self, kind, None, deferred)
+                self._nested_scopes[key] = scope
+            return scope
         self._op_depth = 1
         self._op_seq += 1
         record = OpRecord(self._op_seq, kind, tuple(lpns))
@@ -824,5 +838,55 @@ class FaultPlan:
         self._pending_acks = []
 
 
+class _PassiveScope:
+    """Scope returned by :class:`_PassiveFaultPlan.operation`: enters to
+    ``None`` and journals nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_PASSIVE_SCOPE = _PassiveScope()
+
+
+class _PassiveFaultPlan(FaultPlan):
+    """The plan behind :data:`NO_FAULTS`: nothing is ever armed on it, so
+    checkpoints, operation scopes and the ack journal are pure overhead.
+    Anything that wants injection or the journal must construct its own
+    :class:`FaultPlan`; arming this shared singleton would silently
+    couple unrelated components, so :meth:`arm` refuses."""
+
+    def arm(self, fault) -> None:
+        raise RuntimeError(
+            "NO_FAULTS is the shared passive plan; construct a FaultPlan() "
+            "to arm faults")
+
+    def enable_trace(self) -> None:
+        raise RuntimeError(
+            "NO_FAULTS is the shared passive plan; construct a FaultPlan() "
+            "to trace checkpoints")
+
+    def checkpoint(self, point: str) -> None:
+        pass
+
+    def operation(self, kind: str, lpns: Sequence[int] = (),
+                  deferred: bool = False) -> "_PassiveScope":
+        return _PASSIVE_SCOPE
+
+    def complete_operation(self, kind, record) -> None:
+        pass
+
+    def abandon_operation(self, kind, record) -> None:
+        pass
+
+    def fail_operation(self, kind, record) -> None:
+        pass
+
+
 #: Shared no-op plan used by components when the caller does not inject one.
-NO_FAULTS = FaultPlan()
+NO_FAULTS = _PassiveFaultPlan()

@@ -15,6 +15,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional
 
+#: Unique miss sentinel so a cached ``None`` payload stays a hit.
+_MISS = object()
+
 
 class DramReadCache:
     """LRU cache of LPN -> page image."""
@@ -24,13 +27,12 @@ class DramReadCache:
             raise ValueError(
                 f"capacity must be non-negative: {capacity_pages}")
         self.capacity_pages = capacity_pages
+        # Plain attribute, not a property: lookup/insert run once per
+        # host command and a property costs a Python call each time.
+        self.enabled = capacity_pages > 0
         self._entries: "OrderedDict[int, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
-
-    @property
-    def enabled(self) -> bool:
-        return self.capacity_pages > 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -40,10 +42,12 @@ class DramReadCache:
         distinguishes a cached None payload from a miss."""
         if not self.enabled:
             return None
-        if lpn in self._entries:
-            self._entries.move_to_end(lpn)
+        entries = self._entries
+        data = entries.get(lpn, _MISS)
+        if data is not _MISS:
+            entries.move_to_end(lpn)
             self.hits += 1
-            return (self._entries[lpn],)
+            return (data,)
         self.misses += 1
         return None
 

@@ -30,6 +30,7 @@ Samsung PM853T log device of the experimental setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -82,18 +83,6 @@ class SsdConfig:
     interval_capacity: int = 0
 
 
-@dataclass
-class _WorkSnapshot:
-    copybacks: int
-    erases: int
-    map_writes: int
-    spills: int
-    log_spills: int
-    spill_lookups: int
-    gc_events: int
-    wear_moves: int
-
-
 class Ssd:
     """Page-addressed block device with the SHARE extension."""
 
@@ -131,7 +120,36 @@ class Ssd:
         self.ncq = ncq if ncq is not None \
             else NativeCommandQueue(self.config.queue_depth)
         self._session: Optional[DeviceSession] = None
-        self._inflight: List[CommandTicket] = []
+        # In-flight commands as a min-heap of (completion_us, cmd_seq,
+        # ticket).  One scheduler event per *timestamp frame* (the
+        # earliest pending completion) drains every due ticket in
+        # (completion_us, cmd_seq) order — a burst of N same-time
+        # completions costs one heap pop and one dispatched callback in
+        # the scheduler instead of N scheduled closures.  ``cmd_seq``
+        # is the per-device submission order, so same-timestamp
+        # completions fire in the order the host issued them.
+        self._inflight: List[Tuple[int, int, CommandTicket]] = []
+        self._cmd_seq = 0
+        self._drain_event = None
+        self._drain_label = f"{name}.drain"
+        # Media cost per work-ledger kind, resolved once (replaces a
+        # per-entry if-chain on the pricing path).
+        timing = self.timing
+        page_size = self.config.geometry.page_size
+        self._work_cost: Dict[str, float] = {
+            "host_read": timing.read_latency(page_size),
+            "host_program": timing.program_latency(page_size),
+            "copyback": timing.copyback_us,
+            "erase": timing.erase_us,
+            "map_write": timing.program_us,
+            "spill": timing.read_us + timing.program_us,
+            "spill_lookup": timing.read_us,
+        }
+        # Host command base latencies, resolved once for the read/write
+        # fast paths (same values as the host_read/host_program entries).
+        self._read_latency_us = self._work_cost["host_read"]
+        self._program_latency_us = self._work_cost["host_program"]
+        self._overhead_us = timing.command_overhead_us
         self._measure_start_us = clock.now_us
         clock.on_reset(self._on_clock_reset)
         # Telemetry handles, resolved once (no-op singletons when the
@@ -228,7 +246,7 @@ class Ssd:
         """Complete every in-flight command, advancing the clock to the
         device's completion horizon."""
         while self._inflight:
-            horizon = max(ticket.completion_us for ticket in self._inflight)
+            horizon = max(item[0] for item in self._inflight)
             self.events.run_until(horizon)
 
     # ------------------------------------------------------------ commands
@@ -256,57 +274,77 @@ class Ssd:
 
     def read(self, lpn: int) -> Any:
         """Read one page (through the controller DRAM cache if enabled)."""
-        self._gate("read", (lpn,))
-        with self.telemetry.tracer.span("device.read"):
-            before = self._work_snapshot()
-            cached = self.cache.lookup(lpn)
-            if cached is not None:
-                self.stats.host_read_pages += 1
-                data = cached[0]
-                ticket = self._issue("read", lpn, 1, before,
-                                     0.0)   # DRAM-speed hit
-            else:
-                data = self.ftl.read(lpn)
-                self.cache.insert(lpn, data)
-                self.stats.host_read_pages += 1
-                ticket = self._issue("read", lpn, 1, before,
-                                     self.timing.read_latency(self.page_size))
-        self._wait(ticket)
+        if self.faults.commands.active:
+            self._gate("read", (lpn,))
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("device.read"):
+                return self._read_cmd(lpn)
+        return self._read_cmd(lpn)
+
+    def _read_cmd(self, lpn: int) -> Any:
+        self.ftl.take_work()   # discard stale work from direct FTL use
+        cached = self.cache.lookup(lpn)
+        if cached is not None:
+            self.stats.host_read_pages += 1
+            data = cached[0]
+            ticket = self._issue("read", lpn, 1,
+                                 0.0)   # DRAM-speed hit
+        else:
+            data = self.ftl.read(lpn)
+            self.cache.insert(lpn, data)
+            self.stats.host_read_pages += 1
+            ticket = self._issue("read", lpn, 1,
+                                 self._read_latency_us)
+        if self._session is None:
+            self.events.run_until(ticket.completion_us)
         return data
 
     def write(self, lpn: int, data: Any) -> None:
         """Write one page (out-of-place inside the device)."""
-        self._gate("write", (lpn,))
-        with self.faults.operation("device.write", (lpn,),
-                                   deferred=True) as op, \
-                self.telemetry.tracer.span("device.write"):
-            before = self._work_snapshot()
-            self.ftl.write(lpn, data)
-            self.cache.insert(lpn, data)
-            self.stats.host_write_pages += 1
-            ticket = self._issue(
-                "write", lpn, 1, before,
-                self.timing.program_latency(self.page_size),
-                op_kind="device.write", op_record=op)
-        self._wait(ticket)
+        if self.faults.commands.active:
+            self._gate("write", (lpn,))
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with self.faults.operation("device.write", (lpn,),
+                                       deferred=True) as op, \
+                    tracer.span("device.write"):
+                ticket = self._write_cmd(lpn, data, op)
+        else:
+            with self.faults.operation("device.write", (lpn,),
+                                       deferred=True) as op:
+                ticket = self._write_cmd(lpn, data, op)
+        if self._session is None:
+            self.events.run_until(ticket.completion_us)
+
+    def _write_cmd(self, lpn: int, data: Any, op: Any) -> "CommandTicket":
+        self.ftl.take_work()   # discard stale work from direct FTL use
+        self.ftl.write(lpn, data)
+        self.cache.insert(lpn, data)
+        self.stats.host_write_pages += 1
+        return self._issue(
+            "write", lpn, 1,
+            self._program_latency_us,
+            op_kind="device.write", op_record=op)
 
     def write_multi(self, lpn: int, pages: Sequence[Any]) -> None:
         """Write consecutive pages in one host command (one command
         overhead, per-page programs)."""
         if not pages:
             raise DeviceError("write_multi with no pages")
-        self._gate("write", tuple(range(lpn, lpn + len(pages))))
+        if self.faults.commands.active:
+            self._gate("write", tuple(range(lpn, lpn + len(pages))))
         with self.faults.operation("device.write_multi",
                                    tuple(range(lpn, lpn + len(pages))),
                                    deferred=True) as op, \
                 self.telemetry.tracer.span("device.write"):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             for index, page in enumerate(pages):
                 self.ftl.write(lpn + index, page)
                 self.cache.insert(lpn + index, page)
             self.stats.host_write_pages += len(pages)
             ticket = self._issue(
-                "write", lpn, len(pages), before,
+                "write", lpn, len(pages),
                 len(pages) * self.timing.program_latency(self.page_size),
                 op_kind="device.write_multi", op_record=op)
         self._wait(ticket)
@@ -317,11 +355,12 @@ class Ssd:
         if not items:
             raise DeviceError("write_atomic with no pages")
         lpns = tuple(lpn for lpn, __ in items)
-        self._gate("awrite", lpns)
+        if self.faults.commands.active:
+            self._gate("awrite", lpns)
         with self.faults.operation("device.awrite", lpns,
                                    deferred=True) as op, \
                 self.telemetry.tracer.span("device.write", atomic=True):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.write_atomic(items)
             for item_lpn, data in items:
                 self.cache.insert(item_lpn, data)
@@ -329,7 +368,7 @@ class Ssd:
             self.stats.extra["atomic_write_commands"] = (
                 self.stats.extra.get("atomic_write_commands", 0) + 1)
             ticket = self._issue(
-                "write", items[0][0], len(items), before,
+                "write", items[0][0], len(items),
                 len(items) * self.timing.program_latency(self.page_size),
                 op_kind="device.awrite", op_record=op,
                 gate_kind="awrite", gate_lpns=lpns)
@@ -344,11 +383,11 @@ class Ssd:
     def write_txn(self, txn_id: int, lpn: int, data: Any) -> None:
         """Stage one in-place page write under a transaction."""
         with self.telemetry.tracer.span("device.write", txn=txn_id):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.write_txn(txn_id, lpn, data)
             self.stats.host_write_pages += 1
             ticket = self._issue(
-                "write", lpn, 1, before,
+                "write", lpn, 1,
                 self.timing.program_latency(self.page_size))
         self._wait(ticket)
 
@@ -358,35 +397,36 @@ class Ssd:
                 "device.xcommit", tuple(self.ftl._txn_shadow.get(txn_id, ())),
                 deferred=True) as op, \
                 self.telemetry.tracer.span("device.flush", txn=txn_id):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             staged_lpns = list(self.ftl._txn_shadow.get(txn_id, ()))
             self.ftl.commit_txn(txn_id)
             for lpn in staged_lpns:
                 self.cache.invalidate(lpn)
-            ticket = self._issue("flush", 0, 0, before, 0.0,
+            ticket = self._issue("flush", 0, 0, 0.0,
                                  op_kind="device.xcommit", op_record=op)
         self._wait(ticket)
 
     def abort_txn(self, txn_id: int) -> None:
         """Discard a transaction's staged pages."""
         with self.telemetry.tracer.span("device.trim", txn=txn_id):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.abort_txn(txn_id)
-            ticket = self._issue("trim", 0, 0, before, 0.0)
+            ticket = self._issue("trim", 0, 0, 0.0)
         self._wait(ticket)
 
     def trim(self, lpn: int, count: int = 1) -> None:
         """Invalidate a logical range."""
-        self._gate("trim", tuple(range(lpn, lpn + max(count, 1))))
+        if self.faults.commands.active:
+            self._gate("trim", tuple(range(lpn, lpn + max(count, 1))))
         with self.faults.operation("device.trim",
                                    tuple(range(lpn, lpn + max(count, 1))),
                                    deferred=True) as op, \
                 self.telemetry.tracer.span("device.trim"):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.trim(lpn, count)
             self.cache.invalidate(lpn, count)
             self.stats.trim_commands += 1
-            ticket = self._issue("trim", lpn, count, before,
+            ticket = self._issue("trim", lpn, count,
                                  count * self.timing.map_update_us,
                                  op_kind="device.trim", op_record=op)
         self._wait(ticket)
@@ -398,9 +438,9 @@ class Ssd:
         when no foreground request is waiting — trading idle time for
         smaller foreground stalls."""
         with self.telemetry.tracer.span("device.idle_gc"):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             reclaimed = self.ftl.idle_gc(max_blocks, min_invalid_fraction)
-            ticket = self._issue("trim", 0, reclaimed, before, 0.0)
+            ticket = self._issue("trim", 0, reclaimed, 0.0)
         self._wait(ticket)
         return reclaimed
 
@@ -408,15 +448,25 @@ class Ssd:
         """Barrier: persist pending mapping changes.  Data-page writes are
         durable at command completion already (no volatile write cache is
         modelled), matching the paper's O_DIRECT setup."""
-        self._gate("flush", ())
-        with self.faults.operation("device.flush", deferred=True) as op, \
-                self.telemetry.tracer.span("device.flush"):
-            before = self._work_snapshot()
-            self.ftl.flush()
-            self.stats.flush_commands += 1
-            ticket = self._issue("flush", 0, 0, before, 0.0,
-                                 op_kind="device.flush", op_record=op)
-        self._wait(ticket)
+        if self.faults.commands.active:
+            self._gate("flush", ())
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with self.faults.operation("device.flush", deferred=True) as op, \
+                    tracer.span("device.flush"):
+                ticket = self._flush_cmd(op)
+        else:
+            with self.faults.operation("device.flush", deferred=True) as op:
+                ticket = self._flush_cmd(op)
+        if self._session is None:
+            self.events.run_until(ticket.completion_us)
+
+    def _flush_cmd(self, op: Any) -> "CommandTicket":
+        self.ftl.take_work()   # discard stale work from direct FTL use
+        self.ftl.flush()
+        self.stats.flush_commands += 1
+        return self._issue("flush", 0, 0, 0.0,
+                           op_kind="device.flush", op_record=op)
 
     def share(self, dst_lpn: int, src_lpn: int, length: int = 1) -> None:
         """Vendor-unique SHARE command (ranged form).
@@ -427,16 +477,17 @@ class Ssd:
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
         lpns = tuple(range(dst_lpn, dst_lpn + length))
-        self._gate("share", lpns)
+        if self.faults.commands.active:
+            self._gate("share", lpns)
         with self.faults.operation("device.share", lpns,
                                    deferred=True) as op, \
                 self.telemetry.tracer.span("device.share"):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.share(dst_lpn, src_lpn, length)
             self.cache.invalidate(dst_lpn, length)
             self.stats.share_commands += 1
             self.stats.share_pairs += length
-            ticket = self._issue("share", dst_lpn, length, before,
+            ticket = self._issue("share", dst_lpn, length,
                                  length * self.timing.map_update_us,
                                  op_kind="device.share", op_record=op,
                                  gate_kind="share", gate_lpns=lpns)
@@ -447,18 +498,19 @@ class Ssd:
         if not self.config.share_enabled:
             raise ShareError("device does not support the SHARE command")
         lpns = tuple(pair.dst_lpn for pair in pairs)
-        self._gate("share", lpns)
+        if self.faults.commands.active:
+            self._gate("share", lpns)
         with self.faults.operation("device.share", lpns,
                                    deferred=True) as op, \
                 self.telemetry.tracer.span("device.share"):
-            before = self._work_snapshot()
+            self.ftl.take_work()   # discard stale work from direct FTL use
             self.ftl.share_batch(pairs)
             for pair in pairs:
                 self.cache.invalidate(pair.dst_lpn)
             self.stats.share_commands += 1
             self.stats.share_pairs += len(pairs)
             ticket = self._issue(
-                "share", pairs[0].dst_lpn, len(pairs), before,
+                "share", pairs[0].dst_lpn, len(pairs),
                 len(pairs) * self.timing.map_update_us,
                 op_kind="device.share", op_record=op,
                 gate_kind="share", gate_lpns=lpns)
@@ -466,42 +518,11 @@ class Ssd:
 
     # ----------------------------------------------------------- internals
 
-    def _work_snapshot(self) -> _WorkSnapshot:
-        # Discard ledger entries from direct FTL use between commands
-        # (aging, recovery) so they are not billed to this command.
-        self.ftl.take_work()
-        ftl_stats = self.ftl.stats
-        return _WorkSnapshot(
-            copybacks=ftl_stats.copyback_pages,
-            erases=ftl_stats.block_erases,
-            map_writes=self.ftl.map_page_writes,
-            spills=ftl_stats.share_spills,
-            log_spills=ftl_stats.share_log_spills,
-            spill_lookups=ftl_stats.spill_lookups,
-            gc_events=ftl_stats.gc_events,
-            wear_moves=ftl_stats.wear_level_moves,
-        )
-
     def _work_cost_us(self, kind: str) -> float:
         """Media time of one work-ledger entry (used for *placement* of
         busy time onto channels; the authoritative command total is the
         analytic formula in :meth:`_issue`)."""
-        timing = self.timing
-        if kind == "host_read":
-            return timing.read_latency(self.page_size)
-        if kind == "host_program":
-            return timing.program_latency(self.page_size)
-        if kind == "copyback":
-            return timing.copyback_us
-        if kind == "erase":
-            return timing.erase_us
-        if kind == "map_write":
-            return timing.program_us
-        if kind == "spill":
-            return timing.read_us + timing.program_us
-        if kind == "spill_lookup":
-            return timing.read_us
-        return 0.0
+        return self._work_cost.get(kind, 0.0)
 
     def _price_media(self, latency_us: float,
                      work: Sequence[Tuple[str, int]]) -> Tuple[int, Dict[int, int]]:
@@ -515,11 +536,43 @@ class Ssd:
         split is exact and the completion time equals the serial model's.
         """
         total_int = int(round(latency_us))
+        if not work:
+            return total_int, {}
+        work_cost = self._work_cost
+        if len(work) == 1:
+            # One ledger entry (a lone mapping-page program is the most
+            # common internal work): skip the per-channel dict entirely.
+            kind, channel = work[0]
+            cost = work_cost.get(kind, 0.0)
+            if cost <= 0.0:
+                return total_int, {}
+            dur = int(round(cost))
+            if dur > total_int:
+                dur = total_int
+            if dur <= 0:
+                return total_int, {}
+            return total_int - dur, {channel: dur}
         per_channel: Dict[int, float] = {}
         for kind, channel in work:
-            cost = self._work_cost_us(kind)
+            cost = work_cost.get(kind, 0.0)
             if cost > 0.0:
-                per_channel[channel] = per_channel.get(channel, 0.0) + cost
+                if channel in per_channel:
+                    per_channel[channel] += cost
+                else:
+                    per_channel[channel] = cost
+        if not per_channel:
+            return total_int, {}
+        if len(per_channel) == 1:
+            # Single-channel fast path (every 1ch stack, and most
+            # commands on wider stacks): exactly the general algorithm
+            # below with the shave step folded into a clamp.
+            (channel, us), = per_channel.items()
+            dur = int(round(us))
+            if dur > total_int:
+                dur = total_int
+            if dur <= 0:
+                return total_int, {}
+            return total_int - dur, {channel: dur}
         pieces = {channel: int(round(us))
                   for channel, us in per_channel.items()}
         pieces = {channel: dur for channel, dur in pieces.items() if dur > 0}
@@ -539,76 +592,119 @@ class Ssd:
         return dram_us, pieces
 
     def _issue(self, kind: str, lpn: int, count: int,
-               before: _WorkSnapshot, base_latency_us: float,
+               base_latency_us: float,
                op_kind: Optional[str] = None, op_record: Any = None,
                gate_kind: Optional[str] = None,
                gate_lpns: Optional[Tuple[int, ...]] = None) -> CommandTicket:
         """Price the command (base latency plus the internal work — GC
         copybacks, erases, mapping-page programs, spills — it
         triggered), admit it through the NCQ, occupy its channels, and
-        schedule its completion event."""
-        ftl_stats = self.ftl.stats
-        copybacks = ftl_stats.copyback_pages - before.copybacks
-        erases = ftl_stats.block_erases - before.erases
-        map_writes = self.ftl.map_page_writes - before.map_writes
-        spills = ftl_stats.share_spills - before.spills
-        spill_lookups = ftl_stats.spill_lookups - before.spill_lookups
-        gc_events = ftl_stats.gc_events - before.gc_events
-        latency = (base_latency_us
-                   + self.timing.command_overhead_us
-                   + copybacks * self.timing.copyback_us
-                   + erases * self.timing.erase_us
-                   + map_writes * self.timing.program_us
-                   + spills * (self.timing.read_us + self.timing.program_us)
-                   + spill_lookups * self.timing.read_us)
-        self.stats.copyback_pages += copybacks
-        self.stats.block_erases += erases
-        self.stats.map_page_writes += map_writes
-        self.stats.share_spill_pages += spills
-        self.stats.share_log_spills += \
-            ftl_stats.share_log_spills - before.log_spills
-        self.stats.spill_lookups += spill_lookups
-        self.stats.gc_events += gc_events
-        self.stats.wear_level_moves += \
-            ftl_stats.wear_level_moves - before.wear_moves
-        self.stats.busy_us += latency
+        queue its completion for the device drain event.
+
+        Per-command work deltas come from the FTL's work ledger: every
+        internal-work counter increment leaves a ledger entry (some,
+        like ``gc_event``, at zero media cost), so counting entries
+        reproduces the old before/after counter diff exactly — and the
+        common no-internal-work command skips the accounting entirely.
+        The caller drains stale ledger entries (direct FTL use between
+        commands: aging, recovery) before mutating the FTL."""
+        pt_issue = self._pt_issue
+        t0 = perf_counter_ns() if pt_issue is not None else 0
+        stats = self.stats
+        work = self.ftl.take_work()
+        gc_events = 0
+        copybacks = 0
+        if work:
+            timing = self.timing
+            erases = map_writes = spills = 0
+            log_spills = spill_lookups = wear_moves = 0
+            for work_kind, __ in work:
+                if work_kind == "map_write":
+                    map_writes += 1
+                elif work_kind == "copyback":
+                    copybacks += 1
+                elif work_kind == "erase":
+                    erases += 1
+                elif work_kind == "gc_event":
+                    gc_events += 1
+                elif work_kind == "spill":
+                    spills += 1
+                elif work_kind == "spill_lookup":
+                    spill_lookups += 1
+                elif work_kind == "log_spill":
+                    log_spills += 1
+                elif work_kind == "wear_move":
+                    wear_moves += 1
+            # NOTE: this expression (terms and their order) is the
+            # authoritative command latency the serial oracle reproduces
+            # — the no-work branch below is its exact value when every
+            # delta is zero (x + 0.0*c == x for these non-negative
+            # latencies).
+            latency = (base_latency_us
+                       + timing.command_overhead_us
+                       + copybacks * timing.copyback_us
+                       + erases * timing.erase_us
+                       + map_writes * timing.program_us
+                       + spills * (timing.read_us + timing.program_us)
+                       + spill_lookups * timing.read_us)
+            stats.copyback_pages += copybacks
+            stats.block_erases += erases
+            stats.map_page_writes += map_writes
+            stats.share_spill_pages += spills
+            stats.share_log_spills += log_spills
+            stats.spill_lookups += spill_lookups
+            stats.gc_events += gc_events
+            stats.wear_level_moves += wear_moves
+            dram_us, pieces = self._price_media(latency, work)
+        else:
+            latency = base_latency_us + self._overhead_us
+            dram_us = int(round(latency))
+            pieces = None
+        stats.busy_us += latency
 
         # Timing: admission through the bounded queue, a DRAM/firmware
         # phase, then per-channel media occupancy.
-        pt_issue = self._pt_issue
-        t0 = perf_counter_ns() if pt_issue is not None else 0
-        work = self.ftl.take_work()
-        dram_us, pieces = self._price_media(latency, work)
-        service_us = dram_us + sum(pieces.values())
+        service_us = dram_us
         session = self._session
         arrival = (session.now_us if session is not None
                    else self.clock.now_us)
         admit = self.ncq.admit(arrival)
         dram_end = admit + dram_us
         completion = dram_end
-        intervals = self.intervals
-        for channel, duration in pieces.items():
-            start, end = self.channels.acquire(channel, dram_end, duration)
-            self._m_chan_busy[channel].inc(duration)
-            if intervals.capacity:
-                intervals.record(channel, start, end)
-            if end > completion:
-                completion = end
+        telemetry = self.telemetry
+        if pieces:
+            intervals = self.intervals
+            emit = telemetry.enabled
+            for channel, duration in pieces.items():
+                service_us += duration
+                start, end = self.channels.acquire(channel, dram_end,
+                                                   duration)
+                if emit:
+                    self._m_chan_busy[channel].inc(duration)
+                if intervals.capacity:
+                    intervals.record(channel, start, end)
+                if end > completion:
+                    completion = end
         self.ncq.commit(completion)
         if pt_issue is not None:
             pt_issue.add(perf_counter_ns() - t0)
 
         ticket = CommandTicket(
             kind, lpn, count, latency, service_us, arrival, completion,
-            gc_events=gc_events, copyback_pages=copybacks,
-            op_kind=op_kind, op_record=op_record,
-            gate_kind=gate_kind, gate_lpns=gate_lpns)
-        ticket.event = self.events.at(
-            completion, lambda: self._on_complete(ticket),
-            label=f"{self.name}.{kind}")
-        self._inflight.append(ticket)
+            gc_events, copybacks, op_kind, op_record, gate_kind, gate_lpns)
+        self._cmd_seq += 1
+        heappush(self._inflight, (completion, self._cmd_seq, ticket))
+        # One drain event covers every queued completion: (re)schedule
+        # only when this command completes before the current head.
+        drain = self._drain_event
+        if drain is None:
+            self._drain_event = self.events.at(
+                completion, self._drain_due, label=self._drain_label)
+        elif completion < drain.time_us:
+            self.events.cancel(drain)
+            self._drain_event = self.events.at(
+                completion, self._drain_due, label=self._drain_label)
 
-        telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.tracer.current.set(
                 kind=kind, lpn=lpn, count=count, latency_us=latency,
@@ -627,10 +723,37 @@ class Ssd:
         if self._session is None:
             self.events.run_until(ticket.completion_us)
 
+    def _drain_due(self) -> None:
+        """The device's single completion event: pop and complete every
+        ticket due at the current timestamp frame, then re-arm at the
+        next pending completion.
+
+        A completion callback may raise (completion-phase command
+        faults, journal-delivered power failures) — the ``finally``
+        re-arm keeps the remaining queued completions reachable in that
+        case, exactly as they were when each held its own event."""
+        self._drain_event = None
+        inflight = self._inflight
+        try:
+            now = self.clock.now_us
+            while inflight and inflight[0][0] <= now:
+                ticket = heappop(inflight)[2]
+                self._on_complete(ticket)
+        finally:
+            # power_cycle/_on_clock_reset may have run re-entrantly:
+            # re-read the (possibly replaced) heap and only re-arm when
+            # nothing else armed it meanwhile.
+            inflight = self._inflight
+            if inflight and self._drain_event is None:
+                self._drain_event = self.events.at(
+                    inflight[0][0], self._drain_due,
+                    label=self._drain_label)
+
     def _on_complete(self, ticket: CommandTicket) -> None:
-        """Completion event: deliver telemetry, the trace record, the
-        completion-phase fault gate and the deferred ack — in the order
-        the device finishes work, not the order the host submitted it.
+        """Complete one ticket (already popped from the in-flight heap):
+        deliver telemetry, the trace record, the completion-phase fault
+        gate and the deferred ack — in the order the device finishes
+        work, not the order the host submitted it.
 
         Delivery cost is tiered by telemetry mode: counters are always
         exact, but histogram/gauge recording (and the per-channel
@@ -638,10 +761,6 @@ class Ssd:
         sampled mode saves its per-op wall-clock time."""
         pt_complete = self._pt_complete
         t0 = perf_counter_ns() if pt_complete is not None else 0
-        try:
-            self._inflight.remove(ticket)
-        except ValueError:
-            pass
         now = self.clock.now_us
         telemetry = self.telemetry
         pt_emit = self._pt_emit
@@ -707,10 +826,10 @@ class Ssd:
         absolute timestamp the device caches (queue completion times,
         channel busy horizons, pending completion events) belongs to a
         timeline that no longer exists.  Drop them all."""
-        for ticket in self._inflight:
-            if ticket.event is not None:
-                self.events.cancel(ticket.event)
-        self._inflight = []
+        if self._drain_event is not None:
+            self.events.cancel(self._drain_event)
+            self._drain_event = None
+        self._inflight.clear()
         self.ncq.reset()
         self.channels.reset()
         self._measure_start_us = 0
@@ -722,13 +841,14 @@ class Ssd:
         completion (those commands never acknowledge — their records
         become unacked in the fault journal), drop all volatile state
         and run the FTL recovery scan over the surviving media."""
-        for ticket in self._inflight:
-            if ticket.event is not None:
-                self.events.cancel(ticket.event)
+        if self._drain_event is not None:
+            self.events.cancel(self._drain_event)
+            self._drain_event = None
+        for __, __, ticket in self._inflight:
             if ticket.op_kind is not None:
                 self.faults.abandon_operation(ticket.op_kind,
                                               ticket.op_record)
-        self._inflight = []
+        self._inflight.clear()
         self.ncq.reset()
         self.channels.reset()
         self.ftl = PageMappingFtl.recover(self.nand, self.config.ftl,

@@ -23,7 +23,6 @@ cross-device command chain stays ordered.
 from __future__ import annotations
 
 import heapq
-from contextlib import contextmanager
 from typing import Any, List, Optional, Tuple
 
 
@@ -39,7 +38,7 @@ class CommandTicket:
     __slots__ = ("kind", "lpn", "count", "latency_us", "service_us",
                  "arrival_us", "completion_us", "gc_events",
                  "copyback_pages", "op_kind", "op_record", "gate_kind",
-                 "gate_lpns", "event")
+                 "gate_lpns")
 
     def __init__(self, kind: str, lpn: int, count: int, latency_us: float,
                  service_us: int, arrival_us: int, completion_us: int,
@@ -60,7 +59,6 @@ class CommandTicket:
         self.op_record = op_record
         self.gate_kind = gate_kind
         self.gate_lpns = gate_lpns
-        self.event = None   # scheduler event, set by the device
 
     @property
     def wait_us(self) -> int:
@@ -97,19 +95,23 @@ class NativeCommandQueue:
 
     def admit(self, arrival_us: int) -> int:
         """Admit a command arriving at ``arrival_us``; returns the time
-        its queue slot frees (= earliest possible service start)."""
-        arrival = int(arrival_us)
+        its queue slot frees (= earliest possible service start).
+
+        Timestamps are integer microseconds throughout the simulator, so
+        no defensive conversion here — this runs once per command."""
         heap = self._completions
-        while heap and heap[0] <= arrival:
+        while heap and heap[0] <= arrival_us:
             heapq.heappop(heap)
-        admit = arrival
+        admit = arrival_us
         while len(heap) >= self.depth:
-            admit = max(admit, heapq.heappop(heap))
+            freed = heapq.heappop(heap)
+            if freed > admit:
+                admit = freed
         return admit
 
     def commit(self, completion_us: int) -> None:
         """Record an admitted command's completion time."""
-        heapq.heappush(self._completions, int(completion_us))
+        heapq.heappush(self._completions, completion_us)
 
     @property
     def inflight(self) -> int:
@@ -145,18 +147,29 @@ class DeviceSession:
         return f"DeviceSession(client={self.client}, now_us={self.now_us})"
 
 
-@contextmanager
-def issuing(session: DeviceSession, *devices):
+class issuing:
     """Attach ``session`` to every device for the duration of one
     operation::
 
         with issuing(session, data_ssd, log_ssd):
             engine.do_one_op()
+
+    A plain class-based context manager (not ``@contextmanager``): the
+    workload drivers enter it once per operation, and the generator
+    machinery costs roughly 3x a slotted instance on that path.
     """
-    for device in devices:
-        device.attach_session(session)
-    try:
-        yield session
-    finally:
-        for device in devices:
+
+    __slots__ = ("session", "devices")
+
+    def __init__(self, session: DeviceSession, *devices) -> None:
+        self.session = session
+        self.devices = devices
+
+    def __enter__(self) -> DeviceSession:
+        for device in self.devices:
+            device.attach_session(self.session)
+        return self.session
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for device in self.devices:
             device.detach_session()

@@ -233,6 +233,16 @@ def run_matrix(scale: Scale, trace_out: Optional[str] = None,
     """Run the full benchmark matrix and return the BENCH document."""
     benchmarks: List[Dict[str, Any]] = []
 
+    # Steady-state warm-up: one discarded tiny cell before anything is
+    # timed.  The first cell in a fresh process otherwise pays the
+    # interpreter's adaptive-specialization and allocator warm-up, which
+    # lands entirely on the off cell (it runs first) and skews the gate
+    # ratio between PRs; a throwaway run moves every measured cell to
+    # steady state.  Tiny regardless of --scale: the warm-up only has to
+    # touch the hot code paths, not the measured working set.
+    warm_record, __ = run_linkbench_cell(Scale.TINY, "warmup.discarded")
+    print(f"  warmup (discarded): {warm_record['wall_s']:.3f}s wall")
+
     # Gate runs: telemetry fully off, the configuration CI must protect.
     off_record, __ = run_linkbench_cell(scale, "linkbench.share.off")
     benchmarks.append(off_record)
@@ -315,6 +325,8 @@ def run_matrix(scale: Scale, trace_out: Optional[str] = None,
         "schema": SCHEMA_VERSION,
         "generated_by": "repro.tools.benchspeed",
         "scale": scale.value,
+        "warmup": {"cell": "linkbench tiny x1 (discarded)",
+                   "wall_s": warm_record["wall_s"]},
         "python": platform.python_version(),
         "total_wall_s": sum(b["wall_s"] for b in benchmarks),
         "peak_rss_mib": round(peak_rss_mib(), 1),
@@ -327,8 +339,11 @@ def run_matrix(scale: Scale, trace_out: Optional[str] = None,
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="results/BENCH_pr6.json",
-                        help="output BENCH JSON path")
+    parser.add_argument("--out", default="results/BENCH_local.json",
+                        help="output BENCH JSON path (the default is "
+                             "deliberately *not* a BENCH_pr<N>.json name: "
+                             "ad-hoc runs must never collide with — or be "
+                             "picked up as — a committed per-PR baseline)")
     parser.add_argument("--baseline", default=None,
                         help="baseline BENCH JSON to gate against "
                              "(default: highest BENCH_pr<N>.json next to "

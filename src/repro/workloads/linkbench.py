@@ -95,6 +95,15 @@ class LinkBenchDriver:
         self._next_node_id = config.node_count
         self._ops: List[str] = [name for name, __ in DEFAULT_MIX]
         self._weights: List[float] = [weight for __, weight in DEFAULT_MIX]
+        # Cumulative weights for the op draw: the run loop inlines what
+        # random.choices(cum_weights=...) does — one random() scaled by
+        # the total, then a bisect — so the drawn op sequence is
+        # unchanged while the per-op choices() call (and its one-element
+        # list) disappears.
+        from itertools import accumulate
+        self._cum_weights: List[float] = list(accumulate(self._weights))
+        self._handlers = {name: getattr(self, "_op_" + name.lower())
+                          for name in self._ops}
 
     # ---------------------------------------------------------------- load
 
@@ -154,38 +163,67 @@ class LinkBenchDriver:
         to each other.  Deeper queues and more channels let commands
         overlap, which only this path can express.
         """
-        from repro.ssd.ncq import DeviceSession, issuing
+        from bisect import bisect_right
+        from repro.ssd.ncq import DeviceSession
         recorder = LatencyRecorder()
         op_counts: Dict[str, int] = {}
         start_us = self.clock.now_us
+        # Inline of random.choices(ops, cum_weights=..., k=1): one
+        # random() scaled by the total, bisected against the cumulative
+        # weights — bit-identical draw sequence, no per-op call.
+        ops = self._ops
+        cum_weights = self._cum_weights
+        total_weight = cum_weights[-1] + 0.0
+        hi = len(ops) - 1
+        random_ = self._rng.random
+        handlers = self._handlers
+        record = recorder.record
+        counts_get = op_counts.get
         if concurrency > 1:
             devices = self.engine.devices()
             sessions = [DeviceSession(client, start_us)
                         for client in range(concurrency)]
-            for index in range(transactions):
-                op = self._rng.choices(self._ops, weights=self._weights,
-                                       k=1)[0]
-                session = sessions[index % concurrency]
-                arrival = session.now_us
-                with issuing(session, *devices):
-                    self._execute(op, index)
-                if sampler is None or sampler.hit():
-                    recorder.record(op, (session.now_us - arrival) / 1000.0)
-                op_counts[op] = op_counts.get(op, 0) + 1
+            # All of a stack's devices share one EventScheduler, so one
+            # run_until per operation polls every device's completions;
+            # keep a list in case a custom engine wires separate ones.
+            schedulers = []
+            for device in devices:
+                if all(device.events is not ev for ev in schedulers):
+                    schedulers.append(device.events)
+            # Sessions are swapped by direct assignment (the issuing()
+            # context manager costs ~7 calls per operation just to
+            # attach/detach); the finally block restores synchronous
+            # issue even if an operation raises.
+            try:
+                for index in range(transactions):
+                    op = ops[bisect_right(cum_weights,
+                                          random_() * total_weight, 0, hi)]
+                    session = sessions[index % concurrency]
+                    arrival = session.now_us
+                    for device in devices:
+                        device._session = session
+                    handlers[op](index)
+                    if sampler is None or sampler.hit():
+                        record(op, (session.now_us - arrival) / 1000.0)
+                    op_counts[op] = counts_get(op, 0) + 1
+                    now = session.now_us
+                    for scheduler in schedulers:
+                        scheduler.run_until(now)
+            finally:
                 for device in devices:
-                    device.poll(session.now_us)
+                    device._session = None
             for device in devices:
                 device.drain()
         else:
+            clock = self.clock
             for index in range(transactions):
-                op = self._rng.choices(self._ops, weights=self._weights,
-                                       k=1)[0]
-                op_start = self.clock.now_us
-                self._execute(op, index)
+                op = ops[bisect_right(cum_weights,
+                                      random_() * total_weight, 0, hi)]
+                op_start = clock.now_us
+                handlers[op](index)
                 if sampler is None or sampler.hit():
-                    recorder.record(op,
-                                    (self.clock.now_us - op_start) / 1000.0)
-                op_counts[op] = op_counts.get(op, 0) + 1
+                    record(op, (clock.now_us - op_start) / 1000.0)
+                op_counts[op] = counts_get(op, 0) + 1
         elapsed = (self.clock.now_us - start_us) / 1e6
         return LinkBenchResult(transactions=transactions,
                                elapsed_seconds=elapsed,
@@ -198,8 +236,7 @@ class LinkBenchDriver:
         return self._id_chooser.next()
 
     def _execute(self, op: str, index: int) -> None:
-        handler = getattr(self, "_op_" + op.lower())
-        handler(index)
+        self._handlers[op](index)
 
     def _op_get_node(self, index: int) -> None:
         with self.engine.transaction() as txn:

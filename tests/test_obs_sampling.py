@@ -68,6 +68,23 @@ class TestModeResolution:
         with pytest.raises(ValueError):
             obs_sample_every()
 
+    def test_sample_every_malformed_value_names_the_variable(self,
+                                                             monkeypatch):
+        # A typo'd rate must fail with an error that says which variable
+        # is wrong and what it accepts — not a bare int() traceback.
+        for raw in ("sixty-four", "64x", "1.5", ""):
+            monkeypatch.setenv("REPRO_OBS_SAMPLE", raw)
+            if not raw.strip():
+                assert obs_sample_every() == DEFAULT_SAMPLE_EVERY
+                continue
+            with pytest.raises(ValueError,
+                               match="REPRO_OBS_SAMPLE") as excinfo:
+                obs_sample_every()
+            assert raw in str(excinfo.value)
+        monkeypatch.setenv("REPRO_OBS_SAMPLE", "-3")
+        with pytest.raises(ValueError, match="REPRO_OBS_SAMPLE"):
+            obs_sample_every()
+
     def test_telemetry_reads_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_OBS", "sampled")
         monkeypatch.setenv("REPRO_OBS_SAMPLE", "8")

@@ -120,6 +120,137 @@ class TestCancellation:
         assert pending_before > 0
 
 
+class TestRoundingConvention:
+    def test_after_rounds_half_microseconds_like_clock_advance(self):
+        # Serial-vs-event bit-identity depends on after(), SimClock.advance
+        # and the device's _price_media agreeing on int(round()) — Python's
+        # round-half-to-even ("banker's") rounding.  Pin the convention on
+        # the half-microsecond boundary where conventions differ.
+        expected = [0, 2, 2, 4, 4, 6]   # banker's rounding of 0.5 .. 5.5
+        for whole, rounded in zip(range(6), expected):
+            delay = whole + 0.5
+            clock, events = make()
+            event = events.after(delay, lambda: None)
+            assert event.time_us == rounded, delay
+            reference = SimClock()
+            assert reference.advance(delay) == rounded, delay
+
+    def test_price_media_total_uses_the_same_rounding(self):
+        from repro.flash.geometry import FlashGeometry
+        from repro.flash.timing import FAST_TIMING
+        from repro.ftl.config import FtlConfig
+        from repro.ssd.device import Ssd, SsdConfig
+
+        ssd = Ssd(SimClock(), SsdConfig(
+            geometry=FlashGeometry(page_size=4096, pages_per_block=16,
+                                   block_count=32),
+            timing=FAST_TIMING, ftl=FtlConfig(map_block_count=4)))
+        for whole, rounded in zip(range(6), [0, 2, 2, 4, 4, 6]):
+            dram_us, pieces = ssd._price_media(whole + 0.5, [])
+            assert dram_us == rounded, whole + 0.5
+            assert pieces == {}
+
+
+class TestBatchedDrain:
+    def make_queued_ssd(self, plan=None):
+        from repro.flash.geometry import FlashGeometry
+        from repro.flash.timing import FAST_TIMING
+        from repro.ftl.config import FtlConfig
+        from repro.sim.faults import FaultPlan
+        from repro.ssd.device import Ssd, SsdConfig
+
+        plan = plan or FaultPlan()
+        clock = SimClock()
+        ssd = Ssd(clock, SsdConfig(
+            geometry=FlashGeometry(page_size=4096, pages_per_block=16,
+                                   block_count=32),
+            timing=FAST_TIMING, ftl=FtlConfig(map_block_count=4),
+            queue_depth=4), faults=plan)
+        return clock, plan, ssd
+
+    def test_same_timestamp_completions_drain_in_submission_order(self):
+        # Two identical commands submitted at the same cursor complete at
+        # the identical timestamp; the drain must deliver them in
+        # (time_us, seq) order — observable through the deferred-ack
+        # journal: the *second* submission must be the last one acked.
+        from repro.ssd.ncq import DeviceSession, issuing
+
+        clock, plan, ssd = self.make_queued_ssd()
+        plan.enable_trace()
+        session = DeviceSession(0, 0)
+        with issuing(session, ssd):
+            ssd.trim(1)
+            session.now_us = 0          # same arrival for the second command
+            ssd.trim(2)
+        completions = sorted(item[0] for item in ssd._inflight)
+        assert len(set(completions)) == 1   # genuinely the same timestamp
+        ssd.events.run_until(completions[-1])
+        acks = [point for point in plan.trace
+                if point == "device.trim.ack"]
+        assert acks == ["device.trim.ack", "device.trim.ack"]
+        acked = plan.last_acked_op()
+        assert acked is not None and acked.lpns == (2,)
+
+    def test_power_cycle_cancels_queued_drain_event(self):
+        # The single drain event must die with the power cycle: nothing
+        # from the old timeline fires, and the device re-arms cleanly.
+        from repro.ssd.ncq import DeviceSession, issuing
+
+        clock, plan, ssd = self.make_queued_ssd()
+        session = DeviceSession(0, 0)
+        with issuing(session, ssd):
+            for lpn in range(3):
+                ssd.write(lpn, ("v", lpn))
+        assert ssd._drain_event is not None
+        ssd.power_cycle()
+        assert ssd._drain_event is None
+        fired_before = ssd.events.fired
+        ssd.events.run_until(10**9)
+        assert ssd.events.fired == fired_before
+        # The device still works on the post-cycle timeline.
+        ssd.write(7, ("post", 7))
+        assert ssd.read(7) == ("post", 7)
+
+    def test_freelist_never_resurrects_a_cancelled_event(self):
+        # A recycled Event always starts with a fresh cancelled flag: the
+        # old cancellation must not suppress the event that reuses the
+        # object.
+        clock, events = make()
+        fired = []
+        stale = events.at(10, lambda: fired.append("old"))
+        assert events.cancel(stale)
+        events.run_until(20)            # pops the tombstone -> freelist
+        fresh = events.at(30, lambda: fired.append("new"))
+        assert fresh is stale           # the object was recycled
+        assert not fresh.cancelled
+        events.run_until(30)
+        assert fired == ["new"]
+
+    def test_run_until_idle_detects_non_progress(self):
+        clock, events = make()
+
+        def respawn():
+            events.at(clock.now_us, respawn, label="spinner")
+
+        events.at(5, respawn, label="spinner")
+        with pytest.raises(RuntimeError, match="spinner"):
+            events.run_until_idle(stall_limit=50)
+
+    def test_run_until_idle_allows_long_advancing_runs(self):
+        # stall_limit bounds events fired *without the clock moving*, not
+        # the total: a long legitimately-advancing run never trips it.
+        clock, events = make()
+        count = [0]
+
+        def step():
+            count[0] += 1
+            if count[0] < 500:
+                events.at(clock.now_us + 1, step)
+
+        events.at(1, step)
+        assert events.run_until_idle(stall_limit=10) == 500
+
+
 class TestValidation:
     def test_negative_time_rejected(self):
         clock, events = make()
