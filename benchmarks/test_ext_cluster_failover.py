@@ -1,0 +1,158 @@
+"""Extension: sharded-tier failover under LinkBench load.
+
+The robustness tentpole put a replicated, breaker-guarded shard tier in
+front of the event-driven devices: a consistent-hash router over three
+primary/replica pairs, an epoch-fenced delta log replicating every
+mutation (including SHARE remaps), and breaker-driven promotion when a
+primary dies.  This benchmark measures what that machinery costs when it
+actually fires: a healthy phase establishes the baseline client latency,
+a mid-phase :class:`~repro.sim.faults.ShardKill` power-cycles one
+primary between replication pumps (so the replica is behind and the
+promotion must replay the delta-log tail), and a final phase measures
+the tier after the failover settled on the promoted replica.
+
+Rows land in ``results/cluster_failover.jsonl``: one per phase (p50 /
+p99 / max client latency, throughput), one for the failover event
+(victim, replay size, promotion duration, new epoch), and a final
+``cluster.*`` / ``resilience.breaker_state.*`` telemetry snapshot where
+the breaker trip and the promoted shard's epoch bump are visible.
+
+Shape asserted: exactly one kill and one failover; every node key acked
+before the kill reads back afterwards (no lost acked writes); the
+promoted shard runs at epoch 1; and the post-failover phase still
+completes the full operation count.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.bench.harness import SCALES, build_cluster_stack
+from repro.obs import Telemetry
+from repro.obs.sinks import MemorySink
+from repro.sim.faults import FaultPlan, ShardKill
+from repro.workloads.linkbench import ClusterLinkBenchDriver, LinkBenchConfig
+
+SHARDS = 3
+CLIENTS = 4
+
+
+def _phase_row(phase, result):
+    merged = result.latencies.merged()
+    summary = merged.summary()
+    return {
+        "type": "cluster_phase",
+        "phase": phase,
+        "transactions": result.transactions,
+        "throughput_tps": result.throughput_tps,
+        "samples": len(merged),
+        "p50_ms": summary["p50"],
+        "p99_ms": summary["p99"],
+        "max_ms": summary["max"],
+    }
+
+
+def test_cluster_failover(benchmark, scale):
+    params = SCALES[scale]
+    nodes = max(300, params.linkbench_nodes // 4)
+    phase_ops = max(600, params.linkbench_transactions // 2)
+
+    def experiment():
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, mode="sampled")
+        faults = FaultPlan()
+        stack = build_cluster_stack(shards=SHARDS, keys_estimate=nodes * 6,
+                                    telemetry=telemetry, faults=faults)
+        driver = ClusterLinkBenchDriver(
+            stack.router, stack.clock,
+            LinkBenchConfig(node_count=nodes, links_per_node=2))
+        driver.load()
+
+        healthy = driver.run(phase_ops, concurrency=CLIENTS)
+
+        # Ack counting starts when the plan arms, so the kill lands a
+        # quarter of the way into the degraded phase — between pumps,
+        # leaving delta-log lag the promotion has to replay.
+        faults.arm_cluster(ShardKill(nth=max(8, phase_ops // 4)))
+        degraded = driver.run(phase_ops, concurrency=CLIENTS)
+
+        post = driver.run(phase_ops, concurrency=CLIENTS)
+        stack.router.ensure_healthy()
+        stack.router.pump_replication()
+        stack.router.drain()
+        snapshot = telemetry.snapshot(stack.clock.now_us)["metrics"]
+
+        # No lost acked writes: every node key was acked (at load or by
+        # a later update) and delete_node re-puts, so each must read
+        # back non-None through the post-failover tier.
+        lost = [node_id for node_id in range(nodes)
+                if stack.router.get(("node", node_id)) is None]
+
+        return {
+            "stack": stack,
+            "faults": faults,
+            "rows": {"healthy": healthy, "degraded": degraded,
+                     "post_failover": post},
+            "snapshot": snapshot,
+            "lost": lost,
+        }
+
+    outcome = run_once(benchmark, experiment)
+    stack = outcome["stack"]
+    stats = stack.router.stats
+    events = stack.router.controller.events
+    fired = outcome["faults"].cluster.fired_faults()
+
+    assert len(fired) == 1, "the armed shard kill never fired"
+    assert stats.kills == 1
+    assert stats.failovers == 1, (
+        f"expected exactly one failover, saw {stats.failovers}")
+    assert len(events) == 1
+    event = events[0]
+    assert event.epoch == 1
+    assert event.duration_us > 0
+    assert outcome["lost"] == [], (
+        f"{len(outcome['lost'])} acked node keys lost after failover")
+    out = Path(__file__).resolve().parent.parent / "results" \
+        / "cluster_failover.jsonl"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = outcome["snapshot"]
+    telemetry_row = {
+        "type": "cluster_telemetry",
+        "metrics": {name: value for name, value in sorted(snapshot.items())
+                    if name.startswith(("cluster.",
+                                        "resilience.breaker_state."))},
+    }
+    with out.open("w") as fh:
+        for phase in ("healthy", "degraded", "post_failover"):
+            fh.write(json.dumps(
+                _phase_row(phase, outcome["rows"][phase])) + "\n")
+        fh.write(json.dumps({
+            "type": "failover_event",
+            "shard": event.shard,
+            "victim": fired[0].victim,
+            "at_us": event.at_us,
+            "duration_us": event.duration_us,
+            "replayed": event.replayed,
+            "epoch": event.epoch,
+            "old_primary": event.old_primary,
+            "new_primary": event.new_primary,
+        }) + "\n")
+        fh.write(json.dumps(telemetry_row) + "\n")
+
+    healthy_row = _phase_row("healthy", outcome["rows"]["healthy"])
+    post_row = _phase_row("post_failover", outcome["rows"]["post_failover"])
+    print()
+    print(f"healthy:       {healthy_row['throughput_tps']:8.1f} tx/s, "
+          f"p99 {healthy_row['p99_ms']:.3f} ms")
+    print(f"post-failover: {post_row['throughput_tps']:8.1f} tx/s, "
+          f"p99 {post_row['p99_ms']:.3f} ms")
+    print(f"failover: shard {event.shard} ({event.old_primary} -> "
+          f"{event.new_primary}), {event.replayed} record(s) replayed, "
+          f"{event.duration_us} us, epoch {event.epoch}")
+
+    # The tier still serves after promotion: the post phase completed
+    # every operation and recorded real latencies.
+    assert post_row["transactions"] == phase_ops
+    assert post_row["p99_ms"] > 0

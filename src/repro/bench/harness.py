@@ -292,3 +292,74 @@ def build_postgres_stack(full_page_writes: bool, scale: int,
         full_page_writes=full_page_writes,
         checkpoint_interval_commits=300))
     return clock, data_ssd, wal_ssd, engine
+
+
+# --------------------------------------------------------------------------
+# Sharded cluster stack
+# --------------------------------------------------------------------------
+
+@dataclass
+class ClusterStack:
+    """One assembled sharded tier: M replicated pairs behind a router."""
+
+    clock: SimClock
+    events: EventScheduler
+    router: "ShardRouter"
+    pairs: Tuple["ShardPair", ...]
+
+
+def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
+                        page_size: int = 4 * KIB,
+                        timing: FlashTiming = MLC_TIMING,
+                        telemetry=None, faults=None,
+                        queue_depth: int = 4, channel_count: int = 2,
+                        queue_limit: Optional[int] = 8,
+                        vnodes: int = 64) -> ClusterStack:
+    """Assemble ``shards`` primary/replica device pairs behind a
+    :class:`~repro.cluster.router.ShardRouter`.
+
+    All ``2 * shards`` devices share one clock and one event scheduler
+    (completions from different shards interleave in global time), but
+    each device has its own NCQ and channel set — a shard's queue
+    filling up backpressures only that shard.  Per-device capacity is
+    sized for the worst shard of the consistent-hash split (keys spread
+    unevenly) plus overwrite churn headroom.
+    """
+    from repro.cluster import ShardPair, ShardRouter
+    from repro.sim.faults import NO_FAULTS
+
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1: {shards}")
+    clock = SimClock()
+    events = EventScheduler(
+        clock, profiler=getattr(telemetry, "profiler", None))
+    # Hash imbalance headroom (~1.5x the even split) and overwrite
+    # churn headroom so GC is active but the shard never fills.
+    per_shard_keys = max(256, (keys_estimate * 3) // (2 * shards))
+    needed_logical = int(per_shard_keys * 2.0) + 256
+    pages_per_block = 64
+    block_count = max(24, -(-needed_logical
+                            // int(pages_per_block * 0.90)) + 4)
+    geometry = FlashGeometry(page_size=page_size,
+                             pages_per_block=pages_per_block,
+                             block_count=block_count,
+                             overprovision_ratio=0.12,
+                             channel_count=channel_count)
+    pairs = []
+    for index in range(shards):
+        devices = []
+        for role in ("p", "r"):
+            devices.append(Ssd(clock, SsdConfig(
+                geometry=geometry, timing=timing,
+                ftl=FtlConfig(
+                    share_table_entries=max(64, per_shard_keys // 4),
+                    map_block_count=_map_blocks_for(block_count)),
+                queue_depth=queue_depth),
+                telemetry=telemetry, name=f"s{index}{role}",
+                events=events))
+        pairs.append(ShardPair(f"shard{index}", devices[0], devices[1],
+                               queue_limit=queue_limit))
+    router = ShardRouter(pairs, clock,
+                         faults=faults if faults is not None else NO_FAULTS,
+                         telemetry=telemetry, vnodes=vnodes)
+    return ClusterStack(clock, events, router, tuple(pairs))

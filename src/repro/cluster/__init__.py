@@ -1,0 +1,35 @@
+"""Sharded multi-device tier: router, replication, failover.
+
+Composes the PR 4 resilience primitives (retry, breaker, guard) and the
+PR 5 event-driven devices into a front-end over M shard pairs —
+consistent-hash placement, bounded per-shard queues, asynchronous
+delta-log replication to a peer device, and breaker-driven promotion
+with epoch fencing.  The crashcheck side (``repro.crashcheck.cluster``)
+verifies the tier's one promise: no acked write is ever lost to a
+single-shard kill.
+"""
+
+from repro.cluster.failover import FailoverController, FailoverEvent
+from repro.cluster.hashring import HashRing, fnv1a64
+from repro.cluster.replication import (REPL_SHARE, REPL_TRIM, REPL_WRITE,
+                                       LogApplier, ReplicationLog,
+                                       ReplRecord)
+from repro.cluster.router import ClusterStats, ShardRouter
+from repro.cluster.shard import PairStats, ShardPair
+
+__all__ = [
+    "HashRing",
+    "fnv1a64",
+    "ReplRecord",
+    "ReplicationLog",
+    "LogApplier",
+    "REPL_WRITE",
+    "REPL_SHARE",
+    "REPL_TRIM",
+    "ShardPair",
+    "PairStats",
+    "FailoverController",
+    "FailoverEvent",
+    "ShardRouter",
+    "ClusterStats",
+]

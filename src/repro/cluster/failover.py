@@ -1,0 +1,134 @@
+"""Breaker-driven promotion of a shard pair's replica.
+
+The controller is a listener on each pair's :class:`ShareGuard` breaker
+(via the PR 8 ``add_listener`` hook): the moment a shard's media or
+command faults push its breaker open — or the router latches it open
+after a device kill — the pair is marked for promotion.  The router then
+calls :meth:`promote` at the next operation boundary (never from inside
+the breaker transition callback, where the guard's retry loop is still
+on the stack and still holds closures over the old primary).
+
+Promotion sequence (the ``closed -> open -> promote -> re-replicate``
+state machine in docs/resilience.md):
+
+1. Reset the pair's breaker — the new primary is healthy, and the reset
+   re-emits the state gauge (the satellite fix in
+   :meth:`CircuitBreaker.reset`) so the open->closed edge is visible in
+   telemetry with the failover duration accounted in ``GuardStats``.
+2. Replay the replication-log tail past the replica's verified
+   watermark onto the replica, each record through the guard's retry
+   policy — this is where writes that were acked but not yet pumped
+   (the dead shard's in-flight backlog) drain back through retry.
+3. Bump the log epoch, fencing any stale writer from the old regime.
+4. Swap roles.  The old primary (just power-cycled) rejoins as the
+   replica with a fresh applier at watermark 0; normal replication
+   pumping re-replicates the full log onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional
+
+from repro.cluster.replication import LogApplier
+from repro.cluster.shard import ShardPair
+from repro.errors import ShardUnavailableError
+from repro.host.resilience import BREAKER_OPEN
+
+__all__ = ["FailoverController", "FailoverEvent"]
+
+
+class FailoverEvent(NamedTuple):
+    """One completed promotion, for telemetry and the results log."""
+
+    shard: str
+    at_us: int
+    duration_us: int
+    replayed: int
+    epoch: int
+    old_primary: str
+    new_primary: str
+
+
+class FailoverController:
+    """Promotes replicas when breakers open; owns the event history."""
+
+    def __init__(self, clock,
+                 on_promoted: Optional[Callable[[FailoverEvent], None]]
+                 = None) -> None:
+        self.clock = clock
+        self.on_promoted = on_promoted
+        self.events: List[FailoverEvent] = []
+        self._promoting = False
+
+    def attach(self, pair: ShardPair) -> None:
+        """Watch one pair's breaker; an open edge marks it promotable."""
+        def _on_state(state: str) -> None:
+            if state == BREAKER_OPEN:
+                pair.needs_promotion = True
+        pair.guard.add_listener(_on_state)
+
+    def promote(self, pair: ShardPair) -> FailoverEvent:
+        """Make the replica the primary; replay the unreplicated tail."""
+        if self._promoting:
+            raise ShardUnavailableError(
+                f"re-entrant promotion on shard {pair.name!r}")
+        if pair.replica is None:
+            raise ShardUnavailableError(
+                f"shard {pair.name!r} has no replica to promote")
+        self._promoting = True
+        try:
+            start_us = self.clock.now_us
+            new_primary = pair.replica
+            old_primary = pair.primary
+            # The breaker belongs to the pair, not the dead device; the
+            # new primary is healthy, so unlatch before replaying (the
+            # reset also closes out GuardStats' open episode, stamping
+            # the failover latency).
+            pair.guard.breaker.reset()
+            tail = pair.log.records_from(pair.applier.watermark + 1)
+            session = pair.repl_session
+            if session.now_us < self.clock.now_us:
+                session.now_us = self.clock.now_us
+            start_cursor = session.now_us
+            replayed = 0
+            applier = pair.applier
+            for record in tail:
+                def apply_one(record=record):
+                    new_primary._session = session
+                    try:
+                        return applier.apply(new_primary, record)
+                    finally:
+                        new_primary._session = None
+                if pair.guard.call("cluster.replay", apply_one):
+                    replayed += 1
+            epoch = pair.log.bump_epoch()
+            pair.primary = new_primary
+            pair.replica = old_primary
+            # Rejoin: the demoted device re-replicates from scratch via
+            # the normal pump path.  Applying from seq 1 is idempotent
+            # on its media (writes of the same payloads, remaps of the
+            # same pairs) and closes any post-kill gap.
+            pair.applier = LogApplier()
+            pair.primary_down = False
+            pair.needs_promotion = False
+            pair.failovers += 1
+            # Replay I/O advances the replication session's cursor, not
+            # necessarily the global clock — the recovery duration is
+            # whichever moved further.
+            duration = max(self.clock.now_us - start_us,
+                           session.now_us - start_cursor)
+            event = FailoverEvent(
+                shard=pair.name,
+                at_us=self.clock.now_us,
+                duration_us=duration,
+                replayed=replayed,
+                epoch=epoch,
+                old_primary=old_primary.name,
+                new_primary=new_primary.name,
+            )
+            self.events.append(event)
+            if self.on_promoted is not None:
+                self.on_promoted(event)
+            return event
+        finally:
+            self._promoting = False

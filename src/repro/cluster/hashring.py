@@ -1,0 +1,72 @@
+"""Deterministic consistent-hash ring for shard placement.
+
+Keys are hashed with FNV-1a over their ``repr`` — never Python's
+built-in ``hash()``, which is randomized per process for strings and
+would make shard placement (and therefore every crashcheck sweep and
+benchmark) non-reproducible.  Each node contributes ``vnodes`` virtual
+points so load stays balanced even with a handful of shards, and a key
+maps to the first point clockwise from its own hash.
+
+The ring is intentionally static: failover swaps the *roles* inside a
+shard pair (primary <-> replica), it never moves key ownership between
+pairs, so there is no rebalancing path to get wrong during a kill.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing", "fnv1a64"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a — small, fast, and stable across processes."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK
+    return h
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of node names."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node names: {list(nodes)!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes}")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                point = fnv1a64(f"{node}#{replica}".encode("utf-8"))
+                points.append((point, node))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def lookup(self, key) -> str:
+        """Owning node for ``key`` (first ring point clockwise)."""
+        h = fnv1a64(repr(key).encode("utf-8"))
+        index = bisect_right(self._hashes, h)
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def spread(self, keys: Sequence) -> Dict[str, int]:
+        """Key count per node — balance diagnostics for tests/reports."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,261 @@
+"""Front-end router over M shard pairs: the cluster's client API.
+
+The :class:`ShardRouter` consistent-hash-partitions the key space over
+its pairs, forwards each KV operation to the owning pair's primary, and
+handles the tier-level concerns no single shard can: promoting a pair
+whose breaker opened (via the :class:`FailoverController`), re-issuing
+the failed operation on the new primary, degrading cross-shard SHARE to
+read+copy, and consulting the fault plan's cluster set after every ack
+so crashcheck sweeps can kill a shard at any ack boundary.
+
+Ack contract: :meth:`put` / :meth:`share` / :meth:`delete` return only
+once the mutation is durable on the owning primary *and* appended to
+the pair's replication log — the ``no_lost_acked_write`` invariant the
+cluster crashcheck sweep enforces is exactly "anything those methods
+returned for is readable after any single-shard kill + power cycle".
+
+Telemetry (``cluster.*``): op/ack counters, per-shard op-latency
+histograms (p99 per shard), ``repl_lag.<shard>`` and ``epoch.<shard>``
+gauges, failover count and duration, backpressure waits, replayed
+records.  Because crash harnesses run with ``NULL_TELEMETRY``, the
+router also keeps a plain :class:`ClusterStats` the sweeps read
+directly (same pattern as ``GuardStats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.failover import FailoverController, FailoverEvent
+from repro.cluster.hashring import HashRing
+from repro.cluster.shard import ShardPair
+from repro.errors import ResilienceError, ShardUnavailableError
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.sim.faults import NO_FAULTS
+from repro.ssd.ncq import DeviceSession
+
+__all__ = ["ShardRouter", "ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Local counters the router accumulates (readable even when
+    telemetry is the NULL singleton, as in crash harnesses)."""
+
+    ops: int = 0
+    acked_writes: int = 0
+    reads: int = 0
+    kills: int = 0
+    failovers: int = 0
+    failover_duration_us: int = 0
+    replayed_records: int = 0
+    repl_applied: int = 0
+    cross_shard_copies: int = 0
+    last_failover_us: Optional[int] = field(default=None)
+
+
+class ShardRouter:
+    """Consistent-hash router over shard pairs with failover."""
+
+    def __init__(self, pairs: Sequence[ShardPair], clock,
+                 faults=NO_FAULTS, telemetry=None,
+                 vnodes: int = 64) -> None:
+        if not pairs:
+            raise ValueError("router needs at least one shard pair")
+        self.clock = clock
+        self.faults = faults
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.pairs: Dict[str, ShardPair] = {p.name: p for p in pairs}
+        if len(self.pairs) != len(pairs):
+            raise ValueError("duplicate shard pair names")
+        self.ring = HashRing([p.name for p in pairs], vnodes=vnodes)
+        self.stats = ClusterStats()
+        self._session: Optional[DeviceSession] = None
+        metrics = self.telemetry.metrics.scope("cluster")
+        self._m_ops = metrics.counter("ops")
+        self._m_acked = metrics.counter("acked_writes")
+        self._m_reads = metrics.counter("reads")
+        self._m_kills = metrics.counter("shard_kills")
+        self._m_failovers = metrics.counter("failovers")
+        self._m_failover_us = metrics.counter("failover_duration_us")
+        self._m_replayed = metrics.counter("replayed_records")
+        self._m_repl_applied = metrics.counter("repl_applied")
+        self._m_backpressure = metrics.counter("backpressure_waits")
+        self._m_copies = metrics.counter("cross_shard_copies")
+        self._m_latency: Dict[str, object] = {}
+        self._m_lag: Dict[str, object] = {}
+        self._m_epoch: Dict[str, object] = {}
+        for pair in pairs:
+            self._m_latency[pair.name] = metrics.histogram(
+                f"latency_us.{pair.name}")
+            self._m_lag[pair.name] = metrics.gauge(f"repl_lag.{pair.name}")
+            self._m_epoch[pair.name] = metrics.gauge(f"epoch.{pair.name}")
+        self.controller = FailoverController(clock,
+                                             on_promoted=self._on_promoted)
+        for pair in pairs:
+            self.controller.attach(pair)
+
+    # --------------------------------------------------------- sessions
+
+    def use_session(self, session: Optional[DeviceSession]) -> None:
+        """Issue subsequent ops on ``session``'s cursor (None = sync)."""
+        self._session = session
+
+    @property
+    def devices(self) -> List:
+        """Every live device, primaries first (for drain/power-cycle)."""
+        return ([p.primary for p in self.pairs.values()]
+                + [p.replica for p in self.pairs.values()])
+
+    def pair_for(self, key) -> ShardPair:
+        return self.pairs[self.ring.lookup(key)]
+
+    # -------------------------------------------------------- internals
+
+    def _on_promoted(self, event: FailoverEvent) -> None:
+        self.stats.failovers += 1
+        self.stats.failover_duration_us += event.duration_us
+        self.stats.replayed_records += event.replayed
+        self.stats.last_failover_us = event.at_us
+        self._m_failovers.inc()
+        self._m_failover_us.inc(event.duration_us)
+        self._m_replayed.inc(event.replayed)
+        self._m_epoch[event.shard].set(event.epoch)
+
+    def _ensure_primary(self, pair: ShardPair) -> None:
+        if pair.primary_down or pair.needs_promotion:
+            self.controller.promote(pair)
+
+    def _shard_op(self, pair: ShardPair, fn):
+        """Run one pair op with promote-and-retry on resilience failure.
+
+        The first failure may be the breaker tripping (or already open)
+        for a dead primary: promote the replica and re-issue once on
+        the new primary.  A second failure means the shard is genuinely
+        unavailable."""
+        self.stats.ops += 1
+        self._m_ops.inc()
+        self._ensure_primary(pair)
+        start_us = self._session.now_us if self._session is not None \
+            else self.clock.now_us
+        before = pair.backpressure_waits
+        try:
+            result = fn()
+        except ResilienceError as exc:
+            if not (pair.needs_promotion or pair.primary_down):
+                raise ShardUnavailableError(
+                    f"shard {pair.name!r} failed without tripping its "
+                    f"breaker: {exc}") from exc
+            self.controller.promote(pair)
+            result = fn()
+        waits = pair.backpressure_waits - before
+        if waits:
+            self._m_backpressure.inc(waits)
+        end_us = self._session.now_us if self._session is not None \
+            else self.clock.now_us
+        self._m_latency[pair.name].record(max(0, end_us - start_us))
+        return result
+
+    def _ack(self, pair: ShardPair) -> None:
+        """Post-ack bookkeeping + the crashcheck kill hook."""
+        self.stats.acked_writes += 1
+        self._m_acked.inc()
+        self._m_lag[pair.name].set(pair.repl_lag)
+        faults = self.faults
+        if faults.cluster.active:
+            victim = faults.cluster.on_ack(pair.name)
+            if victim is not None:
+                self.kill_shard(victim)
+
+    # ------------------------------------------------------- client API
+
+    def put(self, key, value):
+        pair = self.pair_for(key)
+        record = self._shard_op(
+            pair, lambda: pair.put(key, value, session=self._session))
+        self._ack(pair)
+        return record
+
+    def get(self, key):
+        pair = self.pair_for(key)
+        value = self._shard_op(
+            pair, lambda: pair.get(key, session=self._session))
+        self.stats.reads += 1
+        self._m_reads.inc()
+        return value
+
+    def share(self, dst_key, src_key):
+        """Remap ``dst_key`` onto ``src_key``'s data.
+
+        Same shard: a true SHARE command on that pair's primary.
+        Different shards: the remap cannot cross devices, so degrade to
+        read-on-source + put-on-destination (counted, so reports show
+        how often the hash layout defeats the mapping-only copy)."""
+        src_pair = self.pair_for(src_key)
+        dst_pair = self.pair_for(dst_key)
+        if src_pair is dst_pair:
+            record = self._shard_op(
+                dst_pair,
+                lambda: dst_pair.share(dst_key, src_key,
+                                       session=self._session))
+            self._ack(dst_pair)
+            return record
+        value = self._shard_op(
+            src_pair, lambda: src_pair.get(src_key, session=self._session))
+        self.stats.cross_shard_copies += 1
+        self._m_copies.inc()
+        record = self._shard_op(
+            dst_pair, lambda: dst_pair.put(dst_key, value,
+                                           session=self._session))
+        self._ack(dst_pair)
+        return record
+
+    def delete(self, key):
+        pair = self.pair_for(key)
+        record = self._shard_op(
+            pair, lambda: pair.delete(key, session=self._session))
+        if record is not None:
+            self._ack(pair)
+        return record
+
+    # ------------------------------------------------------ maintenance
+
+    def kill_shard(self, name: str) -> None:
+        """Kill ``name``'s primary: power-cycle the device and latch the
+        pair's breaker open (the health monitor declaring it dead), so
+        the next operation — or :meth:`ensure_healthy` — promotes the
+        replica."""
+        pair = self.pairs[name]
+        pair.primary.power_cycle()
+        pair.primary_down = True
+        self.stats.kills += 1
+        self._m_kills.inc()
+        # force_open -> BREAKER_OPEN transition -> controller listener
+        # marks needs_promotion; promotion happens at an op boundary.
+        pair.guard.breaker.force_open()
+
+    def ensure_healthy(self) -> int:
+        """Promote every pair marked for promotion; returns how many."""
+        promoted = 0
+        for pair in self.pairs.values():
+            if pair.primary_down or pair.needs_promotion:
+                self.controller.promote(pair)
+                promoted += 1
+        return promoted
+
+    def pump_replication(self, limit: Optional[int] = None) -> int:
+        """Apply pending log records on every pair's replica."""
+        applied = 0
+        for pair in self.pairs.values():
+            applied += pair.pump_replication(limit)
+            self._m_lag[pair.name].set(pair.repl_lag)
+        if applied:
+            self.stats.repl_applied += applied
+            self._m_repl_applied.inc(applied)
+        return applied
+
+    def drain(self) -> None:
+        """Complete all in-flight work on every device."""
+        for device in self.devices:
+            device.drain()

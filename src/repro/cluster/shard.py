@@ -1,0 +1,243 @@
+"""One shard of the cluster: a primary/replica device pair.
+
+A :class:`ShardPair` owns two event-driven :class:`~repro.ssd.device.Ssd`
+devices plus the host-side state that makes them one shard: the
+key->LPN directory (the tier's metadata service — it survives device
+kills), an LPN allocator over the primary's logical space, the pair's
+:class:`~repro.cluster.replication.ReplicationLog`, the replica-side
+:class:`~repro.cluster.replication.LogApplier`, and a
+:class:`~repro.host.resilience.ShareGuard` wrapping every primary
+command in the PR 4 retry/breaker policy.
+
+Write path: reserve an LPN, write the primary through the guard, commit
+the directory entry, append the mutation to the replication log — *then*
+ack.  The replica lags behind on purpose; :meth:`pump_replication`
+applies the backlog in batches on a dedicated replication session so
+background applies never advance foreground client cursors.
+
+Backpressure: before each command the pair bounds the primary's
+in-flight queue at ``queue_limit`` tickets, blocking (advancing virtual
+time to the next completion) until a slot frees up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.cluster.replication import (REPL_SHARE, REPL_TRIM, REPL_WRITE,
+                                       LogApplier, ReplicationLog)
+from repro.errors import ClusterError, ShareError
+from repro.host.resilience import CircuitBreaker, RetryPolicy, ShareGuard
+from repro.ssd.ncq import DeviceSession
+
+__all__ = ["ShardPair", "PairStats"]
+
+#: Session id reserved for the replication apply loop (never a client).
+REPL_CLIENT = -1
+
+
+class PairStats(NamedTuple):
+    """Snapshot of one pair's counters (for reports and tests)."""
+
+    writes: int
+    reads: int
+    shares: int
+    deletes: int
+    share_fallbacks: int
+    backpressure_waits: int
+    failovers: int
+    repl_lag: int
+    epoch: int
+
+
+class ShardPair:
+    """Primary + replica devices serving one consistent-hash shard."""
+
+    def __init__(self, name: str, primary, replica,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 queue_limit: Optional[int] = 8) -> None:
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1: {queue_limit}")
+        self.name = name
+        self.primary = primary
+        self.replica = replica
+        self.queue_limit = queue_limit
+        self.log = ReplicationLog()
+        self.applier = LogApplier()
+        self.directory: Dict[Any, int] = {}
+        self.capacity = min(primary.logical_pages, replica.logical_pages)
+        self._next_lpn = 0
+        self._free_lpns: List[int] = []
+        self.guard = ShareGuard(primary, engine=f"shard.{name}",
+                                policy=policy, breaker=breaker)
+        self.repl_session = DeviceSession(client=REPL_CLIENT)
+        # Role/health flags the router and failover controller maintain.
+        self.primary_down = False
+        self.needs_promotion = False
+        self.failovers = 0
+        # Plain counters (readable under NULL_TELEMETRY).
+        self.writes = 0
+        self.reads = 0
+        self.shares = 0
+        self.deletes = 0
+        self.share_fallbacks = 0
+        self.backpressure_waits = 0
+
+    # ---------------------------------------------------------- metadata
+
+    @property
+    def repl_lag(self) -> int:
+        """Records acked by the primary but not yet on the replica."""
+        return self.log.tip - self.applier.watermark
+
+    def stats(self) -> PairStats:
+        return PairStats(self.writes, self.reads, self.shares, self.deletes,
+                         self.share_fallbacks, self.backpressure_waits,
+                         self.failovers, self.repl_lag, self.log.epoch)
+
+    def _reserve_lpn(self, key):
+        """Pick an LPN for ``key`` without committing it yet."""
+        lpn = self.directory.get(key)
+        if lpn is not None:
+            return lpn, False
+        if self._free_lpns:
+            return self._free_lpns[-1], True
+        if self._next_lpn >= self.capacity:
+            raise ClusterError(
+                f"shard {self.name!r} is full ({self.capacity} keys)")
+        return self._next_lpn, True
+
+    def _commit_lpn(self, key, lpn: int, fresh: bool) -> None:
+        """Commit a reservation once the device write succeeded."""
+        if not fresh:
+            return
+        if self._free_lpns and self._free_lpns[-1] == lpn:
+            self._free_lpns.pop()
+        else:
+            self._next_lpn += 1
+        self.directory[key] = lpn
+
+    # ------------------------------------------------------- client ops
+
+    def _backpressure(self, ssd) -> None:
+        limit = self.queue_limit
+        if limit is None:
+            return
+        inflight = ssd._inflight
+        while len(inflight) >= limit:
+            self.backpressure_waits += 1
+            ssd.events.run_until(inflight[0][0])
+
+    def _guarded(self, label: str, ssd, session, fn):
+        """Run a device op through the guard with a session attached."""
+        def attempt():
+            if session is not None:
+                ssd._session = session
+            try:
+                return fn()
+            finally:
+                if session is not None:
+                    ssd._session = None
+        return self.guard.call(label, attempt)
+
+    def put(self, key, value, session: Optional[DeviceSession] = None):
+        """Durably write ``key`` and append the replication record.
+
+        Returns the appended :class:`ReplRecord`; its return *is* the
+        ack — the write is on the primary's media and in the durable
+        log, so a single-device kill at any later instant cannot lose
+        it."""
+        ssd = self.primary
+        self._backpressure(ssd)
+        lpn, fresh = self._reserve_lpn(key)
+        self._guarded("cluster.put", ssd, session,
+                      lambda: ssd.write(lpn, value))
+        self._commit_lpn(key, lpn, fresh)
+        self.writes += 1
+        return self.log.append(REPL_WRITE, key, lpn, value)
+
+    def get(self, key, session: Optional[DeviceSession] = None):
+        """Read ``key`` from the primary (None when absent)."""
+        lpn = self.directory.get(key)
+        if lpn is None:
+            return None
+        ssd = self.primary
+        self._backpressure(ssd)
+        value = self._guarded("cluster.get", ssd, session,
+                              lambda: ssd.read(lpn))
+        self.reads += 1
+        return value
+
+    def share(self, dst_key, src_key,
+              session: Optional[DeviceSession] = None):
+        """SHARE-remap ``dst_key`` onto ``src_key``'s physical page.
+
+        The mapping-only copy from the paper, lifted to the KV tier.
+        Degrades to read+write when the primary's reverse map refuses
+        the remap; either way the replication record carries the source
+        payload so the replica can make the same choice independently.
+        Returns the appended record."""
+        src_lpn = self.directory.get(src_key)
+        if src_lpn is None:
+            raise ClusterError(
+                f"share source {src_key!r} not present on shard "
+                f"{self.name!r}")
+        ssd = self.primary
+        self._backpressure(ssd)
+        value = self._guarded("cluster.share.read", ssd, session,
+                              lambda: ssd.read(src_lpn))
+        lpn, fresh = self._reserve_lpn(dst_key)
+
+        def do_share():
+            try:
+                ssd.share(lpn, src_lpn)
+            except ShareError:
+                self.share_fallbacks += 1
+                ssd.write(lpn, value)
+        self._guarded("cluster.share", ssd, session, do_share)
+        self._commit_lpn(dst_key, lpn, fresh)
+        self.shares += 1
+        return self.log.append(REPL_SHARE, dst_key, lpn, value,
+                               src_lpn=src_lpn)
+
+    def delete(self, key, session: Optional[DeviceSession] = None):
+        """Trim ``key``; returns the record, or None when absent."""
+        lpn = self.directory.get(key)
+        if lpn is None:
+            return None
+        ssd = self.primary
+        self._backpressure(ssd)
+        self._guarded("cluster.delete", ssd, session,
+                      lambda: ssd.trim(lpn))
+        del self.directory[key]
+        self._free_lpns.append(lpn)
+        self.deletes += 1
+        return self.log.append(REPL_TRIM, key, lpn)
+
+    # ------------------------------------------------------- replication
+
+    def pump_replication(self, limit: Optional[int] = None) -> int:
+        """Apply up to ``limit`` pending log records to the replica.
+
+        Runs on the pair's dedicated replication session so the apply
+        I/O queues behind the replica's other work without dragging any
+        client cursor forward.  Returns the number of records applied."""
+        pending = self.log.records_from(self.applier.watermark + 1)
+        if limit is not None:
+            pending = pending[:limit]
+        if not pending:
+            return 0
+        replica = self.replica
+        session = self.repl_session
+        if session.now_us < replica.clock.now_us:
+            session.now_us = replica.clock.now_us
+        applied = 0
+        replica._session = session
+        try:
+            for record in pending:
+                if self.applier.apply(replica, record):
+                    applied += 1
+        finally:
+            replica._session = None
+        return applied

@@ -22,10 +22,17 @@ Entry points:
 * :func:`repro.crashcheck.explorer.enumerate_occurrences` — one traced run.
 * :func:`repro.crashcheck.explorer.explore` — the full power sweep.
 * :func:`repro.crashcheck.mediafaults.explore_media` — the media sweep.
+* :func:`repro.crashcheck.cluster.explore_cluster` — the sharded-tier
+  kill sweep (``no_lost_acked_write`` at every ack boundary).
 * ``python -m repro.tools.crashexplore`` — the CLI (``--media-faults``
-  selects the media sweep).
+  selects the media sweep, ``--cluster`` the shard-kill sweep).
 """
 
+from repro.crashcheck.cluster import (ClusterHarness, ClusterOccurrence,
+                                      ClusterReport, ClusterResult,
+                                      enumerate_acked_writes,
+                                      explore_cluster,
+                                      explore_cluster_occurrence)
 from repro.crashcheck.explorer import (ExplorationReport, Occurrence,
                                        PointResult, enumerate_occurrences,
                                        explore, explore_occurrence)
@@ -56,4 +63,11 @@ __all__ = [
     "explore_media_occurrence",
     "WORKLOADS",
     "DeviceState",
+    "ClusterHarness",
+    "ClusterOccurrence",
+    "ClusterReport",
+    "ClusterResult",
+    "enumerate_acked_writes",
+    "explore_cluster",
+    "explore_cluster_occurrence",
 ]

@@ -1,0 +1,308 @@
+"""Cluster crash explorer: single-shard kills at every ack boundary.
+
+The power explorer kills the whole world mid-operation; this sweep
+kills exactly one shard's primary device — power-cycle plus a latched
+breaker — *after* an acknowledged write, at every ack boundary of a
+deterministic linkbench-small KV run over three shard pairs.  The tier
+must carry the run through breaker-driven failover and still satisfy
+``no_lost_acked_write``: every write the router acked before, at, or
+after the kill reads back as its acknowledged value once the dust
+settles and every device has been power-cycled.
+
+Same two-phase shape as the other sweeps:
+
+1. **Enumeration** — fresh plan with cluster-ack counting enabled, one
+   fault-free run.  Yields the number of acked writes N.
+2. **Injection** — for each boundary ``nth`` in 1..N, a fresh harness
+   on a fresh plan arms ``ShardKill(nth=nth)``, runs to completion
+   (failover happens inline — the run never aborts), recovers, and
+   checks the engine-level contract plus the media invariants on all
+   six devices.
+
+Because the harness issues ops from one synchronous client, an ack
+boundary has nothing in flight: zero violations is the expected result,
+and any nonzero count is a real bug in replication, promotion replay,
+or epoch fencing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.cluster import ShardPair, ShardRouter
+from repro.crashcheck.explorer import sample_evenly
+from repro.crashcheck.invariants import check_media
+from repro.crashcheck.workloads import DeviceState, _small_ssd
+from repro.errors import ReproError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+from repro.sim.faults import NO_FAULTS, FaultPlan, ShardKill
+
+__all__ = [
+    "ClusterHarness",
+    "ClusterOccurrence",
+    "ClusterResult",
+    "ClusterReport",
+    "enumerate_acked_writes",
+    "explore_cluster_occurrence",
+    "explore_cluster",
+]
+
+#: Shard pairs in the verification tier (>= 3 per the acceptance bar).
+CLUSTER_SHARDS = 3
+
+#: Workload steps; roughly two thirds ack a write, so the full sweep
+#: explores on the order of a hundred kill sites.
+CLUSTER_STEPS = 150
+
+#: Distinct node keys the run churns over.
+CLUSTER_NODES = 30
+
+#: Replication is pumped every this many steps (the replica lag a kill
+#: must be able to replay through).
+PUMP_EVERY = 12
+
+
+class ClusterHarness:
+    """Three shard pairs under a deterministic linkbench-small KV mix.
+
+    Node-update heavy with gets, SHARE snapshots, and deletes — the
+    LinkBench shape reduced to the router's KV verbs.  The oracle maps
+    every key ever touched to its last *acknowledged* value (``None``
+    after delete); ``check_engine`` replays it through the router after
+    recovery."""
+
+    name = "cluster-small"
+
+    def __init__(self, faults: FaultPlan) -> None:
+        self.faults = faults
+        self.clock = SimClock()
+        self.events = EventScheduler(self.clock)
+        pairs = []
+        for index in range(CLUSTER_SHARDS):
+            primary = self._device(f"s{index}p")
+            replica = self._device(f"s{index}r")
+            pairs.append(ShardPair(f"shard{index}", primary, replica))
+        self.pairs = pairs
+        # Devices run fault-free (the kill is a router-level event, not
+        # a media fault); only the router consults the sweep's plan.
+        self.router = ShardRouter(pairs, self.clock, faults=faults)
+        self.durable: Dict[object, object] = {}
+        self.crashed = False
+
+    def _device(self, name: str):
+        # All six devices on one scheduler — completions interleave in
+        # global time exactly as they would on one host.
+        return _small_ssd(NO_FAULTS, self.clock, block_count=24,
+                          pages_per_block=8, overprovision=0.25,
+                          share_entries=32, name=name, events=self.events)
+
+    def run(self) -> None:
+        rng = random.Random(0xC10C)
+        router = self.router
+        durable = self.durable
+        for step in range(CLUSTER_STEPS):
+            node = rng.randrange(CLUSTER_NODES)
+            key = ("node", node)
+            draw = rng.random()
+            if draw < 0.50:
+                value = ("v", node, step)
+                router.put(key, value)
+                durable[key] = value
+            elif draw < 0.64:
+                router.get(key)
+            elif draw < 0.76 and durable.get(key) is not None:
+                snap = ("snap", node)
+                router.share(snap, key)
+                durable[snap] = durable[key]
+            elif draw < 0.86:
+                if router.delete(key) is not None:
+                    durable[key] = None
+            else:
+                router.get(("snap", node))
+            if (step + 1) % PUMP_EVERY == 0:
+                router.pump_replication()
+        router.pump_replication()
+        router.drain()
+
+    def recover(self) -> List[DeviceState]:
+        """Finish any pending failover, catch replication up, then
+        power-cycle every device and recover from media."""
+        router = self.router
+        router.ensure_healthy()
+        router.pump_replication()
+        router.drain()
+        states = []
+        for pair in self.pairs:
+            for ssd in (pair.primary, pair.replica):
+                ssd.power_cycle()
+                states.append(DeviceState(ssd.name, ssd, 4))
+        return states
+
+    def check_engine(self) -> List[str]:
+        violations: List[str] = []
+        router = self.router
+        for key in sorted(self.durable, key=repr):
+            expected = self.durable[key]
+            try:
+                actual = router.get(key)
+            except ReproError as exc:
+                violations.append(
+                    f"no_lost_acked_write: key {key!r} unreadable after "
+                    f"recovery: {type(exc).__name__}: {exc}")
+                continue
+            if repr(actual) != repr(expected):
+                violations.append(
+                    f"no_lost_acked_write: key {key!r} reads {actual!r}, "
+                    f"acked value was {expected!r}")
+        for pair in self.pairs:
+            if pair.applier.watermark > pair.log.tip:
+                violations.append(
+                    f"cluster: shard {pair.name!r} watermark "
+                    f"{pair.applier.watermark} past log tip {pair.log.tip}")
+        kills = self.faults.cluster.fired_faults()
+        if kills and self.router.stats.failovers == 0:
+            violations.append(
+                f"cluster: shard kill fired ({kills[0]!r}) but no "
+                f"promotion was recorded")
+        return violations
+
+    def guards(self):
+        return [pair.guard for pair in self.pairs]
+
+
+class ClusterOccurrence(NamedTuple):
+    """One injection: kill the acking shard after acked write ``nth``."""
+
+    nth: int
+
+
+class ClusterResult(NamedTuple):
+    """Verdict for one injected shard kill."""
+
+    nth: int
+    fired: bool
+    victim: Optional[str]
+    failovers: int
+    replayed: int
+    repl_applied: int
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "clustercheck",
+            "workload": workload,
+            "nth": self.nth,
+            "fired": self.fired,
+            "victim": self.victim,
+            "failovers": self.failovers,
+            "replayed": self.replayed,
+            "repl_applied": self.repl_applied,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+class ClusterReport(NamedTuple):
+    """Aggregate of one cluster kill sweep."""
+
+    workload: str
+    acked_writes: int
+    occurrences: Tuple[ClusterOccurrence, ...]
+    results: Tuple[ClusterResult, ...]
+
+    @property
+    def failures(self) -> List[ClusterResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "clustercheck-summary",
+            "workload": self.workload,
+            "acked_writes": self.acked_writes,
+            "occurrences": len(self.occurrences),
+            "explored": len(self.results),
+            "fired": sum(1 for res in self.results if res.fired),
+            "failovers": sum(res.failovers for res in self.results),
+            "replayed": sum(res.replayed for res in self.results),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def enumerate_acked_writes(
+        factory: Callable[[FaultPlan], object] = ClusterHarness) -> int:
+    """Phase 1: one counted, fault-free run.  Returns the number of
+    acknowledged writes — each is a kill site."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.cluster.enable_counting()
+    harness.run()
+    return faults.cluster.acked_writes
+
+
+def explore_cluster_occurrence(
+        factory: Callable[[FaultPlan], object],
+        occurrence: ClusterOccurrence) -> ClusterResult:
+    """Phase 2: one kill at one ack boundary, on a fresh harness."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.arm_cluster(ShardKill(nth=occurrence.nth))
+    harness.run()
+    fired = faults.cluster.fired_faults()
+    victim = fired[0].victim if fired else None
+    faults.disarm_cluster()
+    devices = harness.recover()
+    violations: List[str] = []
+    for state in devices:
+        violations.extend(check_media(state.name, state.ssd,
+                                      max_refs=state.max_refs))
+    violations.extend(harness.check_engine())
+    stats = harness.router.stats
+    return ClusterResult(occurrence.nth, bool(fired), victim,
+                         stats.failovers, stats.replayed_records,
+                         stats.repl_applied, tuple(violations))
+
+
+def explore_cluster(
+        factory: Callable[[FaultPlan], object] = ClusterHarness,
+        workload: str = ClusterHarness.name,
+        occurrences: Optional[List[ClusterOccurrence]] = None,
+        max_points: Optional[int] = None,
+        sink=None,
+        progress: Optional[Callable[[int, int, ClusterResult], None]] = None
+) -> ClusterReport:
+    """The full sweep: enumerate ack boundaries, kill at each one.
+
+    ``max_points`` strides evenly across the boundary list (never
+    truncates), so CI smoke runs keep early/middle/late coverage."""
+    acked = enumerate_acked_writes(factory)
+    if occurrences is None:
+        occurrences = [ClusterOccurrence(nth)
+                       for nth in range(1, acked + 1)]
+    explored = occurrences
+    if max_points is not None:
+        explored = sample_evenly(occurrences, max_points)
+    results: List[ClusterResult] = []
+    for index, occurrence in enumerate(explored):
+        result = explore_cluster_occurrence(factory, occurrence)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(explored), result)
+    report = ClusterReport(workload, acked, tuple(occurrences),
+                           tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report

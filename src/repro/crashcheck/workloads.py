@@ -90,7 +90,8 @@ def _small_ssd(faults: FaultPlan, clock: SimClock,
                overprovision: float = 0.2, map_blocks: int = 4,
                share_entries: int = 64, gc_low_water: int = 3,
                gc_high_water: int = 6, spare_blocks: int = 0,
-               queue_depth: int = 1, channel_count: int = 1) -> Ssd:
+               queue_depth: int = 1, channel_count: int = 1,
+               name: str = "ssd", events=None) -> Ssd:
     geometry = FlashGeometry(page_size=4096, pages_per_block=pages_per_block,
                              block_count=block_count,
                              overprovision_ratio=overprovision,
@@ -102,7 +103,7 @@ def _small_ssd(faults: FaultPlan, clock: SimClock,
                                      gc_high_water=gc_high_water,
                                      spare_block_count=spare_blocks),
                        queue_depth=queue_depth)
-    return Ssd(clock, config, faults=faults)
+    return Ssd(clock, config, faults=faults, name=name, events=events)
 
 
 # --------------------------------------------------------------- ftl-basic

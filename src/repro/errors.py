@@ -58,6 +58,9 @@ __all__ = [
     "EngineError",
     "TornPageError",
     "RecoveryError",
+    "ClusterError",
+    "StaleEpochError",
+    "ShardUnavailableError",
 ]
 
 
@@ -243,3 +246,22 @@ class TornPageError(EngineError):
 
 class RecoveryError(EngineError):
     """Raised when crash recovery cannot restore a consistent state."""
+
+
+class ClusterError(ReproError):
+    """Base class for sharded-tier failures (router, replication,
+    failover)."""
+
+
+class StaleEpochError(ClusterError):
+    """A replication record from a superseded epoch was offered to the
+    log or to a replica applier.
+
+    Each promotion bumps the shard pair's epoch; a demoted primary (or a
+    lagging applier holding pre-failover records) is fenced by this
+    error so stale remaps are never replayed over post-failover state."""
+
+
+class ShardUnavailableError(ClusterError):
+    """The shard that owns a key has no healthy primary and promotion
+    could not produce one (e.g. both devices of the pair are down)."""

@@ -200,10 +200,20 @@ class CircuitBreaker:
         self._transition(BREAKER_OPEN)
 
     def reset(self) -> None:
-        """Unlatch and close the breaker."""
+        """Unlatch and close the breaker.
+
+        Always announces CLOSED through ``on_transition``, even when the
+        breaker was already closed — a promoted or recovered shard must
+        re-emit its state gauge, not report a stale value — and clears
+        half-open probe accounting so a later trip starts clean."""
         self._latched = False
         self._consecutive_failures = 0
-        self._transition(BREAKER_CLOSED)
+        self._probes_left = 0
+        self._opened_at = None
+        if self.state != BREAKER_CLOSED:
+            self._transition(BREAKER_CLOSED)
+        elif self.on_transition is not None:
+            self.on_transition(BREAKER_CLOSED)
 
 
 @dataclass
@@ -219,6 +229,13 @@ class GuardStats:
     deadline_exceeded: int = 0
     fallbacks: int = 0
     backoff_us: int = field(default=0)
+    #: Virtual time the breaker last entered an open episode (None until
+    #: the first trip).  An episode spans open -> half-open -> open
+    #: flapping; re-opens do not restart it.
+    last_open_us: Optional[int] = None
+    #: Total virtual time spent in open episodes that have since closed
+    #: — failover latency is readable here without parsing span traces.
+    open_duration_us: int = 0
 
 
 class ShareGuard:
@@ -252,11 +269,22 @@ class ShareGuard:
         if breaker is None:
             breaker = CircuitBreaker(ssd.clock)
         self.breaker = breaker
+        self._open_since: Optional[int] = None
         previous = breaker.on_transition
         def _observe(state: str, _prev=previous) -> None:
             self._m_state.set(_STATE_GAUGE[state])
             if state == BREAKER_OPEN:
                 self._m_trips.inc()
+                if self._open_since is None:
+                    # Episode start; half-open flaps back to open do not
+                    # restart the clock, so open_duration_us measures
+                    # trip-to-recovery, i.e. failover latency.
+                    self._open_since = self.clock.now_us
+                    self.stats.last_open_us = self._open_since
+            elif state == BREAKER_CLOSED and self._open_since is not None:
+                self.stats.open_duration_us += (self.clock.now_us
+                                                - self._open_since)
+                self._open_since = None
             if _prev is not None:
                 _prev(state)
         breaker.on_transition = _observe
@@ -335,6 +363,19 @@ class ShareGuard:
         """Count one degradation to the engine's classic two-phase path."""
         self.stats.fallbacks += 1
         self._m_fallbacks.inc()
+
+    def add_listener(self, listener: Callable[[str], None]) -> None:
+        """Chain another breaker-state observer after the guard's own.
+
+        The cluster failover controller registers its promotion trigger
+        here, so a breaker trip marks the shard for promotion without
+        the guard knowing anything about the tier above it."""
+        previous = self.breaker.on_transition
+        def _chained(state: str, _prev=previous) -> None:
+            if _prev is not None:
+                _prev(state)
+            listener(state)
+        self.breaker.on_transition = _chained
 
     # ------------------------------------------------ ioctl replacements
 

@@ -613,6 +613,89 @@ class CommandFaultSet:
         return delay_us
 
 
+class ShardKill:
+    """Kill one shard's primary device after the nth acknowledged
+    cluster write.
+
+    ``nth`` is 1-based and counts acknowledged writes across the whole
+    cluster — the shard router consults the fault set once per ack, so
+    arming ``ShardKill(nth=i)`` for every ``i`` sweeps a single-device
+    kill across every ack boundary of a run.  ``shard`` pins a victim by
+    name; by default the shard that acknowledged the nth write is killed
+    (the interesting case — it holds the just-acked data).  One-shot:
+    the fault fires at most once and records its victim.
+    """
+
+    def __init__(self, nth: int = 1, shard: Optional[str] = None) -> None:
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1: {nth}")
+        self.nth = nth
+        self.shard = shard
+        self.fired = False
+        self.victim: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"ShardKill(nth={self.nth}, shard={self.shard!r})"
+
+
+class ClusterFaultSet:
+    """The armed cluster-tier faults of one :class:`FaultPlan`.
+
+    The shard router calls :meth:`on_ack` after every acknowledged
+    write, but only while :attr:`active` is true — the disarmed common
+    case costs one attribute check per ack.  Acks are counted (from
+    arming or :meth:`enable_counting`) so crashcheck sweeps can
+    enumerate every ack boundary of a deterministic run and target each
+    one in turn.
+    """
+
+    def __init__(self) -> None:
+        self._kills: List[ShardKill] = []
+        self._counting = False
+        self.acked_writes = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._kills) or self._counting
+
+    def arm(self, fault: ShardKill) -> None:
+        if not isinstance(fault, ShardKill):
+            raise TypeError(f"not a cluster fault: {fault!r}")
+        self._kills.append(fault)
+
+    def disarm(self) -> None:
+        self._kills = []
+
+    def enable_counting(self) -> None:
+        """Count acks even with no fault armed (enumeration runs)."""
+        self._counting = True
+
+    def armed(self) -> List[ShardKill]:
+        return list(self._kills)
+
+    def fired_faults(self) -> List[ShardKill]:
+        return [fault for fault in self._kills if fault.fired]
+
+    # --------------------------------------------------------- router hook
+
+    def on_ack(self, shard: str) -> Optional[str]:
+        """Count one acknowledged write on ``shard``.
+
+        Returns the name of the shard to kill when an armed fault's fuse
+        burns down, else ``None``.  The router performs the kill (power
+        cycle + breaker latch) so the run continues through failover
+        rather than aborting."""
+        count = self.acked_writes + 1
+        self.acked_writes = count
+        for fault in self._kills:
+            if fault.fired or count != fault.nth:
+                continue
+            fault.fired = True
+            fault.victim = fault.shard or shard
+            return fault.victim
+        return None
+
+
 class FaultPlan:
     """Collects armed faults and fires them at matching checkpoints.
 
@@ -654,6 +737,9 @@ class FaultPlan:
         # Armed command faults; the SSD facade consults this on every
         # host-visible command (same one-attribute-check fast path).
         self.commands = CommandFaultSet()
+        # Armed cluster faults; the shard router consults this once per
+        # acknowledged write (same one-attribute-check fast path).
+        self.cluster = ClusterFaultSet()
 
     def arm(self, fault: PowerFailAfter) -> None:
         """Arm a power failure at ``fault.point``.
@@ -695,6 +781,14 @@ class FaultPlan:
     def disarm_commands(self) -> None:
         """Drop every armed command fault."""
         self.commands.disarm()
+
+    def arm_cluster(self, fault: ShardKill) -> None:
+        """Arm a cluster-tier fault (see :class:`ClusterFaultSet`)."""
+        self.cluster.arm(fault)
+
+    def disarm_cluster(self) -> None:
+        """Drop every armed cluster fault."""
+        self.cluster.disarm()
 
     def enable_trace(self) -> None:
         self._trace_enabled = True

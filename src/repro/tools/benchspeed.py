@@ -20,11 +20,17 @@ output (or ``--baseline`` names one), the total gate wall time is
 compared and the process exits 3 on a regression beyond
 ``--threshold`` (default 20 %) — the CI hook.
 
+``--cluster`` runs a separate, informational matrix instead: the
+sharded-tier LinkBench cell healthy and again through a mid-run shard
+kill (breaker-driven failover, tail replay), with the router's failover
+stats in a ``cluster`` section and no baseline gate.
+
 Usage::
 
     PYTHONPATH=src python -m repro.tools.benchspeed \\
         --out results/BENCH_pr6.json --trace-out results/trace.json
     REPRO_BENCH_SCALE=tiny python -m repro.tools.benchspeed --out /tmp/b.json
+    python -m repro.tools.benchspeed --cluster --out results/BENCH_cluster.json
 """
 
 from __future__ import annotations
@@ -40,14 +46,17 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.experiments import LINKBENCH_CLIENTS, _estimate_db_pages
 from repro.bench.harness import (SCALES, Scale, buffer_pages_for,
-                                 build_couch_stack, build_innodb_stack)
+                                 build_cluster_stack, build_couch_stack,
+                                 build_innodb_stack)
 from repro.couchstore.engine import CommitMode
 from repro.innodb.engine import FlushMode
 from repro.obs import (DEFAULT_SAMPLE_EVERY, PhaseProfiler, Telemetry,
                        chrome_trace, export_chrome_trace, run_with_cprofile)
 from repro.obs.sinks import MemorySink
+from repro.sim.faults import FaultPlan, ShardKill
 from repro.tools.microbench import run_microbench
-from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDriver
+from repro.workloads.linkbench import (ClusterLinkBenchDriver,
+                                       LinkBenchConfig, LinkBenchDriver)
 from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbWorkload
 
 SCHEMA_VERSION = 1
@@ -61,6 +70,8 @@ YCSB_BATCH = 16
 #: when a deeper timeline is wanted).
 TRACE_CAPACITY = 1024
 TRACE_SPAN_LIMIT = 2048
+CLUSTER_SHARDS = 3
+CLUSTER_CLIENTS = 4
 MICRO_PATTERNS = ("seqwrite", "randwrite", "randread", "share")
 MICRO_OPS = {Scale.TINY: 2_000, Scale.QUICK: 10_000, Scale.FULL: 30_000}
 _BASELINE_RE = re.compile(r"^BENCH_pr(\d+)\.json$")
@@ -157,6 +168,108 @@ def run_ycsb_cell(scale: Scale, workload: YcsbWorkload,
     events_fired = stack.ssd.events.fired - fired_before
     return _bench_record(name, result.operations, wall_s,
                          result.throughput_ops, events_fired)
+
+
+def run_cluster_cell(scale: Scale, name: str,
+                     kill: bool = False) -> Tuple[Dict[str, Any], Any]:
+    """One sharded-tier LinkBench run over ``CLUSTER_SHARDS`` replicated
+    pairs, telemetry off.  With ``kill=True`` a :class:`ShardKill` is
+    armed after warm-up so one primary dies about a third of the way
+    into the measured run and the cell times the run *through* the
+    breaker-driven failover (promotion, tail replay, re-replication).
+    Returns ``(record, stack)`` — the stack so the caller can read the
+    router's failover stats."""
+    params = SCALES[scale]
+    nodes = max(300, params.linkbench_nodes // 4)
+    operations = max(500, params.linkbench_transactions // 2)
+    faults = FaultPlan() if kill else None
+    stack = build_cluster_stack(shards=CLUSTER_SHARDS,
+                                keys_estimate=nodes * 6,
+                                queue_depth=QUEUE_DEPTH,
+                                channel_count=CHANNEL_COUNT,
+                                faults=faults)
+    driver = ClusterLinkBenchDriver(stack.router, stack.clock,
+                                    LinkBenchConfig(node_count=nodes,
+                                                    links_per_node=2))
+    driver.load()
+    driver.run(max(200, operations // 8), concurrency=CLUSTER_CLIENTS)
+    for device in stack.router.devices:
+        device.reset_measurement()
+    if kill:
+        # Ack counting starts when the plan arms, so nth is relative to
+        # the measured run; a third of the way in leaves replication lag
+        # for the promotion to replay (pumps are every 16 driver ops).
+        faults.arm_cluster(ShardKill(nth=max(8, operations // 3)))
+    fired_before = stack.events.fired
+    wall_start = perf_counter()
+    result = driver.run(operations, concurrency=CLUSTER_CLIENTS)
+    wall_s = perf_counter() - wall_start
+    events_fired = stack.events.fired - fired_before
+    return _bench_record(name, result.transactions, wall_s,
+                         result.throughput_tps, events_fired), stack
+
+
+def run_cluster_matrix(scale: Scale) -> Dict[str, Any]:
+    """The ``--cluster`` document: a healthy cell and a failover cell.
+
+    Informational (no BENCH_pr baseline gate): the cluster tier is a
+    robustness fixture, and the failover cell's wall time depends on
+    where the kill lands relative to replication pumps."""
+    benchmarks: List[Dict[str, Any]] = []
+
+    warm_record, __ = run_cluster_cell(Scale.TINY, "warmup.discarded")
+    print(f"  warmup (discarded): {warm_record['wall_s']:.3f}s wall")
+
+    healthy_record, healthy_stack = run_cluster_cell(
+        scale, "cluster.linkbench.off")
+    benchmarks.append(healthy_record)
+    print(f"  {healthy_record['name']}: {healthy_record['wall_s']:.3f}s "
+          f"wall, {healthy_record['events_per_s']:,.0f} events/s")
+
+    failover_record, failover_stack = run_cluster_cell(
+        scale, "cluster.failover", kill=True)
+    benchmarks.append(failover_record)
+    stats = failover_stack.router.stats
+    print(f"  {failover_record['name']}: "
+          f"{failover_record['wall_s']:.3f}s wall, "
+          f"{stats.failovers} failover(s), "
+          f"{stats.replayed_records} record(s) replayed")
+
+    cluster_section = {
+        "shards": CLUSTER_SHARDS,
+        "clients": CLUSTER_CLIENTS,
+        "healthy": {
+            "acked_writes": healthy_stack.router.stats.acked_writes,
+            "repl_applied": healthy_stack.router.stats.repl_applied,
+            "backpressure_waits": sum(pair.backpressure_waits
+                                      for pair in healthy_stack.pairs),
+            "cross_shard_copies":
+                healthy_stack.router.stats.cross_shard_copies,
+        },
+        "failover": {
+            "kills": stats.kills,
+            "failovers": stats.failovers,
+            "failover_duration_us": stats.failover_duration_us,
+            "replayed_records": stats.replayed_records,
+            "repl_applied": stats.repl_applied,
+            "acked_writes": stats.acked_writes,
+            "epochs": {pair.name: pair.log.epoch
+                       for pair in failover_stack.pairs},
+        },
+    }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "repro.tools.benchspeed --cluster",
+        "scale": scale.value,
+        "warmup": {"cell": "cluster tiny x1 (discarded)",
+                   "wall_s": warm_record["wall_s"]},
+        "python": platform.python_version(),
+        "total_wall_s": sum(b["wall_s"] for b in benchmarks),
+        "peak_rss_mib": round(peak_rss_mib(), 1),
+        "benchmarks": benchmarks,
+        "cluster": cluster_section,
+    }
 
 
 # --------------------------------------------------------------------------
@@ -360,9 +473,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", choices=[s.value for s in Scale],
                         default=None,
                         help="override REPRO_BENCH_SCALE")
+    parser.add_argument("--cluster", action="store_true",
+                        help="run the sharded-tier matrix instead "
+                             "(healthy + failover cells); informational, "
+                             "never gated against BENCH_pr baselines")
     args = parser.parse_args(argv)
 
     scale = Scale(args.scale) if args.scale else bench_scale()
+    if args.cluster:
+        print(f"benchspeed: scale={scale.value} (cluster matrix)")
+        document = run_cluster_matrix(scale)
+        document["gate"] = {
+            "baseline": None,
+            "threshold": args.threshold,
+            "ok": True,
+            "notes": ["cluster matrix is informational; no per-PR "
+                      "baseline gate"],
+        }
+        print(f"  total cluster wall: {document['total_wall_s']:.3f}s, "
+              f"peak RSS {document['peak_rss_mib']:.1f} MiB")
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+        return 0
+
     print(f"benchspeed: scale={scale.value}")
     document = run_matrix(scale, trace_out=args.trace_out,
                           cprofile_out=args.cprofile)

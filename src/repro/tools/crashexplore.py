@@ -9,6 +9,7 @@ Usage::
         --media-faults
     python -m repro.tools.crashexplore --workload linkbench-small \\
         --chaos
+    python -m repro.tools.crashexplore --cluster --max-points 40
     python -m repro.tools.crashexplore --list
 
 The default sweep enumerates every power-failure point the chosen
@@ -33,9 +34,17 @@ fallback, and outage+power-failure combinations checking the
 Only workloads whose harnesses route SHARE through the resilience
 layer can be swept.
 
+``--cluster`` selects the fourth sweep dimension: the sharded tier's
+own harness (three replicated shard pairs under a linkbench-small KV
+mix — ``--workload`` is ignored) with a single-shard kill injected at
+every ack boundary in turn.  Each kill power-cycles the victim primary
+and latches its breaker; the router must promote the replica, replay
+the delta-log tail, and satisfy ``no_lost_acked_write`` — every
+acknowledged write readable after recovery (see ``docs/resilience.md``).
+
 Each verdict is appended to the JSONL report as a ``{"type":
-"crashcheck", ...}``, ``{"type": "mediacheck", ...}`` or ``{"type":
-"chaoscheck", ...}`` record — the same sink format the telemetry
+"crashcheck", ...}``, ``{"type": "mediacheck", ...}``, ``{"type":
+"chaoscheck", ...}`` or ``{"type": "clustercheck", ...}`` record — the same sink format the telemetry
 subsystem uses — followed by one summary record.  Exit status is 1
 when any invariant was violated.
 """
@@ -50,6 +59,8 @@ from repro.crashcheck.chaosfaults import (ALL_CHAOS_MODES,
                                           enumerate_chaos_occurrences,
                                           enumerate_share_commands,
                                           explore_chaos)
+from repro.crashcheck.cluster import (ClusterHarness, enumerate_acked_writes,
+                                      explore_cluster)
 from repro.crashcheck.explorer import enumerate_occurrences, explore
 from repro.crashcheck.mediafaults import (ALL_MODES, GENERIC_MODES,
                                           MODE_UNCORRECTABLE,
@@ -180,6 +191,33 @@ def _chaos_sweep(args, factory, sink) -> int:
     return 0
 
 
+def _cluster_sweep(args, sink) -> int:
+    acked = enumerate_acked_writes(ClusterHarness)
+    print(f"[crashexplore] workload {ClusterHarness.name}: "
+          f"{acked} acked writes -> {acked} shard-kill boundaries")
+    if args.max_points is not None and acked > args.max_points:
+        print(f"[crashexplore] budget cap: sampling {args.max_points} "
+              f"boundaries evenly across the sweep")
+    report = explore_cluster(ClusterHarness, ClusterHarness.name,
+                             max_points=args.max_points, sink=sink)
+    summary = report.summary()
+    print(f"[crashexplore] explored {summary['explored']} kills: "
+          f"{summary['fired']} fired, {summary['failovers']} failovers, "
+          f"{summary['replayed']} records replayed, "
+          f"{summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL kill #{result.nth} "
+                          f"({result.victim}): {violation}",
+                          file=sys.stderr)
+        return 1
+    print("[crashexplore] no acked write was lost at any explored boundary")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.crashexplore",
@@ -213,6 +251,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="comma-separated chaos modes "
                              f"({', '.join(ALL_CHAOS_MODES)}; "
                              f"default: all)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="sweep single-shard kills at every ack "
+                             "boundary of the sharded-tier harness "
+                             "(ignores --workload)")
     parser.add_argument("--list", action="store_true",
                         help="list available workloads and exit")
     parser.add_argument("--quiet", action="store_true",
@@ -224,9 +266,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
 
-    if args.media_faults and args.chaos:
-        print("[crashexplore] --media-faults and --chaos are separate "
-              "sweep dimensions; pick one per run", file=sys.stderr)
+    if sum((args.media_faults, args.chaos, args.cluster)) > 1:
+        print("[crashexplore] --media-faults, --chaos and --cluster are "
+              "separate sweep dimensions; pick one per run",
+              file=sys.stderr)
         return 2
     factory = WORKLOADS[args.workload]
     sink = JsonlSink(args.out)
@@ -235,6 +278,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _media_sweep(args, factory, sink)
         if args.chaos:
             return _chaos_sweep(args, factory, sink)
+        if args.cluster:
+            return _cluster_sweep(args, sink)
         return _power_sweep(args, factory, sink)
     finally:
         sink.close()

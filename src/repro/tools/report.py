@@ -17,7 +17,10 @@ Sections:
   parent chain to the host-level operation that triggered it,
 * ``queue``      — the event-driven device's queueing picture: per-device
   queue-wait percentiles (time a command sat admitted-but-behind-others
-  versus being serviced) and per-channel busy time / utilisation.
+  versus being serviced) and per-channel busy time / utilisation,
+* ``cluster``    — the sharded tier: per-shard client latency percentiles
+  with epoch and replication lag, plus tier-wide kill / failover /
+  replication counters.
 
 The artifact is whatever a :class:`repro.obs.JsonlSink` captured — metric
 snapshots (``type: "metrics"``) and finished spans (``type: "span"``).
@@ -206,7 +209,66 @@ def render_queueing(metrics: Dict) -> str:
     return "\n\n".join(parts)
 
 
-SECTIONS = ("activities", "latency", "spans", "gc", "queue")
+#: Scalar ``cluster.*`` counters shown in the tier health table, as
+#: (label, name-suffix) pairs.
+CLUSTER_COUNTERS = (
+    ("operations", "ops"),
+    ("acked writes", "acked_writes"),
+    ("reads", "reads"),
+    ("shard kills", "shard_kills"),
+    ("failovers", "failovers"),
+    ("failover duration (us)", "failover_duration_us"),
+    ("records replayed at promotion", "replayed_records"),
+    ("replication records applied", "repl_applied"),
+    ("backpressure waits", "backpressure_waits"),
+    ("cross-shard copies", "cross_shard_copies"),
+)
+
+
+def cluster_summary(metrics: Dict) -> Tuple[List[List], List[List]]:
+    """Per-shard rows and tier-wide counter rows from a snapshot.
+
+    Shard rows are ``[shard, epoch, repl_lag, count, p50, p99, max]``
+    (client-visible latency, microseconds); counter rows are
+    ``[label, value]`` for every nonzero ``cluster.*`` scalar.
+    """
+    shard_rows: List[List] = []
+    for name in sorted(metrics):
+        if not name.startswith("cluster.latency_us."):
+            continue
+        value = metrics[name]
+        if not isinstance(value, dict) or not value.get("count"):
+            continue
+        shard = name[len("cluster.latency_us."):]
+        epoch = metrics.get(f"cluster.epoch.{shard}", 0)
+        lag = metrics.get(f"cluster.repl_lag.{shard}", 0)
+        shard_rows.append([shard, epoch, lag, value["count"], value["p50"],
+                           value["p99"], value["max"]])
+    counter_rows: List[List] = []
+    for label, suffix in CLUSTER_COUNTERS:
+        value = metrics.get(f"cluster.{suffix}")
+        if value:
+            counter_rows.append([label, value])
+    return shard_rows, counter_rows
+
+
+def render_cluster(metrics: Dict) -> str:
+    shard_rows, counter_rows = cluster_summary(metrics)
+    parts = []
+    if shard_rows:
+        parts.append(format_table(
+            ["shard", "epoch", "repl_lag", "count", "P50", "P99", "max"],
+            shard_rows, title="Cluster shards (client latency, us)"))
+    if counter_rows:
+        parts.append(format_table(
+            ["counter", "value"], counter_rows,
+            title="Cluster tier (kills, failovers, replication)"))
+    if not parts:
+        return "no cluster telemetry in artifact"
+    return "\n\n".join(parts)
+
+
+SECTIONS = ("activities", "latency", "spans", "gc", "queue", "cluster")
 
 
 def render(records: Sequence[Dict], section: str = "all") -> str:
@@ -222,6 +284,8 @@ def render(records: Sequence[Dict], section: str = "all") -> str:
         parts.append(render_gc_attribution(records))
     if section in ("all", "queue"):
         parts.append(render_queueing(metrics))
+    if section in ("all", "cluster"):
+        parts.append(render_cluster(metrics))
     return "\n\n".join(parts)
 
 

@@ -318,3 +318,201 @@ class LinkBenchDriver:
                 id2 = self._rng.randrange(self.config.node_count)
                 txn.put("link", (id1, link_type, id2),
                         self._link_payload(id1, id2, index))
+
+class ClusterLinkBenchDriver:
+    """The LinkBench mix as a key-value stream over a sharded tier.
+
+    Same ten-operation distribution, zipfian skew, and per-operation
+    latency recording as :class:`LinkBenchDriver`, but issued against a
+    :class:`~repro.cluster.router.ShardRouter` instead of one engine:
+    nodes, links, and counts become KV pairs spread over the shards by
+    consistent hashing, ``Get_Link_List``/``Multiget_Link`` become
+    bounded multigets (a KV tier has no ordered range scan), and
+    ``Update_Node`` periodically snapshots the node through the router's
+    SHARE path so replication carries real remap records.
+
+    ``concurrency`` closed-loop clients each carry a
+    :class:`~repro.ssd.ncq.DeviceSession`; ops from different clients
+    overlap in device time, and a shard's bounded queue backpressures
+    only the clients that hash onto it.  Replication to the peer devices
+    is pumped every ``pump_every`` operations (and once at the end), so
+    the replicas trail the primaries by a bounded delta-log lag — the
+    window failover replay has to cover.
+    """
+
+    #: Every this many Update_Node ops, refresh the node's SHARE snapshot.
+    SNAPSHOT_EVERY = 4
+
+    def __init__(self, router, clock: SimClock,
+                 config: LinkBenchConfig = LinkBenchConfig(),
+                 pump_every: int = 16) -> None:
+        self.router = router
+        self.clock = clock
+        self.config = config
+        self.pump_every = pump_every
+        self._rng = make_rng(config.seed)
+        self._id_chooser = ZipfianGenerator(
+            config.node_count, theta=config.zipf_theta,
+            rng=make_rng(config.seed + 1))
+        self._next_node_id = config.node_count
+        self._updates = 0
+        self._ops: List[str] = [name for name, __ in DEFAULT_MIX]
+        from itertools import accumulate
+        self._cum_weights: List[float] = list(
+            accumulate(weight for __, weight in DEFAULT_MIX))
+        self._handlers = {name: getattr(self, "_op_" + name.lower())
+                          for name in self._ops}
+
+    # ---------------------------------------------------------------- load
+
+    def load(self) -> None:
+        """Seed nodes, links, and counts (excluded from measurement)."""
+        router = self.router
+        config = self.config
+        load_rng = make_rng(config.seed + 2)
+        for node_id in range(config.node_count):
+            router.put(("node", node_id),
+                       ("node", node_id, 0))
+            degree = load_rng.randrange(2 * config.links_per_node + 1)
+            counts: Dict[Tuple[int, int], int] = {}
+            for __ in range(degree):
+                link_type = load_rng.randrange(LINK_TYPES)
+                id2 = load_rng.randrange(config.node_count)
+                router.put(("link", node_id, link_type, id2),
+                           ("link", node_id, id2, 0))
+                key = (node_id, link_type)
+                counts[key] = counts.get(key, 0) + 1
+            for (id1, link_type), count in counts.items():
+                router.put(("count", id1, link_type), count)
+        router.pump_replication()
+        router.drain()
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, operations: int, concurrency: int = 1,
+            sampler=None) -> LinkBenchResult:
+        """Execute ``operations`` KV transactions, timing each one."""
+        from bisect import bisect_right
+        from repro.ssd.ncq import DeviceSession
+        router = self.router
+        recorder = LatencyRecorder()
+        op_counts: Dict[str, int] = {}
+        start_us = self.clock.now_us
+        ops = self._ops
+        cum_weights = self._cum_weights
+        total_weight = cum_weights[-1] + 0.0
+        hi = len(ops) - 1
+        random_ = self._rng.random
+        handlers = self._handlers
+        record = recorder.record
+        counts_get = op_counts.get
+        pump_every = self.pump_every
+        sessions = [DeviceSession(client, start_us)
+                    for client in range(max(1, concurrency))]
+        schedulers = []
+        for device in router.devices:
+            if all(device.events is not ev for ev in schedulers):
+                schedulers.append(device.events)
+        try:
+            for index in range(operations):
+                op = ops[bisect_right(cum_weights,
+                                      random_() * total_weight, 0, hi)]
+                session = sessions[index % len(sessions)]
+                arrival = session.now_us
+                router.use_session(session)
+                handlers[op](index)
+                if sampler is None or sampler.hit():
+                    record(op, (session.now_us - arrival) / 1000.0)
+                op_counts[op] = counts_get(op, 0) + 1
+                now = session.now_us
+                for scheduler in schedulers:
+                    scheduler.run_until(now)
+                if pump_every and (index + 1) % pump_every == 0:
+                    router.use_session(None)
+                    router.pump_replication()
+        finally:
+            router.use_session(None)
+        router.pump_replication()
+        router.drain()
+        elapsed = (self.clock.now_us - start_us) / 1e6
+        return LinkBenchResult(transactions=operations,
+                               elapsed_seconds=elapsed,
+                               latencies=recorder,
+                               op_counts=op_counts)
+
+    # ------------------------------------------------------------- op impl
+
+    def _pick_id(self) -> int:
+        return self._id_chooser.next()
+
+    def _op_get_node(self, index: int) -> None:
+        self.router.get(("node", self._pick_id()))
+
+    def _op_update_node(self, index: int) -> None:
+        node_id = self._pick_id()
+        router = self.router
+        router.put(("node", node_id), ("node", node_id, index))
+        self._updates += 1
+        if self._updates % self.SNAPSHOT_EVERY == 0:
+            # Snapshot-by-remap: the couchstore trick at the KV tier.
+            router.share(("snap", node_id), ("node", node_id))
+
+    def _op_delete_node(self, index: int) -> None:
+        node_id = self._pick_id()
+        router = self.router
+        router.delete(("node", node_id))
+        router.put(("node", node_id), ("node", node_id, -index))
+
+    def _op_add_node(self, index: int) -> None:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.router.put(("node", node_id), ("node", node_id, index))
+
+    def _op_get_link_list(self, index: int) -> None:
+        id1 = self._pick_id()
+        link_type = self._rng.randrange(LINK_TYPES)
+        router = self.router
+        router.get(("count", id1, link_type))
+        for __ in range(min(4, self.config.link_list_limit)):
+            id2 = self._rng.randrange(self.config.node_count)
+            router.get(("link", id1, link_type, id2))
+
+    def _op_count_link(self, index: int) -> None:
+        self.router.get(("count", self._pick_id(),
+                         self._rng.randrange(LINK_TYPES)))
+
+    def _op_multiget_link(self, index: int) -> None:
+        id1 = self._pick_id()
+        link_type = self._rng.randrange(LINK_TYPES)
+        for __ in range(self.config.multiget_size):
+            id2 = self._rng.randrange(self.config.node_count)
+            self.router.get(("link", id1, link_type, id2))
+
+    def _op_add_link(self, index: int) -> None:
+        id1 = self._pick_id()
+        id2 = self._rng.randrange(self.config.node_count)
+        link_type = self._rng.randrange(LINK_TYPES)
+        router = self.router
+        key = ("link", id1, link_type, id2)
+        was_new = router.get(key) is None
+        router.put(key, ("link", id1, id2, index))
+        if was_new:
+            count_key = ("count", id1, link_type)
+            router.put(count_key, (router.get(count_key) or 0) + 1)
+
+    def _op_delete_link(self, index: int) -> None:
+        id1 = self._pick_id()
+        id2 = self._rng.randrange(self.config.node_count)
+        link_type = self._rng.randrange(LINK_TYPES)
+        router = self.router
+        if router.delete(("link", id1, link_type, id2)) is not None:
+            count_key = ("count", id1, link_type)
+            current = router.get(count_key) or 1
+            router.put(count_key, max(0, current - 1))
+
+    def _op_update_link(self, index: int) -> None:
+        id1 = self._pick_id()
+        id2 = self._rng.randrange(self.config.node_count)
+        link_type = self._rng.randrange(LINK_TYPES)
+        self.router.put(("link", id1, link_type, id2),
+                        ("link", id1, id2, index))

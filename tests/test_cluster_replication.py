@@ -1,0 +1,151 @@
+"""Tests for the shard-pair replication machinery: the epoch-fenced
+delta log, the in-order applier (idempotence, gap refusal, stale-epoch
+fencing), and the SHARE-record degradation path on the replica."""
+
+import pytest
+
+from repro.cluster import (REPL_SHARE, REPL_TRIM, REPL_WRITE, LogApplier,
+                           ReplicationLog, ReplRecord)
+from repro.errors import ClusterError, StaleEpochError, UnmappedPageError
+from repro.sim.clock import SimClock
+from repro.ssd.device import Ssd
+
+from conftest import small_ssd_config
+
+
+@pytest.fixture
+def replica(clock):
+    return Ssd(clock, small_ssd_config(), name="replica")
+
+
+# --------------------------------------------------------- ReplicationLog
+
+
+class TestReplicationLog:
+    def test_append_assigns_contiguous_seqs(self):
+        log = ReplicationLog()
+        first = log.append(REPL_WRITE, "a", 0, value="v0")
+        second = log.append(REPL_TRIM, "a", 0)
+        assert (first.seq, second.seq) == (1, 2)
+        assert first.epoch == second.epoch == 0
+        assert log.tip == 2
+        assert len(log) == 2
+
+    def test_append_rejects_unknown_kind(self):
+        log = ReplicationLog()
+        with pytest.raises(ValueError):
+            log.append("compact", "a", 0)
+
+    def test_append_record_fences_stale_epoch(self):
+        log = ReplicationLog()
+        stale = ReplRecord(0, 1, REPL_WRITE, "a", 0, "v")
+        log.bump_epoch()
+        with pytest.raises(StaleEpochError):
+            log.append_record(stale)
+
+    def test_append_record_refuses_gap(self):
+        log = ReplicationLog()
+        log.append(REPL_WRITE, "a", 0, value="v")
+        skipped = ReplRecord(0, 3, REPL_WRITE, "b", 1, "w")
+        with pytest.raises(ClusterError):
+            log.append_record(skipped)
+
+    def test_bump_epoch_stamps_later_records(self):
+        log = ReplicationLog()
+        before = log.append(REPL_WRITE, "a", 0, value="v")
+        assert log.bump_epoch() == 1
+        after = log.append(REPL_WRITE, "b", 1, value="w")
+        assert before.epoch == 0
+        assert after.epoch == 1
+        assert after.seq == before.seq + 1   # seq never resets
+
+    def test_records_from(self):
+        log = ReplicationLog()
+        for n in range(5):
+            log.append(REPL_WRITE, n, n, value=n)
+        assert [r.seq for r in log.records_from(3)] == [3, 4, 5]
+        assert log.records_from(6) == []
+        with pytest.raises(ValueError):
+            log.records_from(0)
+
+
+# ------------------------------------------------------------- LogApplier
+
+
+class TestLogApplier:
+    def test_applies_in_order_and_reads_back(self, replica):
+        log = ReplicationLog()
+        applier = LogApplier()
+        log.append(REPL_WRITE, "a", 0, value=("v", 1))
+        log.append(REPL_WRITE, "b", 1, value=("v", 2))
+        for record in log.records_from(1):
+            assert applier.apply(replica, record) is True
+        assert replica.read(0) == ("v", 1)
+        assert replica.read(1) == ("v", 2)
+        assert applier.watermark == 2
+        assert applier.applied == 2
+
+    def test_reapply_is_idempotent_skip(self, replica):
+        log = ReplicationLog()
+        applier = LogApplier()
+        record = log.append(REPL_WRITE, "a", 0, value="v")
+        assert applier.apply(replica, record) is True
+        assert applier.apply(replica, record) is False
+        assert applier.applied == 1
+
+    def test_gap_refused(self, replica):
+        log = ReplicationLog()
+        applier = LogApplier()
+        log.append(REPL_WRITE, "a", 0, value="v")
+        second = log.append(REPL_WRITE, "b", 1, value="w")
+        with pytest.raises(ClusterError):
+            applier.apply(replica, second)
+        assert applier.watermark == 0    # nothing half-applied
+
+    def test_stale_epoch_refused_after_promotion(self, replica):
+        """A lagging replica must never replay a pre-failover record
+        over post-failover state (the fencing the docs promise)."""
+        log = ReplicationLog()
+        applier = LogApplier()
+        stale = log.append(REPL_WRITE, "a", 0, value="old")
+        log.bump_epoch()
+        fresh = ReplRecord(1, 1, REPL_WRITE, "a", 0, "new")
+        assert applier.apply(replica, fresh) is True
+        assert applier.epoch == 1
+        with pytest.raises(StaleEpochError):
+            applier.apply(replica, stale._replace(seq=2))
+
+    def test_share_record_remaps(self, replica):
+        log = ReplicationLog()
+        applier = LogApplier()
+        log.append(REPL_WRITE, "src", 0, value="payload")
+        log.append(REPL_SHARE, "dst", 1, value="payload", src_lpn=0)
+        for record in log.records_from(1):
+            applier.apply(replica, record)
+        assert replica.read(1) == "payload"
+
+    def test_share_fallback_carries_payload(self, replica):
+        """A SHARE record whose source LPN was never written on this
+        device degrades to a plain write of the carried payload."""
+        applier = LogApplier()
+        record = ReplRecord(0, 1, REPL_SHARE, "dst", 1,
+                            value="payload", src_lpn=7)
+        assert applier.apply(replica, record) is True
+        assert replica.read(1) == "payload"
+        assert applier.share_fallbacks == 1
+
+    def test_trim_record(self, replica):
+        log = ReplicationLog()
+        applier = LogApplier()
+        log.append(REPL_WRITE, "a", 0, value="v")
+        log.append(REPL_TRIM, "a", 0)
+        for record in log.records_from(1):
+            applier.apply(replica, record)
+        with pytest.raises(UnmappedPageError):
+            replica.read(0)
+
+    def test_unknown_kind_refused(self, replica):
+        applier = LogApplier()
+        with pytest.raises(ClusterError):
+            applier.apply(replica,
+                          ReplRecord(0, 1, "compact", "a", 0))

@@ -382,3 +382,100 @@ def test_engines_can_share_one_breaker(clock):
         guard_a.call("t", Flaky(99, exc=CommandUnsupportedError))
     with pytest.raises(CircuitOpenError):
         guard_b.call("t", Flaky(0))
+
+
+# ------------------------------------------------- reset + open episodes
+
+
+class TestBreakerReset:
+    def test_reset_always_announces_closed(self):
+        """Even an already-closed breaker re-announces CLOSED on reset —
+        a promoted shard must re-emit its state gauge, never leave a
+        stale value standing."""
+        seen = []
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, on_transition=seen.append)
+        breaker.reset()
+        assert seen == [BREAKER_CLOSED]
+        breaker.force_open()
+        breaker.reset()
+        assert seen == [BREAKER_CLOSED, BREAKER_OPEN, BREAKER_CLOSED]
+
+    def test_reset_unlatches_force_open(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock)
+        breaker.force_open()
+        assert not breaker.allow()
+        breaker.reset()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_reset_clears_probe_accounting(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 recovery_timeout_us=100,
+                                 half_open_probes=1)
+        breaker.record_failure()
+        clock.advance(100)
+        assert breaker.allow()             # half-open, probe consumed
+        breaker.reset()
+        assert breaker._probes_left == 0
+        assert breaker._opened_at is None
+        # The next trip starts a clean episode: refused until a full
+        # fresh recovery timeout elapses, then probes again.
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        clock.advance(100)
+        assert breaker.allow()
+
+    def test_guard_gauge_reemitted_on_reset(self, clock):
+        from repro.obs import Telemetry
+        from repro.obs.sinks import MemorySink
+        telemetry = Telemetry(sink=MemorySink(), mode="sampled")
+        device = Ssd(clock, small_ssd_config(), telemetry=telemetry)
+        guard = ShareGuard(device, engine="shardX")
+        gauge = "resilience.breaker_state.shardX"
+        assert telemetry.metrics.snapshot()[gauge] == 0
+        guard.breaker.force_open()
+        assert telemetry.metrics.snapshot()[gauge] == 2
+        guard.breaker.reset()
+        assert telemetry.metrics.snapshot()[gauge] == 0
+
+
+class TestGuardOpenEpisodes:
+    def make_guard(self):
+        clock = SimClock()
+        device = Ssd(clock, small_ssd_config())
+        guard = ShareGuard(device, breaker=CircuitBreaker(
+            clock, failure_threshold=1, recovery_timeout_us=100))
+        return clock, guard
+
+    def test_episode_duration_accumulates(self):
+        clock, guard = self.make_guard()
+        assert guard.stats.last_open_us is None
+        guard.breaker.force_open()
+        assert guard.stats.last_open_us == clock.now_us
+        clock.advance(1234)
+        guard.breaker.reset()
+        assert guard.stats.open_duration_us == 1234
+        clock.advance(10)
+        guard.breaker.force_open()
+        second_open = clock.now_us
+        clock.advance(6)
+        guard.breaker.reset()
+        assert guard.stats.last_open_us == second_open
+        assert guard.stats.open_duration_us == 1240
+
+    def test_half_open_flap_does_not_restart_episode(self):
+        clock, guard = self.make_guard()
+        guard.breaker.record_failure()     # open
+        opened_at = clock.now_us
+        clock.advance(100)
+        assert guard.breaker.allow()       # half-open probe
+        guard.breaker.record_failure()     # flaps back open
+        assert guard.stats.last_open_us == opened_at
+        clock.advance(100)
+        assert guard.breaker.allow()
+        guard.breaker.record_success()     # closes, ending the episode
+        assert guard.stats.open_duration_us == clock.now_us - opened_at
