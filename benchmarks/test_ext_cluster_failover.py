@@ -1,4 +1,4 @@
-"""Extension: sharded-tier failover under LinkBench load.
+"""Extension: sharded-tier failover and rebalance under LinkBench load.
 
 The robustness tentpole put a replicated, breaker-guarded shard tier in
 front of the event-driven devices: a consistent-hash router over three
@@ -11,16 +11,27 @@ primary between replication pumps (so the replica is behind and the
 promotion must replay the delta-log tail), and a final phase measures
 the tier after the failover settled on the promoted replica.
 
+A second experiment raises the stakes on write durability: an R=2,
+write-quorum-2 tier (every ack is on two devices) absorbs an
+add-one-shard ring resize while LinkBench clients keep issuing traffic.
+Migration batches interleave with operation chunks, so the dual-read
+handoff, migration-epoch fencing, and SHARE-aware key transfer all run
+against live load; afterwards every acked node key must read back
+through the grown ring.
+
 Rows land in ``results/cluster_failover.jsonl``: one per phase (p50 /
 p99 / max client latency, throughput), one for the failover event
-(victim, replay size, promotion duration, new epoch), and a final
-``cluster.*`` / ``resilience.breaker_state.*`` telemetry snapshot where
-the breaker trip and the promoted shard's epoch bump are visible.
+(victim, replay size, promotion duration, new epoch), one for the
+rebalance (keys migrated, SHARE-remap transfers, migration epoch), and
+final ``cluster.*`` / ``resilience.breaker_state.*`` telemetry
+snapshots where the breaker trip and the promoted shard's epoch bump
+are visible.
 
 Shape asserted: exactly one kill and one failover; every node key acked
 before the kill reads back afterwards (no lost acked writes); the
-promoted shard runs at epoch 1; and the post-failover phase still
-completes the full operation count.
+promoted shard runs at epoch 1; the post-failover phase still completes
+the full operation count; and the quorum tier finishes its rebalance
+with zero lost acked keys and a nonzero migrated-key count.
 """
 
 import json
@@ -154,5 +165,125 @@ def test_cluster_failover(benchmark, scale):
 
     # The tier still serves after promotion: the post phase completed
     # every operation and recorded real latencies.
+    assert post_row["transactions"] == phase_ops
+    assert post_row["p99_ms"] > 0
+
+
+def test_cluster_rebalance_quorum(benchmark, scale):
+    """R=2 / write-quorum-2 tier grows by one shard under live traffic.
+
+    Every ack lands on two devices before the client sees it; the ring
+    resize interleaves migration batches with LinkBench operation
+    chunks, so reads hit the dual-read handoff window and writes settle
+    pending keys early.  Afterwards every acked node key must still
+    read back through the grown ring."""
+    params = SCALES[scale]
+    nodes = max(240, params.linkbench_nodes // 5)
+    phase_ops = max(400, params.linkbench_transactions // 3)
+
+    def experiment():
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, mode="sampled")
+        stack = build_cluster_stack(shards=SHARDS, keys_estimate=nodes * 6,
+                                    telemetry=telemetry,
+                                    replicas=2, write_quorum=2,
+                                    spare_shards=1)
+        driver = ClusterLinkBenchDriver(
+            stack.router, stack.clock,
+            LinkBenchConfig(node_count=nodes, links_per_node=2))
+        driver.load()
+
+        healthy = driver.run(phase_ops, concurrency=CLIENTS)
+
+        # Join the spare shard, then alternate traffic chunks with
+        # migration batches: clients run *during* the resize, not
+        # around it.
+        rebalancer = stack.router.start_rebalance(add=stack.spares[0])
+        chunk = max(40, phase_ops // 8)
+        during_chunks = []
+        while not rebalancer.done:
+            during_chunks.append(driver.run(chunk, concurrency=CLIENTS))
+            rebalancer.step()
+        pending_after = stack.router.migration_pending
+
+        post = driver.run(phase_ops, concurrency=CLIENTS)
+        stack.router.pump_replication()
+        stack.router.drain()
+        snapshot = telemetry.snapshot(stack.clock.now_us)["metrics"]
+
+        lost = [node_id for node_id in range(nodes)
+                if stack.router.get(("node", node_id)) is None]
+
+        return {
+            "stack": stack,
+            "rows": {"quorum_healthy": healthy,
+                     "quorum_post_rebalance": post},
+            "during_chunks": during_chunks,
+            "pending_after": pending_after,
+            "snapshot": snapshot,
+            "lost": lost,
+        }
+
+    outcome = run_once(benchmark, experiment)
+    stack = outcome["stack"]
+    stats = stack.router.stats
+
+    assert stats.rebalances == 1
+    assert outcome["pending_after"] == 0, (
+        f"{outcome['pending_after']} keys still pending after rebalance")
+    assert stack.router.migration_pending == 0
+    assert "shard3" in stack.router.pairs, "joined shard missing from ring"
+    assert stats.migrated_keys > 0, "ring resize moved no keys"
+    assert outcome["during_chunks"], "rebalance finished before any traffic"
+    assert outcome["lost"] == [], (
+        f"{len(outcome['lost'])} acked node keys unreadable after rebalance")
+    # Quorum acks actually engaged: every write synced a replica.
+    quorum_syncs = sum(pair.stats().quorum_syncs
+                       for pair in stack.router.pairs.values())
+    assert quorum_syncs > 0
+
+    during_tx = sum(r.transactions for r in outcome["during_chunks"])
+    during_p99 = max(_phase_row("x", r)["p99_ms"]
+                     for r in outcome["during_chunks"])
+    out = Path(__file__).resolve().parent.parent / "results" \
+        / "cluster_failover.jsonl"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = outcome["snapshot"]
+    with out.open("a") as fh:
+        for phase in ("quorum_healthy", "quorum_post_rebalance"):
+            fh.write(json.dumps(
+                _phase_row(phase, outcome["rows"][phase])) + "\n")
+        fh.write(json.dumps({
+            "type": "rebalance_event",
+            "added": "shard3",
+            "migrated_keys": stats.migrated_keys,
+            "shared_migrations": stats.shared_migrations,
+            "migration_epoch": stack.router.migration_epoch,
+            "transactions_during_migration": during_tx,
+            "p99_ms_during_migration": during_p99,
+        }) + "\n")
+        fh.write(json.dumps({
+            "type": "cluster_telemetry",
+            "experiment": "quorum_rebalance",
+            "metrics": {name: value
+                        for name, value in sorted(snapshot.items())
+                        if name.startswith(("cluster.",
+                                            "resilience.breaker_state."))},
+        }) + "\n")
+
+    healthy_row = _phase_row("quorum_healthy",
+                             outcome["rows"]["quorum_healthy"])
+    post_row = _phase_row("quorum_post_rebalance",
+                          outcome["rows"]["quorum_post_rebalance"])
+    print()
+    print(f"quorum healthy:  {healthy_row['throughput_tps']:8.1f} tx/s, "
+          f"p99 {healthy_row['p99_ms']:.3f} ms")
+    print(f"during resize:   {during_tx} tx, p99 {during_p99:.3f} ms")
+    print(f"post rebalance:  {post_row['throughput_tps']:8.1f} tx/s, "
+          f"p99 {post_row['p99_ms']:.3f} ms")
+    print(f"rebalance: {stats.migrated_keys} key(s) moved "
+          f"({stats.shared_migrations} via SHARE remap), "
+          f"epoch {stack.router.migration_epoch}")
+
     assert post_row["transactions"] == phase_ops
     assert post_row["p99_ms"] > 0

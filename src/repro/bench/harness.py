@@ -300,12 +300,15 @@ def build_postgres_stack(full_page_writes: bool, scale: int,
 
 @dataclass
 class ClusterStack:
-    """One assembled sharded tier: M replicated pairs behind a router."""
+    """One assembled sharded tier: M replicated groups behind a router."""
 
     clock: SimClock
     events: EventScheduler
     router: "ShardRouter"
-    pairs: Tuple["ShardPair", ...]
+    pairs: Tuple["ShardGroup", ...]
+    #: Pre-built groups *not* in the ring — candidates for a live
+    #: ``router.start_rebalance(add=...)`` join.
+    spares: Tuple["ShardGroup", ...] = ()
 
 
 def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
@@ -314,22 +317,31 @@ def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
                         telemetry=None, faults=None,
                         queue_depth: int = 4, channel_count: int = 2,
                         queue_limit: Optional[int] = 8,
-                        vnodes: int = 64) -> ClusterStack:
-    """Assemble ``shards`` primary/replica device pairs behind a
-    :class:`~repro.cluster.router.ShardRouter`.
+                        vnodes: int = 64, replicas: int = 1,
+                        write_quorum: int = 1,
+                        spare_shards: int = 0) -> ClusterStack:
+    """Assemble ``shards`` shard groups (primary + ``replicas`` peer
+    devices each) behind a :class:`~repro.cluster.router.ShardRouter`.
 
-    All ``2 * shards`` devices share one clock and one event scheduler
-    (completions from different shards interleave in global time), but
-    each device has its own NCQ and channel set — a shard's queue
-    filling up backpressures only that shard.  Per-device capacity is
-    sized for the worst shard of the consistent-hash split (keys spread
-    unevenly) plus overwrite churn headroom.
+    All ``(1 + replicas) * shards`` devices share one clock and one
+    event scheduler (completions from different shards interleave in
+    global time), but each device has its own NCQ and channel set — a
+    shard's queue filling up backpressures only that shard.  Per-device
+    capacity is sized for the worst shard of the consistent-hash split
+    (keys spread unevenly) plus overwrite churn headroom.
+    ``write_quorum`` > 1 makes each group synchronously apply every
+    write to ``write_quorum - 1`` replicas before acking.
+    ``spare_shards`` builds that many extra groups on the same clock
+    and scheduler but leaves them out of the ring — ready to join via
+    ``router.start_rebalance(add=stack.spares[i])``.
     """
-    from repro.cluster import ShardPair, ShardRouter
+    from repro.cluster import ShardGroup, ShardRouter
     from repro.sim.faults import NO_FAULTS
 
     if shards < 1:
         raise ValueError(f"shards must be >= 1: {shards}")
+    if replicas < 0:
+        raise ValueError(f"replicas must be >= 0: {replicas}")
     clock = SimClock()
     events = EventScheduler(
         clock, profiler=getattr(telemetry, "profiler", None))
@@ -345,21 +357,29 @@ def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
                              block_count=block_count,
                              overprovision_ratio=0.12,
                              channel_count=channel_count)
-    pairs = []
-    for index in range(shards):
-        devices = []
-        for role in ("p", "r"):
-            devices.append(Ssd(clock, SsdConfig(
-                geometry=geometry, timing=timing,
-                ftl=FtlConfig(
-                    share_table_entries=max(64, per_shard_keys // 4),
-                    map_block_count=_map_blocks_for(block_count)),
-                queue_depth=queue_depth),
-                telemetry=telemetry, name=f"s{index}{role}",
-                events=events))
-        pairs.append(ShardPair(f"shard{index}", devices[0], devices[1],
-                               queue_limit=queue_limit))
+
+    def device(name: str) -> Ssd:
+        return Ssd(clock, SsdConfig(
+            geometry=geometry, timing=timing,
+            ftl=FtlConfig(
+                share_table_entries=max(64, per_shard_keys // 4),
+                map_block_count=_map_blocks_for(block_count)),
+            queue_depth=queue_depth),
+            telemetry=telemetry, name=name, events=events)
+
+    def group(index: int) -> "ShardGroup":
+        primary = device(f"s{index}p")
+        if replicas == 1:
+            reps = [device(f"s{index}r")]
+        else:
+            reps = [device(f"s{index}r{rep}") for rep in range(replicas)]
+        return ShardGroup(f"shard{index}", primary, reps,
+                          queue_limit=queue_limit,
+                          write_quorum=write_quorum)
+
+    pairs = [group(index) for index in range(shards)]
+    spares = [group(shards + extra) for extra in range(spare_shards)]
     router = ShardRouter(pairs, clock,
                          faults=faults if faults is not None else NO_FAULTS,
                          telemetry=telemetry, vnodes=vnodes)
-    return ClusterStack(clock, events, router, tuple(pairs))
+    return ClusterStack(clock, events, router, tuple(pairs), tuple(spares))

@@ -7,15 +7,19 @@ benchmark) non-reproducible.  Each node contributes ``vnodes`` virtual
 points so load stays balanced even with a handful of shards, and a key
 maps to the first point clockwise from its own hash.
 
-The ring is intentionally static: failover swaps the *roles* inside a
-shard pair (primary <-> replica), it never moves key ownership between
-pairs, so there is no rebalancing path to get wrong during a kill.
+A ring instance is immutable; :meth:`rebalance` derives a *new* ring
+with nodes added and/or removed.  Consistent hashing's defining
+property holds by construction: a key changes owner between the old and
+new ring only when its clockwise successor point belongs to an added or
+removed node, so membership changes move the minimal key range.  The
+live migration protocol on top of this (dual-read handoff, per-vnode
+cursors, epoch fencing) lives in ``repro.cluster.rebalance``.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["HashRing", "fnv1a64"]
 
@@ -32,8 +36,28 @@ def fnv1a64(data: bytes) -> int:
     return h
 
 
+def _mix64(h: int) -> int:
+    """Finalizing avalanche (murmur3's fmix64).
+
+    Raw FNV-1a barely diffuses a short suffix — ``"shard3#0"`` through
+    ``"shard3#63"`` hash to *adjacent* points, so without this step each
+    node's vnodes collapse into one arc and the ring degenerates to a
+    single point per node (terrible balance, near-zero movement on
+    rebalance)."""
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK
+    h ^= h >> 33
+    return h
+
+
+def _point_hash(data: bytes) -> int:
+    return _mix64(fnv1a64(data))
+
+
 class HashRing:
-    """Consistent-hash ring over a fixed set of node names."""
+    """Consistent-hash ring over a set of node names."""
 
     def __init__(self, nodes: Sequence[str], vnodes: int = 64) -> None:
         if not nodes:
@@ -47,7 +71,7 @@ class HashRing:
         points: List[Tuple[int, str]] = []
         for node in self.nodes:
             for replica in range(vnodes):
-                point = fnv1a64(f"{node}#{replica}".encode("utf-8"))
+                point = _point_hash(f"{node}#{replica}".encode("utf-8"))
                 points.append((point, node))
         points.sort()
         self._points = points
@@ -55,11 +79,51 @@ class HashRing:
 
     def lookup(self, key) -> str:
         """Owning node for ``key`` (first ring point clockwise)."""
-        h = fnv1a64(repr(key).encode("utf-8"))
+        h = _point_hash(repr(key).encode("utf-8"))
         index = bisect_right(self._hashes, h)
         if index == len(self._points):
             index = 0
         return self._points[index][1]
+
+    def lookup_point(self, key) -> Tuple[int, str]:
+        """``(vnode_point, owner)`` for ``key`` — the migration cursor
+        unit: all keys sharing a vnode point move as one batch."""
+        h = _point_hash(repr(key).encode("utf-8"))
+        index = bisect_right(self._hashes, h)
+        if index == len(self._points):
+            index = 0
+        return self._points[index]
+
+    def rebalance(self, add: Sequence[str] = (),
+                  remove: Sequence[str] = ()) -> "HashRing":
+        """A new ring with ``add`` joined and ``remove`` departed.
+
+        Validates membership strictly — adding a present node or
+        removing an absent one is a caller bug, not a no-op."""
+        add = list(add)
+        remove = list(remove)
+        for node in add:
+            if node in self.nodes:
+                raise ValueError(f"node already in ring: {node!r}")
+        for node in remove:
+            if node not in self.nodes:
+                raise ValueError(f"node not in ring: {node!r}")
+        nodes = [n for n in self.nodes if n not in remove] + add
+        if not nodes:
+            raise ValueError("rebalance would empty the ring")
+        return HashRing(nodes, vnodes=self.vnodes)
+
+    def moved_keys(self, keys: Sequence, new_ring: "HashRing"
+                   ) -> Dict[object, Tuple[str, str]]:
+        """Keys whose owner differs between this ring and ``new_ring``,
+        mapped to ``(old_owner, new_owner)``."""
+        moved: Dict[object, Tuple[str, str]] = {}
+        for key in keys:
+            old_owner = self.lookup(key)
+            new_owner = new_ring.lookup(key)
+            if old_owner != new_owner:
+                moved[key] = (old_owner, new_owner)
+        return moved
 
     def spread(self, keys: Sequence) -> Dict[str, int]:
         """Key count per node — balance diagnostics for tests/reports."""

@@ -111,6 +111,15 @@ class ReplicationLog:
             raise ValueError(f"seq must be >= 1: {seq}")
         return self._records[seq - 1:]
 
+    def record_at(self, seq: int) -> ReplRecord:
+        """The record with sequence ``seq`` — O(1), no tail copy.
+
+        Appliers stepping one record at a time (quorum waits, budgeted
+        round-robin pumping) use this instead of slicing the tail."""
+        if not 1 <= seq <= self.tip:
+            raise ValueError(f"seq {seq} outside log [1, {self.tip}]")
+        return self._records[seq - 1]
+
 
 class LogApplier:
     """Applies a pair's log onto one device, strictly in order.

@@ -1,38 +1,52 @@
-"""Front-end router over M shard pairs: the cluster's client API.
+"""Front-end router over M shard groups: the cluster's client API.
 
 The :class:`ShardRouter` consistent-hash-partitions the key space over
-its pairs, forwards each KV operation to the owning pair's primary, and
-handles the tier-level concerns no single shard can: promoting a pair
-whose breaker opened (via the :class:`FailoverController`), re-issuing
-the failed operation on the new primary, degrading cross-shard SHARE to
-read+copy, and consulting the fault plan's cluster set after every ack
-so crashcheck sweeps can kill a shard at any ack boundary.
+its groups, forwards each KV operation to the owning group, and handles
+the tier-level concerns no single shard can: promoting a group whose
+breaker opened (via the :class:`FailoverController`), re-issuing the
+failed operation on the new primary, degrading cross-shard SHARE to
+read+copy, scoring primary media health after acks (proactive failover
+before a device dies), consulting the fault plan's cluster set after
+every ack so crashcheck sweeps can kill a shard — or storm its media —
+at any ack boundary, and coordinating live ring rebalancing.
 
 Ack contract: :meth:`put` / :meth:`share` / :meth:`delete` return only
-once the mutation is durable on the owning primary *and* appended to
-the pair's replication log — the ``no_lost_acked_write`` invariant the
-cluster crashcheck sweep enforces is exactly "anything those methods
-returned for is readable after any single-shard kill + power cycle".
+once the mutation is durable on the owning primary, appended to the
+group's replication log, *and* applied on a write quorum of replicas —
+the ``no_lost_acked_write`` invariant the cluster crashcheck sweep
+enforces is exactly "anything those methods returned for is readable
+after any single-shard kill + power cycle".
+
+Read routing: reads may be served by a replica when it has applied both
+the calling client's last acked sequence on that shard (read-your-writes,
+tracked per ``(client, shard)``) and the sequence that created the
+key's directory entry; otherwise the primary serves them.  During a
+rebalance, reads of still-pending keys dual-read: new owner first, old
+owner as fallback.
 
 Telemetry (``cluster.*``): op/ack counters, per-shard op-latency
 histograms (p99 per shard), ``repl_lag.<shard>`` and ``epoch.<shard>``
-gauges, failover count and duration, backpressure waits, replayed
-records.  Because crash harnesses run with ``NULL_TELEMETRY``, the
-router also keeps a plain :class:`ClusterStats` the sweeps read
-directly (same pattern as ``GuardStats``).
+gauges, a ``replica_lag`` distribution sampled at every pump, failover
+count/duration plus a ``convergence_us`` histogram (promotion to
+fully-caught-up group), replica-read and media-health counters,
+backpressure waits, replayed records.  Because crash harnesses run with
+``NULL_TELEMETRY``, the router also keeps a plain :class:`ClusterStats`
+the sweeps read directly (same pattern as ``GuardStats``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.failover import FailoverController, FailoverEvent
 from repro.cluster.hashring import HashRing
-from repro.cluster.shard import ShardPair
-from repro.errors import ResilienceError, ShardUnavailableError
+from repro.cluster.health import MediaHealthMonitor
+from repro.cluster.rebalance import MigrationState, Rebalancer
+from repro.cluster.shard import ShardGroup
+from repro.errors import ClusterError, ResilienceError, ShardUnavailableError
 from repro.obs.telemetry import NULL_TELEMETRY
-from repro.sim.faults import NO_FAULTS
+from repro.sim.faults import NO_FAULTS, ShardMediaStorm
 from repro.ssd.ncq import DeviceSession
 
 __all__ = ["ShardRouter", "ClusterStats"]
@@ -53,26 +67,50 @@ class ClusterStats:
     repl_applied: int = 0
     cross_shard_copies: int = 0
     last_failover_us: Optional[int] = field(default=None)
+    replica_reads: int = 0
+    replica_read_fallbacks: int = 0
+    media_trips: int = 0
+    media_storms: int = 0
+    proactive_promotions: int = 0
+    migrated_keys: int = 0
+    shared_migrations: int = 0
+    rebalances: int = 0
+    convergences: int = 0
+    convergence_us: int = 0
 
 
 class ShardRouter:
-    """Consistent-hash router over shard pairs with failover."""
+    """Consistent-hash router over shard groups with failover."""
 
-    def __init__(self, pairs: Sequence[ShardPair], clock,
+    def __init__(self, pairs: Sequence[ShardGroup], clock,
                  faults=NO_FAULTS, telemetry=None,
-                 vnodes: int = 64) -> None:
+                 vnodes: int = 64,
+                 health: Optional[MediaHealthMonitor] = None) -> None:
         if not pairs:
-            raise ValueError("router needs at least one shard pair")
+            raise ValueError("router needs at least one shard group")
         self.clock = clock
         self.faults = faults
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.pairs: Dict[str, ShardPair] = {p.name: p for p in pairs}
+        self.pairs: Dict[str, ShardGroup] = {p.name: p for p in pairs}
         if len(self.pairs) != len(pairs):
-            raise ValueError("duplicate shard pair names")
+            raise ValueError("duplicate shard group names")
         self.ring = HashRing([p.name for p in pairs], vnodes=vnodes)
         self.stats = ClusterStats()
+        self.health = health if health is not None else MediaHealthMonitor()
         self._session: Optional[DeviceSession] = None
+        #: Per-(client, shard) last acked sequence — the read-your-writes
+        #: watermark replica reads must reach.
+        self._client_seq: Dict[Tuple[Optional[int], str], int] = {}
+        #: Shards promoted but not yet fully re-converged, with the
+        #: promotion timestamp (feeds the convergence_us histogram).
+        self._pending_convergence: Dict[str, int] = {}
+        self._pump_cursor = 0
+        #: Groups that left the ring after a completed rebalance.
+        self.retired: Dict[str, ShardGroup] = {}
+        self._migration: Optional[MigrationState] = None
+        self.migration_epoch = 0
         metrics = self.telemetry.metrics.scope("cluster")
+        self._metrics = metrics
         self._m_ops = metrics.counter("ops")
         self._m_acked = metrics.counter("acked_writes")
         self._m_reads = metrics.counter("reads")
@@ -83,18 +121,34 @@ class ShardRouter:
         self._m_repl_applied = metrics.counter("repl_applied")
         self._m_backpressure = metrics.counter("backpressure_waits")
         self._m_copies = metrics.counter("cross_shard_copies")
+        self._m_replica_reads = metrics.counter("replica_reads")
+        self._m_replica_fallbacks = metrics.counter("replica_read_fallbacks")
+        self._m_media_trips = metrics.counter("media_trips")
+        self._m_storms = metrics.counter("media_storms")
+        self._m_proactive = metrics.counter("proactive_promotions")
+        self._m_migrated = metrics.counter("migrated_keys")
+        self._m_shared_migrations = metrics.counter("shared_migrations")
+        self._m_rebalances = metrics.counter("rebalances")
+        self._m_replica_lag = metrics.histogram("replica_lag")
+        self._m_convergence = metrics.histogram("convergence_us")
         self._m_latency: Dict[str, object] = {}
         self._m_lag: Dict[str, object] = {}
         self._m_epoch: Dict[str, object] = {}
-        for pair in pairs:
-            self._m_latency[pair.name] = metrics.histogram(
-                f"latency_us.{pair.name}")
-            self._m_lag[pair.name] = metrics.gauge(f"repl_lag.{pair.name}")
-            self._m_epoch[pair.name] = metrics.gauge(f"epoch.{pair.name}")
         self.controller = FailoverController(clock,
                                              on_promoted=self._on_promoted)
         for pair in pairs:
-            self.controller.attach(pair)
+            self._register_group(pair)
+
+    def _register_group(self, group: ShardGroup) -> None:
+        """Metrics + breaker listener for one group (init or ring add)."""
+        self.pairs[group.name] = group
+        metrics = self._metrics
+        if group.name not in self._m_latency:
+            self._m_latency[group.name] = metrics.histogram(
+                f"latency_us.{group.name}")
+            self._m_lag[group.name] = metrics.gauge(f"repl_lag.{group.name}")
+            self._m_epoch[group.name] = metrics.gauge(f"epoch.{group.name}")
+        self.controller.attach(group)
 
     # --------------------------------------------------------- sessions
 
@@ -105,11 +159,18 @@ class ShardRouter:
     @property
     def devices(self) -> List:
         """Every live device, primaries first (for drain/power-cycle)."""
-        return ([p.primary for p in self.pairs.values()]
-                + [p.replica for p in self.pairs.values()])
+        groups = list(self.pairs.values())
+        return ([g.primary for g in groups]
+                + [rep.ssd for g in groups for rep in g.replicas])
 
-    def pair_for(self, key) -> ShardPair:
+    def pair_for(self, key) -> ShardGroup:
         return self.pairs[self.ring.lookup(key)]
+
+    def _group(self, name: str) -> ShardGroup:
+        group = self.pairs.get(name)
+        if group is None:
+            group = self.retired[name]
+        return group
 
     # -------------------------------------------------------- internals
 
@@ -122,51 +183,95 @@ class ShardRouter:
         self._m_failover_us.inc(event.duration_us)
         self._m_replayed.inc(event.replayed)
         self._m_epoch[event.shard].set(event.epoch)
+        self._pending_convergence[event.shard] = event.at_us
+        if event.proactive:
+            self.stats.proactive_promotions += 1
+            self._m_proactive.inc()
+        if event.old_primary in self.health.tripped:
+            # The demoted device is media-sick: keep replication off it
+            # so applies stop burning its remaining spares.
+            group = self.pairs.get(event.shard) \
+                or self.retired.get(event.shard)
+            if group is not None:
+                group.mark_replica_failed(event.old_primary)
 
-    def _ensure_primary(self, pair: ShardPair) -> None:
-        if pair.primary_down or pair.needs_promotion:
-            self.controller.promote(pair)
+    def _ensure_primary(self, group: ShardGroup) -> None:
+        if group.primary_down or group.needs_promotion:
+            self.controller.promote(group)
 
-    def _shard_op(self, pair: ShardPair, fn):
-        """Run one pair op with promote-and-retry on resilience failure.
+    def _shard_op(self, group: ShardGroup, fn):
+        """Run one group op with promote-and-retry on resilience failure.
 
         The first failure may be the breaker tripping (or already open)
-        for a dead primary: promote the replica and re-issue once on
-        the new primary.  A second failure means the shard is genuinely
+        for a dead primary: promote a replica and re-issue once on the
+        new primary.  A second failure means the shard is genuinely
         unavailable."""
         self.stats.ops += 1
         self._m_ops.inc()
-        self._ensure_primary(pair)
+        self._ensure_primary(group)
         start_us = self._session.now_us if self._session is not None \
             else self.clock.now_us
-        before = pair.backpressure_waits
+        before = group.backpressure_waits
         try:
             result = fn()
         except ResilienceError as exc:
-            if not (pair.needs_promotion or pair.primary_down):
+            if not (group.needs_promotion or group.primary_down):
                 raise ShardUnavailableError(
-                    f"shard {pair.name!r} failed without tripping its "
+                    f"shard {group.name!r} failed without tripping its "
                     f"breaker: {exc}") from exc
-            self.controller.promote(pair)
+            self.controller.promote(group)
             result = fn()
-        waits = pair.backpressure_waits - before
+        waits = group.backpressure_waits - before
         if waits:
             self._m_backpressure.inc(waits)
         end_us = self._session.now_us if self._session is not None \
             else self.clock.now_us
-        self._m_latency[pair.name].record(max(0, end_us - start_us))
+        self._m_latency[group.name].record(max(0, end_us - start_us))
         return result
 
-    def _ack(self, pair: ShardPair) -> None:
-        """Post-ack bookkeeping + the crashcheck kill hook."""
+    def _ack(self, group: ShardGroup, record=None) -> None:
+        """Post-ack bookkeeping: read-your-writes watermark, media
+        health scoring, and the crashcheck kill/storm hook."""
         self.stats.acked_writes += 1
         self._m_acked.inc()
-        self._m_lag[pair.name].set(pair.repl_lag)
+        self._m_lag[group.name].set(group.repl_lag)
+        if record is not None:
+            session = self._session
+            client = session.client if session is not None else None
+            self._client_seq[(client, group.name)] = record.seq
+        if self.health.observe(group):
+            self.stats.media_trips += 1
+            self._m_media_trips.inc()
         faults = self.faults
         if faults.cluster.active:
-            victim = faults.cluster.on_ack(pair.name)
-            if victim is not None:
-                self.kill_shard(victim)
+            fault = faults.cluster.on_ack(group.name)
+            if fault is not None:
+                if isinstance(fault, ShardMediaStorm):
+                    self._inject_storm(fault)
+                else:
+                    self.kill_shard(fault.victim)
+
+    def _inject_storm(self, fault: ShardMediaStorm) -> None:
+        """Arm the storm's NAND faults on the victim's primary — the
+        device keeps serving; the health monitor watches it degrade."""
+        group = self._group(fault.victim)
+        fault.inject(group.primary)
+        self.stats.media_storms += 1
+        self._m_storms.inc()
+
+    # ---------------------------------------------------- read routing
+
+    def _read_owner(self, key) -> ShardGroup:
+        """Owning group for a read, honoring mid-migration dual-read:
+        a pending key missing from the new owner is still served by its
+        old owner."""
+        group = self.pair_for(key)
+        state = self._migration
+        if state is not None and key not in group.directory:
+            src_name = state.pending.get(key)
+            if src_name is not None:
+                return self._group(src_name)
+        return group
 
     # ------------------------------------------------------- client API
 
@@ -174,13 +279,25 @@ class ShardRouter:
         pair = self.pair_for(key)
         record = self._shard_op(
             pair, lambda: pair.put(key, value, session=self._session))
-        self._ack(pair)
+        self._ack(pair, record)
+        self._settle_migration(key)
         return record
 
     def get(self, key):
-        pair = self.pair_for(key)
+        pair = self._read_owner(key)
+        session = self._session
+        client = session.client if session is not None else None
+        min_seq = self._client_seq.get((client, pair.name), 0)
+        before_reads = pair.replica_reads
+        before_falls = pair.replica_read_fallbacks
         value = self._shard_op(
-            pair, lambda: pair.get(key, session=self._session))
+            pair, lambda: pair.get(key, session=session, min_seq=min_seq))
+        if pair.replica_reads != before_reads:
+            self.stats.replica_reads += 1
+            self._m_replica_reads.inc()
+        if pair.replica_read_fallbacks != before_falls:
+            self.stats.replica_read_fallbacks += 1
+            self._m_replica_fallbacks.inc()
         self.stats.reads += 1
         self._m_reads.inc()
         return value
@@ -188,27 +305,34 @@ class ShardRouter:
     def share(self, dst_key, src_key):
         """Remap ``dst_key`` onto ``src_key``'s data.
 
-        Same shard: a true SHARE command on that pair's primary.
-        Different shards: the remap cannot cross devices, so degrade to
-        read-on-source + put-on-destination (counted, so reports show
-        how often the hash layout defeats the mapping-only copy)."""
-        src_pair = self.pair_for(src_key)
+        Same shard: a true SHARE command on that group's primary.
+        Different shards (or a source still mid-migration): the remap
+        cannot cross devices, so degrade to read-on-source +
+        put-on-destination (counted, so reports show how often the hash
+        layout defeats the mapping-only copy)."""
+        src_pair = self._read_owner(src_key)
         dst_pair = self.pair_for(dst_key)
         if src_pair is dst_pair:
             record = self._shard_op(
                 dst_pair,
                 lambda: dst_pair.share(dst_key, src_key,
                                        session=self._session))
-            self._ack(dst_pair)
+            self._ack(dst_pair, record)
+            self._settle_migration(dst_key)
             return record
+        session = self._session
+        client = session.client if session is not None else None
+        min_seq = self._client_seq.get((client, src_pair.name), 0)
         value = self._shard_op(
-            src_pair, lambda: src_pair.get(src_key, session=self._session))
+            src_pair, lambda: src_pair.get(src_key, session=session,
+                                           min_seq=min_seq))
         self.stats.cross_shard_copies += 1
         self._m_copies.inc()
         record = self._shard_op(
             dst_pair, lambda: dst_pair.put(dst_key, value,
                                            session=self._session))
-        self._ack(dst_pair)
+        self._ack(dst_pair, record)
+        self._settle_migration(dst_key)
         return record
 
     def delete(self, key):
@@ -216,40 +340,163 @@ class ShardRouter:
         record = self._shard_op(
             pair, lambda: pair.delete(key, session=self._session))
         if record is not None:
-            self._ack(pair)
+            self._ack(pair, record)
+        settled = self._settle_migration(key)
+        return record if record is not None else settled
+
+    # ------------------------------------------------------ rebalancing
+
+    def start_rebalance(self, add: Optional[ShardGroup] = None,
+                        remove: Optional[str] = None) -> Rebalancer:
+        """Resize the ring and return the migration driver.
+
+        The ring swaps immediately — new writes route to new owners —
+        while reads of not-yet-moved keys dual-read through the old
+        owner.  The returned :class:`Rebalancer` drains the ownership
+        diff; client writes settle pending keys early.  One rebalance
+        at a time; each bumps the migration epoch, fencing any stale
+        rebalancer."""
+        if self._migration is not None:
+            raise ClusterError("a rebalance is already in progress")
+        if add is None and remove is None:
+            raise ValueError("rebalance needs add= and/or remove=")
+        adds: List[str] = []
+        removes: List[str] = []
+        if add is not None:
+            if add.name in self.pairs or add.name in self.retired:
+                raise ValueError(f"shard name in use: {add.name!r}")
+            adds.append(add.name)
+        if remove is not None:
+            if remove not in self.pairs:
+                raise ValueError(f"unknown shard: {remove!r}")
+            removes.append(remove)
+        new_ring = self.ring.rebalance(add=adds, remove=removes)
+        if add is not None:
+            self._register_group(add)
+        pending: Dict[object, str] = {}
+        for group in self.pairs.values():
+            name = group.name
+            for key in group.directory:
+                if new_ring.lookup(key) != name:
+                    pending[key] = name
+        self.migration_epoch += 1
+        self.ring = new_ring
+        state = MigrationState(self.migration_epoch, pending,
+                               tuple(adds), tuple(removes))
+        rebalancer = Rebalancer(self, state)
+        state.rebalancer = rebalancer
+        self._migration = state
+        self.stats.rebalances += 1
+        self._m_rebalances.inc()
+        return rebalancer
+
+    def _settle_migration(self, key):
+        """A client write/delete to a pending key supersedes the old
+        copy: retire it from the old owner and unpend the key."""
+        state = self._migration
+        if state is None:
+            return None
+        src_name = state.pending.pop(key, None)
+        if src_name is None:
+            return None
+        src = self._group(src_name)
+        record = self._shard_op(
+            src, lambda: src.delete(key, session=self._session))
+        if record is not None:
+            self._ack(src, record)
+        if not state.pending:
+            self._finish_migration(state)
         return record
+
+    def _finish_migration(self, state: MigrationState) -> None:
+        if self._migration is not state:
+            return
+        self._migration = None
+        for name in state.removed:
+            self.retired[name] = self.pairs.pop(name)
+
+    def finish_rebalance(self) -> int:
+        """Drain the active migration to completion (recovery path)."""
+        state = self._migration
+        if state is None or state.rebalancer is None:
+            return 0
+        return state.rebalancer.run()
+
+    @property
+    def migration_pending(self) -> int:
+        state = self._migration
+        return len(state.pending) if state is not None else 0
 
     # ------------------------------------------------------ maintenance
 
     def kill_shard(self, name: str) -> None:
         """Kill ``name``'s primary: power-cycle the device and latch the
-        pair's breaker open (the health monitor declaring it dead), so
-        the next operation — or :meth:`ensure_healthy` — promotes the
+        group's breaker open (the health monitor declaring it dead), so
+        the next operation — or :meth:`ensure_healthy` — promotes a
         replica."""
-        pair = self.pairs[name]
-        pair.primary.power_cycle()
-        pair.primary_down = True
+        group = self._group(name)
+        group.primary.power_cycle()
+        group.primary_down = True
         self.stats.kills += 1
         self._m_kills.inc()
         # force_open -> BREAKER_OPEN transition -> controller listener
         # marks needs_promotion; promotion happens at an op boundary.
-        pair.guard.breaker.force_open()
+        group.guard.breaker.force_open()
 
     def ensure_healthy(self) -> int:
-        """Promote every pair marked for promotion; returns how many."""
+        """Promote every group marked for promotion; returns how many."""
         promoted = 0
-        for pair in self.pairs.values():
-            if pair.primary_down or pair.needs_promotion:
-                self.controller.promote(pair)
+        for group in list(self.pairs.values()):
+            if group.primary_down or group.needs_promotion:
+                self.controller.promote(group)
                 promoted += 1
         return promoted
 
     def pump_replication(self, limit: Optional[int] = None) -> int:
-        """Apply pending log records on every pair's replica."""
+        """Apply pending log records across every group's replicas.
+
+        ``limit`` is a *total* budget for the call, spent round-robin
+        one record per group per turn (starting from a cursor that
+        rotates across calls), so one hot shard's backlog can't starve
+        the others' replication lag.  Unlimited calls drain each group
+        fully."""
+        pairs = list(self.pairs.values())
+        if not pairs:
+            return 0
+        count = len(pairs)
+        start = self._pump_cursor % count
         applied = 0
-        for pair in self.pairs.values():
-            applied += pair.pump_replication(limit)
-            self._m_lag[pair.name].set(pair.repl_lag)
+        if limit is None:
+            for offset in range(count):
+                applied += pairs[(start + offset) % count].pump_replication()
+            self._pump_cursor = (start + 1) % count
+        else:
+            remaining = limit
+            progressed = True
+            while remaining > 0 and progressed:
+                progressed = False
+                for offset in range(count):
+                    if remaining <= 0:
+                        break
+                    group = pairs[(start + offset) % count]
+                    got = group.pump_replication(1)
+                    if got:
+                        progressed = True
+                        applied += got
+                        remaining -= got
+                start = (start + 1) % count
+            self._pump_cursor = start
+        for group in pairs:
+            lag = group.repl_lag
+            self._m_lag[group.name].set(lag)
+            self._m_replica_lag.record(lag)
+            if lag == 0:
+                started = self._pending_convergence.pop(group.name, None)
+                if started is not None:
+                    duration = max(0, self.clock.now_us - started)
+                    self.stats.convergences += 1
+                    self.stats.convergence_us += duration
+                    self._m_convergence.record(duration)
         if applied:
             self.stats.repl_applied += applied
             self._m_repl_applied.inc(applied)

@@ -1,43 +1,77 @@
-"""One shard of the cluster: a primary/replica device pair.
+"""One shard of the cluster: a primary plus R replica devices.
 
-A :class:`ShardPair` owns two event-driven :class:`~repro.ssd.device.Ssd`
-devices plus the host-side state that makes them one shard: the
-key->LPN directory (the tier's metadata service — it survives device
-kills), an LPN allocator over the primary's logical space, the pair's
-:class:`~repro.cluster.replication.ReplicationLog`, the replica-side
-:class:`~repro.cluster.replication.LogApplier`, and a
+A :class:`ShardGroup` owns ``1 + R`` event-driven
+:class:`~repro.ssd.device.Ssd` devices plus the host-side state that
+makes them one shard: the key->LPN directory (the tier's metadata
+service — it survives device kills), an LPN allocator over the
+primary's logical space, the group's
+:class:`~repro.cluster.replication.ReplicationLog`, one
+:class:`~repro.cluster.replication.LogApplier` per replica, and a
 :class:`~repro.host.resilience.ShareGuard` wrapping every primary
 command in the PR 4 retry/breaker policy.
 
 Write path: reserve an LPN, write the primary through the guard, commit
-the directory entry, append the mutation to the replication log — *then*
-ack.  The replica lags behind on purpose; :meth:`pump_replication`
-applies the backlog in batches on a dedicated replication session so
+the directory entry, append the mutation to the replication log, then
+synchronously drive the ``write_quorum - 1`` most-caught-up replicas to
+the record's sequence — *then* ack.  With ``write_quorum=1`` (the PR 8
+shape) replicas lag behind on purpose and :meth:`pump_replication`
+applies the backlog in batches on dedicated replication sessions, so
 background applies never advance foreground client cursors.
 
-Backpressure: before each command the pair bounds the primary's
+Read path: a replica may serve a read when its applied watermark covers
+both the *reader's* last acked sequence on this shard (read-your-writes,
+enforced by the router's per-client watermark) and the sequence that
+*created* the key's current directory entry.  The entry fence matters
+because LPNs are recycled: without it a lagging replica could return a
+deleted key's stale payload for a fresh key that re-used its LPN.
+
+Backpressure: before each command the group bounds the target device's
 in-flight queue at ``queue_limit`` tickets, blocking (advancing virtual
 time to the next completion) until a slot frees up.
+
+:class:`ShardPair` survives as the two-device special case — same
+constructor shape as PR 8, now a thin subclass of :class:`ShardGroup`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, NamedTuple, Optional
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.cluster.replication import (REPL_SHARE, REPL_TRIM, REPL_WRITE,
                                        LogApplier, ReplicationLog)
-from repro.errors import ClusterError, ShareError
+from repro.errors import (ClusterError, DeviceError, MediaError,
+                          OutOfSpaceError, ShareError)
 from repro.host.resilience import CircuitBreaker, RetryPolicy, ShareGuard
 from repro.ssd.ncq import DeviceSession
 
-__all__ = ["ShardPair", "PairStats"]
+__all__ = ["ShardGroup", "ShardPair", "Replica", "PairStats", "GroupStats"]
 
-#: Session id reserved for the replication apply loop (never a client).
+#: Session id reserved for the first replica's apply loop (never a
+#: client); further replicas count down from here.
 REPL_CLIENT = -1
 
 
+class Replica:
+    """One replica device with its applier and replication session."""
+
+    __slots__ = ("ssd", "applier", "session", "failed")
+
+    def __init__(self, ssd, client: int = REPL_CLIENT) -> None:
+        self.ssd = ssd
+        self.applier = LogApplier()
+        self.session = DeviceSession(client=client)
+        #: Dropped from quorum, reads, and pumping after an unrecoverable
+        #: device error during apply (or a health-monitor trip).
+        self.failed = False
+
+    def __repr__(self) -> str:
+        return (f"Replica({self.ssd.name!r}, "
+                f"watermark={self.applier.watermark}, "
+                f"failed={self.failed})")
+
+
 class PairStats(NamedTuple):
-    """Snapshot of one pair's counters (for reports and tests)."""
+    """Snapshot of one group's counters (for reports and tests)."""
 
     writes: int
     reads: int
@@ -48,30 +82,58 @@ class PairStats(NamedTuple):
     failovers: int
     repl_lag: int
     epoch: int
+    replica_reads: int = 0
+    replica_read_fallbacks: int = 0
+    quorum_syncs: int = 0
+    quorum_degraded: int = 0
+    replica_drops: int = 0
+    replicas: int = 0
+    write_quorum: int = 1
 
 
-class ShardPair:
-    """Primary + replica devices serving one consistent-hash shard."""
+#: The stats tuple outgrew the pair; both names refer to the same shape.
+GroupStats = PairStats
 
-    def __init__(self, name: str, primary, replica,
+
+class ShardGroup:
+    """Primary + R replica devices serving one consistent-hash shard."""
+
+    def __init__(self, name: str, primary, replicas: Sequence = (),
                  policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 queue_limit: Optional[int] = 8) -> None:
+                 queue_limit: Optional[int] = 8,
+                 write_quorum: int = 1) -> None:
         if queue_limit is not None and queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1: {queue_limit}")
+        if write_quorum < 1:
+            raise ValueError(f"write_quorum must be >= 1: {write_quorum}")
+        if write_quorum > 1 + len(replicas):
+            raise ValueError(
+                f"write_quorum {write_quorum} exceeds group size "
+                f"{1 + len(replicas)}")
         self.name = name
         self.primary = primary
-        self.replica = replica
+        self._next_repl_client = REPL_CLIENT
+        self.replicas: List[Replica] = []
+        for device in replicas:
+            self._add_replica(device)
+        self.write_quorum = write_quorum
         self.queue_limit = queue_limit
         self.log = ReplicationLog()
-        self.applier = LogApplier()
         self.directory: Dict[Any, int] = {}
-        self.capacity = min(primary.logical_pages, replica.logical_pages)
+        #: Sequence of the record that created each live directory entry
+        #: (the replica-read fence against LPN recycling).
+        self._entry_seq: Dict[Any, int] = {}
+        #: SHARE provenance: dst_key -> src_key for entries created by a
+        #: same-shard SHARE whose source is still live.  Rebalancing uses
+        #: it to move snapshot records as remaps instead of full copies.
+        self._share_src: Dict[Any, Any] = {}
+        devices = [primary] + [rep.ssd for rep in self.replicas]
+        self.capacity = min(device.logical_pages for device in devices)
         self._next_lpn = 0
         self._free_lpns: List[int] = []
         self.guard = ShareGuard(primary, engine=f"shard.{name}",
                                 policy=policy, breaker=breaker)
-        self.repl_session = DeviceSession(client=REPL_CLIENT)
         # Role/health flags the router and failover controller maintain.
         self.primary_down = False
         self.needs_promotion = False
@@ -83,18 +145,84 @@ class ShardPair:
         self.deletes = 0
         self.share_fallbacks = 0
         self.backpressure_waits = 0
+        self.replica_reads = 0
+        self.replica_read_fallbacks = 0
+        self.quorum_syncs = 0
+        self.quorum_degraded = 0
+        self.replica_drops = 0
+        self._read_rr = 0
+
+    def _add_replica(self, device) -> Replica:
+        rep = Replica(device, client=self._next_repl_client)
+        self._next_repl_client -= 1
+        self.replicas.append(rep)
+        return rep
+
+    def rejoin(self, device) -> Replica:
+        """Re-admit a demoted (or repaired) device as a fresh replica.
+
+        The new replica starts from watermark 0: applying the log from
+        seq 1 is idempotent on its media (writes of the same payloads,
+        remaps of the same pairs) and closes any post-kill gap."""
+        return self._add_replica(device)
+
+    # ------------------------------------------------ pair-era adapters
+
+    @property
+    def replica(self):
+        """First replica's device (the PR 8 one-replica view)."""
+        return self.replicas[0].ssd if self.replicas else None
+
+    @replica.setter
+    def replica(self, device) -> None:
+        if device is None:
+            self.replicas = []
+        elif self.replicas:
+            self.replicas[0].ssd = device
+        else:
+            self._add_replica(device)
+
+    @property
+    def applier(self) -> Optional[LogApplier]:
+        """First replica's applier (the PR 8 one-replica view)."""
+        return self.replicas[0].applier if self.replicas else None
+
+    @property
+    def repl_session(self) -> Optional[DeviceSession]:
+        return self.replicas[0].session if self.replicas else None
 
     # ---------------------------------------------------------- metadata
 
+    def live_replicas(self) -> List[Replica]:
+        return [rep for rep in self.replicas if not rep.failed]
+
     @property
     def repl_lag(self) -> int:
-        """Records acked by the primary but not yet on the replica."""
-        return self.log.tip - self.applier.watermark
+        """Records acked by the primary but missing on the most-lagged
+        live replica (0 with no live replicas: nothing left to drain)."""
+        live = self.live_replicas()
+        if not live:
+            return 0
+        tip = self.log.tip
+        return tip - min(rep.applier.watermark for rep in live)
 
     def stats(self) -> PairStats:
         return PairStats(self.writes, self.reads, self.shares, self.deletes,
                          self.share_fallbacks, self.backpressure_waits,
-                         self.failovers, self.repl_lag, self.log.epoch)
+                         self.failovers, self.repl_lag, self.log.epoch,
+                         self.replica_reads, self.replica_read_fallbacks,
+                         self.quorum_syncs, self.quorum_degraded,
+                         self.replica_drops, len(self.replicas),
+                         self.write_quorum)
+
+    def mark_replica_failed(self, device_name: str) -> bool:
+        """Drop the named replica from quorum/read/pump rotation."""
+        for rep in self.replicas:
+            if rep.ssd.name == device_name and not rep.failed:
+                rep.failed = True
+                self.replica_drops += 1
+                return True
+        return False
 
     def _reserve_lpn(self, key):
         """Pick an LPN for ``key`` without committing it yet."""
@@ -145,29 +273,79 @@ class ShardPair:
         """Durably write ``key`` and append the replication record.
 
         Returns the appended :class:`ReplRecord`; its return *is* the
-        ack — the write is on the primary's media and in the durable
-        log, so a single-device kill at any later instant cannot lose
-        it."""
+        ack — the write is on the primary's media, in the durable log,
+        and (with ``write_quorum`` > 1) applied on a write quorum of
+        replicas, so a single-device kill at any later instant cannot
+        lose it."""
         ssd = self.primary
         self._backpressure(ssd)
         lpn, fresh = self._reserve_lpn(key)
         self._guarded("cluster.put", ssd, session,
                       lambda: ssd.write(lpn, value))
         self._commit_lpn(key, lpn, fresh)
+        record = self.log.append(REPL_WRITE, key, lpn, value)
+        if fresh:
+            self._entry_seq[key] = record.seq
+        self._share_src.pop(key, None)
+        self._await_quorum(record.seq)
         self.writes += 1
-        return self.log.append(REPL_WRITE, key, lpn, value)
+        return record
 
-    def get(self, key, session: Optional[DeviceSession] = None):
-        """Read ``key`` from the primary (None when absent)."""
+    def get(self, key, session: Optional[DeviceSession] = None,
+            min_seq: int = 0, allow_replica: bool = True):
+        """Read ``key`` (None when absent).
+
+        A replica serves the read when one has applied both ``min_seq``
+        (the caller's read-your-writes watermark) and the sequence that
+        created the key's directory entry; otherwise — or when the
+        replica read itself fails at the device — the primary serves it
+        through the guard."""
         lpn = self.directory.get(key)
         if lpn is None:
             return None
+        if allow_replica and self.replicas:
+            rep = self._pick_replica(key, min_seq)
+            if rep is not None:
+                try:
+                    value = self._replica_read(rep, lpn, session)
+                except DeviceError:
+                    self.replica_read_fallbacks += 1
+                else:
+                    self.replica_reads += 1
+                    self.reads += 1
+                    return value
         ssd = self.primary
         self._backpressure(ssd)
         value = self._guarded("cluster.get", ssd, session,
                               lambda: ssd.read(lpn))
         self.reads += 1
         return value
+
+    def _pick_replica(self, key, min_seq: int) -> Optional[Replica]:
+        """Round-robin over replicas eligible to serve ``key``."""
+        need = min_seq
+        entry = self._entry_seq.get(key, 0)
+        if entry > need:
+            need = entry
+        count = len(self.replicas)
+        for offset in range(count):
+            rep = self.replicas[(self._read_rr + offset) % count]
+            if rep.failed or rep.applier.watermark < need:
+                continue
+            self._read_rr = (self._read_rr + offset + 1) % count
+            return rep
+        return None
+
+    def _replica_read(self, rep: Replica, lpn: int, session):
+        ssd = rep.ssd
+        self._backpressure(ssd)
+        if session is None:
+            return ssd.read(lpn)
+        ssd._session = session
+        try:
+            return ssd.read(lpn)
+        finally:
+            ssd._session = None
 
     def share(self, dst_key, src_key,
               session: Optional[DeviceSession] = None):
@@ -197,9 +375,14 @@ class ShardPair:
                 ssd.write(lpn, value)
         self._guarded("cluster.share", ssd, session, do_share)
         self._commit_lpn(dst_key, lpn, fresh)
+        record = self.log.append(REPL_SHARE, dst_key, lpn, value,
+                                 src_lpn=src_lpn)
+        if fresh:
+            self._entry_seq[dst_key] = record.seq
+        self._share_src[dst_key] = src_key
+        self._await_quorum(record.seq)
         self.shares += 1
-        return self.log.append(REPL_SHARE, dst_key, lpn, value,
-                               src_lpn=src_lpn)
+        return record
 
     def delete(self, key, session: Optional[DeviceSession] = None):
         """Trim ``key``; returns the record, or None when absent."""
@@ -211,33 +394,110 @@ class ShardPair:
         self._guarded("cluster.delete", ssd, session,
                       lambda: ssd.trim(lpn))
         del self.directory[key]
+        self._entry_seq.pop(key, None)
+        self._share_src.pop(key, None)
         self._free_lpns.append(lpn)
+        record = self.log.append(REPL_TRIM, key, lpn)
+        self._await_quorum(record.seq)
         self.deletes += 1
-        return self.log.append(REPL_TRIM, key, lpn)
+        return record
 
     # ------------------------------------------------------- replication
 
-    def pump_replication(self, limit: Optional[int] = None) -> int:
-        """Apply up to ``limit`` pending log records to the replica.
+    def _apply_to(self, rep: Replica, upto: Optional[int] = None,
+                  budget: Optional[int] = None) -> int:
+        """Apply pending records to one replica, strictly in order.
 
-        Runs on the pair's dedicated replication session so the apply
-        I/O queues behind the replica's other work without dragging any
-        client cursor forward.  Returns the number of records applied."""
-        pending = self.log.records_from(self.applier.watermark + 1)
-        if limit is not None:
-            pending = pending[:limit]
-        if not pending:
-            return 0
-        replica = self.replica
-        session = self.repl_session
-        if session.now_us < replica.clock.now_us:
-            session.now_us = replica.clock.now_us
+        ``upto`` bounds the target sequence (defaults to the log tip),
+        ``budget`` bounds how many records this call applies.  A device
+        error mid-apply marks the replica failed and drops it from the
+        rotation — the applier watermark stays truthful, so a later
+        repair could resume exactly where it stopped."""
+        log = self.log
+        tip = log.tip if upto is None else min(upto, log.tip)
         applied = 0
-        replica._session = session
-        try:
-            for record in pending:
-                if self.applier.apply(replica, record):
-                    applied += 1
-        finally:
-            replica._session = None
+        ssd = rep.ssd
+        session = rep.session
+        if session.now_us < ssd.clock.now_us:
+            session.now_us = ssd.clock.now_us
+        applier = rep.applier
+        while applier.watermark < tip:
+            if budget is not None and applied >= budget:
+                break
+            record = log.record_at(applier.watermark + 1)
+            ssd._session = session
+            try:
+                done = applier.apply(ssd, record)
+            except (MediaError, OutOfSpaceError):
+                # The replica's media is giving out: drop it from the
+                # rotation rather than burn its remaining spares.
+                rep.failed = True
+                self.replica_drops += 1
+                break
+            except DeviceError:
+                # Transient (busy/timeout): stop this batch, retry at
+                # the next pump with the replica still in rotation.
+                break
+            finally:
+                ssd._session = None
+            if done:
+                applied += 1
         return applied
+
+    def _await_quorum(self, seq: int) -> None:
+        """Block the ack until ``write_quorum`` group members hold the
+        record (the primary is vote one).  With too few live replicas
+        the group degrades to primary-only acks — availability over
+        quorum — and counts the episode."""
+        need = self.write_quorum - 1
+        if need <= 0:
+            return
+        satisfied = 0
+        live = sorted(self.live_replicas(),
+                      key=lambda rep: -rep.applier.watermark)
+        for rep in live:
+            if satisfied >= need:
+                break
+            if rep.applier.watermark < seq:
+                self.quorum_syncs += 1
+                self._apply_to(rep, upto=seq)
+            if rep.applier.watermark >= seq:
+                satisfied += 1
+        if satisfied < need:
+            self.quorum_degraded += 1
+
+    def pump_replication(self, limit: Optional[int] = None) -> int:
+        """Apply up to ``limit`` pending log records across replicas.
+
+        Runs on each replica's dedicated replication session so the
+        apply I/O queues behind the replica's other work without
+        dragging any client cursor forward.  The most-lagged replica
+        drains first.  Returns the number of records applied."""
+        live = self.live_replicas()
+        if not live:
+            return 0
+        live.sort(key=lambda rep: rep.applier.watermark)
+        applied = 0
+        remaining = limit
+        for rep in live:
+            count = self._apply_to(rep, budget=remaining)
+            applied += count
+            if remaining is not None:
+                remaining -= count
+                if remaining <= 0:
+                    break
+        return applied
+
+
+class ShardPair(ShardGroup):
+    """Primary + one replica: the PR 8 construction shape, unchanged."""
+
+    def __init__(self, name: str, primary, replica,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 queue_limit: Optional[int] = 8,
+                 write_quorum: int = 1) -> None:
+        replicas = () if replica is None else (replica,)
+        super().__init__(name, primary, replicas, policy=policy,
+                         breaker=breaker, queue_limit=queue_limit,
+                         write_quorum=write_quorum)

@@ -28,11 +28,16 @@ Entry points:
   selects the media sweep, ``--cluster`` the shard-kill sweep).
 """
 
-from repro.crashcheck.cluster import (ClusterHarness, ClusterOccurrence,
-                                      ClusterReport, ClusterResult,
-                                      enumerate_acked_writes,
-                                      explore_cluster,
-                                      explore_cluster_occurrence)
+from repro.crashcheck.cluster import (ClusterChaosReport, ClusterChaosResult,
+                                      ClusterChaosHarness, ClusterHarness,
+                                      ClusterMediaReport, ClusterMediaResult,
+                                      ClusterOccurrence, ClusterReport,
+                                      ClusterResult, enumerate_acked_writes,
+                                      explore_cluster, explore_cluster_chaos,
+                                      explore_cluster_media,
+                                      explore_cluster_media_occurrence,
+                                      explore_cluster_occurrence,
+                                      media_cluster_harness, run_chaos_seed)
 from repro.crashcheck.explorer import (ExplorationReport, Occurrence,
                                        PointResult, enumerate_occurrences,
                                        explore, explore_occurrence)
@@ -70,4 +75,14 @@ __all__ = [
     "enumerate_acked_writes",
     "explore_cluster",
     "explore_cluster_occurrence",
+    "media_cluster_harness",
+    "ClusterMediaReport",
+    "ClusterMediaResult",
+    "explore_cluster_media",
+    "explore_cluster_media_occurrence",
+    "ClusterChaosHarness",
+    "ClusterChaosReport",
+    "ClusterChaosResult",
+    "run_chaos_seed",
+    "explore_cluster_chaos",
 ]

@@ -23,6 +23,20 @@ Because the harness issues ops from one synchronous client, an ack
 boundary has nothing in flight: zero violations is the expected result,
 and any nonzero count is a real bug in replication, promotion replay,
 or epoch fencing.
+
+Two further sweeps live here:
+
+* :func:`explore_cluster_media` replaces the kill with a
+  :class:`~repro.sim.faults.ShardMediaStorm` at each ack boundary — the
+  victim's NAND degrades instead of dying, the FTL absorbs each failure
+  onto a spare block, and the media-health monitor must trip a
+  *proactive* promotion before the device gives out.
+* :func:`explore_cluster_chaos` runs the seeded chaos scheduler: a
+  deterministic :func:`~repro.sim.rng.make_rng` stream interleaves
+  multi-client traffic with shard kills, media storms, transient
+  device-busy faults, and a mid-run ring resize (with a kill during the
+  migration), then checks three invariants — ``no_lost_acked_write``,
+  ``read_your_writes``, and ``replica_convergence``.
 """
 
 from __future__ import annotations
@@ -30,14 +44,17 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
-from repro.cluster import ShardPair, ShardRouter
+from repro.cluster import ShardGroup, ShardRouter
 from repro.crashcheck.explorer import sample_evenly
 from repro.crashcheck.invariants import check_media
 from repro.crashcheck.workloads import DeviceState, _small_ssd
 from repro.errors import ReproError
 from repro.sim.clock import SimClock
 from repro.sim.events import EventScheduler
-from repro.sim.faults import NO_FAULTS, FaultPlan, ShardKill
+from repro.sim.faults import (NO_FAULTS, DeviceBusy, FaultPlan, ShardKill,
+                              ShardMediaStorm)
+from repro.sim.rng import make_rng
+from repro.ssd.ncq import DeviceSession
 
 __all__ = [
     "ClusterHarness",
@@ -47,6 +64,16 @@ __all__ = [
     "enumerate_acked_writes",
     "explore_cluster_occurrence",
     "explore_cluster",
+    "media_cluster_harness",
+    "ClusterMediaResult",
+    "ClusterMediaReport",
+    "explore_cluster_media_occurrence",
+    "explore_cluster_media",
+    "ClusterChaosHarness",
+    "ClusterChaosResult",
+    "ClusterChaosReport",
+    "run_chaos_seed",
+    "explore_cluster_chaos",
 ]
 
 #: Shard pairs in the verification tier (>= 3 per the acceptance bar).
@@ -75,28 +102,46 @@ class ClusterHarness:
 
     name = "cluster-small"
 
-    def __init__(self, faults: FaultPlan) -> None:
+    def __init__(self, faults: FaultPlan, replicas: int = 1,
+                 write_quorum: int = 1, media: bool = False) -> None:
         self.faults = faults
         self.clock = SimClock()
         self.events = EventScheduler(self.clock)
+        self.media = media
+        #: device name -> its own plan (media mode only): a storm's NAND
+        #: faults must land on one victim device, while the sweep's plan
+        #: stays a router-level concern.
+        self.device_plans: Dict[str, FaultPlan] = {}
         pairs = []
         for index in range(CLUSTER_SHARDS):
             primary = self._device(f"s{index}p")
-            replica = self._device(f"s{index}r")
-            pairs.append(ShardPair(f"shard{index}", primary, replica))
+            reps = []
+            for rep_index in range(replicas):
+                suffix = "r" if replicas == 1 else f"r{rep_index}"
+                reps.append(self._device(f"s{index}{suffix}"))
+            pairs.append(ShardGroup(f"shard{index}", primary, reps,
+                                    write_quorum=write_quorum))
         self.pairs = pairs
-        # Devices run fault-free (the kill is a router-level event, not
-        # a media fault); only the router consults the sweep's plan.
+        # In the kill sweep devices run fault-free (the kill is a
+        # router-level event); only the router consults the sweep's plan.
         self.router = ShardRouter(pairs, self.clock, faults=faults)
         self.durable: Dict[object, object] = {}
         self.crashed = False
 
     def _device(self, name: str):
-        # All six devices on one scheduler — completions interleave in
-        # global time exactly as they would on one host.
-        return _small_ssd(NO_FAULTS, self.clock, block_count=24,
+        # All devices on one scheduler — completions interleave in
+        # global time exactly as they would on one host.  Media mode
+        # gives each device its own plan plus a spare-block pool for the
+        # FTL to retire storm-failed blocks into.
+        plan = NO_FAULTS
+        spares = 0
+        if self.media:
+            plan = self.device_plans.setdefault(name, FaultPlan())
+            spares = 4
+        return _small_ssd(plan, self.clock, block_count=24,
                           pages_per_block=8, overprovision=0.25,
-                          share_entries=32, name=name, events=self.events)
+                          share_entries=32, spare_blocks=spares,
+                          name=name, events=self.events)
 
     def run(self) -> None:
         rng = random.Random(0xC10C)
@@ -135,7 +180,8 @@ class ClusterHarness:
         router.drain()
         states = []
         for pair in self.pairs:
-            for ssd in (pair.primary, pair.replica):
+            devices = [pair.primary] + [rep.ssd for rep in pair.replicas]
+            for ssd in devices:
                 ssd.power_cycle()
                 states.append(DeviceState(ssd.name, ssd, 4))
         return states
@@ -157,11 +203,15 @@ class ClusterHarness:
                     f"no_lost_acked_write: key {key!r} reads {actual!r}, "
                     f"acked value was {expected!r}")
         for pair in self.pairs:
-            if pair.applier.watermark > pair.log.tip:
-                violations.append(
-                    f"cluster: shard {pair.name!r} watermark "
-                    f"{pair.applier.watermark} past log tip {pair.log.tip}")
-        kills = self.faults.cluster.fired_faults()
+            for rep in pair.replicas:
+                if rep.applier.watermark > pair.log.tip:
+                    violations.append(
+                        f"cluster: shard {pair.name!r} replica "
+                        f"{rep.ssd.name!r} watermark "
+                        f"{rep.applier.watermark} past log tip "
+                        f"{pair.log.tip}")
+        kills = [fault for fault in self.faults.cluster.fired_faults()
+                 if isinstance(fault, ShardKill)]
         if kills and self.router.stats.failovers == 0:
             violations.append(
                 f"cluster: shard kill fired ({kills[0]!r}) but no "
@@ -303,6 +353,565 @@ def explore_cluster(
             progress(index + 1, len(explored), result)
     report = ClusterReport(workload, acked, tuple(occurrences),
                            tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report
+
+
+# --------------------------------------------------------------- media storms
+
+
+def media_cluster_harness(faults: FaultPlan) -> ClusterHarness:
+    """Factory for the media sweep: per-device fault plans plus spare
+    pools, so a storm degrades — not kills — its victim."""
+    return ClusterHarness(faults, media=True)
+
+
+class ClusterMediaResult(NamedTuple):
+    """Verdict for one injected media storm."""
+
+    nth: int
+    fired: bool
+    victim: Optional[str]
+    media_trips: int
+    proactive_promotions: int
+    failovers: int
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "clustermedia",
+            "workload": workload,
+            "nth": self.nth,
+            "fired": self.fired,
+            "victim": self.victim,
+            "media_trips": self.media_trips,
+            "proactive_promotions": self.proactive_promotions,
+            "failovers": self.failovers,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+class ClusterMediaReport(NamedTuple):
+    """Aggregate of one cluster media-storm sweep."""
+
+    workload: str
+    acked_writes: int
+    occurrences: Tuple[ClusterOccurrence, ...]
+    results: Tuple[ClusterMediaResult, ...]
+
+    @property
+    def failures(self) -> List[ClusterMediaResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def proactive_promotions(self) -> int:
+        return sum(res.proactive_promotions for res in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "clustermedia-summary",
+            "workload": self.workload,
+            "acked_writes": self.acked_writes,
+            "occurrences": len(self.occurrences),
+            "explored": len(self.results),
+            "fired": sum(1 for res in self.results if res.fired),
+            "media_trips": sum(res.media_trips for res in self.results),
+            "proactive_promotions": self.proactive_promotions,
+            "failovers": sum(res.failovers for res in self.results),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def explore_cluster_media_occurrence(
+        factory: Callable[[FaultPlan], object],
+        occurrence: ClusterOccurrence) -> ClusterMediaResult:
+    """One media storm at one ack boundary, on a fresh harness.
+
+    The storm arms consecutive program/erase failures on the acking
+    shard's primary; the FTL absorbs each one onto a spare block, so no
+    client ever sees an error — the health monitor must notice the
+    ``media.*`` counters move and trip a proactive promotion."""
+    faults = FaultPlan()
+    harness = factory(faults)
+    faults.arm_cluster(ShardMediaStorm(nth=occurrence.nth))
+    harness.run()
+    fired = faults.cluster.fired_faults()
+    victim = fired[0].victim if fired else None
+    faults.disarm_cluster()
+    devices = harness.recover()
+    violations: List[str] = []
+    for state in devices:
+        violations.extend(check_media(state.name, state.ssd,
+                                      max_refs=state.max_refs))
+    violations.extend(harness.check_engine())
+    stats = harness.router.stats
+    if fired and stats.media_storms == 0:
+        violations.append(
+            "cluster-media: storm fired but the router never injected it")
+    return ClusterMediaResult(occurrence.nth, bool(fired), victim,
+                              stats.media_trips, stats.proactive_promotions,
+                              stats.failovers, tuple(violations))
+
+
+def explore_cluster_media(
+        factory: Callable[[FaultPlan], object] = media_cluster_harness,
+        workload: str = "cluster-media",
+        occurrences: Optional[List[ClusterOccurrence]] = None,
+        max_points: Optional[int] = None,
+        sink=None,
+        progress: Optional[
+            Callable[[int, int, ClusterMediaResult], None]] = None
+) -> ClusterMediaReport:
+    """The media sweep: enumerate ack boundaries, storm at each one.
+
+    Zero violations is the bar, but the interesting aggregate is
+    :attr:`ClusterMediaReport.proactive_promotions`: storms late in the
+    run may not accumulate enough health score to trip before the run
+    ends, so the CLI checks the sweep total, not every point."""
+    acked = enumerate_acked_writes(factory)
+    if occurrences is None:
+        occurrences = [ClusterOccurrence(nth)
+                       for nth in range(1, acked + 1)]
+    explored = occurrences
+    if max_points is not None:
+        explored = sample_evenly(occurrences, max_points)
+    results: List[ClusterMediaResult] = []
+    for index, occurrence in enumerate(explored):
+        result = explore_cluster_media_occurrence(factory, occurrence)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(explored), result)
+    report = ClusterMediaReport(workload, acked, tuple(occurrences),
+                                tuple(results))
+    if sink is not None:
+        sink.emit(report.summary())
+    return report
+
+
+# ------------------------------------------------------------ chaos schedule
+
+#: Chaos cluster shape: R=2 groups acking at a write quorum of two.
+CHAOS_SHARDS = 3
+CHAOS_REPLICAS = 2
+CHAOS_QUORUM = 2
+
+#: Concurrent closed-loop clients (each owns a device session, so the
+#: read-your-writes invariant is checked per client, not globally).
+CHAOS_CLIENTS = 3
+
+CHAOS_STEPS = 240
+CHAOS_KEYS = 24
+CHAOS_PUMP_EVERY = 10
+
+
+class ClusterChaosHarness:
+    """Seeded randomized interleaving of faults under live traffic.
+
+    One :func:`~repro.sim.rng.make_rng` stream drives everything — the
+    per-client op mix, shard kills, media storms, transient device-busy
+    command faults, the mid-run ring resize (one shard added, with a
+    kill injected while the migration is in flight), and the
+    replication pump cadence — so a seed is a complete, replayable
+    schedule.
+
+    Three invariants:
+
+    * ``read_your_writes`` — checked inline: every read by client C must
+      return a value acked at or after C's last acked mutation of that
+      key (older acked values are legal for clients that never wrote
+      it; the tier promises RYW, not linearizability).
+    * ``replica_convergence`` — after quiescence every live replica's
+      watermark equals its group's log tip and every directory entry
+      reads back identically on the primary and each replica.
+    * ``no_lost_acked_write`` — after every device is power-cycled, each
+      key reads back as its last acked value.
+    """
+
+    name = "cluster-chaos"
+
+    def __init__(self, seed: int, steps: int = CHAOS_STEPS,
+                 shards: int = CHAOS_SHARDS,
+                 replicas: int = CHAOS_REPLICAS,
+                 write_quorum: int = CHAOS_QUORUM,
+                 clients: int = CHAOS_CLIENTS,
+                 max_kills: int = 2, max_storms: int = 2,
+                 max_busy: int = 3) -> None:
+        self.seed = seed
+        self.steps = steps
+        self.rng = make_rng(seed)
+        self.clock = SimClock()
+        self.events = EventScheduler(self.clock)
+        self.device_plans: Dict[str, FaultPlan] = {}
+        groups = [self._build_group(f"shard{index}", replicas, write_quorum)
+                  for index in range(shards)]
+        self.groups = groups
+        # Chaos is injected directly below (kills, storms, busy faults),
+        # not through an armed plan, so the router runs with the null one.
+        self.router = ShardRouter(groups, self.clock, faults=NO_FAULTS)
+        #: The shard the mid-run rebalance adds to the ring.
+        self.spare_group = self._build_group(f"shard{shards}", replicas,
+                                             write_quorum)
+        self.clients = clients
+        self.max_kills = max_kills
+        self.max_storms = max_storms
+        self.max_busy = max_busy
+        self.rebalance_at = steps // 2
+        # Invariant bookkeeping.
+        self.version = 0
+        #: key -> [(version, repr-or-None)] for every acked mutation.
+        self.key_states: Dict[object, List[Tuple[int, Optional[str]]]] = {}
+        #: (client, key) -> version of the client's last acked mutation.
+        self.client_floor: Dict[Tuple[int, object], int] = {}
+        #: key -> last acked repr (the no-lost-acked-write oracle).
+        self.durable: Dict[object, Optional[str]] = {}
+        self.violations: List[str] = []
+        self.kills = 0
+        self.storms = 0
+        self.busy_faults = 0
+        self.ryw_checks = 0
+        self.rebalanced = False
+        self.mid_rebalance_kill = False
+
+    def _build_group(self, name: str, replicas: int,
+                     write_quorum: int) -> ShardGroup:
+        primary = self._device(f"{name}p")
+        reps = [self._device(f"{name}r{index}") for index in range(replicas)]
+        return ShardGroup(name, primary, reps, write_quorum=write_quorum)
+
+    def _device(self, name: str):
+        # Every device owns a plan (storms and busy faults target one
+        # victim) and a spare pool to absorb storm-failed blocks.
+        plan = self.device_plans.setdefault(name, FaultPlan())
+        return _small_ssd(plan, self.clock, block_count=24,
+                          pages_per_block=8, overprovision=0.25,
+                          share_entries=32, spare_blocks=4,
+                          name=name, events=self.events)
+
+    # -------------------------------------------------------- bookkeeping
+
+    def _record_write(self, client: int, key, value_repr) -> None:
+        self.version += 1
+        self.key_states.setdefault(key, []).append((self.version, value_repr))
+        self.client_floor[(client, key)] = self.version
+        self.durable[key] = value_repr
+
+    def _check_read(self, client: int, key, result) -> None:
+        self.ryw_checks += 1
+        observed = None if result is None else repr(result)
+        floor = self.client_floor.get((client, key), 0)
+        states = self.key_states.get(key, [])
+        legal = {value for version, value in states if version >= floor}
+        if not states:
+            legal.add(None)  # never acked: absence is the only truth
+        if observed not in legal:
+            self.violations.append(
+                f"read_your_writes: client {client} read {observed!r} for "
+                f"key {key!r}; legal values at floor {floor}: "
+                f"{sorted(repr(value) for value in legal)}")
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> None:
+        rng = self.rng
+        router = self.router
+        sessions = [DeviceSession(client, 0)
+                    for client in range(self.clients)]
+        rebalancer = None
+        for step in range(self.steps):
+            client = rng.randrange(self.clients)
+            session = sessions[client]
+            router.use_session(session)
+            try:
+                self._client_op(rng, router, client)
+            finally:
+                router.use_session(None)
+            self.events.run_until(session.now_us)
+            rebalancer = self._chaos(rng, router, step, rebalancer)
+            if (step + 1) % CHAOS_PUMP_EVERY == 0:
+                router.pump_replication(limit=rng.randrange(4, 13))
+        self._quiesce()
+
+    def _client_op(self, rng, router, client: int) -> None:
+        node = rng.randrange(CHAOS_KEYS)
+        key = ("node", node)
+        draw = rng.random()
+        if draw < 0.40:
+            value = ("v", node, self.version + 1)
+            router.put(key, value)
+            self._record_write(client, key, repr(value))
+        elif draw < 0.55:
+            self._check_read(client, key, router.get(key))
+        elif draw < 0.70:
+            # Write-then-snapshot by one client: the put pins the source
+            # version the SHARE must copy (read-your-writes makes the
+            # snapshot's payload unambiguous even off a replica).
+            value = ("v", node, self.version + 1)
+            router.put(key, value)
+            self._record_write(client, key, repr(value))
+            snap = ("snap", node)
+            router.share(snap, key)
+            self._record_write(client, snap, repr(value))
+        elif draw < 0.82:
+            record = router.delete(key)
+            if record is not None:
+                self._record_write(client, key, None)
+            else:
+                # Absence observed: must be legal for this client.
+                self._check_read(client, key, None)
+        else:
+            snap = ("snap", node)
+            self._check_read(client, snap, router.get(snap))
+
+    def _chaos(self, rng, router, step: int, rebalancer):
+        names = sorted(router.pairs)
+        if self.kills < self.max_kills and rng.random() < 0.04:
+            router.kill_shard(names[rng.randrange(len(names))])
+            self.kills += 1
+        if self.storms < self.max_storms and rng.random() < 0.03:
+            victim = names[rng.randrange(len(names))]
+            storm = ShardMediaStorm(nth=1, shard=victim,
+                                    program_fails=3, erase_fails=0)
+            storm.fired = True
+            storm.victim = victim
+            router._inject_storm(storm)
+            self.storms += 1
+        if self.busy_faults < self.max_busy and rng.random() < 0.05:
+            plans = sorted(self.device_plans)
+            plan = self.device_plans[plans[rng.randrange(len(plans))]]
+            kind = "write" if rng.random() < 0.6 else "read"
+            plan.arm_command(DeviceBusy(
+                kind, nth=plan.commands.op_counts[kind] + 1,
+                clears_after=rng.randrange(1, 3)))
+            self.busy_faults += 1
+        if step == self.rebalance_at:
+            rebalancer = router.start_rebalance(add=self.spare_group)
+            self.rebalanced = True
+        if rebalancer is not None and not rebalancer.done:
+            if not self.mid_rebalance_kill:
+                # Guaranteed kill-mid-migration: the handoff must not
+                # lose keys when a shard dies between batches.
+                live = sorted(router.pairs)
+                router.kill_shard(live[rng.randrange(len(live))])
+                self.kills += 1
+                self.mid_rebalance_kill = True
+            rebalancer.step()
+        return rebalancer
+
+    def _quiesce(self) -> None:
+        router = self.router
+        # The storm passed: disarm leftover transient faults so recovery
+        # verifies the steady state, not an ever-degrading device.
+        for plan in self.device_plans.values():
+            plan.commands.disarm()
+            plan.disarm_media()
+        router.ensure_healthy()
+        router.finish_rebalance()
+        while router.pump_replication():
+            pass
+        router.drain()
+
+    # ------------------------------------------------------------ checks
+
+    def check_convergence(self) -> List[str]:
+        """Every live replica at the tip, every key byte-identical."""
+        violations: List[str] = []
+        for group in self.router.pairs.values():
+            tip = group.log.tip
+            live = group.live_replicas()
+            for rep in live:
+                if rep.applier.watermark != tip:
+                    violations.append(
+                        f"replica_convergence: shard {group.name!r} replica "
+                        f"{rep.ssd.name!r} watermark "
+                        f"{rep.applier.watermark} != tip {tip}")
+            for key in sorted(group.directory, key=repr):
+                lpn = group.directory[key]
+                try:
+                    expected = group.primary.read(lpn)
+                except ReproError as exc:
+                    violations.append(
+                        f"replica_convergence: shard {group.name!r} key "
+                        f"{key!r} unreadable on primary: "
+                        f"{type(exc).__name__}: {exc}")
+                    continue
+                for rep in live:
+                    if rep.applier.watermark != tip:
+                        continue  # already reported above
+                    try:
+                        actual = rep.ssd.read(lpn)
+                    except ReproError as exc:
+                        violations.append(
+                            f"replica_convergence: shard {group.name!r} key "
+                            f"{key!r} unreadable on {rep.ssd.name!r}: "
+                            f"{type(exc).__name__}: {exc}")
+                        continue
+                    if repr(actual) != repr(expected):
+                        violations.append(
+                            f"replica_convergence: shard {group.name!r} key "
+                            f"{key!r}: primary {expected!r} vs "
+                            f"{rep.ssd.name!r} {actual!r}")
+        return violations
+
+    def recover(self) -> List[DeviceState]:
+        """Power-cycle every live device and recover from media."""
+        states = []
+        for ssd in self.router.devices:
+            ssd.power_cycle()
+            states.append(DeviceState(ssd.name, ssd, 4))
+        return states
+
+    def check_engine(self) -> List[str]:
+        """``no_lost_acked_write`` over every key ever acked."""
+        violations: List[str] = []
+        router = self.router
+        for key in sorted(self.durable, key=repr):
+            expected = self.durable[key]
+            try:
+                actual = router.get(key)
+            except ReproError as exc:
+                violations.append(
+                    f"no_lost_acked_write: key {key!r} unreadable after "
+                    f"recovery: {type(exc).__name__}: {exc}")
+                continue
+            observed = None if actual is None else repr(actual)
+            if observed != expected:
+                violations.append(
+                    f"no_lost_acked_write: key {key!r} reads {observed!r}, "
+                    f"acked value was {expected!r}")
+        return violations
+
+
+class ClusterChaosResult(NamedTuple):
+    """Verdict for one chaos seed."""
+
+    seed: int
+    steps: int
+    acked_writes: int
+    kills: int
+    storms: int
+    busy_faults: int
+    failovers: int
+    proactive_promotions: int
+    media_trips: int
+    migrated_keys: int
+    replica_reads: int
+    ryw_checks: int
+    mid_rebalance_kill: bool
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_record(self, workload: str) -> Dict:
+        """The JSONL report row."""
+        return {
+            "type": "clusterchaos",
+            "workload": workload,
+            "seed": self.seed,
+            "steps": self.steps,
+            "acked_writes": self.acked_writes,
+            "kills": self.kills,
+            "storms": self.storms,
+            "busy_faults": self.busy_faults,
+            "failovers": self.failovers,
+            "proactive_promotions": self.proactive_promotions,
+            "media_trips": self.media_trips,
+            "migrated_keys": self.migrated_keys,
+            "replica_reads": self.replica_reads,
+            "ryw_checks": self.ryw_checks,
+            "mid_rebalance_kill": self.mid_rebalance_kill,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+class ClusterChaosReport(NamedTuple):
+    """Aggregate of one chaos sweep (one result per seed)."""
+
+    workload: str
+    results: Tuple[ClusterChaosResult, ...]
+
+    @property
+    def failures(self) -> List[ClusterChaosResult]:
+        return [res for res in self.results if not res.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        return {
+            "type": "clusterchaos-summary",
+            "workload": self.workload,
+            "seeds": len(self.results),
+            "acked_writes": sum(res.acked_writes for res in self.results),
+            "kills": sum(res.kills for res in self.results),
+            "storms": sum(res.storms for res in self.results),
+            "busy_faults": sum(res.busy_faults for res in self.results),
+            "failovers": sum(res.failovers for res in self.results),
+            "proactive_promotions": sum(res.proactive_promotions
+                                        for res in self.results),
+            "migrated_keys": sum(res.migrated_keys for res in self.results),
+            "ryw_checks": sum(res.ryw_checks for res in self.results),
+            "mid_rebalance_kills": sum(1 for res in self.results
+                                       if res.mid_rebalance_kill),
+            "violations": sum(len(res.violations) for res in self.results),
+            "ok": self.ok,
+        }
+
+
+def run_chaos_seed(seed: int, steps: int = CHAOS_STEPS) -> ClusterChaosResult:
+    """Run one seed end to end and check all three invariants."""
+    harness = ClusterChaosHarness(seed, steps=steps)
+    harness.run()
+    violations = list(harness.violations)
+    violations.extend(harness.check_convergence())
+    for state in harness.recover():
+        violations.extend(check_media(state.name, state.ssd,
+                                      max_refs=state.max_refs))
+    violations.extend(harness.check_engine())
+    stats = harness.router.stats
+    return ClusterChaosResult(seed, harness.steps, stats.acked_writes,
+                       harness.kills, harness.storms, harness.busy_faults,
+                       stats.failovers, stats.proactive_promotions,
+                       stats.media_trips, stats.migrated_keys,
+                       stats.replica_reads, harness.ryw_checks,
+                       harness.mid_rebalance_kill, tuple(violations))
+
+
+def explore_cluster_chaos(
+        seeds=(1, 2, 3),
+        steps: int = CHAOS_STEPS,
+        workload: str = ClusterChaosHarness.name,
+        sink=None,
+        progress: Optional[Callable[[int, int, ClusterChaosResult], None]] = None
+) -> ClusterChaosReport:
+    """The chaos sweep: one full randomized schedule per seed."""
+    results: List[ClusterChaosResult] = []
+    seeds = list(seeds)
+    for index, seed in enumerate(seeds):
+        result = run_chaos_seed(seed, steps=steps)
+        results.append(result)
+        if sink is not None:
+            sink.emit(result.as_record(workload))
+        if progress is not None:
+            progress(index + 1, len(seeds), result)
+    report = ClusterChaosReport(workload, tuple(results))
     if sink is not None:
         sink.emit(report.summary())
     return report

@@ -638,6 +638,57 @@ class ShardKill:
         return f"ShardKill(nth={self.nth}, shard={self.shard!r})"
 
 
+class ShardMediaStorm:
+    """Escalating NAND degradation on one shard's primary after the nth
+    acknowledged cluster write.
+
+    Where :class:`ShardKill` models sudden death, the storm models the
+    slow kind: it arms ``program_fails`` consecutive :class:`ProgramFault`
+    (and ``erase_fails`` :class:`EraseFault`) occurrences on the victim
+    *device's own* fault plan, targeting the next chip operations of each
+    kind.  The device keeps serving — the FTL absorbs each failure by
+    retiring the block onto a spare — so no client sees an error; only
+    the ``media.*`` counters move.  The cluster health monitor is what
+    must notice and trip a *proactive* failover.  One-shot; records its
+    victim like a kill.
+    """
+
+    def __init__(self, nth: int = 1, shard: Optional[str] = None,
+                 program_fails: int = 3, erase_fails: int = 1) -> None:
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1: {nth}")
+        if program_fails < 0 or erase_fails < 0:
+            raise ValueError("fault counts must be >= 0")
+        if program_fails + erase_fails < 1:
+            raise ValueError("a storm needs at least one fault")
+        self.nth = nth
+        self.shard = shard
+        self.program_fails = program_fails
+        self.erase_fails = erase_fails
+        self.fired = False
+        self.victim: Optional[str] = None
+
+    def inject(self, ssd) -> None:
+        """Arm the storm's media faults on ``ssd``'s plan, targeting the
+        chip operations immediately after the current counts."""
+        plan = ssd.faults
+        base = plan.media.op_counts["program"]
+        for offset in range(self.program_fails):
+            plan.arm_media(ProgramFault(nth=base + 1 + offset))
+        base = plan.media.op_counts["erase"]
+        for offset in range(self.erase_fails):
+            plan.arm_media(EraseFault(nth=base + 1 + offset))
+
+    def __repr__(self) -> str:
+        return (f"ShardMediaStorm(nth={self.nth}, shard={self.shard!r}, "
+                f"program_fails={self.program_fails}, "
+                f"erase_fails={self.erase_fails})")
+
+
+#: Faults the cluster set accepts: sudden shard death or media storms.
+CLUSTER_FAULT_TYPES = (ShardKill, ShardMediaStorm)
+
+
 class ClusterFaultSet:
     """The armed cluster-tier faults of one :class:`FaultPlan`.
 
@@ -650,49 +701,50 @@ class ClusterFaultSet:
     """
 
     def __init__(self) -> None:
-        self._kills: List[ShardKill] = []
+        self._faults: List = []
         self._counting = False
         self.acked_writes = 0
 
     @property
     def active(self) -> bool:
-        return bool(self._kills) or self._counting
+        return bool(self._faults) or self._counting
 
-    def arm(self, fault: ShardKill) -> None:
-        if not isinstance(fault, ShardKill):
+    def arm(self, fault) -> None:
+        if not isinstance(fault, CLUSTER_FAULT_TYPES):
             raise TypeError(f"not a cluster fault: {fault!r}")
-        self._kills.append(fault)
+        self._faults.append(fault)
 
     def disarm(self) -> None:
-        self._kills = []
+        self._faults = []
 
     def enable_counting(self) -> None:
         """Count acks even with no fault armed (enumeration runs)."""
         self._counting = True
 
-    def armed(self) -> List[ShardKill]:
-        return list(self._kills)
+    def armed(self) -> List:
+        return list(self._faults)
 
-    def fired_faults(self) -> List[ShardKill]:
-        return [fault for fault in self._kills if fault.fired]
+    def fired_faults(self) -> List:
+        return [fault for fault in self._faults if fault.fired]
 
     # --------------------------------------------------------- router hook
 
-    def on_ack(self, shard: str) -> Optional[str]:
+    def on_ack(self, shard: str):
         """Count one acknowledged write on ``shard``.
 
-        Returns the name of the shard to kill when an armed fault's fuse
+        Returns the fired fault — a :class:`ShardKill` to execute or a
+        :class:`ShardMediaStorm` to inject — when an armed fault's fuse
         burns down, else ``None``.  The router performs the kill (power
-        cycle + breaker latch) so the run continues through failover
-        rather than aborting."""
+        cycle + breaker latch) or storm (NAND fault arming) so the run
+        continues through failover rather than aborting."""
         count = self.acked_writes + 1
         self.acked_writes = count
-        for fault in self._kills:
+        for fault in self._faults:
             if fault.fired or count != fault.nth:
                 continue
             fault.fired = True
             fault.victim = fault.shard or shard
-            return fault.victim
+            return fault
         return None
 
 
@@ -782,7 +834,7 @@ class FaultPlan:
         """Drop every armed command fault."""
         self.commands.disarm()
 
-    def arm_cluster(self, fault: ShardKill) -> None:
+    def arm_cluster(self, fault) -> None:
         """Arm a cluster-tier fault (see :class:`ClusterFaultSet`)."""
         self.cluster.arm(fault)
 

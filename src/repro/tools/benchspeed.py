@@ -20,10 +20,13 @@ output (or ``--baseline`` names one), the total gate wall time is
 compared and the process exits 3 on a regression beyond
 ``--threshold`` (default 20 %) — the CI hook.
 
-``--cluster`` runs a separate, informational matrix instead: the
-sharded-tier LinkBench cell healthy and again through a mid-run shard
-kill (breaker-driven failover, tail replay), with the router's failover
-stats in a ``cluster`` section and no baseline gate.
+``--cluster`` runs a separate matrix instead: the sharded-tier
+LinkBench cell healthy, again through a mid-run shard kill
+(breaker-driven failover, tail replay), and once more with R=2 groups
+acking at a write quorum of two, with the router's failover stats in a
+``cluster`` section.  The cluster matrix has its own enforced baseline
+family — ``BENCH_cluster_pr<N>.json`` — gated exactly like the main
+matrix (exit 3 beyond ``--threshold``).
 
 Usage::
 
@@ -75,6 +78,7 @@ CLUSTER_CLIENTS = 4
 MICRO_PATTERNS = ("seqwrite", "randwrite", "randread", "share")
 MICRO_OPS = {Scale.TINY: 2_000, Scale.QUICK: 10_000, Scale.FULL: 30_000}
 _BASELINE_RE = re.compile(r"^BENCH_pr(\d+)\.json$")
+_CLUSTER_BASELINE_RE = re.compile(r"^BENCH_cluster_pr(\d+)\.json$")
 
 
 def bench_scale(default: Scale = Scale.TINY) -> Scale:
@@ -170,15 +174,18 @@ def run_ycsb_cell(scale: Scale, workload: YcsbWorkload,
                          result.throughput_ops, events_fired)
 
 
-def run_cluster_cell(scale: Scale, name: str,
-                     kill: bool = False) -> Tuple[Dict[str, Any], Any]:
+def run_cluster_cell(scale: Scale, name: str, kill: bool = False,
+                     replicas: int = 1,
+                     write_quorum: int = 1) -> Tuple[Dict[str, Any], Any]:
     """One sharded-tier LinkBench run over ``CLUSTER_SHARDS`` replicated
-    pairs, telemetry off.  With ``kill=True`` a :class:`ShardKill` is
+    groups, telemetry off.  With ``kill=True`` a :class:`ShardKill` is
     armed after warm-up so one primary dies about a third of the way
     into the measured run and the cell times the run *through* the
     breaker-driven failover (promotion, tail replay, re-replication).
-    Returns ``(record, stack)`` — the stack so the caller can read the
-    router's failover stats."""
+    ``replicas``/``write_quorum`` shape the groups (the quorum cell pays
+    for synchronous replica applies on every ack).  Returns
+    ``(record, stack)`` — the stack so the caller can read the router's
+    failover stats."""
     params = SCALES[scale]
     nodes = max(300, params.linkbench_nodes // 4)
     operations = max(500, params.linkbench_transactions // 2)
@@ -187,7 +194,8 @@ def run_cluster_cell(scale: Scale, name: str,
                                 keys_estimate=nodes * 6,
                                 queue_depth=QUEUE_DEPTH,
                                 channel_count=CHANNEL_COUNT,
-                                faults=faults)
+                                faults=faults, replicas=replicas,
+                                write_quorum=write_quorum)
     driver = ClusterLinkBenchDriver(stack.router, stack.clock,
                                     LinkBenchConfig(node_count=nodes,
                                                     links_per_node=2))
@@ -210,11 +218,11 @@ def run_cluster_cell(scale: Scale, name: str,
 
 
 def run_cluster_matrix(scale: Scale) -> Dict[str, Any]:
-    """The ``--cluster`` document: a healthy cell and a failover cell.
-
-    Informational (no BENCH_pr baseline gate): the cluster tier is a
-    robustness fixture, and the failover cell's wall time depends on
-    where the kill lands relative to replication pumps."""
+    """The ``--cluster`` document: healthy, failover, and R=2 quorum
+    cells, gated against the ``BENCH_cluster_pr<N>.json`` baseline
+    family (the cluster hot path — replication append, quorum sync,
+    replica routing — regresses independently of the single-device
+    matrix, so it gets its own enforced numbers)."""
     benchmarks: List[Dict[str, Any]] = []
 
     warm_record, __ = run_cluster_cell(Scale.TINY, "warmup.discarded")
@@ -234,6 +242,13 @@ def run_cluster_matrix(scale: Scale) -> Dict[str, Any]:
           f"{failover_record['wall_s']:.3f}s wall, "
           f"{stats.failovers} failover(s), "
           f"{stats.replayed_records} record(s) replayed")
+
+    quorum_record, quorum_stack = run_cluster_cell(
+        scale, "cluster.quorum2", replicas=2, write_quorum=2)
+    benchmarks.append(quorum_record)
+    quorum_stats = quorum_stack.router.stats
+    print(f"  {quorum_record['name']}: {quorum_record['wall_s']:.3f}s "
+          f"wall, {quorum_stats.acked_writes} quorum-acked writes")
 
     cluster_section = {
         "shards": CLUSTER_SHARDS,
@@ -256,6 +271,17 @@ def run_cluster_matrix(scale: Scale) -> Dict[str, Any]:
             "epochs": {pair.name: pair.log.epoch
                        for pair in failover_stack.pairs},
         },
+        "quorum2": {
+            "replicas": 2,
+            "write_quorum": 2,
+            "acked_writes": quorum_stats.acked_writes,
+            "repl_applied": quorum_stats.repl_applied,
+            "quorum_syncs": sum(pair.quorum_syncs
+                                for pair in quorum_stack.pairs),
+            "quorum_degraded": sum(pair.quorum_degraded
+                                   for pair in quorum_stack.pairs),
+            "replica_reads": quorum_stats.replica_reads,
+        },
     }
 
     return {
@@ -276,18 +302,20 @@ def run_cluster_matrix(scale: Scale) -> Dict[str, Any]:
 # Regression gate
 # --------------------------------------------------------------------------
 
-def find_baseline(out_path: str,
-                  results_dir: Optional[str] = None) -> Optional[str]:
+def find_baseline(out_path: str, results_dir: Optional[str] = None,
+                  pattern: "re.Pattern" = _BASELINE_RE) -> Optional[str]:
     """The committed baseline to compare against: the highest-numbered
-    ``BENCH_pr<N>.json`` in the output directory that is not the output
-    file itself (so a re-run never gates against its own artifact)."""
+    ``BENCH_pr<N>.json`` (or, for the cluster matrix,
+    ``BENCH_cluster_pr<N>.json``) in the output directory that is not
+    the output file itself (so a re-run never gates against its own
+    artifact)."""
     directory = results_dir or os.path.dirname(os.path.abspath(out_path))
     if not os.path.isdir(directory):
         return None
     out_abs = os.path.abspath(out_path)
     best: Optional[Tuple[int, str]] = None
     for entry in os.listdir(directory):
-        match = _BASELINE_RE.match(entry)
+        match = pattern.match(entry)
         if not match:
             continue
         path = os.path.join(directory, entry)
@@ -475,30 +503,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override REPRO_BENCH_SCALE")
     parser.add_argument("--cluster", action="store_true",
                         help="run the sharded-tier matrix instead "
-                             "(healthy + failover cells); informational, "
-                             "never gated against BENCH_pr baselines")
+                             "(healthy + failover + quorum cells), gated "
+                             "against the BENCH_cluster_pr<N>.json "
+                             "baseline family")
     args = parser.parse_args(argv)
 
     scale = Scale(args.scale) if args.scale else bench_scale()
     if args.cluster:
         print(f"benchspeed: scale={scale.value} (cluster matrix)")
         document = run_cluster_matrix(scale)
+        baseline_path = args.baseline or find_baseline(
+            args.out, pattern=_CLUSTER_BASELINE_RE)
+        baseline = None
+        if baseline_path and os.path.exists(baseline_path):
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        ok, notes = compare_to_baseline(document, baseline, args.threshold)
         document["gate"] = {
-            "baseline": None,
+            "baseline": (os.path.basename(baseline_path)
+                         if baseline else None),
             "threshold": args.threshold,
-            "ok": True,
-            "notes": ["cluster matrix is informational; no per-PR "
-                      "baseline gate"],
+            "ok": ok,
+            "notes": notes,
         }
         print(f"  total cluster wall: {document['total_wall_s']:.3f}s, "
               f"peak RSS {document['peak_rss_mib']:.1f} MiB")
+        for note in notes:
+            print(f"  {note}")
         out_dir = os.path.dirname(os.path.abspath(args.out))
         os.makedirs(out_dir, exist_ok=True)
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(document, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.out}")
-        return 0
+        return 0 if ok else 3
 
     print(f"benchspeed: scale={scale.value}")
     document = run_matrix(scale, trace_out=args.trace_out,

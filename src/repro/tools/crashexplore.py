@@ -10,6 +10,8 @@ Usage::
     python -m repro.tools.crashexplore --workload linkbench-small \\
         --chaos
     python -m repro.tools.crashexplore --cluster --max-points 40
+    python -m repro.tools.crashexplore --cluster-media --max-points 12
+    python -m repro.tools.crashexplore --cluster-chaos --seeds 3
     python -m repro.tools.crashexplore --list
 
 The default sweep enumerates every power-failure point the chosen
@@ -42,6 +44,16 @@ and latches its breaker; the router must promote the replica, replay
 the delta-log tail, and satisfy ``no_lost_acked_write`` — every
 acknowledged write readable after recovery (see ``docs/resilience.md``).
 
+``--cluster-media`` storms instead of kills: at each ack boundary the
+victim primary's NAND starts failing (program/erase faults the FTL
+absorbs onto spare blocks), and the media-health monitor must trip a
+*proactive* promotion before the device gives out.  ``--cluster-chaos``
+runs the seeded chaos scheduler: per seed, one deterministic randomized
+interleaving of kills, storms, transient device-busy faults and a
+mid-run ring resize (with a kill mid-migration) under multi-client
+traffic, checking ``no_lost_acked_write``, ``read_your_writes`` and
+``replica_convergence``.
+
 Each verdict is appended to the JSONL report as a ``{"type":
 "crashcheck", ...}``, ``{"type": "mediacheck", ...}``, ``{"type":
 "chaoscheck", ...}`` or ``{"type": "clustercheck", ...}`` record — the same sink format the telemetry
@@ -59,8 +71,11 @@ from repro.crashcheck.chaosfaults import (ALL_CHAOS_MODES,
                                           enumerate_chaos_occurrences,
                                           enumerate_share_commands,
                                           explore_chaos)
-from repro.crashcheck.cluster import (ClusterHarness, enumerate_acked_writes,
-                                      explore_cluster)
+from repro.crashcheck.cluster import (ClusterChaosHarness, ClusterHarness,
+                                      enumerate_acked_writes,
+                                      explore_cluster, explore_cluster_chaos,
+                                      explore_cluster_media,
+                                      media_cluster_harness)
 from repro.crashcheck.explorer import enumerate_occurrences, explore
 from repro.crashcheck.mediafaults import (ALL_MODES, GENERIC_MODES,
                                           MODE_UNCORRECTABLE,
@@ -218,6 +233,66 @@ def _cluster_sweep(args, sink) -> int:
     return 0
 
 
+def _cluster_media_sweep(args, sink) -> int:
+    acked = enumerate_acked_writes(media_cluster_harness)
+    print(f"[crashexplore] workload cluster-media: {acked} acked writes "
+          f"-> {acked} media-storm boundaries")
+    if args.max_points is not None and acked > args.max_points:
+        print(f"[crashexplore] budget cap: sampling {args.max_points} "
+              f"boundaries evenly across the sweep")
+    report = explore_cluster_media(media_cluster_harness,
+                                   max_points=args.max_points, sink=sink)
+    summary = report.summary()
+    print(f"[crashexplore] explored {summary['explored']} storms: "
+          f"{summary['fired']} fired, {summary['media_trips']} health "
+          f"trips, {summary['proactive_promotions']} proactive "
+          f"promotions, {summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL storm #{result.nth} "
+                          f"({result.victim}): {violation}",
+                          file=sys.stderr)
+        return 1
+    if report.proactive_promotions < 1:
+        print("[crashexplore] FAIL: no storm tripped a proactive "
+              "promotion — the health monitor never noticed the media "
+              "degrading", file=sys.stderr)
+        return 1
+    print("[crashexplore] every storm was absorbed; health trips promoted "
+          "proactively")
+    return 0
+
+
+def _cluster_chaos_sweep(args, sink) -> int:
+    seeds = list(range(1, args.seeds + 1))
+    print(f"[crashexplore] workload {ClusterChaosHarness.name}: "
+          f"{len(seeds)} seeded randomized schedules "
+          f"(kills + storms + busy faults + mid-rebalance kill)")
+    report = explore_cluster_chaos(seeds=seeds, sink=sink)
+    summary = report.summary()
+    print(f"[crashexplore] ran {summary['seeds']} seeds: "
+          f"{summary['kills']} kills ({summary['mid_rebalance_kills']} "
+          f"mid-rebalance), {summary['storms']} storms, "
+          f"{summary['busy_faults']} busy faults, "
+          f"{summary['failovers']} failovers, "
+          f"{summary['migrated_keys']} keys migrated, "
+          f"{summary['ryw_checks']} read-your-writes checks, "
+          f"{summary['violations']} invariant violations")
+    print(f"[crashexplore] report written to {args.out}")
+    if not report.ok:
+        if not args.quiet:
+            for result in report.failures:
+                for violation in result.violations:
+                    print(f"[crashexplore] FAIL seed {result.seed}: "
+                          f"{violation}", file=sys.stderr)
+        return 1
+    print("[crashexplore] all three cluster invariants held on every seed")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.crashexplore",
@@ -255,6 +330,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="sweep single-shard kills at every ack "
                              "boundary of the sharded-tier harness "
                              "(ignores --workload)")
+    parser.add_argument("--cluster-media", action="store_true",
+                        help="sweep NAND media storms (not kills) at every "
+                             "ack boundary; the health monitor must trip "
+                             "proactive promotions (ignores --workload)")
+    parser.add_argument("--cluster-chaos", action="store_true",
+                        help="run the seeded cluster chaos scheduler: "
+                             "randomized kills, storms, busy faults and a "
+                             "mid-run rebalance per seed "
+                             "(ignores --workload)")
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="number of chaos seeds for --cluster-chaos "
+                             "(default: 3)")
     parser.add_argument("--list", action="store_true",
                         help="list available workloads and exit")
     parser.add_argument("--quiet", action="store_true",
@@ -266,10 +353,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
 
-    if sum((args.media_faults, args.chaos, args.cluster)) > 1:
-        print("[crashexplore] --media-faults, --chaos and --cluster are "
-              "separate sweep dimensions; pick one per run",
-              file=sys.stderr)
+    if sum((args.media_faults, args.chaos, args.cluster,
+            args.cluster_media, args.cluster_chaos)) > 1:
+        print("[crashexplore] --media-faults, --chaos, --cluster, "
+              "--cluster-media and --cluster-chaos are separate sweep "
+              "dimensions; pick one per run", file=sys.stderr)
         return 2
     factory = WORKLOADS[args.workload]
     sink = JsonlSink(args.out)
@@ -280,6 +368,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _chaos_sweep(args, factory, sink)
         if args.cluster:
             return _cluster_sweep(args, sink)
+        if args.cluster_media:
+            return _cluster_media_sweep(args, sink)
+        if args.cluster_chaos:
+            return _cluster_chaos_sweep(args, sink)
         return _power_sweep(args, factory, sink)
     finally:
         sink.close()

@@ -222,15 +222,36 @@ CLUSTER_COUNTERS = (
     ("replication records applied", "repl_applied"),
     ("backpressure waits", "backpressure_waits"),
     ("cross-shard copies", "cross_shard_copies"),
+    ("replica reads", "replica_reads"),
+    ("replica read fallbacks", "replica_read_fallbacks"),
+    ("media health trips", "media_trips"),
+    ("media storms injected", "media_storms"),
+    ("proactive promotions", "proactive_promotions"),
+    ("rebalances", "rebalances"),
+    ("keys migrated", "migrated_keys"),
+    ("migrations via SHARE remap", "shared_migrations"),
+)
+
+#: Tier-wide ``cluster.*`` histograms shown as distribution rows, as
+#: (label, name-suffix) pairs.  ``replica_lag`` is sampled once per
+#: ``pump_replication`` round per group; ``convergence_us`` records the
+#: wall time from a replica rejoin/lag event to full catch-up.
+CLUSTER_DISTRIBUTIONS = (
+    ("replica lag at pump (records)", "replica_lag"),
+    ("replica convergence time (us)", "convergence_us"),
 )
 
 
-def cluster_summary(metrics: Dict) -> Tuple[List[List], List[List]]:
-    """Per-shard rows and tier-wide counter rows from a snapshot.
+def cluster_summary(metrics: Dict) -> Tuple[List[List], List[List],
+                                            List[List]]:
+    """Per-shard rows, tier-wide counter rows, and distribution rows
+    from a snapshot.
 
     Shard rows are ``[shard, epoch, repl_lag, count, p50, p99, max]``
     (client-visible latency, microseconds); counter rows are
-    ``[label, value]`` for every nonzero ``cluster.*`` scalar.
+    ``[label, value]`` for every nonzero ``cluster.*`` scalar;
+    distribution rows are ``[label, count, mean, p50, p99, max]`` for
+    each populated histogram in :data:`CLUSTER_DISTRIBUTIONS`.
     """
     shard_rows: List[List] = []
     for name in sorted(metrics):
@@ -249,11 +270,17 @@ def cluster_summary(metrics: Dict) -> Tuple[List[List], List[List]]:
         value = metrics.get(f"cluster.{suffix}")
         if value:
             counter_rows.append([label, value])
-    return shard_rows, counter_rows
+    dist_rows: List[List] = []
+    for label, suffix in CLUSTER_DISTRIBUTIONS:
+        value = metrics.get(f"cluster.{suffix}")
+        if isinstance(value, dict) and value.get("count"):
+            dist_rows.append([label, value["count"], value["mean"],
+                              value["p50"], value["p99"], value["max"]])
+    return shard_rows, counter_rows, dist_rows
 
 
 def render_cluster(metrics: Dict) -> str:
-    shard_rows, counter_rows = cluster_summary(metrics)
+    shard_rows, counter_rows, dist_rows = cluster_summary(metrics)
     parts = []
     if shard_rows:
         parts.append(format_table(
@@ -263,6 +290,10 @@ def render_cluster(metrics: Dict) -> str:
         parts.append(format_table(
             ["counter", "value"], counter_rows,
             title="Cluster tier (kills, failovers, replication)"))
+    if dist_rows:
+        parts.append(format_table(
+            ["distribution", "count", "mean", "P50", "P99", "max"],
+            dist_rows, title="Replica lag / convergence"))
     if not parts:
         return "no cluster telemetry in artifact"
     return "\n\n".join(parts)

@@ -1,15 +1,24 @@
 """Tests for the cluster kill sweep: enumeration counts real ack
 boundaries, a capped sweep fires a failover at every explored boundary
 with zero ``no_lost_acked_write`` violations, and the harness's oracle
-actually catches a lost write when one is manufactured."""
+actually catches a lost write when one is manufactured.  Plus the PR 9
+dimensions: the media-storm sweep (NAND faults instead of kills at ack
+boundaries, proactive promotions expected), the seeded chaos scheduler
+(randomized kills + storms + busy faults + a mid-rebalance kill, three
+invariants checked), and the CLI entry points for both."""
+
+import json
 
 from repro.crashcheck import (ClusterHarness, ClusterOccurrence,
                               enumerate_acked_writes, explore_cluster,
-                              explore_cluster_occurrence)
+                              explore_cluster_media,
+                              explore_cluster_occurrence, run_chaos_seed)
 from repro.obs.sinks import MemorySink
 from repro.sim.faults import FaultPlan
+from repro.tools.crashexplore import main as crashexplore_main
 
 SWEEP_POINTS = 8
+CHAOS_TEST_STEPS = 80
 
 
 def test_enumeration_counts_acked_writes():
@@ -58,3 +67,85 @@ def test_oracle_catches_a_lost_write():
     violations = harness.check_engine()
     assert any("no_lost_acked_write" in v and repr(key) in v
                for v in violations)
+
+
+# ------------------------------------------------------- media sweep
+
+
+def test_media_sweep_trips_proactive_promotions():
+    sink = MemorySink()
+    report = explore_cluster_media(max_points=6, sink=sink)
+    assert report.ok, report.failures
+    assert len(report.results) == 6
+    assert all(result.fired for result in report.results)
+    # The whole point of the dimension: storms promote *proactively*,
+    # without a single kill, at least somewhere in the sweep.
+    assert report.proactive_promotions >= 1
+    rows = [r for r in sink.records if r["type"] == "clustermedia"]
+    assert len(rows) == 6
+    summary = sink.records[-1]
+    assert summary["type"] == "clustermedia-summary"
+    assert summary["violations"] == 0
+
+
+# ------------------------------------------------------ chaos scheduler
+
+
+def test_chaos_seed_is_clean_and_deterministic():
+    first = run_chaos_seed(1, steps=CHAOS_TEST_STEPS)
+    assert first.violations == (), first.violations
+    assert first.acked_writes > 0
+    assert first.ryw_checks > 0
+    second = run_chaos_seed(1, steps=CHAOS_TEST_STEPS)
+    # Same seed, same universe: every counter agrees.
+    assert second == first
+
+
+def test_chaos_seeds_differ():
+    a = run_chaos_seed(1, steps=CHAOS_TEST_STEPS)
+    b = run_chaos_seed(2, steps=CHAOS_TEST_STEPS)
+    assert a.violations == b.violations == ()
+    assert (a.kills, a.storms, a.busy_faults, a.acked_writes) \
+        != (b.kills, b.storms, b.busy_faults, b.acked_writes)
+
+
+def test_chaos_record_shape():
+    result = run_chaos_seed(3, steps=CHAOS_TEST_STEPS)
+    record = result.as_record("cluster-chaos")
+    assert record["type"] == "clusterchaos"
+    assert record["seed"] == 3
+    assert record["ok"] is True
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_cluster_media_smoke(tmp_path, capsys):
+    out = tmp_path / "media.jsonl"
+    rc = crashexplore_main(["--cluster-media", "--max-points", "6",
+                            "--out", str(out), "--quiet"])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "proactive" in captured
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert rows[-1]["type"] == "clustermedia-summary"
+    assert rows[-1]["ok"] is True
+
+
+def test_cli_cluster_chaos_smoke(tmp_path, capsys):
+    out = tmp_path / "chaos.jsonl"
+    rc = crashexplore_main(["--cluster-chaos", "--seeds", "1",
+                            "--out", str(out), "--quiet"])
+    assert rc == 0
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    summary = rows[-1]
+    assert summary["type"] == "clusterchaos-summary"
+    assert summary["ok"] is True
+    assert summary["seeds"] == 1
+    assert summary["violations"] == 0
+
+
+def test_cli_rejects_combined_cluster_dimensions(tmp_path):
+    rc = crashexplore_main(["--cluster-media", "--cluster-chaos",
+                            "--out", str(tmp_path / "x.jsonl")])
+    assert rc == 2
