@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import MLC_TIMING, SATA_SSD_TIMING, FlashTiming
 from repro.ftl.config import FtlConfig
+from repro.ftl.mapping import resolve_l2p_strategy
 from repro.couchstore.engine import CommitMode, CouchConfig, CouchStore
 from repro.host.filesystem import FsConfig, HostFs
 from repro.innodb.engine import FlushMode, InnoDBConfig, InnoDBEngine
@@ -47,6 +48,14 @@ def _map_blocks_for(block_count: int) -> int:
     """Mapping-log region size: proportional to capacity (real FTLs
     reserve capacity-proportional metadata space) with a small floor."""
     return max(4, block_count // 24)
+
+
+def _l2p(l2p_strategy: Optional[str]) -> str:
+    """L2P backing for a stack: the explicit argument, else the
+    ``REPRO_L2P`` environment override, else the flat default — so one
+    env var flips every builder-made device in a run."""
+    return (l2p_strategy if l2p_strategy is not None
+            else resolve_l2p_strategy())
 
 
 class Scale(enum.Enum):
@@ -127,7 +136,8 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
                        queue_depth: int = 1,
                        channel_count: Optional[int] = None,
                        plane_ways: int = 1,
-                       interval_capacity: int = 0) -> InnoDbStack:
+                       interval_capacity: int = 0,
+                       l2p_strategy: Optional[str] = None) -> InnoDbStack:
     """Assemble data device + log device + engine for one experiment cell.
 
     ``leaf_capacity`` scales with the page size by default: bigger pages
@@ -161,7 +171,8 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
     data_ssd = Ssd(clock, SsdConfig(
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
-                      map_block_count=_map_blocks_for(geometry.block_count)),
+                      map_block_count=_map_blocks_for(geometry.block_count),
+                      l2p_strategy=_l2p(l2p_strategy)),
         trace_capacity=trace_capacity, trace_keep=trace_keep,
         queue_depth=queue_depth, plane_ways=plane_ways,
         interval_capacity=interval_capacity),
@@ -181,6 +192,11 @@ def build_innodb_stack(mode: FlushMode, page_size: int,
     log_ssd = Ssd(clock, SsdConfig(geometry=log_geometry,
                                    timing=SATA_SSD_TIMING,
                                    share_enabled=False,
+                                   # Same L2P backing as the data device:
+                                   # the shared ftl.l2p.* gauges stay
+                                   # coherent across the stack.
+                                   ftl=FtlConfig(
+                                       l2p_strategy=_l2p(l2p_strategy)),
                                    queue_depth=queue_depth,
                                    plane_ways=plane_ways),
                   telemetry=telemetry, name="log", events=events,
@@ -233,7 +249,8 @@ def build_couch_stack(mode: CommitMode, record_count: int,
                       channel_count: Optional[int] = None,
                       plane_ways: int = 1,
                       trace_capacity: int = 0,
-                      interval_capacity: int = 0) -> CouchStack:
+                      interval_capacity: int = 0,
+                      l2p_strategy: Optional[str] = None) -> CouchStack:
     """Assemble the device + filesystem + couchstore for one cell.
 
     The device is sized for the record set plus the append churn of the
@@ -255,7 +272,8 @@ def build_couch_stack(mode: CommitMode, record_count: int,
     ssd = Ssd(clock, SsdConfig(
         geometry=geometry, timing=timing,
         ftl=FtlConfig(share_table_entries=share_table_entries,
-                      map_block_count=_map_blocks_for(geometry.block_count)),
+                      map_block_count=_map_blocks_for(geometry.block_count),
+                      l2p_strategy=_l2p(l2p_strategy)),
         queue_depth=queue_depth, plane_ways=plane_ways,
         trace_capacity=trace_capacity,
         interval_capacity=interval_capacity),
@@ -272,7 +290,8 @@ def build_couch_stack(mode: CommitMode, record_count: int,
 # --------------------------------------------------------------------------
 
 def build_postgres_stack(full_page_writes: bool, scale: int,
-                         timing: FlashTiming = MLC_TIMING
+                         timing: FlashTiming = MLC_TIMING,
+                         l2p_strategy: Optional[str] = None
                          ) -> Tuple[SimClock, Ssd, Ssd, PostgresEngine]:
     """Assemble a heap device + WAL device + engine."""
     clock = SimClock()
@@ -281,10 +300,11 @@ def build_postgres_stack(full_page_writes: bool, scale: int,
                              block_count=max(
                                  64, -(-(data_pages * 2) // int(128 * 0.92))),
                              overprovision_ratio=0.08)
+    ftl_config = FtlConfig(l2p_strategy=_l2p(l2p_strategy))
     data_ssd = Ssd(clock, SsdConfig(geometry=geometry, timing=timing,
-                                    share_enabled=False))
+                                    share_enabled=False, ftl=ftl_config))
     wal_ssd = Ssd(clock, SsdConfig(geometry=geometry, timing=timing,
-                                   share_enabled=False))
+                                   share_enabled=False, ftl=ftl_config))
     # Frequent checkpoints (as with pgbench's default-sized WAL) keep the
     # full-page-image cost recurring — the regime the paper's in-text
     # experiment measured.
@@ -319,7 +339,8 @@ def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
                         queue_limit: Optional[int] = 8,
                         vnodes: int = 64, replicas: int = 1,
                         write_quorum: int = 1,
-                        spare_shards: int = 0) -> ClusterStack:
+                        spare_shards: int = 0,
+                        l2p_strategy: Optional[str] = None) -> ClusterStack:
     """Assemble ``shards`` shard groups (primary + ``replicas`` peer
     devices each) behind a :class:`~repro.cluster.router.ShardRouter`.
 
@@ -363,7 +384,8 @@ def build_cluster_stack(shards: int = 3, keys_estimate: int = 4_000,
             geometry=geometry, timing=timing,
             ftl=FtlConfig(
                 share_table_entries=max(64, per_shard_keys // 4),
-                map_block_count=_map_blocks_for(block_count)),
+                map_block_count=_map_blocks_for(block_count),
+                l2p_strategy=_l2p(l2p_strategy)),
             queue_depth=queue_depth),
             telemetry=telemetry, name=name, events=events)
 

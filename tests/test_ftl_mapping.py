@@ -1,62 +1,311 @@
-"""Unit tests for the forward (L2P) map."""
+"""Unit tests for the forward (L2P) mapping strategies.
+
+The conformance block runs against every registered backing — the
+strategy contract, not one implementation — and the per-strategy blocks
+pin the layout-specific behaviours (group alloc/free, run split/merge,
+delta anchors/exceptions) plus the SHARE remap-split accounting.
+"""
+
+import random
 
 import pytest
 
-from repro.ftl.mapping import ForwardMap
+from repro.ftl.mapping import (
+    DeltaCompressedMap,
+    FlatListMap,
+    ForwardMap,
+    GroupMap,
+    RunLengthMap,
+    STRATEGY_NAMES,
+    UNMAPPED,
+    create_strategy,
+    resolve_l2p_strategy,
+)
 
 
-def test_starts_unmapped():
-    fwd = ForwardMap(16)
+@pytest.fixture(params=STRATEGY_NAMES)
+def fwd(request):
+    return create_strategy(request.param, 16, group_pages=4)
+
+
+# ------------------------------------------------------------- conformance
+
+
+def test_starts_unmapped(fwd):
     assert fwd.lookup(0) is None
     assert not fwd.is_mapped(0)
     assert fwd.mapped_count == 0
+    assert fwd.get(0) == UNMAPPED
 
 
-def test_update_and_lookup():
-    fwd = ForwardMap(16)
+def test_update_and_lookup(fwd):
     assert fwd.update(3, 100) is None
     assert fwd.lookup(3) == 100
+    assert fwd.get(3) == 100
     assert fwd.mapped_count == 1
 
 
-def test_update_returns_old():
-    fwd = ForwardMap(16)
+def test_update_returns_old(fwd):
     fwd.update(3, 100)
     assert fwd.update(3, 200) == 100
     assert fwd.mapped_count == 1
 
 
-def test_clear():
-    fwd = ForwardMap(16)
+def test_clear(fwd):
     fwd.update(3, 100)
     assert fwd.clear(3) == 100
     assert fwd.lookup(3) is None
     assert fwd.mapped_count == 0
 
 
-def test_clear_unmapped_returns_none():
-    fwd = ForwardMap(16)
+def test_clear_unmapped_returns_none(fwd):
     assert fwd.clear(5) is None
 
 
-def test_bounds_checked():
-    fwd = ForwardMap(16)
+def test_bounds_checked(fwd):
     with pytest.raises(ValueError):
         fwd.lookup(16)
     with pytest.raises(ValueError):
         fwd.update(-1, 0)
     with pytest.raises(ValueError):
         fwd.update(0, -2)
-
-
-def test_mapped_lpns_iterates_live_entries():
-    fwd = ForwardMap(8)
-    fwd.update(1, 10)
-    fwd.update(5, 50)
-    fwd.clear(1)
-    assert list(fwd.mapped_lpns()) == [(5, 50)]
-
-
-def test_zero_size_rejected():
     with pytest.raises(ValueError):
-        ForwardMap(0)
+        fwd.clear(16)
+    with pytest.raises(ValueError):
+        fwd.is_mapped(-1)
+
+
+def test_mapped_lpns_iterates_live_entries_in_order(fwd):
+    fwd.update(5, 50)
+    fwd.update(1, 10)
+    fwd.clear(1)
+    fwd.update(2, 77)
+    assert list(fwd.mapped_lpns()) == [(2, 77), (5, 50)]
+    assert fwd.snapshot() == [(2, 77), (5, 50)]
+
+
+def test_zero_size_rejected(fwd):
+    with pytest.raises(ValueError):
+        type(fwd)(0)
+
+
+def test_get_many_matches_get(fwd):
+    fwd.update(2, 20)
+    fwd.update(7, 70)
+    assert fwd.get_many([2, 3, 7]) == [20, UNMAPPED, 70]
+
+
+def test_remap_matches_update_semantics(fwd):
+    fwd.update(3, 100)
+    assert fwd.remap(5, 100) is None      # share into unmapped dst
+    assert fwd.remap(3, 100) == 100       # no-op remap
+    assert fwd.lookup(5) == 100
+    assert fwd.mapped_count == 2
+
+
+def test_footprint_and_fragments_reported(fwd):
+    assert fwd.footprint_bytes() >= 0
+    fwd.update(0, 10)
+    fwd.update(9, 90)
+    assert fwd.footprint_bytes() > 0
+    assert fwd.fragment_count() >= 0
+    assert fwd.remap_splits >= 0
+
+
+def test_randomized_agreement_with_dict(fwd):
+    rng = random.Random(0xBEEF)
+    ref = {}
+    for _ in range(3000):
+        lpn = rng.randrange(16)
+        roll = rng.random()
+        if roll < 0.5:
+            ppn = rng.randrange(200)
+            assert fwd.update(lpn, ppn) == ref.get(lpn)
+            ref[lpn] = ppn
+        elif roll < 0.7:
+            ppn = rng.randrange(200)
+            assert fwd.remap(lpn, ppn) == ref.get(lpn)
+            ref[lpn] = ppn
+        elif roll < 0.9:
+            assert fwd.clear(lpn) == ref.pop(lpn, None)
+        else:
+            assert fwd.lookup(lpn) == ref.get(lpn)
+    assert dict(fwd.mapped_lpns()) == ref
+    assert fwd.mapped_count == len(ref)
+
+
+# --------------------------------------------------------- factory / alias
+
+
+def test_forwardmap_alias_is_flat():
+    assert ForwardMap is FlatListMap
+    fwd = ForwardMap(8)
+    assert fwd.name == "flat"
+    assert fwd.table is not None and len(fwd.table) == 8
+
+
+def test_create_strategy_rejects_unknown():
+    with pytest.raises(ValueError):
+        create_strategy("btree", 16)
+
+
+def test_resolve_l2p_strategy_env(monkeypatch):
+    monkeypatch.delenv("REPRO_L2P", raising=False)
+    assert resolve_l2p_strategy() == "flat"
+    monkeypatch.setenv("REPRO_L2P", "runlength")
+    assert resolve_l2p_strategy() == "runlength"
+    monkeypatch.setenv("REPRO_L2P", "lsm")
+    with pytest.raises(ValueError):
+        resolve_l2p_strategy()
+
+
+def test_only_flat_exposes_raw_table():
+    for name in STRATEGY_NAMES:
+        strategy = create_strategy(name, 16)
+        if name == "flat":
+            assert strategy.table is not None
+        else:
+            assert strategy.table is None
+
+
+# ------------------------------------------------------------------- group
+
+
+def test_group_allocates_on_first_touch_and_frees():
+    fwd = GroupMap(16, group_pages=4)
+    base = fwd.footprint_bytes()          # directory only
+    assert fwd.fragment_count() == 0
+    fwd.update(5, 50)
+    assert fwd.fragment_count() == 1
+    assert fwd.footprint_bytes() > base
+    fwd.update(6, 60)
+    assert fwd.fragment_count() == 1      # same group
+    fwd.update(13, 130)
+    assert fwd.fragment_count() == 2
+    fwd.clear(5)
+    fwd.clear(6)
+    assert fwd.fragment_count() == 1      # group 1 freed
+    fwd.clear(13)
+    assert fwd.fragment_count() == 0
+    assert fwd.footprint_bytes() == base
+
+
+def test_group_remap_into_untouched_group_counts_split():
+    fwd = GroupMap(16, group_pages=4)
+    fwd.update(0, 10)
+    assert fwd.remap_splits == 0
+    fwd.remap(9, 10)                      # group 2 allocated by a remap
+    assert fwd.remap_splits == 1
+    fwd.remap(10, 10)                     # group already allocated
+    assert fwd.remap_splits == 1
+
+
+# --------------------------------------------------------------- runlength
+
+
+def test_runlength_sequential_collapses_to_one_run():
+    fwd = RunLengthMap(64)
+    for i in range(32):
+        fwd.update(i, 1000 + i)
+    assert fwd.fragment_count() == 1
+    assert fwd.mapped_count == 32
+
+
+def test_runlength_interior_overwrite_splits_run():
+    fwd = RunLengthMap(64)
+    for i in range(8):
+        fwd.update(i, 100 + i)
+    fwd.update(4, 999)                    # breaks lockstep mid-run
+    assert fwd.fragment_count() == 3      # [0,4) + {4} + (4,8)
+    assert fwd.lookup(4) == 999
+    assert fwd.lookup(3) == 103 and fwd.lookup(5) == 105
+
+
+def test_runlength_adjacent_writes_merge_back():
+    fwd = RunLengthMap(64)
+    fwd.update(0, 100)
+    fwd.update(2, 102)
+    assert fwd.fragment_count() == 2
+    fwd.update(1, 101)                    # bridges the gap in lockstep
+    assert fwd.fragment_count() == 1
+
+
+def test_runlength_edge_trims_do_not_split():
+    fwd = RunLengthMap(64)
+    for i in range(6):
+        fwd.update(i, 100 + i)
+    fwd.clear(0)
+    fwd.clear(5)
+    assert fwd.fragment_count() == 1
+    assert fwd.mapped_count == 4
+
+
+def test_runlength_remap_counts_splits():
+    fwd = RunLengthMap(64)
+    for i in range(8):
+        fwd.update(i, 100 + i)
+    assert fwd.remap_splits == 0
+    fwd.remap(4, 7777)                    # interior remap: 1 -> 3 runs
+    assert fwd.remap_splits == 2
+    assert fwd.write_splits == 0          # charged to remaps, not writes
+
+
+def test_runlength_remap_into_unmapped_space():
+    # Regression: remapping a destination no run covers must create a
+    # fresh single-page run, not corrupt a neighbour.
+    fwd = RunLengthMap(64)
+    fwd.update(0, 100)
+    fwd.remap(40, 100)
+    assert fwd.lookup(40) == 100
+    assert fwd.lookup(39) is None and fwd.lookup(41) is None
+    assert fwd.mapped_count == 2
+
+
+# ------------------------------------------------------------------- delta
+
+
+def test_delta_sequential_fill_needs_no_exceptions():
+    fwd = DeltaCompressedMap(64, group_pages=8)
+    for i in range(32):
+        fwd.update(i, 500 + i)            # perfectly predicted by anchors
+    assert fwd.delta_entries == 0
+    assert fwd.fragment_count() == 0
+    assert fwd.mapped_count == 32
+
+
+def test_delta_divergent_write_costs_exception():
+    fwd = DeltaCompressedMap(64, group_pages=8)
+    fwd.update(0, 500)
+    fwd.update(1, 9000)                   # diverges from anchor 500
+    assert fwd.delta_entries == 1
+    assert fwd.lookup(1) == 9000
+    fwd.update(1, 501)                    # back on prediction: freed
+    assert fwd.delta_entries == 0
+    assert fwd.lookup(1) == 501
+
+
+def test_delta_remap_counts_exception_as_split():
+    fwd = DeltaCompressedMap(64, group_pages=8)
+    for i in range(8):
+        fwd.update(i, 500 + i)
+    assert fwd.remap_splits == 0
+    fwd.remap(2, 500)                     # aliases lpn 0's page: diverges
+    assert fwd.remap_splits == 1
+    assert fwd.lookup(2) == 500
+    fwd.remap(10, 900)                    # first entry anchors group 1
+    assert fwd.remap_splits == 1
+
+
+def test_delta_clear_drops_anchor_when_group_empties():
+    fwd = DeltaCompressedMap(64, group_pages=8)
+    fwd.update(3, 700)
+    fwd.update(4, 9999)
+    base = fwd.footprint_bytes()
+    fwd.clear(4)
+    fwd.clear(3)
+    assert fwd.mapped_count == 0
+    assert fwd.delta_entries == 0
+    assert fwd.footprint_bytes() < base
+    # A fresh write re-anchors the group at the new PPN.
+    fwd.update(3, 1234)
+    assert fwd.lookup(3) == 1234

@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.errors import ShareError
+from repro.errors import ShareError, UnmappedPageError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
 from repro.ftl.config import FtlConfig
+from repro.ftl.mapping import STRATEGY_NAMES
 from repro.ftl.pagemap import PageMappingFtl
 from repro.ftl.share_ext import (
     MAX_BATCH_UNLIMITED,
@@ -15,15 +16,28 @@ from repro.ftl.share_ext import (
 )
 
 
-@pytest.fixture
-def small_ftl():
+def _make_ftl(l2p_strategy: str = "flat") -> PageMappingFtl:
     """Small pages keep ``max_share_batch`` (one mapping page of deltas)
     tiny, so the atomic-limit boundary is cheap to cross."""
     geo = FlashGeometry(page_size=512, pages_per_block=16, block_count=40,
                         overprovision_ratio=0.2)
     return PageMappingFtl(NandArray(geo),
                           FtlConfig(map_block_count=4,
-                                    share_table_entries=64))
+                                    share_table_entries=64,
+                                    l2p_strategy=l2p_strategy,
+                                    l2p_group_pages=8))
+
+
+@pytest.fixture
+def small_ftl():
+    return _make_ftl()
+
+
+@pytest.fixture(params=STRATEGY_NAMES)
+def strategy_ftl(request):
+    """The same small FTL on every L2P backing — the SHARE edge cases
+    must hold regardless of how the forward map is laid out."""
+    return _make_ftl(request.param)
 
 
 class TestSharePair:
@@ -164,3 +178,115 @@ class TestBatchBoundaryRegressions:
             assert small_ftl.read(lpn) == value
         for i in range(limit + 1):
             assert not small_ftl.is_mapped(limit + 1 + i)
+
+
+class TestSharePerStrategy:
+    """The batch-boundary and overlap regressions above, re-run against
+    every L2P backing — plus the remap-into-unmapped-run cases where the
+    compact layouts (runs, groups, delta anchors) do real work."""
+
+    def test_share_resolves_and_reads_back(self, strategy_ftl):
+        ftl = strategy_ftl
+        for lpn in range(8):
+            ftl.write(lpn, ("src", lpn))
+        ftl.share_batch([SharePair(20 + i, i) for i in range(8)])
+        for i in range(8):
+            assert ftl.read(20 + i) == ("src", i)
+            assert ftl.read(i) == ("src", i)
+        ftl.check_invariants()
+
+    def test_cross_pair_overlap_rejected_without_state_change(
+            self, strategy_ftl):
+        ftl = strategy_ftl
+        for lpn in range(4):
+            ftl.write(lpn, ("v", lpn))
+        # Pair 2's destination is pair 1's source: chained batch.
+        with pytest.raises(ShareError):
+            ftl.share_batch([SharePair(10, 2), SharePair(2, 3)])
+        for lpn in range(4):
+            assert ftl.read(lpn) == ("v", lpn)
+        assert not ftl.is_mapped(10)
+        ftl.check_invariants()
+
+    def test_exactly_max_batch_commits_atomically(self, strategy_ftl):
+        ftl = strategy_ftl
+        limit = ftl.max_share_batch
+        for lpn in range(limit):
+            ftl.write(lpn, ("s", lpn))
+        ftl.share_batch([SharePair(limit + i, i) for i in range(limit)])
+        for i in range(limit):
+            assert ftl.read(limit + i) == ("s", i)
+        ftl.check_invariants()
+
+    def test_one_past_max_batch_rejected_without_state_change(
+            self, strategy_ftl):
+        ftl = strategy_ftl
+        limit = ftl.max_share_batch
+        for lpn in range(limit + 1):
+            ftl.write(lpn, ("s", lpn))
+        snapshot = ftl.fwd.snapshot()
+        with pytest.raises(ShareError):
+            ftl.share_batch(
+                [SharePair(limit + 1 + i, i) for i in range(limit + 1)])
+        assert ftl.fwd.snapshot() == snapshot
+        ftl.check_invariants()
+
+    def test_unmapped_source_rejected_without_state_change(
+            self, strategy_ftl):
+        ftl = strategy_ftl
+        ftl.write(0, ("v", 0))
+        snapshot = ftl.fwd.snapshot()
+        # Second pair's source was never written; the whole batch fails.
+        with pytest.raises(ShareError):
+            ftl.share_batch([SharePair(10, 0), SharePair(11, 5)])
+        assert ftl.fwd.snapshot() == snapshot
+        with pytest.raises(UnmappedPageError):
+            ftl.read(10)
+        ftl.check_invariants()
+
+    def test_remap_into_unmapped_destination_run(self, strategy_ftl):
+        # Regression mirrored from the RunLengthMap unit tests: a SHARE
+        # whose destination sits in untouched address space must create
+        # the mapping without disturbing its (unmapped) neighbours.
+        ftl = strategy_ftl
+        for lpn in range(4):
+            ftl.write(lpn, ("v", lpn))
+        ftl.share(30, 1, 1)
+        assert ftl.read(30) == ("v", 1)
+        assert not ftl.is_mapped(29)
+        assert not ftl.is_mapped(31)
+        ftl.check_invariants()
+
+    def test_remap_interior_of_sequential_run(self, strategy_ftl):
+        # A remap landing mid-run splits extents / diverges anchors but
+        # must stay read-correct on both sides of the split.
+        ftl = strategy_ftl
+        for lpn in range(10, 18):
+            ftl.write(lpn, ("seq", lpn))
+        ftl.write(40, ("other", 40))
+        ftl.share(14, 40, 1)
+        assert ftl.read(14) == ("other", 40)
+        assert ftl.read(13) == ("seq", 13)
+        assert ftl.read(15) == ("seq", 15)
+        ftl.check_invariants()
+
+    def test_remap_splits_accounting_per_strategy(self, strategy_ftl):
+        ftl = strategy_ftl
+        for lpn in range(8):
+            ftl.write(lpn, ("seq", lpn))
+        before = ftl.fwd.remap_splits
+        ftl.share(3, 7, 1)                # interior remap of the run
+        after = ftl.fwd.remap_splits
+        if ftl.fwd.name == "flat":
+            assert after == before == 0   # nothing to fragment
+        else:
+            assert after >= before        # compact layouts may pay
+
+    def test_overwrite_after_share_keeps_source_intact(self, strategy_ftl):
+        ftl = strategy_ftl
+        ftl.write(0, ("v", 0))
+        ftl.share(5, 0, 1)
+        ftl.write(5, ("new", 5))          # break the share by rewriting
+        assert ftl.read(5) == ("new", 5)
+        assert ftl.read(0) == ("v", 0)
+        ftl.check_invariants()

@@ -1,0 +1,104 @@
+"""Recovery parity across L2P mapping strategies.
+
+Every backing must rebuild the *same* logical mapping from the same
+media: after a power cut at any delta-log fault point of the ftl-basic
+harness, recovering the NAND under each strategy's config must agree —
+entry for entry — with a recovery under the flat default.  The sweep
+reuses the crash explorer's deterministic enumerate-then-inject
+machinery, so the sampled power-cut sites land exactly where the map
+log commits and checkpoints.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.crashcheck.explorer import (Occurrence, enumerate_occurrences,
+                                       sample_evenly)
+from repro.crashcheck.workloads import FtlBasicHarness
+from repro.errors import PowerFailure
+from repro.ftl.mapping import STRATEGY_NAMES
+from repro.ftl.pagemap import PageMappingFtl
+from repro.sim.faults import FaultPlan, PowerFailAfter
+
+#: Per-strategy cap on injected power cuts (checkpoint boundaries are
+#: always kept; commit points are sampled evenly up to this budget).
+SAMPLE_BUDGET = 12
+
+
+def _maplog_occurrences():
+    """The delta-log fault sites of one deterministic ftl-basic run:
+    every checkpoint rotation point plus an even sample of the
+    per-batch commit points."""
+    occurrences = enumerate_occurrences(FtlBasicHarness)
+    maplog = [occ for occ in occurrences if occ.point.startswith("maplog.")]
+    assert maplog, "ftl-basic reached no maplog fault points"
+    rotations = [occ for occ in maplog
+                 if occ.point in ("maplog.checkpoint_start",
+                                  "maplog.checkpoint_end")]
+    commits = [occ for occ in maplog if occ not in rotations]
+    sampled = rotations + sample_evenly(
+        commits, max(1, SAMPLE_BUDGET - len(rotations)))
+    # De-dup while keeping enumeration order.
+    return list(dict.fromkeys(sampled))
+
+
+_SITES = _maplog_occurrences()
+
+
+def _crash_at(site: Occurrence) -> FtlBasicHarness:
+    """Run ftl-basic (under whatever ``REPRO_L2P`` resolves to) until the
+    injected power cut."""
+    faults = FaultPlan()
+    harness = FtlBasicHarness(faults)
+    faults.arm(PowerFailAfter(site.point, site.nth))
+    with pytest.raises(PowerFailure):
+        harness.run()
+    faults.disarm()
+    return harness
+
+
+@pytest.mark.parametrize("strategy",
+                         [s for s in STRATEGY_NAMES if s != "flat"])
+@pytest.mark.parametrize("site", _SITES,
+                         ids=[f"{occ.point}#{occ.nth}" for occ in _SITES])
+def test_recovery_parity_with_flat(strategy, site):
+    # The workload itself runs under the flat default (the op sequence,
+    # and therefore the persisted media, is identical either way — the
+    # backing only changes the DRAM representation); parity is about
+    # what each strategy *rebuilds* from that media.
+    harness = _crash_at(site)
+    nand = harness.ssd.nand
+    base_config = harness.ssd.config.ftl
+    flat = PageMappingFtl.recover(
+        nand, dataclasses.replace(base_config, l2p_strategy="flat"))
+    other = PageMappingFtl.recover(
+        nand, dataclasses.replace(base_config, l2p_strategy=strategy,
+                                  l2p_group_pages=16))
+    assert other.fwd.name == strategy
+    assert other.fwd.snapshot() == flat.fwd.snapshot()
+    assert other.fwd.mapped_count == flat.fwd.mapped_count
+    # The rebuilt strategy must satisfy the FTL's own cross-structure
+    # invariants too, not just mirror the flat table.
+    other.check_invariants()
+
+
+@pytest.mark.parametrize("strategy",
+                         [s for s in STRATEGY_NAMES if s != "flat"])
+def test_crash_while_running_under_strategy(strategy, monkeypatch):
+    # Complementary direction: the *workload* runs under the compact
+    # backing (the harness resolves REPRO_L2P), crashes at a mid-run
+    # commit site, and both that backing and the flat one rebuild
+    # identical mappings from its media.
+    monkeypatch.setenv("REPRO_L2P", strategy)
+    site = _SITES[len(_SITES) // 2]
+    harness = _crash_at(site)
+    assert harness.ssd.ftl.fwd.name == strategy
+    nand = harness.ssd.nand
+    base_config = harness.ssd.config.ftl
+    recovered = PageMappingFtl.recover(nand, base_config)
+    flat = PageMappingFtl.recover(
+        nand, dataclasses.replace(base_config, l2p_strategy="flat"))
+    assert recovered.fwd.name == strategy
+    assert recovered.fwd.snapshot() == flat.fwd.snapshot()
+    recovered.check_invariants()
